@@ -1,0 +1,429 @@
+//! The paper's benchmark suite.
+//!
+//! Eight benchmarks (Table II): five real-life bioassays — PCR, IVD,
+//! ProteinSplit, Kinase act-1, Kinase act-2 — and three synthetic assays.
+//! The authors' exact sequencing graphs are not published; the graphs here
+//! are reconstructed from the standard versions of these assays in the
+//! biochip-synthesis literature with the `|O|` (operations) and `|D|`
+//! (devices) counts of Table II matched exactly, and `|E|` (edges, counted as
+//! dependency + reagent-injection + output edges) matched exactly where the
+//! arity constraints permit.
+//!
+//! In addition, [`demo`] reconstructs the running example of Figs. 1–3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::AssayBuilder;
+use crate::graph::AssayGraph;
+use crate::op::OpKind;
+use crate::synthetic::{self, SyntheticSpec};
+
+/// A benchmark instance: an assay plus the chip resources Table II allots it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Benchmark name as printed in Table II.
+    pub name: String,
+    /// The sequencing graph.
+    pub graph: AssayGraph,
+    /// Device library: one entry per device to place on the chip
+    /// (`|D|` entries). Expressed as operation kinds; the synthesis flow
+    /// maps them to concrete devices.
+    pub devices: Vec<OpKind>,
+    /// Suggested virtual-grid size `(width, height)` for synthesis.
+    pub grid: (u16, u16),
+}
+
+impl Benchmark {
+    /// `|O|`: number of biochemical operations.
+    pub fn op_count(&self) -> usize {
+        self.graph.ops().len()
+    }
+
+    /// `|D|`: number of devices in the library.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `|E|`: extended edge count (dependencies + reagent injections +
+    /// outputs).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// The running example of the paper (Fig. 1(c)): two reagents, seven
+/// operations, executed on the five-device chip of Fig. 2(a).
+pub fn demo() -> Benchmark {
+    let mut b = AssayBuilder::new("demo");
+    let r1 = b.reagent("r1");
+    let r2 = b.reagent("r2");
+    let o1 = b.op("o1", OpKind::Filter, 3, [r1.into()]).expect("demo");
+    let o2 = b.op("o2", OpKind::Mix, 3, [o1.into(), r2.into()]).expect("demo");
+    let o3 = b.op("o3", OpKind::Detect, 2, [r1.into()]).expect("demo");
+    let o4 = b.op("o4", OpKind::Detect, 2, [o2.into()]).expect("demo");
+    let o5 = b.op("o5", OpKind::Heat, 4, [o3.into()]).expect("demo");
+    let o6 = b.op("o6", OpKind::Mix, 3, [o4.into(), o5.into()]).expect("demo");
+    let _o7 = b.op("o7", OpKind::Detect, 2, [o6.into()]).expect("demo");
+    Benchmark {
+        name: "demo".into(),
+        graph: b.build().expect("demo graph is valid"),
+        devices: vec![
+            OpKind::Mix,
+            OpKind::Heat,
+            OpKind::Detect,
+            OpKind::Detect,
+            OpKind::Filter,
+        ],
+        grid: (13, 13),
+    }
+}
+
+/// PCR: polymerase chain reaction — master-mix preparation, thermocycling,
+/// and two detection readouts. `|O|=7`, `|D|=5`, `|E|=15`.
+pub fn pcr() -> Benchmark {
+    let mut b = AssayBuilder::new("PCR");
+    let sample = b.reagent("sample");
+    let primer = b.reagent("primer");
+    let dntp = b.reagent("dNTP");
+    let polymerase = b.reagent("polymerase");
+    let buffer = b.reagent("reaction buffer");
+    let water = b.reagent("water");
+    let probe1 = b.reagent("probe A");
+    let probe2 = b.reagent("probe B");
+    let o1 = b
+        .op("master mix", OpKind::Mix, 4, [primer.into(), dntp.into(), polymerase.into()])
+        .expect("pcr");
+    let o2 = b
+        .op("template mix", OpKind::Mix, 4, [sample.into(), buffer.into(), water.into()])
+        .expect("pcr");
+    let o3 = b
+        .op("reaction mix", OpKind::Mix, 4, [o1.into(), o2.into()])
+        .expect("pcr");
+    let o4 = b.op("thermocycle", OpKind::Heat, 8, [o3.into()]).expect("pcr");
+    let o5 = b.op("amplicon read", OpKind::Detect, 2, [o4.into()]).expect("pcr");
+    let o6 = b
+        .op("control mix", OpKind::Mix, 3, [probe1.into(), probe2.into()])
+        .expect("pcr");
+    let _o7 = b.op("control read", OpKind::Detect, 2, [o6.into()]).expect("pcr");
+    let _ = o5;
+    Benchmark {
+        name: "PCR".into(),
+        graph: b.build().expect("pcr graph is valid"),
+        devices: vec![
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Heat,
+            OpKind::Detect,
+            OpKind::Detect,
+        ],
+        grid: (13, 13),
+    }
+}
+
+/// IVD: in-vitro diagnostics — four independent sample/reagent test chains,
+/// each mixed, incubated, and read out. `|O|=12`, `|D|=9`, `|E|=24`.
+pub fn ivd() -> Benchmark {
+    let mut b = AssayBuilder::new("IVD");
+    for i in 1..=4 {
+        let sample = b.reagent(&format!("sample {i}"));
+        let reagent = b.reagent(&format!("assay reagent {i}"));
+        let diluent = b.reagent(&format!("diluent {i}"));
+        let m = b
+            .op(
+                &format!("mix {i}"),
+                OpKind::Mix,
+                3,
+                [sample.into(), reagent.into(), diluent.into()],
+            )
+            .expect("ivd");
+        let h = b
+            .op(&format!("incubate {i}"), OpKind::Heat, 5, [m.into()])
+            .expect("ivd");
+        let _d = b
+            .op(&format!("read {i}"), OpKind::Detect, 2, [h.into()])
+            .expect("ivd");
+    }
+    Benchmark {
+        name: "IVD".into(),
+        graph: b.build().expect("ivd graph is valid"),
+        devices: vec![
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Heat,
+            OpKind::Heat,
+            OpKind::Detect,
+            OpKind::Detect,
+            OpKind::Filter,
+            OpKind::Store,
+        ],
+        grid: (15, 15),
+    }
+}
+
+/// ProteinSplit: protein sample preparation across five parallel branches
+/// (mix/heat/separate/filter paths with detection readouts).
+/// `|O|=14`, `|D|=11`, `|E|=27`.
+pub fn protein_split() -> Benchmark {
+    let mut b = AssayBuilder::new("ProteinSplit");
+    let r: Vec<_> = (1..=13).map(|i| b.reagent(&format!("r{i}"))).collect();
+    let m1 = b.op("mix 1", OpKind::Mix, 3, [r[0].into(), r[1].into()]).expect("ps");
+    let m2 = b
+        .op("mix 2", OpKind::Mix, 3, [m1.into(), r[2].into(), r[12].into()])
+        .expect("ps");
+    let _d1 = b.op("read 1", OpKind::Detect, 2, [m2.into()]).expect("ps");
+    let m3 = b.op("mix 3", OpKind::Mix, 3, [r[3].into(), r[4].into()]).expect("ps");
+    let m4 = b.op("mix 4", OpKind::Mix, 3, [m3.into(), r[5].into()]).expect("ps");
+    let _d2 = b.op("read 2", OpKind::Detect, 2, [m4.into()]).expect("ps");
+    let m5 = b.op("mix 5", OpKind::Mix, 3, [r[6].into(), r[7].into()]).expect("ps");
+    let h1 = b.op("denature", OpKind::Heat, 6, [m5.into()]).expect("ps");
+    let _d3 = b.op("read 3", OpKind::Detect, 2, [h1.into()]).expect("ps");
+    let m6 = b.op("mix 6", OpKind::Mix, 3, [r[8].into(), r[9].into()]).expect("ps");
+    let s1 = b.op("separate", OpKind::Separate, 4, [m6.into()]).expect("ps");
+    let _d4 = b.op("read 4", OpKind::Detect, 2, [s1.into()]).expect("ps");
+    let m7 = b.op("mix 7", OpKind::Mix, 3, [r[10].into(), r[11].into()]).expect("ps");
+    let _f1 = b.op("clarify", OpKind::Filter, 3, [m7.into()]).expect("ps");
+    Benchmark {
+        name: "ProteinSplit".into(),
+        graph: b.build().expect("protein-split graph is valid"),
+        devices: vec![
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Detect,
+            OpKind::Detect,
+            OpKind::Heat,
+            OpKind::Heat,
+            OpKind::Separate,
+            OpKind::Filter,
+            OpKind::Store,
+            OpKind::Store,
+        ],
+        grid: (17, 17),
+    }
+}
+
+/// Kinase act-1: kinase-activity titration — a short chain of multi-reagent
+/// mixes. `|O|=4`, `|D|=9`, `|E|=16`.
+pub fn kinase_act_1() -> Benchmark {
+    let mut b = AssayBuilder::new("Kinase act-1");
+    let r: Vec<_> = (1..=12).map(|i| b.reagent(&format!("r{i}"))).collect();
+    let o1 = b
+        .op("mix 1", OpKind::Mix, 4, [r[0].into(), r[1].into(), r[2].into(), r[3].into()])
+        .expect("ka1");
+    let o2 = b
+        .op("mix 2", OpKind::Mix, 4, [o1.into(), r[4].into(), r[5].into(), r[6].into()])
+        .expect("ka1");
+    let o3 = b
+        .op("mix 3", OpKind::Mix, 4, [o2.into(), r[7].into(), r[8].into(), r[9].into()])
+        .expect("ka1");
+    let _o4 = b
+        .op("mix 4", OpKind::Mix, 4, [o3.into(), r[10].into(), r[11].into()])
+        .expect("ka1");
+    Benchmark {
+        name: "Kinase act-1".into(),
+        graph: b.build().expect("kinase-1 graph is valid"),
+        devices: vec![
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Heat,
+            OpKind::Detect,
+            OpKind::Detect,
+            OpKind::Store,
+            OpKind::Store,
+        ],
+        grid: (15, 15),
+    }
+}
+
+/// Kinase act-2: a nine-reaction kinase panel — nine independent
+/// multi-reagent mixes fed by three shared premixes. `|O|=12`, `|D|=9`,
+/// `|E|=48`.
+pub fn kinase_act_2() -> Benchmark {
+    let mut b = AssayBuilder::new("Kinase act-2");
+    // Three premixes, each consumed by one panel reaction; the remaining six
+    // panel reactions run on raw reagents. Every panel output is read off
+    // chip (9 sinks).
+    let mut premixes = Vec::new();
+    for i in 1..=3 {
+        let a = b.reagent(&format!("kinase {i}"));
+        let c = b.reagent(&format!("substrate {i}"));
+        let d = b.reagent(&format!("ATP {i}"));
+        let e = b.reagent(&format!("cofactor {i}"));
+        let m = b
+            .op(
+                &format!("premix {i}"),
+                OpKind::Mix,
+                3,
+                [a.into(), c.into(), d.into(), e.into()],
+            )
+            .expect("ka2");
+        premixes.push(m);
+    }
+    for (i, pm) in premixes.clone().into_iter().enumerate() {
+        let x = b.reagent(&format!("inhibitor {}", i + 1));
+        let y = b.reagent(&format!("reporter {}", i + 1));
+        let z = b.reagent(&format!("dilution buffer {}", i + 1));
+        let _m = b
+            .op(
+                &format!("panel {}", i + 1),
+                OpKind::Mix,
+                3,
+                [pm.into(), x.into(), y.into(), z.into()],
+            )
+            .expect("ka2");
+    }
+    for i in 4..=6 {
+        let x = b.reagent(&format!("inhibitor {i}"));
+        let y = b.reagent(&format!("reporter {i}"));
+        let z = b.reagent(&format!("dilution buffer {i}"));
+        let _m = b
+            .op(
+                &format!("panel {i}"),
+                OpKind::Mix,
+                3,
+                [x.into(), y.into(), z.into()],
+            )
+            .expect("ka2");
+    }
+    for i in 7..=9 {
+        let x = b.reagent(&format!("inhibitor {i}"));
+        let y = b.reagent(&format!("reporter {i}"));
+        let _m = b
+            .op(&format!("panel {i}"), OpKind::Mix, 3, [x.into(), y.into()])
+            .expect("ka2");
+    }
+    Benchmark {
+        name: "Kinase act-2".into(),
+        graph: b.build().expect("kinase-2 graph is valid"),
+        devices: vec![
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Mix,
+            OpKind::Heat,
+            OpKind::Detect,
+            OpKind::Store,
+            OpKind::Store,
+        ],
+        grid: (15, 15),
+    }
+}
+
+/// Synthetic1: seeded random assay, `|O|=10`, `|D|=12`, `|E|=15`.
+pub fn synthetic1() -> Benchmark {
+    synthetic::generate(&SyntheticSpec {
+        name: "Synthetic1".into(),
+        ops: 10,
+        edges: 15,
+        devices: 12,
+        seed: 0x5EED_0001,
+        grid: (17, 17),
+    })
+}
+
+/// Synthetic2: seeded random assay, `|O|=15`, `|D|=13`, `|E|=24`.
+pub fn synthetic2() -> Benchmark {
+    synthetic::generate(&SyntheticSpec {
+        name: "Synthetic2".into(),
+        ops: 15,
+        edges: 24,
+        devices: 13,
+        seed: 0x5EED_0002,
+        grid: (17, 17),
+    })
+}
+
+/// Synthetic3: seeded random assay, `|O|=20`, `|D|=18`, `|E|=28`.
+pub fn synthetic3() -> Benchmark {
+    synthetic::generate(&SyntheticSpec {
+        name: "Synthetic3".into(),
+        ops: 20,
+        edges: 28,
+        devices: 18,
+        seed: 0x5EED_0003,
+        grid: (21, 21),
+    })
+}
+
+/// The full Table II suite, in row order.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        pcr(),
+        ivd(),
+        protein_split(),
+        kinase_act_1(),
+        kinase_act_2(),
+        synthetic1(),
+        synthetic2(),
+        synthetic3(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_op_and_device_counts_match() {
+        let expected: [(&str, usize, usize); 8] = [
+            ("PCR", 7, 5),
+            ("IVD", 12, 9),
+            ("ProteinSplit", 14, 11),
+            ("Kinase act-1", 4, 9),
+            ("Kinase act-2", 12, 9),
+            ("Synthetic1", 10, 12),
+            ("Synthetic2", 15, 13),
+            ("Synthetic3", 20, 18),
+        ];
+        let suite = suite();
+        assert_eq!(suite.len(), expected.len());
+        for (bench, (name, ops, devices)) in suite.iter().zip(expected) {
+            assert_eq!(bench.name, name);
+            assert_eq!(bench.op_count(), ops, "{name} |O|");
+            assert_eq!(bench.device_count(), devices, "{name} |D|");
+        }
+    }
+
+    #[test]
+    fn real_benchmarks_match_table2_edge_counts() {
+        assert_eq!(pcr().edge_count(), 15);
+        assert_eq!(ivd().edge_count(), 24);
+        assert_eq!(protein_split().edge_count(), 27);
+        assert_eq!(kinase_act_1().edge_count(), 16);
+        assert_eq!(kinase_act_2().edge_count(), 48);
+    }
+
+    #[test]
+    fn demo_matches_fig1() {
+        let d = demo();
+        assert_eq!(d.op_count(), 7);
+        assert_eq!(d.graph.reagents().len(), 2);
+        assert_eq!(d.device_count(), 5);
+    }
+
+    #[test]
+    fn device_libraries_cover_required_kinds() {
+        for bench in suite().into_iter().chain([demo()]) {
+            for kind in bench.graph.required_kinds() {
+                assert!(
+                    bench.devices.contains(&kind),
+                    "{}: library lacks a {kind} device",
+                    bench.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite();
+        let b = suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph, "{} not deterministic", x.name);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Incremental construction of [`AssayGraph`]s.
+
+use crate::error::AssayError;
+use crate::graph::AssayGraph;
+use crate::op::{OpId, OpInput, OpKind, Operation, ReagentId};
+use crate::Seconds;
+
+/// Builder for [`AssayGraph`]s.
+///
+/// Operations may only reference reagents and operations that were added
+/// earlier, which makes the resulting graph a DAG by construction and makes
+/// insertion order a valid topological order.
+///
+/// # Example
+///
+/// ```
+/// use pdw_assay::{AssayBuilder, OpKind};
+///
+/// # fn main() -> Result<(), pdw_assay::AssayError> {
+/// let mut b = AssayBuilder::new("pcr-lite");
+/// let sample = b.reagent("sample");
+/// let primer = b.reagent("primer");
+/// let mix = b.op("mix", OpKind::Mix, 4, [sample.into(), primer.into()])?;
+/// let cycle = b.op("thermocycle", OpKind::Heat, 6, [mix.into()])?;
+/// let assay = b.build()?;
+/// assert_eq!(assay.sinks(), vec![cycle]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AssayBuilder {
+    name: String,
+    reagents: Vec<String>,
+    ops: Vec<Operation>,
+    consumed: Vec<bool>,
+}
+
+impl AssayBuilder {
+    /// Starts a builder for an assay called `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            reagents: Vec::new(),
+            ops: Vec::new(),
+            consumed: Vec::new(),
+        }
+    }
+
+    /// Declares an input reagent and returns its id.
+    pub fn reagent(&mut self, label: &str) -> ReagentId {
+        let id = ReagentId(self.reagents.len() as u32);
+        self.reagents.push(label.to_string());
+        id
+    }
+
+    /// Appends an operation and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the number of inputs does not match `kind.arity()`, the
+    /// duration is zero, an input references an unknown or not-yet-added
+    /// operation or reagent, or an input operation's result was already
+    /// consumed by another operation.
+    pub fn op<I>(
+        &mut self,
+        label: &str,
+        kind: OpKind,
+        duration: Seconds,
+        inputs: I,
+    ) -> Result<OpId, AssayError>
+    where
+        I: IntoIterator<Item = OpInput>,
+    {
+        let inputs: Vec<OpInput> = inputs.into_iter().collect();
+        if inputs.len() < kind.min_arity() || inputs.len() > kind.max_arity() {
+            return Err(AssayError::WrongArity {
+                label: label.to_string(),
+                kind,
+                got: inputs.len(),
+            });
+        }
+        if duration == 0 {
+            return Err(AssayError::ZeroDuration {
+                label: label.to_string(),
+            });
+        }
+        for input in &inputs {
+            match *input {
+                OpInput::Op(o) => {
+                    if o.0 as usize >= self.ops.len() {
+                        return Err(AssayError::UnknownOp { id: o });
+                    }
+                    if self.consumed[o.0 as usize] {
+                        return Err(AssayError::ResultReused { producer: o });
+                    }
+                }
+                OpInput::Reagent(r) => {
+                    if r.0 as usize >= self.reagents.len() {
+                        return Err(AssayError::UnknownReagent { id: r });
+                    }
+                }
+            }
+        }
+        // All checks passed; record consumption.
+        for input in &inputs {
+            if let OpInput::Op(o) = *input {
+                self.consumed[o.0 as usize] = true;
+            }
+        }
+        let id = OpId(self.ops.len() as u32);
+        self.ops
+            .push(Operation::new(label.to_string(), kind, duration, inputs));
+        self.consumed.push(false);
+        Ok(id)
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssayError::EmptyGraph`] if no operation was added.
+    pub fn build(self) -> Result<AssayGraph, AssayError> {
+        AssayGraph::from_parts(self.name, self.reagents, self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_forward_references() {
+        let mut b = AssayBuilder::new("t");
+        let err = b
+            .op("d", OpKind::Detect, 1, [OpInput::Op(OpId(0))])
+            .unwrap_err();
+        assert_eq!(err, AssayError::UnknownOp { id: OpId(0) });
+    }
+
+    #[test]
+    fn rejects_unknown_reagent() {
+        let mut b = AssayBuilder::new("t");
+        let err = b
+            .op("d", OpKind::Detect, 1, [OpInput::Reagent(ReagentId(5))])
+            .unwrap_err();
+        assert_eq!(err, AssayError::UnknownReagent { id: ReagentId(5) });
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut b = AssayBuilder::new("t");
+        let r = b.reagent("r");
+        let err = b.op("m", OpKind::Mix, 1, [r.into()]).unwrap_err();
+        assert!(matches!(err, AssayError::WrongArity { got: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_zero_duration() {
+        let mut b = AssayBuilder::new("t");
+        let r = b.reagent("r");
+        let err = b.op("d", OpKind::Detect, 0, [r.into()]).unwrap_err();
+        assert!(matches!(err, AssayError::ZeroDuration { .. }));
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        let b = AssayBuilder::new("t");
+        assert_eq!(b.build().unwrap_err(), AssayError::EmptyGraph);
+    }
+
+    #[test]
+    fn failed_op_does_not_consume_inputs() {
+        let mut b = AssayBuilder::new("t");
+        let r = b.reagent("r");
+        let o1 = b.op("f", OpKind::Filter, 1, [r.into()]).unwrap();
+        // Wrong arity: o1 must not be marked consumed by the failed call.
+        let _ = b
+            .op("m", OpKind::Mix, 1, [o1.into()])
+            .unwrap_err();
+        let _ok = b.op("d", OpKind::Detect, 1, [o1.into()]).unwrap();
+    }
+}

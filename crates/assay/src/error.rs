@@ -1,0 +1,94 @@
+//! Error type for assay-graph construction and validation.
+
+use std::fmt;
+
+use crate::op::{OpId, OpKind, ReagentId};
+
+/// Errors raised while building or validating an [`AssayGraph`].
+///
+/// [`AssayGraph`]: crate::AssayGraph
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AssayError {
+    /// An operation received the wrong number of inputs for its kind.
+    WrongArity {
+        /// Label of the offending operation.
+        label: String,
+        /// The operation kind.
+        kind: OpKind,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// An operation references an operation id that does not exist (yet).
+    UnknownOp {
+        /// The unresolved id.
+        id: OpId,
+    },
+    /// An operation references a reagent id that does not exist.
+    UnknownReagent {
+        /// The unresolved id.
+        id: ReagentId,
+    },
+    /// An operation has a zero execution time.
+    ZeroDuration {
+        /// Label of the offending operation.
+        label: String,
+    },
+    /// The graph has no operations.
+    EmptyGraph,
+    /// The result of an operation is consumed by more than one downstream
+    /// operation (a fluid plug is physically consumed when used).
+    ResultReused {
+        /// The producing operation.
+        producer: OpId,
+    },
+}
+
+impl fmt::Display for AssayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssayError::WrongArity { label, kind, got } => write!(
+                f,
+                "operation `{label}` of kind {kind} takes {}..={} inputs, got {got}",
+                kind.min_arity(),
+                kind.max_arity()
+            ),
+            AssayError::UnknownOp { id } => write!(f, "input references unknown operation {id}"),
+            AssayError::UnknownReagent { id } => {
+                write!(f, "input references unknown reagent {id}")
+            }
+            AssayError::ZeroDuration { label } => {
+                write!(f, "operation `{label}` has zero execution time")
+            }
+            AssayError::EmptyGraph => write!(f, "assay graph has no operations"),
+            AssayError::ResultReused { producer } => {
+                write!(f, "result fluid of {producer} is consumed more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = AssayError::WrongArity {
+            label: "mix1".into(),
+            kind: OpKind::Mix,
+            got: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("mix1"));
+        assert!(msg.contains("takes 2..=4 inputs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<AssayError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Fluid types for contamination reasoning.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A chemical fluid type.
+///
+/// Two fluids of the same type do not contaminate each other (the paper's
+/// Type-2 wash exemption). Reagents are assigned distinct types; an operation
+/// that transforms its inputs (mix, heat, filter, separate) produces a fresh
+/// type, while fluid-preserving operations (detect, store) propagate the type
+/// of their input. A dedicated type is reserved for wash buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FluidType(pub u32);
+
+impl FluidType {
+    /// The wash-buffer fluid type.
+    ///
+    /// Buffer is chemically inert with respect to contamination: a cell whose
+    /// last residue is buffer is considered clean.
+    pub const BUFFER: FluidType = FluidType(u32::MAX);
+
+    /// Returns `true` if this is the wash-buffer type.
+    pub fn is_buffer(self) -> bool {
+        self == Self::BUFFER
+    }
+}
+
+impl fmt::Display for FluidType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_buffer() {
+            write!(f, "buffer")
+        } else {
+            write!(f, "f{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_is_distinguished() {
+        assert!(FluidType::BUFFER.is_buffer());
+        assert!(!FluidType(0).is_buffer());
+        assert_eq!(FluidType::BUFFER.to_string(), "buffer");
+        assert_eq!(FluidType(2).to_string(), "f2");
+    }
+}

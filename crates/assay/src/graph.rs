@@ -1,0 +1,319 @@
+//! The validated sequencing graph `G(O, E)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::AssayError;
+use crate::fluid::FluidType;
+use crate::op::{OpId, OpInput, OpKind, Operation, ReagentId};
+use crate::Seconds;
+
+/// A validated sequencing graph.
+///
+/// Invariants (enforced by [`AssayBuilder`](crate::AssayBuilder)):
+///
+/// - the graph is a DAG: every operation's inputs reference strictly earlier
+///   operations, so insertion order is a topological order;
+/// - every operation has between [`OpKind::min_arity`] and
+///   [`OpKind::max_arity`] inputs and a nonzero duration;
+/// - each operation's result fluid is consumed by at most one downstream
+///   operation (a plug is physically moved, not copied) — results not
+///   consumed by any operation are the assay's outputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssayGraph {
+    name: String,
+    reagents: Vec<String>,
+    ops: Vec<Operation>,
+}
+
+impl AssayGraph {
+    pub(crate) fn from_parts(
+        name: String,
+        reagents: Vec<String>,
+        ops: Vec<Operation>,
+    ) -> Result<Self, AssayError> {
+        let graph = Self {
+            name,
+            reagents,
+            ops,
+        };
+        graph.revalidate()?;
+        Ok(graph)
+    }
+
+    /// Re-checks every structural invariant of the graph.
+    ///
+    /// Graphs built through [`AssayBuilder`](crate::AssayBuilder) are valid
+    /// by construction; call this after deserializing a graph from an
+    /// external source (e.g. a JSON assay file), since `serde` bypasses the
+    /// builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: arity, zero duration, dangling
+    /// or forward references, or a result consumed twice.
+    pub fn revalidate(&self) -> Result<(), AssayError> {
+        if self.ops.is_empty() {
+            return Err(AssayError::EmptyGraph);
+        }
+        let mut consumed = vec![false; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.inputs().len() < op.kind().min_arity()
+                || op.inputs().len() > op.kind().max_arity()
+            {
+                return Err(AssayError::WrongArity {
+                    label: op.label().to_string(),
+                    kind: op.kind(),
+                    got: op.inputs().len(),
+                });
+            }
+            if op.duration() == 0 {
+                return Err(AssayError::ZeroDuration {
+                    label: op.label().to_string(),
+                });
+            }
+            for input in op.inputs() {
+                match *input {
+                    OpInput::Op(o) => {
+                        if o.0 as usize >= i {
+                            return Err(AssayError::UnknownOp { id: o });
+                        }
+                        if consumed[o.0 as usize] {
+                            return Err(AssayError::ResultReused { producer: o });
+                        }
+                        consumed[o.0 as usize] = true;
+                    }
+                    OpInput::Reagent(r) => {
+                        if r.0 as usize >= self.reagents.len() {
+                            return Err(AssayError::UnknownReagent { id: r });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The assay's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All operations, indexed by [`OpId`].
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Looks up an operation by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Labels of all reagents, indexed by [`ReagentId`].
+    pub fn reagents(&self) -> &[String] {
+        &self.reagents
+    }
+
+    /// Iterates over all operation ids in insertion (= topological) order.
+    pub fn op_ids(&self) -> impl ExactSizeIterator<Item = OpId> {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// A topological order of the operations.
+    ///
+    /// Because the builder only lets operations reference earlier operations,
+    /// insertion order is already topological.
+    pub fn topological_order(&self) -> Vec<OpId> {
+        self.op_ids().collect()
+    }
+
+    /// The dependency edges `e_{j,i} ∈ E`: the result of `j` feeds `i`.
+    pub fn dep_edges(&self) -> Vec<(OpId, OpId)> {
+        let mut edges = Vec::new();
+        for id in self.op_ids() {
+            for parent in self.op(id).parent_ops() {
+                edges.push((parent, id));
+            }
+        }
+        edges
+    }
+
+    /// The operation (if any) that consumes the result of `id`.
+    pub fn consumer_of(&self, id: OpId) -> Option<OpId> {
+        self.op_ids()
+            .find(|&i| self.op(i).parent_ops().any(|p| p == id))
+    }
+
+    /// Operations whose results are assay outputs (not consumed on-chip).
+    pub fn sinks(&self) -> Vec<OpId> {
+        let mut consumed = vec![false; self.ops.len()];
+        for op in &self.ops {
+            for p in op.parent_ops() {
+                consumed[p.0 as usize] = true;
+            }
+        }
+        self.op_ids().filter(|id| !consumed[id.0 as usize]).collect()
+    }
+
+    /// Total edge count in the extended sense of Table II: dependency edges
+    /// plus reagent-injection edges plus output edges.
+    pub fn edge_count(&self) -> usize {
+        let deps: usize = self.ops.iter().map(|o| o.parent_ops().count()).sum();
+        let reagent_edges: usize = self.ops.iter().map(|o| o.reagent_inputs().count()).sum();
+        deps + reagent_edges + self.sinks().len()
+    }
+
+    /// The fluid type flowing *into* the graph for reagent `r`.
+    pub fn reagent_fluid(&self, r: ReagentId) -> FluidType {
+        FluidType(r.0)
+    }
+
+    /// The fluid type of the result of operation `id` (`out_i` in the paper).
+    ///
+    /// Transforming operations produce fresh types; fluid-preserving
+    /// operations propagate their input's type.
+    pub fn output_fluid(&self, id: OpId) -> FluidType {
+        let op = self.op(id);
+        if op.kind().preserves_fluid() {
+            match op.inputs()[0] {
+                OpInput::Reagent(r) => self.reagent_fluid(r),
+                OpInput::Op(o) => self.output_fluid(o),
+            }
+        } else {
+            FluidType(self.reagents.len() as u32 + id.0)
+        }
+    }
+
+    /// The fluid type carried by a given input edge of operation `id`.
+    pub fn input_fluid(&self, input: OpInput) -> FluidType {
+        match input {
+            OpInput::Reagent(r) => self.reagent_fluid(r),
+            OpInput::Op(o) => self.output_fluid(o),
+        }
+    }
+
+    /// Device kinds required to execute this assay (deduplicated).
+    pub fn required_kinds(&self) -> Vec<OpKind> {
+        let mut kinds: Vec<OpKind> = Vec::new();
+        for op in &self.ops {
+            if !kinds.contains(&op.kind()) {
+                kinds.push(op.kind());
+            }
+        }
+        kinds
+    }
+
+    /// Length of the critical path in seconds: a lower bound on the assay
+    /// completion time ignoring transport and wash.
+    pub fn critical_path_seconds(&self) -> Seconds {
+        let mut finish = vec![0u32; self.ops.len()];
+        for id in self.op_ids() {
+            let op = self.op(id);
+            let ready = op
+                .parent_ops()
+                .map(|p| finish[p.0 as usize])
+                .max()
+                .unwrap_or(0);
+            finish[id.0 as usize] = ready + op.duration();
+        }
+        finish.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for AssayGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "assay `{}`: |O|={}, reagents={}, |E|={}",
+            self.name,
+            self.ops.len(),
+            self.reagents.len(),
+            self.edge_count()
+        )?;
+        for id in self.op_ids() {
+            let op = self.op(id);
+            let inputs: Vec<String> = op.inputs().iter().map(|i| i.to_string()).collect();
+            writeln!(
+                f,
+                "  {id}: {} `{}` ({} s) <- [{}]",
+                op.kind(),
+                op.label(),
+                op.duration(),
+                inputs.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AssayBuilder;
+
+    fn diamondish() -> AssayGraph {
+        let mut b = AssayBuilder::new("t");
+        let r1 = b.reagent("r1");
+        let r2 = b.reagent("r2");
+        let o1 = b.op("f", OpKind::Filter, 2, [r1.into()]).unwrap();
+        let o2 = b.op("m", OpKind::Mix, 3, [o1.into(), r2.into()]).unwrap();
+        let _o3 = b.op("d", OpKind::Detect, 1, [o2.into()]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dep_edges_and_sinks() {
+        let g = diamondish();
+        assert_eq!(g.dep_edges(), vec![(OpId(0), OpId(1)), (OpId(1), OpId(2))]);
+        assert_eq!(g.sinks(), vec![OpId(2)]);
+        assert_eq!(g.consumer_of(OpId(0)), Some(OpId(1)));
+        assert_eq!(g.consumer_of(OpId(2)), None);
+    }
+
+    #[test]
+    fn edge_count_includes_reagents_and_outputs() {
+        let g = diamondish();
+        // deps: 2, reagent edges: 2 (r1->o1, r2->o2), outputs: 1 (o3->out).
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn fluids_propagate_through_preserving_ops() {
+        let g = diamondish();
+        let filter_out = g.output_fluid(OpId(0));
+        let mix_out = g.output_fluid(OpId(1));
+        let detect_out = g.output_fluid(OpId(2));
+        assert_ne!(filter_out, g.reagent_fluid(ReagentId(0)));
+        assert_ne!(mix_out, filter_out);
+        // Detection does not change the fluid.
+        assert_eq!(detect_out, mix_out);
+    }
+
+    #[test]
+    fn critical_path_sums_durations() {
+        let g = diamondish();
+        assert_eq!(g.critical_path_seconds(), 6);
+    }
+
+    #[test]
+    fn rejects_result_reuse() {
+        let mut b = AssayBuilder::new("t");
+        let r1 = b.reagent("r1");
+        let o1 = b.op("f", OpKind::Filter, 2, [r1.into()]).unwrap();
+        let _ = b.op("d1", OpKind::Detect, 1, [o1.into()]).unwrap();
+        let err = b.op("d2", OpKind::Detect, 1, [o1.into()]).unwrap_err();
+        assert_eq!(err, AssayError::ResultReused { producer: o1 });
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let g = diamondish();
+        let s = g.to_string();
+        assert!(s.contains("o1: filter"));
+        assert!(s.contains("|O|=3"));
+    }
+}

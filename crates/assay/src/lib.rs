@@ -1,0 +1,57 @@
+//! Bioassay model and benchmark suite for continuous-flow biochip synthesis.
+//!
+//! A bioassay protocol is modeled as a *sequencing graph* `G(O, E)`
+//! (Fig. 1(c) of the PathDriver-Wash paper): `O` is a set of biochemical
+//! operations with execution times, `E` the data dependencies between them.
+//! Reagents enter through graph inputs; each operation consumes the fluids on
+//! its incoming edges and produces one result fluid.
+//!
+//! The crate provides:
+//!
+//! - [`AssayGraph`] — a validated sequencing graph with topological order,
+//!   fluid-type derivation, and critical-path queries,
+//! - [`AssayBuilder`] — ergonomic graph construction,
+//! - [`benchmarks`] — the paper's benchmark suite: the Fig. 1(c) demo assay,
+//!   five real-life assays (PCR, IVD, ProteinSplit, Kinase act-1/2), and
+//!   three seeded synthetic assays, with the |O|/|D| sizes of Table II,
+//! - [`synthetic`] — the deterministic random-DAG generator behind the
+//!   synthetic benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::{AssayBuilder, OpKind};
+//!
+//! # fn main() -> Result<(), pdw_assay::AssayError> {
+//! let mut b = AssayBuilder::new("toy");
+//! let r1 = b.reagent("sample");
+//! let r2 = b.reagent("buffer");
+//! let mix = b.op("mix", OpKind::Mix, 3, [r1.into(), r2.into()])?;
+//! let det = b.op("detect", OpKind::Detect, 2, [mix.into()])?;
+//! let assay = b.build()?;
+//! assert_eq!(assay.ops().len(), 2);
+//! assert_eq!(assay.topological_order(), &[mix, det]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod builder;
+mod error;
+mod fluid;
+mod graph;
+mod op;
+pub mod synthetic;
+
+pub use builder::AssayBuilder;
+pub use error::AssayError;
+pub use fluid::FluidType;
+pub use graph::AssayGraph;
+pub use op::{OpId, OpInput, OpKind, Operation, ReagentId};
+
+/// Time quantum of the scheduling model: whole seconds, as in the paper's
+/// schedules (Figs. 2–3 tick in 1 s slots).
+pub type Seconds = u32;

@@ -1,0 +1,238 @@
+//! Biochemical operations and their inputs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::Seconds;
+
+/// Identifier of a biochemical operation within an [`AssayGraph`].
+///
+/// Ids are dense indices in insertion order.
+///
+/// [`AssayGraph`]: crate::AssayGraph
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0 + 1)
+    }
+}
+
+/// Identifier of an input reagent within an [`AssayGraph`].
+///
+/// [`AssayGraph`]: crate::AssayGraph
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReagentId(pub u32);
+
+impl fmt::Display for ReagentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0 + 1)
+    }
+}
+
+/// One input of an operation: either a raw reagent or the result fluid of an
+/// upstream operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpInput {
+    /// A reagent injected from a flow port.
+    Reagent(ReagentId),
+    /// The result of another operation.
+    Op(OpId),
+}
+
+impl From<ReagentId> for OpInput {
+    fn from(r: ReagentId) -> Self {
+        OpInput::Reagent(r)
+    }
+}
+
+impl From<OpId> for OpInput {
+    fn from(o: OpId) -> Self {
+        OpInput::Op(o)
+    }
+}
+
+impl fmt::Display for OpInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpInput::Reagent(r) => write!(f, "{r}"),
+            OpInput::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// The biochemical kind of an operation, which determines the device kind
+/// that can execute it and whether the operation chemically transforms its
+/// input fluid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Combine two input fluids into a mixture (2 inputs).
+    Mix,
+    /// Thermally cycle or incubate a fluid (1 input).
+    Heat,
+    /// Optically/electrochemically read a fluid without altering it
+    /// (1 input).
+    Detect,
+    /// Remove particulates from a fluid (1 input).
+    Filter,
+    /// Separate a component out of a fluid (1 input).
+    Separate,
+    /// Hold a fluid in channel storage without altering it (1 input).
+    Store,
+}
+
+impl OpKind {
+    /// Minimum number of input fluids the operation consumes.
+    pub fn min_arity(self) -> usize {
+        match self {
+            OpKind::Mix => 2,
+            _ => 1,
+        }
+    }
+
+    /// Maximum number of input fluids the operation consumes.
+    ///
+    /// Mixers can be loaded with up to four plugs sequentially (multi-reagent
+    /// mixes are common in e.g. kinase-activity assays); all other devices
+    /// process exactly one plug.
+    pub fn max_arity(self) -> usize {
+        match self {
+            OpKind::Mix => 4,
+            _ => 1,
+        }
+    }
+
+    /// Whether the result fluid is chemically the *same type* as the input.
+    ///
+    /// Detection and storage leave the fluid unchanged; the paper's Type-2
+    /// wash exemption ("contaminated resources used to transport the same
+    /// type of fluids") hinges on this distinction — e.g. the `o_4` result in
+    /// Fig. 2(b) is the same fluid that previously traversed
+    /// `s_5 → s_6 → s_7`, so that path needs no wash.
+    pub fn preserves_fluid(self) -> bool {
+        matches!(self, OpKind::Detect | OpKind::Store)
+    }
+
+    /// Short lowercase name, e.g. `"mix"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Mix => "mix",
+            OpKind::Heat => "heat",
+            OpKind::Detect => "detect",
+            OpKind::Filter => "filter",
+            OpKind::Separate => "separate",
+            OpKind::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A biochemical operation: a node of the sequencing graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    label: String,
+    kind: OpKind,
+    duration: Seconds,
+    inputs: Vec<OpInput>,
+}
+
+impl Operation {
+    pub(crate) fn new(label: String, kind: OpKind, duration: Seconds, inputs: Vec<OpInput>) -> Self {
+        Self {
+            label,
+            kind,
+            duration,
+            inputs,
+        }
+    }
+
+    /// Human-readable label, e.g. `"mix primers"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The operation's biochemical kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Execution time `t(o_i)` in seconds (Eq. 1 of the paper).
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// The operation's inputs, in positional order.
+    pub fn inputs(&self) -> &[OpInput] {
+        &self.inputs
+    }
+
+    /// Upstream operations this operation depends on.
+    pub fn parent_ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        self.inputs.iter().filter_map(|i| match i {
+            OpInput::Op(o) => Some(*o),
+            OpInput::Reagent(_) => None,
+        })
+    }
+
+    /// Reagents consumed directly by this operation.
+    pub fn reagent_inputs(&self) -> impl Iterator<Item = ReagentId> + '_ {
+        self.inputs.iter().filter_map(|i| match i {
+            OpInput::Reagent(r) => Some(*r),
+            OpInput::Op(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(OpKind::Mix.min_arity(), 2);
+        assert_eq!(OpKind::Mix.max_arity(), 4);
+        for k in [
+            OpKind::Heat,
+            OpKind::Detect,
+            OpKind::Filter,
+            OpKind::Separate,
+            OpKind::Store,
+        ] {
+            assert_eq!(k.min_arity(), 1);
+            assert_eq!(k.max_arity(), 1);
+        }
+    }
+
+    #[test]
+    fn fluid_preservation() {
+        assert!(OpKind::Detect.preserves_fluid());
+        assert!(OpKind::Store.preserves_fluid());
+        assert!(!OpKind::Mix.preserves_fluid());
+        assert!(!OpKind::Heat.preserves_fluid());
+    }
+
+    #[test]
+    fn operation_accessors() {
+        let op = Operation::new(
+            "m".into(),
+            OpKind::Mix,
+            5,
+            vec![OpInput::Reagent(ReagentId(0)), OpInput::Op(OpId(3))],
+        );
+        assert_eq!(op.duration(), 5);
+        assert_eq!(op.parent_ops().collect::<Vec<_>>(), vec![OpId(3)]);
+        assert_eq!(op.reagent_inputs().collect::<Vec<_>>(), vec![ReagentId(0)]);
+    }
+
+    #[test]
+    fn ids_display_one_based() {
+        assert_eq!(OpId(0).to_string(), "o1");
+        assert_eq!(ReagentId(1).to_string(), "r2");
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic generator for synthetic benchmark assays.
+//!
+//! The paper's three synthetic benchmarks are random sequencing graphs of
+//! given sizes (Table II). This module reproduces them with a seeded,
+//! fully deterministic generator: the same [`SyntheticSpec`] always yields
+//! the same [`Benchmark`], so experiment tables are reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::benchmarks::Benchmark;
+use crate::builder::AssayBuilder;
+use crate::op::{OpId, OpInput, OpKind};
+use crate::Seconds;
+
+/// Parameters of a synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Benchmark name.
+    pub name: String,
+    /// `|O|`: number of operations.
+    pub ops: usize,
+    /// `|E|`: target extended edge count (dependencies + reagent injections
+    /// + outputs). Matched exactly.
+    pub edges: usize,
+    /// `|D|`: number of devices in the library.
+    pub devices: usize,
+    /// RNG seed; the generator is deterministic in the full spec.
+    pub seed: u64,
+    /// Suggested grid size for synthesis.
+    pub grid: (u16, u16),
+}
+
+const SINGLE_KINDS: [OpKind; 5] = [
+    OpKind::Heat,
+    OpKind::Detect,
+    OpKind::Filter,
+    OpKind::Separate,
+    OpKind::Store,
+];
+
+fn duration_for(kind: OpKind, rng: &mut StdRng) -> Seconds {
+    match kind {
+        OpKind::Mix => rng.gen_range(2..=5),
+        OpKind::Heat => rng.gen_range(4..=8),
+        OpKind::Detect => rng.gen_range(2..=3),
+        OpKind::Filter => rng.gen_range(2..=4),
+        OpKind::Separate => rng.gen_range(3..=5),
+        OpKind::Store => rng.gen_range(1..=2),
+    }
+}
+
+/// Generates a synthetic benchmark matching `spec` exactly
+/// (`|O|`, `|D|`, and `|E|`).
+///
+/// # Panics
+///
+/// Panics if no graph with the requested sizes exists within the generator's
+/// structural family (operation count too small for the edge count, or vice
+/// versa). All specs shipped in [`benchmarks`](crate::benchmarks) are
+/// feasible.
+pub fn generate(spec: &SyntheticSpec) -> Benchmark {
+    for attempt in 0..10_000u64 {
+        if let Some(b) = try_generate(spec, attempt) {
+            debug_assert_eq!(b.graph.edge_count(), spec.edges);
+            return b;
+        }
+    }
+    panic!(
+        "no synthetic assay with |O|={}, |E|={} found; spec is infeasible",
+        spec.ops, spec.edges
+    );
+}
+
+fn try_generate(spec: &SyntheticSpec, attempt: u64) -> Option<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)));
+    let o = spec.ops;
+
+    // Pick the number of mix operations and their arities so that a
+    // dependency count d with 0 <= d <= O-1 can realize the edge target:
+    //   |E| = inputs + sinks = (O + extra) + (O - d)  =>  d = 2O + extra - E.
+    let max_mixes = (o / 2).max(1);
+    let m = rng.gen_range(1..=max_mixes);
+    let arities: Vec<usize> = (0..m).map(|_| rng.gen_range(2..=4)).collect();
+    let extra: usize = arities.iter().map(|a| a - 1).sum();
+    let d = (2 * o + extra).checked_sub(spec.edges)?;
+    if d > o - 1 {
+        return None;
+    }
+
+    // Lay out the op sequence: mixes at random positions (never first, so a
+    // mix can draw on earlier results), singles elsewhere.
+    let mut is_mix = vec![false; o];
+    {
+        let mut placed = 0;
+        while placed < m {
+            let pos = rng.gen_range(if o > 1 { 1 } else { 0 }..o);
+            if !is_mix[pos] {
+                is_mix[pos] = true;
+                placed += 1;
+            }
+        }
+    }
+
+    let mut b = AssayBuilder::new(&spec.name);
+    let mut pool: Vec<OpId> = Vec::new(); // unconsumed results
+    let mut deps_left = d;
+    let mut mix_idx = 0;
+    for i in 0..o {
+        let (kind, arity) = if is_mix[i] {
+            let a = arities[mix_idx];
+            mix_idx += 1;
+            (OpKind::Mix, a)
+        } else {
+            (SINGLE_KINDS[rng.gen_range(0..SINGLE_KINDS.len())], 1)
+        };
+
+        // Remaining input slots after this op (upper bound on future deps).
+        let future_slots: usize = (i + 1..o)
+            .map(|j| {
+                if is_mix[j] {
+                    // Arity of the j-th mix, found by counting mixes before j.
+                    let k = is_mix[..j].iter().filter(|&&x| x).count();
+                    arities[k]
+                } else {
+                    1
+                }
+            })
+            .sum();
+
+        let max_k = arity.min(pool.len()).min(deps_left);
+        let min_k = deps_left.saturating_sub(future_slots).min(max_k);
+        let k = if max_k == 0 {
+            0
+        } else {
+            rng.gen_range(min_k..=max_k)
+        };
+
+        let mut inputs: Vec<OpInput> = Vec::with_capacity(arity);
+        for _ in 0..k {
+            let idx = rng.gen_range(0..pool.len());
+            inputs.push(pool.swap_remove(idx).into());
+        }
+        while inputs.len() < arity {
+            let r = b.reagent(&format!("r{}", i * 4 + inputs.len() + 1));
+            inputs.push(r.into());
+        }
+        deps_left -= k;
+
+        let dur = duration_for(kind, &mut rng);
+        let id = b
+            .op(&format!("{} {}", kind.name(), i + 1), kind, dur, inputs)
+            .ok()?;
+        pool.push(id);
+    }
+    if deps_left != 0 {
+        return None;
+    }
+
+    let graph = b.build().ok()?;
+    if graph.edge_count() != spec.edges {
+        return None;
+    }
+
+    // Device library: one device per required kind, then duplicates
+    // allocated to the kinds with the highest operations-per-device load
+    // (as a chip designer would provision; it also keeps the list scheduler
+    // away from single-device residency deadlocks).
+    let required = graph.required_kinds();
+    if required.len() > spec.devices {
+        return None;
+    }
+    let mut devices = required.clone();
+    let usage = |k: OpKind| graph.ops().iter().filter(|o| o.kind() == k).count() as f64;
+    while devices.len() < spec.devices {
+        let next = required
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let load = |k: OpKind| {
+                    usage(k) / devices.iter().filter(|&&d| d == k).count() as f64
+                };
+                load(a).partial_cmp(&load(b)).expect("loads are finite")
+            })
+            .expect("required kinds are nonempty");
+        devices.push(next);
+    }
+
+    Some(Benchmark {
+        name: spec.name.clone(),
+        graph,
+        devices,
+        grid: spec.grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(ops: usize, edges: usize, devices: usize, seed: u64) -> SyntheticSpec {
+        SyntheticSpec {
+            name: "syn".into(),
+            ops,
+            edges,
+            devices,
+            seed,
+            grid: (15, 15),
+        }
+    }
+
+    #[test]
+    fn generates_exact_sizes() {
+        for (o, e, d) in [(10, 15, 12), (15, 24, 13), (20, 28, 18), (8, 14, 6)] {
+            let b = generate(&spec(o, e, d, 42));
+            assert_eq!(b.op_count(), o);
+            assert_eq!(b.edge_count(), e);
+            assert_eq!(b.device_count(), d);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&spec(12, 20, 10, 7));
+        let b = generate(&spec(12, 20, 10, 7));
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&spec(12, 20, 10, 7));
+        let b = generate(&spec(12, 20, 10, 8));
+        // Graphs are random; with overwhelming probability they differ.
+        assert_ne!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn library_covers_required_kinds() {
+        let b = generate(&spec(14, 22, 9, 3));
+        for k in b.graph.required_kinds() {
+            assert!(b.devices.contains(&k));
+        }
+    }
+}

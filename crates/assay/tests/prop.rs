@@ -1,0 +1,94 @@
+//! Property tests for the assay model and the synthetic generator.
+
+use proptest::prelude::*;
+
+use pdw_assay::synthetic::{generate, SyntheticSpec};
+use pdw_assay::{OpInput, Seconds};
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (4usize..=16, 0usize..=5, 5usize..=12, any::<u64>()).prop_map(
+        |(ops, extra, devices, seed)| SyntheticSpec {
+            name: format!("prop-{seed:x}"),
+            ops,
+            edges: 2 * ops - ops / 2 + extra,
+            devices,
+            seed,
+            grid: (15, 15),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator hits the requested sizes exactly and produces graphs
+    /// that satisfy every structural invariant.
+    #[test]
+    fn generated_graphs_are_valid_and_sized(spec in spec_strategy()) {
+        let b = generate(&spec);
+        prop_assert_eq!(b.op_count(), spec.ops);
+        prop_assert_eq!(b.edge_count(), spec.edges);
+        prop_assert_eq!(b.device_count(), spec.devices);
+        prop_assert!(b.graph.revalidate().is_ok());
+        for kind in b.graph.required_kinds() {
+            prop_assert!(b.devices.contains(&kind), "library lacks {kind}");
+        }
+    }
+
+    /// Insertion order is topological: every operation's op-inputs have
+    /// strictly smaller indices; each result is consumed at most once.
+    #[test]
+    fn topology_and_single_consumption(spec in spec_strategy()) {
+        let g = generate(&spec).graph;
+        let mut consumed = vec![0usize; g.ops().len()];
+        for id in g.op_ids() {
+            for input in g.op(id).inputs() {
+                if let OpInput::Op(p) = input {
+                    prop_assert!(p.0 < id.0, "forward reference {p} in {id}");
+                    consumed[p.0 as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(consumed.iter().all(|&c| c <= 1));
+        // Sinks are exactly the unconsumed results.
+        let sinks = g.sinks();
+        for id in g.op_ids() {
+            prop_assert_eq!(
+                sinks.contains(&id),
+                consumed[id.0 as usize] == 0,
+                "sink set mismatch at {}", id
+            );
+        }
+    }
+
+    /// The critical path is bounded by the total work and at least the
+    /// longest single operation.
+    #[test]
+    fn critical_path_bounds(spec in spec_strategy()) {
+        let g = generate(&spec).graph;
+        let total: Seconds = g.ops().iter().map(|o| o.duration()).sum();
+        let longest: Seconds = g.ops().iter().map(|o| o.duration()).max().unwrap_or(0);
+        let cp = g.critical_path_seconds();
+        prop_assert!(cp <= total);
+        prop_assert!(cp >= longest);
+    }
+
+    /// Fluid typing: fluid-preserving operations propagate their input's
+    /// type, transforming operations mint fresh ones.
+    #[test]
+    fn fluid_propagation(spec in spec_strategy()) {
+        let g = generate(&spec).graph;
+        for id in g.op_ids() {
+            let op = g.op(id);
+            let out = g.output_fluid(id);
+            if op.kind().preserves_fluid() {
+                prop_assert_eq!(out, g.input_fluid(op.inputs()[0]));
+            } else {
+                // Fresh type: differs from every input fluid.
+                for &input in op.inputs() {
+                    prop_assert_ne!(out, g.input_fluid(input));
+                }
+            }
+        }
+    }
+}

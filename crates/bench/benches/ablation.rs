@@ -1,0 +1,63 @@
+//! Ablation benches for the three PDW techniques (DESIGN.md):
+//!
+//! - necessity analysis off (every reused contaminated cell is washed),
+//! - integration (ψ) off (excess removals are never merged into washes),
+//! - merging off (one wash per contamination source),
+//! - ILP off (greedy sweep-line placement only).
+//!
+//! Each variant's wall-clock time is benched; the printed summary after the
+//! run (stderr) reports the metric deltas on the demo assay.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathdriver_wash::{pdw, PdwConfig};
+use pdw_assay::benchmarks;
+use pdw_synth::synthesize;
+
+fn variants() -> Vec<(&'static str, PdwConfig)> {
+    let base = PdwConfig {
+        ilp_budget: Duration::from_millis(500),
+        ..PdwConfig::default()
+    };
+    vec![
+        ("full", base.clone()),
+        ("no-necessity", PdwConfig { necessity_analysis: false, ..base.clone() }),
+        ("no-integration", PdwConfig { integration: false, ..base.clone() }),
+        ("no-merging", PdwConfig { merging: false, ..base.clone() }),
+        ("no-ilp", PdwConfig { ilp: false, ..base.clone() }),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for bench in [benchmarks::pcr(), benchmarks::synthetic1()] {
+        let synthesis = synthesize(&bench).expect("synthesis succeeds");
+        for (name, config) in variants() {
+            group.bench_with_input(
+                BenchmarkId::new(name, &bench.name),
+                &config,
+                |b, config| b.iter(|| pdw(&bench, &synthesis, config).expect("pdw succeeds")),
+            );
+        }
+    }
+    group.finish();
+
+    // Metric deltas (reported once, not timed). IVD shows the techniques'
+    // effects most clearly among the real-life benchmarks.
+    let bench = benchmarks::ivd();
+    let synthesis = synthesize(&bench).expect("synthesis succeeds");
+    eprintln!("\nablation metrics on IVD:");
+    for (name, config) in variants() {
+        let r = pdw(&bench, &synthesis, &config).expect("pdw succeeds");
+        eprintln!(
+            "  {:<15} N_wash={:<3} L_wash={:>5.0} mm  T_assay={:>4} s  integrated={}",
+            name, r.metrics.n_wash, r.metrics.l_wash_mm, r.metrics.t_assay, r.integrated
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

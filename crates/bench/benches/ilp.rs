@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the MILP substrate: LP relaxations and
+//! branch-and-bound on the constraint classes PathDriver-Wash generates
+//! (difference constraints, big-M disjunctions, selection rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdw_ilp::{solve, solve_lp, Model, Relation, SolveOptions};
+
+/// A chain of difference constraints (retiming skeleton).
+fn difference_chain(n: usize) -> Model {
+    let mut m = Model::new("chain");
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.continuous(&format!("s{i}"), 0.0, 1e4, if i + 1 == n { 1.0 } else { 0.0 }))
+        .collect();
+    for w in vars.windows(2) {
+        m.constraint([(w[1], 1.0), (w[0], -1.0)], Relation::Ge, 3.0);
+    }
+    m
+}
+
+/// A disjunctive scheduling core: k unit jobs on one machine (big-M pairs).
+fn disjunctive(k: usize) -> Model {
+    let mut m = Model::new("disj");
+    const M: f64 = 1e3;
+    let starts: Vec<_> = (0..k).map(|i| m.continuous(&format!("s{i}"), 0.0, M, 0.0)).collect();
+    let end = m.continuous("end", 0.0, M, 1.0);
+    for i in 0..k {
+        m.constraint([(end, 1.0), (starts[i], -1.0)], Relation::Ge, 1.0);
+        for j in i + 1..k {
+            let b = m.binary(&format!("o{i}_{j}"), 0.0);
+            m.constraint(
+                [(starts[j], 1.0), (starts[i], -1.0), (b, -M)],
+                Relation::Ge,
+                1.0 - M,
+            );
+            m.constraint(
+                [(starts[i], 1.0), (starts[j], -1.0), (b, M)],
+                Relation::Ge,
+                1.0,
+            );
+        }
+    }
+    m
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for n in [50usize, 200, 800] {
+        let m = difference_chain(n);
+        group.bench_with_input(BenchmarkId::new("difference_chain", n), &m, |b, m| {
+            b.iter(|| solve_lp(m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_and_bound");
+    group.sample_size(10);
+    for k in [3usize, 5, 7] {
+        let m = disjunctive(k);
+        group.bench_with_input(BenchmarkId::new("disjunctive_jobs", k), &m, |b, m| {
+            b.iter(|| solve(m, &SolveOptions::default()).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_bnb);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench behind Table II: times synthesis, DAWO, and PDW on every
+//! benchmark of the suite.
+//!
+//! The ILP budget is capped at one second per run so the bench finishes
+//! interactively; the printed table (`--bin table2`) is the artifact that
+//! uses the full budget.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pathdriver_wash::{dawo, pdw, PdwConfig};
+use pdw_assay::benchmarks;
+use pdw_synth::synthesize;
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    // The printed table (`--bin table2`) covers the full suite; timing four
+    // representative sizes keeps `cargo bench` interactive.
+    let config = PdwConfig {
+        ilp_budget: Duration::from_millis(500),
+        ..PdwConfig::default()
+    };
+    let picks = ["PCR", "IVD", "Kinase act-2", "Synthetic3"];
+    for bench in benchmarks::suite()
+        .into_iter()
+        .filter(|b| picks.contains(&b.name.as_str()))
+    {
+        let synthesis = synthesize(&bench).expect("synthesis succeeds");
+        group.bench_with_input(
+            BenchmarkId::new("dawo", &bench.name),
+            &bench,
+            |b, bench| b.iter(|| dawo(bench, &synthesis).expect("dawo succeeds")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pdw", &bench.name),
+            &bench,
+            |b, bench| b.iter(|| pdw(bench, &synthesis, &config).expect("pdw succeeds")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for bench in benchmarks::suite() {
+        group.bench_with_input(BenchmarkId::from_parameter(&bench.name), &bench, |b, bench| {
+            b.iter(|| synthesize(bench).expect("synthesis succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_synthesis);
+criterion_main!(benches);

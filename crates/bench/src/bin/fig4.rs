@@ -1,0 +1,25 @@
+//! Regenerates Fig. 4: average waiting time of biochemical operations,
+//! DAWO vs PathDriver-Wash, per benchmark.
+//!
+//! Usage: `cargo run -p pdw-bench --bin fig4 --release`
+
+use pdw_bench::{experiment_config, improvement, run_suite};
+
+fn main() {
+    let rows = run_suite(&experiment_config());
+    println!("{:<13} {:>10} {:>10} {:>8}", "Benchmark", "DAWO (s)", "PDW (s)", "Imp%");
+    let mut sum = 0.0;
+    for r in &rows {
+        let imp = improvement(r.dawo.avg_wait, r.pdw.avg_wait);
+        sum += imp;
+        println!(
+            "{:<13} {:>10.2} {:>10.2} {:>7.2}%",
+            r.name, r.dawo.avg_wait, r.pdw.avg_wait, imp
+        );
+    }
+    println!(
+        "{:<13} {:>10} {:>10} {:>7.2}%",
+        "Average", "-", "-", sum / rows.len() as f64
+    );
+    println!("\nshape target (Fig. 4): PDW bars at or below DAWO bars on every benchmark");
+}

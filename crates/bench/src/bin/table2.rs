@@ -1,0 +1,57 @@
+//! Regenerates Table II: DAWO vs PathDriver-Wash on the full benchmark
+//! suite, with per-benchmark and average improvements.
+//!
+//! Usage: `cargo run -p pdw-bench --bin table2 --release`
+//! (`PDW_BUDGET_S=<seconds>` sets the ILP budget; pass `--json <path>` to
+//! also dump machine-readable results.)
+
+use pdw_bench::{experiment_config, improvement, run_suite};
+
+fn main() {
+    let config = experiment_config();
+    let rows = run_suite(&config);
+
+    println!(
+        "{:<13} {:>9} | {:>5} {:>5} {:>7} | {:>6} {:>6} {:>7} | {:>5} {:>5} {:>7} | {:>6} {:>6} {:>7}",
+        "Benchmark", "|O|/|D|/|E|", "Nw-D", "Nw-P", "Imp%",
+        "Lw-D", "Lw-P", "Imp%", "Td-D", "Td-P", "Imp%", "Ta-D", "Ta-P", "Imp%"
+    );
+    let mut sums = [0.0f64; 4];
+    for r in &rows {
+        let imp_n = improvement(r.dawo.n_wash as f64, r.pdw.n_wash as f64);
+        let imp_l = improvement(r.dawo.l_wash_mm, r.pdw.l_wash_mm);
+        let imp_d = improvement(r.dawo_delay() as f64, r.pdw_delay() as f64);
+        let imp_t = improvement(r.dawo.t_assay as f64, r.pdw.t_assay as f64);
+        sums[0] += imp_n;
+        sums[1] += imp_l;
+        sums[2] += imp_d;
+        sums[3] += imp_t;
+        println!(
+            "{:<13} {:>3}/{:>2}/{:>3} | {:>5} {:>5} {:>6.2}% | {:>6.0} {:>6.0} {:>6.2}% | {:>5} {:>5} {:>6.2}% | {:>6} {:>6} {:>6.2}%",
+            r.name, r.sizes.0, r.sizes.1, r.sizes.2,
+            r.dawo.n_wash, r.pdw.n_wash, imp_n,
+            r.dawo.l_wash_mm, r.pdw.l_wash_mm, imp_l,
+            r.dawo_delay(), r.pdw_delay(), imp_d,
+            r.dawo.t_assay, r.pdw.t_assay, imp_t,
+        );
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<13} {:>9} | {:>11} {:>6.2}% | {:>13} {:>6.2}% | {:>11} {:>6.2}% | {:>13} {:>6.2}%",
+        "Average", "-", "", sums[0] / n, "", sums[1] / n, "", sums[2] / n, "", sums[3] / n
+    );
+    println!(
+        "\npaper averages: N_wash 17.73%, L_wash 24.56%, T_delay 33.10%, T_assay 9.28%"
+    );
+
+    // Optional JSON dump for EXPERIMENTS.md regeneration.
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().expect("--json needs a path");
+            let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+            std::fs::write(&path, json).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Fluent construction of [`Chip`] architectures.
+
+use crate::chip::{Chip, FlowPortId, Port, WastePortId};
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::error::ChipError;
+use crate::grid::{CellKind, Coord, Grid};
+
+/// Builder for [`Chip`] architectures.
+///
+/// Cells are claimed one placement at a time; the builder rejects overlaps,
+/// out-of-bounds coordinates, duplicate labels, and off-boundary ports as
+/// they happen, and [`build`](Self::build) performs the final whole-chip
+/// checks (at least one flow port and one waste port).
+///
+/// # Example
+///
+/// ```
+/// use pdw_biochip::{ChipBuilder, Coord, DeviceKind};
+///
+/// # fn main() -> Result<(), pdw_biochip::ChipError> {
+/// let chip = ChipBuilder::new(6, 6)
+///     .flow_port("in1", Coord::new(0, 2))?
+///     .waste_port("out1", Coord::new(5, 2))?
+///     .device(DeviceKind::Heater, "heater", Coord::new(2, 2), Coord::new(3, 2))?
+///     .channel(Coord::new(1, 2))?
+///     .channel(Coord::new(4, 2))?
+///     .build()?;
+/// assert_eq!(chip.devices().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipBuilder {
+    grid: Grid,
+    devices: Vec<Device>,
+    flow_ports: Vec<Port>,
+    waste_ports: Vec<Port>,
+}
+
+impl ChipBuilder {
+    /// Starts a builder for a `width × height` virtual grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        Self {
+            grid: Grid::new(width, height),
+            devices: Vec::new(),
+            flow_ports: Vec::new(),
+            waste_ports: Vec::new(),
+        }
+    }
+
+    fn claim(&mut self, c: Coord, kind: CellKind) -> Result<(), ChipError> {
+        if !self.grid.contains(c) {
+            return Err(ChipError::OutOfBounds {
+                coord: c,
+                width: self.grid.width(),
+                height: self.grid.height(),
+            });
+        }
+        if self.grid.kind(c) != CellKind::Empty {
+            return Err(ChipError::CellOccupied { coord: c });
+        }
+        self.grid.set(c, kind);
+        Ok(())
+    }
+
+    fn check_label(&self, label: &str) -> Result<(), ChipError> {
+        let taken = self
+            .flow_ports
+            .iter()
+            .chain(self.waste_ports.iter())
+            .any(|p| p.label == label)
+            || self.devices.iter().any(|d| d.label() == label);
+        if taken {
+            Err(ChipError::DuplicateLabel {
+                label: label.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn on_boundary(&self, c: Coord) -> bool {
+        c.x == 0 || c.y == 0 || c.x == self.grid.width() - 1 || c.y == self.grid.height() - 1
+    }
+
+    /// Places a flow (inlet) port at `c`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `c` is out of bounds, occupied, or not on the grid boundary,
+    /// or if `label` is already used.
+    pub fn flow_port(mut self, label: &str, c: Coord) -> Result<Self, ChipError> {
+        self.check_label(label)?;
+        if !self.grid.contains(c) {
+            return Err(ChipError::OutOfBounds {
+                coord: c,
+                width: self.grid.width(),
+                height: self.grid.height(),
+            });
+        }
+        if !self.on_boundary(c) {
+            return Err(ChipError::PortNotOnBoundary { coord: c });
+        }
+        let id = FlowPortId(self.flow_ports.len() as u32);
+        self.claim(c, CellKind::FlowPort(id))?;
+        self.flow_ports.push(Port {
+            label: label.to_string(),
+            coord: c,
+        });
+        Ok(self)
+    }
+
+    /// Places a waste (outlet) port at `c`.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as [`flow_port`](Self::flow_port).
+    pub fn waste_port(mut self, label: &str, c: Coord) -> Result<Self, ChipError> {
+        self.check_label(label)?;
+        if !self.grid.contains(c) {
+            return Err(ChipError::OutOfBounds {
+                coord: c,
+                width: self.grid.width(),
+                height: self.grid.height(),
+            });
+        }
+        if !self.on_boundary(c) {
+            return Err(ChipError::PortNotOnBoundary { coord: c });
+        }
+        let id = WastePortId(self.waste_ports.len() as u32);
+        self.claim(c, CellKind::WastePort(id))?;
+        self.waste_ports.push(Port {
+            label: label.to_string(),
+            coord: c,
+        });
+        Ok(self)
+    }
+
+    /// Places a device occupying the straight segment from `a` to `b`
+    /// (inclusive); `a` becomes the inlet end and `b` the outlet end.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment is not axis-aligned, any cell is out of bounds or
+    /// occupied, or `label` is already used.
+    pub fn device(
+        mut self,
+        kind: DeviceKind,
+        label: &str,
+        a: Coord,
+        b: Coord,
+    ) -> Result<Self, ChipError> {
+        self.check_label(label)?;
+        let footprint = straight_segment(a, b).ok_or_else(|| ChipError::BadFootprint {
+            label: label.to_string(),
+        })?;
+        let id = DeviceId(self.devices.len() as u32);
+        for &c in &footprint {
+            self.claim(c, CellKind::Device(id))?;
+        }
+        self.devices
+            .push(Device::new(id, kind, label.to_string(), footprint));
+        Ok(self)
+    }
+
+    /// Places a device with an explicit footprint (cells in order; first =
+    /// inlet end, last = outlet end). The footprint must be a 4-connected
+    /// chain.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the footprint is empty or not a chain, any cell is out of
+    /// bounds or occupied, or `label` is already used.
+    pub fn device_with_footprint(
+        mut self,
+        kind: DeviceKind,
+        label: &str,
+        footprint: Vec<Coord>,
+    ) -> Result<Self, ChipError> {
+        self.check_label(label)?;
+        if footprint.is_empty() || footprint.windows(2).any(|w| !w[0].is_adjacent(w[1])) {
+            return Err(ChipError::BadFootprint {
+                label: label.to_string(),
+            });
+        }
+        let id = DeviceId(self.devices.len() as u32);
+        for &c in &footprint {
+            self.claim(c, CellKind::Device(id))?;
+        }
+        self.devices
+            .push(Device::new(id, kind, label.to_string(), footprint));
+        Ok(self)
+    }
+
+    /// Etches a channel cell at `c`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `c` is out of bounds or occupied.
+    pub fn channel(mut self, c: Coord) -> Result<Self, ChipError> {
+        self.claim(c, CellKind::Channel)?;
+        Ok(self)
+    }
+
+    /// Etches a straight channel segment from `a` to `b` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment is not axis-aligned or any cell is out of bounds
+    /// or occupied.
+    pub fn channel_segment(mut self, a: Coord, b: Coord) -> Result<Self, ChipError> {
+        let cells = straight_segment(a, b).ok_or(ChipError::BadFootprint {
+            label: format!("channel {a}-{b}"),
+        })?;
+        for c in cells {
+            self.claim(c, CellKind::Channel)?;
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::MissingPorts`] if the chip lacks a flow port or a
+    /// waste port.
+    pub fn build(self) -> Result<Chip, ChipError> {
+        if self.flow_ports.is_empty() || self.waste_ports.is_empty() {
+            return Err(ChipError::MissingPorts);
+        }
+        Ok(Chip::from_parts(
+            self.grid,
+            self.devices,
+            self.flow_ports,
+            self.waste_ports,
+        ))
+    }
+}
+
+/// Cells of the axis-aligned segment from `a` to `b` inclusive, ordered from
+/// `a` to `b`. Returns `None` if the segment is diagonal.
+fn straight_segment(a: Coord, b: Coord) -> Option<Vec<Coord>> {
+    if a.x == b.x {
+        let (lo, hi) = (a.y.min(b.y), a.y.max(b.y));
+        let mut v: Vec<Coord> = (lo..=hi).map(|y| Coord::new(a.x, y)).collect();
+        if a.y > b.y {
+            v.reverse();
+        }
+        Some(v)
+    } else if a.y == b.y {
+        let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+        let mut v: Vec<Coord> = (lo..=hi).map(|x| Coord::new(x, a.y)).collect();
+        if a.x > b.x {
+            v.reverse();
+        }
+        Some(v)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_segment_orders_from_a_to_b() {
+        let seg = straight_segment(Coord::new(3, 1), Coord::new(0, 1)).unwrap();
+        assert_eq!(seg[0], Coord::new(3, 1));
+        assert_eq!(seg[3], Coord::new(0, 1));
+        assert!(straight_segment(Coord::new(0, 0), Coord::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn rejects_overlapping_placements() {
+        let err = ChipBuilder::new(4, 4)
+            .channel(Coord::new(1, 1))
+            .unwrap()
+            .channel(Coord::new(1, 1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ChipError::CellOccupied {
+                coord: Coord::new(1, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_interior_port() {
+        let err = ChipBuilder::new(4, 4)
+            .flow_port("in1", Coord::new(1, 1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ChipError::PortNotOnBoundary {
+                coord: Coord::new(1, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let err = ChipBuilder::new(4, 4)
+            .flow_port("p", Coord::new(0, 0))
+            .unwrap()
+            .waste_port("p", Coord::new(3, 3))
+            .unwrap_err();
+        assert_eq!(err, ChipError::DuplicateLabel { label: "p".into() });
+    }
+
+    #[test]
+    fn build_requires_both_port_kinds() {
+        let err = ChipBuilder::new(4, 4)
+            .flow_port("in", Coord::new(0, 0))
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ChipError::MissingPorts);
+    }
+
+    #[test]
+    fn device_ids_are_dense() {
+        let chip = ChipBuilder::new(8, 8)
+            .flow_port("in", Coord::new(0, 0))
+            .unwrap()
+            .waste_port("out", Coord::new(7, 7))
+            .unwrap()
+            .device(DeviceKind::Mixer, "m", Coord::new(2, 2), Coord::new(3, 2))
+            .unwrap()
+            .device(DeviceKind::Heater, "h", Coord::new(2, 4), Coord::new(3, 4))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(chip.device(DeviceId(0)).label(), "m");
+        assert_eq!(chip.device(DeviceId(1)).label(), "h");
+    }
+
+    #[test]
+    fn footprint_device_requires_chain() {
+        let err = ChipBuilder::new(8, 8)
+            .device_with_footprint(
+                DeviceKind::Storage,
+                "st",
+                vec![Coord::new(0, 0), Coord::new(2, 0)],
+            )
+            .unwrap_err();
+        assert_eq!(err, ChipError::BadFootprint { label: "st".into() });
+    }
+
+    #[test]
+    fn out_of_bounds_reported_with_dimensions() {
+        let err = ChipBuilder::new(4, 4).channel(Coord::new(9, 0)).unwrap_err();
+        assert!(matches!(err, ChipError::OutOfBounds { width: 4, height: 4, .. }));
+    }
+}

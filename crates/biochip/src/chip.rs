@@ -1,0 +1,441 @@
+//! A validated chip architecture: grid, devices, and ports.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+use crate::device::{Device, DeviceId};
+use crate::error::ChipError;
+use crate::grid::{CellKind, Coord, Grid};
+use crate::path::FlowPath;
+
+/// Identifier of a flow (inlet) port on a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowPortId(pub u32);
+
+impl fmt::Display for FlowPortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in{}", self.0)
+    }
+}
+
+/// Identifier of a waste (outlet) port on a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WastePortId(pub u32);
+
+impl fmt::Display for WastePortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "out{}", self.0)
+    }
+}
+
+/// A labeled port location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Port {
+    pub label: String,
+    pub coord: Coord,
+}
+
+/// A complete, validated chip architecture.
+///
+/// Constructed through [`ChipBuilder`](crate::ChipBuilder). A chip owns the
+/// virtual grid, the placed devices, and the flow/waste ports, and offers
+/// routing queries over the channel network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chip {
+    grid: Grid,
+    devices: Vec<Device>,
+    flow_ports: Vec<Port>,
+    waste_ports: Vec<Port>,
+    labels: HashMap<String, Coord>,
+}
+
+impl Chip {
+    pub(crate) fn from_parts(
+        grid: Grid,
+        devices: Vec<Device>,
+        flow_ports: Vec<Port>,
+        waste_ports: Vec<Port>,
+    ) -> Self {
+        let mut labels = HashMap::new();
+        for p in flow_ports.iter().chain(waste_ports.iter()) {
+            labels.insert(p.label.clone(), p.coord);
+        }
+        for d in &devices {
+            labels.insert(d.label().to_string(), d.inlet_end());
+        }
+        Self {
+            grid,
+            devices,
+            flow_ports,
+            waste_ports,
+            labels,
+        }
+    }
+
+    /// The underlying virtual grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// All placed devices, indexed by [`DeviceId`].
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Looks up a device by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this chip.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Coordinates of all flow ports, indexed by [`FlowPortId`].
+    pub fn flow_ports(&self) -> impl ExactSizeIterator<Item = Coord> + '_ {
+        self.flow_ports.iter().map(|p| p.coord)
+    }
+
+    /// Coordinates of all waste ports, indexed by [`WastePortId`].
+    pub fn waste_ports(&self) -> impl ExactSizeIterator<Item = Coord> + '_ {
+        self.waste_ports.iter().map(|p| p.coord)
+    }
+
+    /// Coordinate of the flow port `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this chip.
+    pub fn flow_port(&self, id: FlowPortId) -> Coord {
+        self.flow_ports[id.0 as usize].coord
+    }
+
+    /// Coordinate of the waste port `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this chip.
+    pub fn waste_port(&self, id: WastePortId) -> Coord {
+        self.waste_ports[id.0 as usize].coord
+    }
+
+    /// Resolves a port or device label to its anchor coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::UnknownLabel`] if no port or device carries the
+    /// label.
+    pub fn locate(&self, label: &str) -> Result<Coord, ChipError> {
+        self.labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| ChipError::UnknownLabel {
+                label: label.to_string(),
+            })
+    }
+
+    /// Returns a short display label for a coordinate: a port/device label if
+    /// one is anchored there, otherwise `s(x,y)` for channels.
+    pub fn describe(&self, c: Coord) -> String {
+        match self.grid.get(c) {
+            Some(CellKind::FlowPort(id)) => self.flow_ports[id.0 as usize].label.clone(),
+            Some(CellKind::WastePort(id)) => self.waste_ports[id.0 as usize].label.clone(),
+            Some(CellKind::Device(id)) => self.devices[id.0 as usize].label().to_string(),
+            _ => format!("s({},{})", c.x, c.y),
+        }
+    }
+
+    /// Returns `true` if a fluid may traverse `c` on a path whose endpoints
+    /// are `src` and `dst`.
+    ///
+    /// Ports other than the endpoints are impassable: fluid entering another
+    /// inlet's tubing or a closed outlet is physically meaningless.
+    fn passable(&self, c: Coord, src: Coord, dst: Coord) -> bool {
+        match self.grid.get(c) {
+            None | Some(CellKind::Empty) => false,
+            Some(CellKind::Channel) | Some(CellKind::Device(_)) => true,
+            Some(CellKind::FlowPort(_)) | Some(CellKind::WastePort(_)) => c == src || c == dst,
+        }
+    }
+
+    /// BFS shortest path from `from` to `to` over routable cells, avoiding
+    /// `blocked` cells. Returns the full cell sequence including endpoints,
+    /// or `None` if unreachable.
+    pub fn route(&self, from: Coord, to: Coord, blocked: &[Coord]) -> Option<Vec<Coord>> {
+        let blocked: HashSet<Coord> = blocked.iter().copied().collect();
+        self.route_set(from, to, &blocked)
+    }
+
+    /// Like [`route`](Self::route) but takes an already-built blocked set.
+    pub fn route_set(&self, from: Coord, to: Coord, blocked: &HashSet<Coord>) -> Option<Vec<Coord>> {
+        if !self.passable(from, from, to) || blocked.contains(&from) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<Coord, Coord> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        prev.insert(from, from);
+        while let Some(cur) = queue.pop_front() {
+            for n in self.grid.neighbors(cur) {
+                if prev.contains_key(&n) || blocked.contains(&n) {
+                    continue;
+                }
+                if !self.passable(n, from, to) {
+                    continue;
+                }
+                prev.insert(n, cur);
+                if n == to {
+                    let mut path = vec![to];
+                    let mut c = to;
+                    while c != from {
+                        c = prev[&c];
+                        path.push(c);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(n);
+            }
+        }
+        None
+    }
+
+    /// Routes a simple path `from → via[0] → via[1] → … → to`, visiting the
+    /// via cells in order without revisiting any cell.
+    ///
+    /// Each leg is routed by BFS with all previously used cells blocked; the
+    /// construction is greedy, so `None` does not prove that no such simple
+    /// path exists — callers enumerate several via-orders.
+    pub fn route_via(
+        &self,
+        from: Coord,
+        via: &[Coord],
+        to: Coord,
+        blocked: &[Coord],
+    ) -> Option<Vec<Coord>> {
+        let mut used: HashSet<Coord> = blocked.iter().copied().collect();
+        let stops: Vec<Coord> = via.iter().copied().chain(std::iter::once(to)).collect();
+        let mut path: Vec<Coord> = Vec::new();
+        let mut cur = from;
+        for (k, &stop) in stops.iter().enumerate() {
+            if stop == cur {
+                if path.is_empty() {
+                    path.push(cur);
+                    used.insert(cur);
+                }
+                continue;
+            }
+            // Allow the current head to be re-entered as a leg start, and
+            // forbid cutting through stops that must be visited later.
+            let mut leg_used = used.clone();
+            leg_used.remove(&cur);
+            for &future in &stops[k + 1..] {
+                leg_used.insert(future);
+            }
+            let leg = self.route_set(cur, stop, &leg_used)?;
+            for &c in &leg {
+                used.insert(c);
+            }
+            if path.is_empty() {
+                path.extend(leg);
+            } else {
+                path.extend(leg.into_iter().skip(1));
+            }
+            cur = stop;
+        }
+        Some(path)
+    }
+
+    /// Validates that `path` is a complete flow path on this chip: it starts
+    /// at a flow port, ends at a waste port, and every interior cell is a
+    /// channel or device cell (no intermediate port, no empty cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PathValidationError`] encountered, scanning source,
+    /// sink, then interior cells in order.
+    pub fn validate_path(&self, path: &FlowPath) -> Result<(), PathValidationError> {
+        let cells = path.cells();
+        match self.grid.get(path.source()) {
+            Some(CellKind::FlowPort(_)) => {}
+            _ => return Err(PathValidationError::SourceNotFlowPort(path.source())),
+        }
+        match self.grid.get(path.sink()) {
+            Some(CellKind::WastePort(_)) => {}
+            _ => return Err(PathValidationError::SinkNotWastePort(path.sink())),
+        }
+        for &c in &cells[1..cells.len() - 1] {
+            match self.grid.get(c) {
+                Some(CellKind::Channel) | Some(CellKind::Device(_)) => {}
+                _ => return Err(PathValidationError::BadInterior(c)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a path is not a valid complete flow path on a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathValidationError {
+    /// The first cell is not a flow port.
+    SourceNotFlowPort(Coord),
+    /// The last cell is not a waste port.
+    SinkNotWastePort(Coord),
+    /// An interior cell is empty, off-grid, or a port.
+    BadInterior(Coord),
+}
+
+impl fmt::Display for PathValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathValidationError::SourceNotFlowPort(c) => {
+                write!(f, "path source {c} is not a flow port")
+            }
+            PathValidationError::SinkNotWastePort(c) => {
+                write!(f, "path sink {c} is not a waste port")
+            }
+            PathValidationError::BadInterior(c) => {
+                write!(f, "interior cell {c} is not a channel or device cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChipBuilder;
+    use crate::device::DeviceKind;
+
+    /// An 8x8 chip with a horizontal channel from in1 (0,3) to out1 (7,3)
+    /// through a 2-cell mixer, plus a dead-end stub at (3,1)-(3,2).
+    fn chip() -> Chip {
+        ChipBuilder::new(8, 8)
+            .flow_port("in1", Coord::new(0, 3))
+            .unwrap()
+            .waste_port("out1", Coord::new(7, 3))
+            .unwrap()
+            .device(DeviceKind::Mixer, "mixer", Coord::new(3, 3), Coord::new(4, 3))
+            .unwrap()
+            .channel(Coord::new(1, 3))
+            .unwrap()
+            .channel(Coord::new(2, 3))
+            .unwrap()
+            .channel(Coord::new(5, 3))
+            .unwrap()
+            .channel(Coord::new(6, 3))
+            .unwrap()
+            .channel(Coord::new(3, 2))
+            .unwrap()
+            .channel(Coord::new(3, 1))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn route_finds_shortest_path() {
+        let c = chip();
+        let p = c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[0], Coord::new(0, 3));
+        assert_eq!(p[7], Coord::new(7, 3));
+    }
+
+    #[test]
+    fn route_respects_blocked_cells() {
+        let c = chip();
+        // Blocking the only corridor makes the sink unreachable.
+        let blocked = [Coord::new(2, 3)];
+        assert!(c.route(Coord::new(0, 3), Coord::new(7, 3), &blocked).is_none());
+    }
+
+    #[test]
+    fn route_does_not_cross_foreign_ports() {
+        let c = ChipBuilder::new(5, 1)
+            .flow_port("in1", Coord::new(0, 0))
+            .unwrap()
+            .waste_port("mid", Coord::new(2, 0))
+            .unwrap()
+            .waste_port("out", Coord::new(4, 0))
+            .unwrap()
+            .channel(Coord::new(1, 0))
+            .unwrap()
+            .channel(Coord::new(3, 0))
+            .unwrap()
+            .build()
+            .unwrap();
+        // Route to the far port would have to pass through the mid port.
+        assert!(c.route(Coord::new(0, 0), Coord::new(4, 0), &[]).is_none());
+        // Route to the mid port itself is fine.
+        assert!(c.route(Coord::new(0, 0), Coord::new(2, 0), &[]).is_some());
+    }
+
+    #[test]
+    fn route_via_visits_stops_in_order() {
+        let c = chip();
+        let p = c
+            .route_via(
+                Coord::new(0, 3),
+                &[Coord::new(3, 3)],
+                Coord::new(7, 3),
+                &[],
+            )
+            .unwrap();
+        let path = FlowPath::new(p).expect("route_via returns a simple path");
+        assert!(path.contains(Coord::new(3, 3)));
+        assert_eq!(path.source(), Coord::new(0, 3));
+        assert_eq!(path.sink(), Coord::new(7, 3));
+    }
+
+    #[test]
+    fn route_via_fails_when_stop_forces_revisit() {
+        let c = chip();
+        // Going out to the stub tip and back would revisit (3,2)/(3,3).
+        let p = c.route_via(
+            Coord::new(0, 3),
+            &[Coord::new(3, 1)],
+            Coord::new(7, 3),
+            &[],
+        );
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn validate_path_checks_endpoints_and_interior() {
+        let c = chip();
+        let good = FlowPath::new(c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap()).unwrap();
+        assert!(c.validate_path(&good).is_ok());
+
+        let bad_src = FlowPath::new(vec![Coord::new(1, 3), Coord::new(2, 3)]).unwrap();
+        assert_eq!(
+            c.validate_path(&bad_src),
+            Err(PathValidationError::SourceNotFlowPort(Coord::new(1, 3)))
+        );
+    }
+
+    #[test]
+    fn locate_and_describe() {
+        let c = chip();
+        assert_eq!(c.locate("in1").unwrap(), Coord::new(0, 3));
+        assert_eq!(c.locate("mixer").unwrap(), Coord::new(3, 3));
+        assert!(c.locate("nope").is_err());
+        assert_eq!(c.describe(Coord::new(0, 3)), "in1");
+        assert_eq!(c.describe(Coord::new(1, 3)), "s(1,3)");
+        assert_eq!(c.describe(Coord::new(4, 3)), "mixer");
+    }
+
+    #[test]
+    fn same_source_and_sink_routes_to_single_cell() {
+        let c = chip();
+        let p = c.route(Coord::new(0, 3), Coord::new(0, 3), &[]).unwrap();
+        assert_eq!(p, vec![Coord::new(0, 3)]);
+    }
+}

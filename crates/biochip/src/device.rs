@@ -1,0 +1,188 @@
+//! Devices placed on the chip (mixers, heaters, detectors, filters, storage).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::grid::Coord;
+
+/// Identifier of a device placed on a [`Chip`](crate::Chip).
+///
+/// Indices are dense: the `n`-th placed device has id `DeviceId(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// The functional kind of an on-chip device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Rotary or serpentine mixer combining two input fluids.
+    Mixer,
+    /// Heating chamber for thermal cycling/incubation.
+    Heater,
+    /// Optical or electrochemical detector.
+    Detector,
+    /// Filtration unit.
+    Filter,
+    /// Magnetic-bead or affinity separator.
+    Separator,
+    /// Channel-based storage reservoir.
+    Storage,
+}
+
+impl DeviceKind {
+    /// All device kinds, in a fixed order.
+    pub const ALL: [DeviceKind; 6] = [
+        DeviceKind::Mixer,
+        DeviceKind::Heater,
+        DeviceKind::Detector,
+        DeviceKind::Filter,
+        DeviceKind::Separator,
+        DeviceKind::Storage,
+    ];
+
+    /// Short lowercase name, e.g. `"mixer"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Mixer => "mixer",
+            DeviceKind::Heater => "heater",
+            DeviceKind::Detector => "detector",
+            DeviceKind::Filter => "filter",
+            DeviceKind::Separator => "separator",
+            DeviceKind::Storage => "storage",
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A device placed on the chip.
+///
+/// Each device occupies a contiguous footprint of grid cells and exposes two
+/// *end cells* through which fluid enters and leaves. When a fluid plug is
+/// pushed into the device, excess fluid is cached just outside the two end
+/// cells and must later be removed (the `p_{j,i,2}` tasks of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    kind: DeviceKind,
+    label: String,
+    footprint: Vec<Coord>,
+}
+
+impl Device {
+    pub(crate) fn new(id: DeviceId, kind: DeviceKind, label: String, footprint: Vec<Coord>) -> Self {
+        debug_assert!(!footprint.is_empty());
+        Self {
+            id,
+            kind,
+            label,
+            footprint,
+        }
+    }
+
+    /// The device's identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's functional kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Human-readable label, e.g. `"detector1"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Cells occupied by the device, in placement order.
+    ///
+    /// The first and last cells are the two *end cells* of the device.
+    pub fn footprint(&self) -> &[Coord] {
+        &self.footprint
+    }
+
+    /// The end cell through which fluid conventionally enters.
+    pub fn inlet_end(&self) -> Coord {
+        self.footprint[0]
+    }
+
+    /// The end cell through which fluid conventionally leaves.
+    pub fn outlet_end(&self) -> Coord {
+        *self.footprint.last().expect("footprint is nonempty")
+    }
+
+    /// Returns `true` if `c` is part of the device footprint.
+    pub fn occupies(&self, c: Coord) -> bool {
+        self.footprint.contains(&c)
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.label, self.kind, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Device {
+        Device::new(
+            DeviceId(3),
+            DeviceKind::Mixer,
+            "mixer".into(),
+            vec![Coord::new(2, 2), Coord::new(3, 2)],
+        )
+    }
+
+    #[test]
+    fn ends_are_first_and_last_footprint_cells() {
+        let d = sample();
+        assert_eq!(d.inlet_end(), Coord::new(2, 2));
+        assert_eq!(d.outlet_end(), Coord::new(3, 2));
+    }
+
+    #[test]
+    fn occupies_checks_footprint_membership() {
+        let d = sample();
+        assert!(d.occupies(Coord::new(2, 2)));
+        assert!(!d.occupies(Coord::new(4, 2)));
+    }
+
+    #[test]
+    fn single_cell_device_has_coincident_ends() {
+        let d = Device::new(
+            DeviceId(0),
+            DeviceKind::Detector,
+            "det".into(),
+            vec![Coord::new(1, 1)],
+        );
+        assert_eq!(d.inlet_end(), d.outlet_end());
+    }
+
+    #[test]
+    fn display_includes_label_and_kind() {
+        let d = sample();
+        let s = d.to_string();
+        assert!(s.contains("mixer"));
+        assert!(s.contains("d3"));
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            DeviceKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), DeviceKind::ALL.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for chip construction and validation.
+
+use std::fmt;
+
+use crate::grid::Coord;
+
+/// Errors raised while constructing or validating a [`Chip`](crate::Chip).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChipError {
+    /// A coordinate lies outside the grid.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+        /// Grid width.
+        width: u16,
+        /// Grid height.
+        height: u16,
+    },
+    /// Two placements claim the same cell.
+    CellOccupied {
+        /// The contested coordinate.
+        coord: Coord,
+    },
+    /// A device footprint is empty or not 4-connected/contiguous.
+    BadFootprint {
+        /// Label of the offending device.
+        label: String,
+    },
+    /// A port was placed somewhere other than the grid boundary.
+    PortNotOnBoundary {
+        /// The offending coordinate.
+        coord: Coord,
+    },
+    /// Two ports or devices share a label.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// The chip has no flow port or no waste port.
+    MissingPorts,
+    /// A referenced label does not exist on the chip.
+    UnknownLabel {
+        /// The unresolved label.
+        label: String,
+    },
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::OutOfBounds {
+                coord,
+                width,
+                height,
+            } => write!(
+                f,
+                "coordinate {coord} lies outside the {width}x{height} grid"
+            ),
+            ChipError::CellOccupied { coord } => {
+                write!(f, "cell {coord} is already occupied")
+            }
+            ChipError::BadFootprint { label } => {
+                write!(f, "device `{label}` has an empty or non-contiguous footprint")
+            }
+            ChipError::PortNotOnBoundary { coord } => {
+                write!(f, "port at {coord} is not on the grid boundary")
+            }
+            ChipError::DuplicateLabel { label } => {
+                write!(f, "label `{label}` is used more than once")
+            }
+            ChipError::MissingPorts => {
+                write!(f, "chip needs at least one flow port and one waste port")
+            }
+            ChipError::UnknownLabel { label } => {
+                write!(f, "no port or device labeled `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = ChipError::OutOfBounds {
+            coord: Coord::new(9, 9),
+            width: 5,
+            height: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("(9, 9)"));
+        assert!(msg.contains("5x5"));
+        let e = ChipError::DuplicateLabel { label: "in1".into() };
+        assert!(e.to_string().contains("in1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<ChipError>();
+    }
+}

@@ -1,0 +1,234 @@
+//! Flow paths: simple port-to-port cell sequences.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::grid::Coord;
+use crate::CELL_PITCH_MM;
+
+/// Errors raised when constructing a [`FlowPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PathError {
+    /// The cell sequence is empty.
+    Empty,
+    /// Two consecutive cells are not 4-connected.
+    NotAdjacent {
+        /// Index of the first cell of the offending pair.
+        index: usize,
+    },
+    /// The same cell appears twice (paths must be simple).
+    RepeatedCell {
+        /// The repeated coordinate.
+        coord: Coord,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "flow path has no cells"),
+            PathError::NotAdjacent { index } => {
+                write!(f, "cells {index} and {} are not adjacent", index + 1)
+            }
+            PathError::RepeatedCell { coord } => {
+                write!(f, "cell {coord} appears more than once in the path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A simple (self-avoiding) 4-connected path of grid cells.
+///
+/// Complete flow paths on a chip run `[flow port → … → waste port]`: fluid is
+/// driven by pressure from an inlet and vents through an outlet (Table I of
+/// the paper lists such paths for transports, removals, and washes). The
+/// path type itself only enforces the geometric invariants — adjacency and
+/// simplicity; whether the endpoints are ports of a specific chip is checked
+/// by [`Chip::validate_path`](crate::Chip::validate_path).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowPath {
+    cells: Vec<Coord>,
+}
+
+impl FlowPath {
+    /// Builds a path from a cell sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError`] if the sequence is empty, a consecutive pair is
+    /// not 4-connected, or a cell repeats.
+    pub fn new(cells: Vec<Coord>) -> Result<Self, PathError> {
+        if cells.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for (i, w) in cells.windows(2).enumerate() {
+            if !w[0].is_adjacent(w[1]) {
+                return Err(PathError::NotAdjacent { index: i });
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(cells.len());
+        for &c in &cells {
+            if !seen.insert(c) {
+                return Err(PathError::RepeatedCell { coord: c });
+            }
+        }
+        Ok(Self { cells })
+    }
+
+    /// The cells of the path, in traversal order.
+    pub fn cells(&self) -> &[Coord] {
+        &self.cells
+    }
+
+    /// Number of cells on the path.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the path has no cells (never true for a
+    /// constructed path).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// First cell (the source port for a complete flow path).
+    pub fn source(&self) -> Coord {
+        self.cells[0]
+    }
+
+    /// Last cell (the sink port for a complete flow path).
+    pub fn sink(&self) -> Coord {
+        *self.cells.last().expect("path is nonempty")
+    }
+
+    /// Physical length of the path in millimeters (`len × CELL_PITCH_MM`).
+    pub fn length_mm(&self) -> f64 {
+        self.cells.len() as f64 * CELL_PITCH_MM
+    }
+
+    /// Returns `true` if `c` lies on the path.
+    pub fn contains(&self, c: Coord) -> bool {
+        self.cells.contains(&c)
+    }
+
+    /// Returns `true` if the two paths share at least one cell
+    /// (`l_a ∩ l_b ≠ ∅` in the paper's conflict constraints).
+    pub fn overlaps(&self, other: &FlowPath) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let set: std::collections::HashSet<_> = large.cells.iter().collect();
+        small.cells.iter().any(|c| set.contains(c))
+    }
+
+    /// Returns `true` if every cell of `self` lies on `other`
+    /// (`l_a ⊆ l_b`, used by the removal-integration rule, Eq. 21).
+    pub fn is_subpath_of(&self, other: &FlowPath) -> bool {
+        let set: std::collections::HashSet<_> = other.cells.iter().collect();
+        self.cells.iter().all(|c| set.contains(c))
+    }
+
+    /// Iterates over the cells of the path.
+    pub fn iter(&self) -> std::slice::Iter<'_, Coord> {
+        self.cells.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlowPath {
+    type Item = &'a Coord;
+    type IntoIter = std::slice::Iter<'a, Coord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter()
+    }
+}
+
+impl fmt::Display for FlowPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.cells {
+            if !first {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u16) -> Vec<Coord> {
+        (0..n).map(|x| Coord::new(x, 0)).collect()
+    }
+
+    #[test]
+    fn valid_path_roundtrips() {
+        let p = FlowPath::new(line(4)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.source(), Coord::new(0, 0));
+        assert_eq!(p.sink(), Coord::new(3, 0));
+        assert!((p.length_mm() - 4.0 * CELL_PITCH_MM).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(FlowPath::new(vec![]), Err(PathError::Empty));
+    }
+
+    #[test]
+    fn rejects_non_adjacent() {
+        let err = FlowPath::new(vec![Coord::new(0, 0), Coord::new(2, 0)]).unwrap_err();
+        assert_eq!(err, PathError::NotAdjacent { index: 0 });
+    }
+
+    #[test]
+    fn rejects_repeats() {
+        let cells = vec![
+            Coord::new(0, 0),
+            Coord::new(1, 0),
+            Coord::new(1, 1),
+            Coord::new(1, 0),
+        ];
+        let err = FlowPath::new(cells).unwrap_err();
+        assert_eq!(
+            err,
+            PathError::RepeatedCell {
+                coord: Coord::new(1, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn overlap_and_subpath() {
+        let a = FlowPath::new(line(4)).unwrap();
+        let b = FlowPath::new(vec![Coord::new(1, 0), Coord::new(2, 0)]).unwrap();
+        let c = FlowPath::new(vec![Coord::new(0, 2), Coord::new(1, 2)]).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.is_subpath_of(&a));
+        assert!(!a.is_subpath_of(&b));
+    }
+
+    #[test]
+    fn single_cell_path_is_valid() {
+        let p = FlowPath::new(vec![Coord::new(5, 5)]).unwrap();
+        assert_eq!(p.source(), p.sink());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn display_uses_arrows() {
+        let p = FlowPath::new(line(2)).unwrap();
+        assert_eq!(p.to_string(), "(0, 0) -> (1, 0)");
+    }
+}

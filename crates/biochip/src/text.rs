@@ -1,0 +1,279 @@
+//! A plain-text chip format: define layouts as ASCII art.
+//!
+//! One character per grid cell:
+//!
+//! | char | cell |
+//! |------|------|
+//! | `.`  | empty (pillar) |
+//! | `-`  | channel |
+//! | `I`  | flow port |
+//! | `O`  | waste port |
+//! | `M` `H` `D` `F` `P` `T` | device cell: mixer, heater, detector, filter, separator (`P`), storage (`T`) |
+//!
+//! A horizontal run of equal device letters forms one device (left cell =
+//! inlet end). Ports are labeled `in1, in2, …` / `out1, out2, …` in
+//! top-to-bottom, left-to-right order; devices `mixer1, heater1, …` per
+//! kind.
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_biochip::text::parse_chip;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chip = parse_chip(
+//!     "I---MMM---O\n\
+//!      -.-.-.-.-.-\n\
+//!      -----------",
+//! )?;
+//! assert_eq!(chip.devices().len(), 1);
+//! assert_eq!(chip.devices()[0].label(), "mixer1");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+use crate::builder::ChipBuilder;
+use crate::chip::Chip;
+use crate::device::DeviceKind;
+use crate::error::ChipError;
+use crate::grid::{CellKind, Coord};
+
+/// Errors raised while parsing an ASCII chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseChipError {
+    /// The text is empty or has empty lines.
+    Empty,
+    /// Lines have differing lengths.
+    Ragged {
+        /// The offending (0-based) line.
+        line: usize,
+    },
+    /// An unknown character.
+    BadChar {
+        /// The character.
+        ch: char,
+        /// Its coordinate.
+        at: Coord,
+    },
+    /// The layout violates a chip invariant (ports off boundary, missing
+    /// ports, …).
+    Chip(ChipError),
+}
+
+impl fmt::Display for ParseChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseChipError::Empty => write!(f, "chip text is empty"),
+            ParseChipError::Ragged { line } => {
+                write!(f, "line {line} has a different length than line 0")
+            }
+            ParseChipError::BadChar { ch, at } => {
+                write!(f, "unknown cell character `{ch}` at {at}")
+            }
+            ParseChipError::Chip(e) => write!(f, "invalid layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseChipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseChipError::Chip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChipError> for ParseChipError {
+    fn from(e: ChipError) -> Self {
+        ParseChipError::Chip(e)
+    }
+}
+
+fn device_kind(ch: char) -> Option<DeviceKind> {
+    Some(match ch {
+        'M' => DeviceKind::Mixer,
+        'H' => DeviceKind::Heater,
+        'D' => DeviceKind::Detector,
+        'F' => DeviceKind::Filter,
+        'P' => DeviceKind::Separator,
+        'T' => DeviceKind::Storage,
+        _ => return None,
+    })
+}
+
+fn device_char(kind: DeviceKind) -> char {
+    match kind {
+        DeviceKind::Mixer => 'M',
+        DeviceKind::Heater => 'H',
+        DeviceKind::Detector => 'D',
+        DeviceKind::Filter => 'F',
+        DeviceKind::Separator => 'P',
+        DeviceKind::Storage => 'T',
+    }
+}
+
+/// Parses an ASCII chip description.
+///
+/// # Errors
+///
+/// Returns [`ParseChipError`] for malformed text or layouts that violate
+/// chip invariants (see [`ChipError`]).
+pub fn parse_chip(text: &str) -> Result<Chip, ParseChipError> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(ParseChipError::Empty);
+    }
+    let rows: Vec<Vec<char>> = lines
+        .iter()
+        .map(|l| l.trim().chars().collect())
+        .collect();
+    let width = rows[0].len();
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != width {
+            return Err(ParseChipError::Ragged { line: i });
+        }
+    }
+    let height = rows.len();
+
+    let mut builder = ChipBuilder::new(width as u16, height as u16);
+    let mut n_in = 0u32;
+    let mut n_out = 0u32;
+    let mut kind_counts = std::collections::HashMap::new();
+    let mut channels: Vec<Coord> = Vec::new();
+
+    for (y, row) in rows.iter().enumerate() {
+        let mut x = 0usize;
+        while x < width {
+            let c = Coord::new(x as u16, y as u16);
+            let ch = row[x];
+            match ch {
+                '.' => x += 1,
+                '-' => {
+                    channels.push(c);
+                    x += 1;
+                }
+                'I' => {
+                    n_in += 1;
+                    builder = builder.flow_port(&format!("in{n_in}"), c)?;
+                    x += 1;
+                }
+                'O' => {
+                    n_out += 1;
+                    builder = builder.waste_port(&format!("out{n_out}"), c)?;
+                    x += 1;
+                }
+                _ => {
+                    let Some(kind) = device_kind(ch) else {
+                        return Err(ParseChipError::BadChar { ch, at: c });
+                    };
+                    let mut end = x;
+                    while end + 1 < width && row[end + 1] == ch {
+                        end += 1;
+                    }
+                    let n = kind_counts.entry(kind).or_insert(0u32);
+                    *n += 1;
+                    builder = builder.device(
+                        kind,
+                        &format!("{}{}", kind.name(), n),
+                        c,
+                        Coord::new(end as u16, y as u16),
+                    )?;
+                    x = end + 1;
+                }
+            }
+        }
+    }
+    for c in channels {
+        builder = builder.channel(c)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Renders a chip in the same ASCII format [`parse_chip`] reads.
+pub fn render_chip(chip: &Chip) -> String {
+    let g = chip.grid();
+    let mut out = String::new();
+    for y in 0..g.height() {
+        for x in 0..g.width() {
+            let ch = match g.kind(Coord::new(x, y)) {
+                CellKind::Empty => '.',
+                CellKind::Channel => '-',
+                CellKind::FlowPort(_) => 'I',
+                CellKind::WastePort(_) => 'O',
+                CellKind::Device(id) => device_char(chip.device(id).kind()),
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+I---MMM---O
+-.-.-.-.-.-
+----HHH---I
+-.-.-.-.-.-
+O----------";
+
+    #[test]
+    fn parses_devices_ports_and_channels() {
+        let chip = parse_chip(SAMPLE).unwrap();
+        assert_eq!(chip.devices().len(), 2);
+        assert_eq!(chip.devices()[0].kind(), DeviceKind::Mixer);
+        assert_eq!(chip.devices()[1].kind(), DeviceKind::Heater);
+        assert_eq!(chip.flow_ports().len(), 2);
+        assert_eq!(chip.waste_ports().len(), 2);
+        assert_eq!(chip.devices()[0].inlet_end(), Coord::new(4, 0));
+        assert_eq!(chip.devices()[0].outlet_end(), Coord::new(6, 0));
+    }
+
+    #[test]
+    fn round_trips() {
+        let chip = parse_chip(SAMPLE).unwrap();
+        let text = render_chip(&chip);
+        let again = parse_chip(&text).unwrap();
+        assert_eq!(render_chip(&again), text);
+        assert_eq!(again.devices().len(), chip.devices().len());
+    }
+
+    #[test]
+    fn rejects_ragged_lines() {
+        let err = parse_chip("I--O\n---").unwrap_err();
+        assert_eq!(err, ParseChipError::Ragged { line: 1 });
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = parse_chip("I--?O\n-----").unwrap_err();
+        assert!(matches!(err, ParseChipError::Ragged { .. } | ParseChipError::BadChar { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_text() {
+        assert_eq!(parse_chip("  \n \n").unwrap_err(), ParseChipError::Empty);
+    }
+
+    #[test]
+    fn layout_errors_surface() {
+        // Port in the interior.
+        let err = parse_chip("-----\n--I--\n-----").unwrap_err();
+        assert!(matches!(err, ParseChipError::Chip(ChipError::PortNotOnBoundary { .. })));
+    }
+
+    #[test]
+    fn routes_work_on_parsed_chips() {
+        let chip = parse_chip(SAMPLE).unwrap();
+        let fp = chip.flow_ports().next().unwrap();
+        let wp = chip.waste_ports().next().unwrap();
+        assert!(chip.route(fp, wp, &[]).is_some());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for grid routing.
+
+use proptest::prelude::*;
+
+use pdw_biochip::{Chip, ChipBuilder, Coord, DeviceKind, FlowPath};
+
+/// Builds a chip with a corridor mesh (pillars at odd/odd), one device, and
+/// a port on each side, mirroring the synthesis layout family.
+fn mesh_chip(w: u16, h: u16, dev_anchor: Option<Coord>) -> Chip {
+    let mut b = ChipBuilder::new(w, h)
+        .flow_port("in", Coord::new(0, 2))
+        .expect("port fits")
+        .waste_port("out", Coord::new(w - 1, 2))
+        .expect("port fits");
+    let mut claimed = vec![Coord::new(0, 2), Coord::new(w - 1, 2)];
+    if let Some(a) = dev_anchor {
+        b = b
+            .device(DeviceKind::Mixer, "m", a, Coord::new(a.x + 2, a.y))
+            .expect("device fits");
+        claimed.extend([a, Coord::new(a.x + 1, a.y), Coord::new(a.x + 2, a.y)]);
+    }
+    for y in 0..h {
+        for x in 0..w {
+            if x % 2 == 1 && y % 2 == 1 {
+                continue;
+            }
+            let c = Coord::new(x, y);
+            if !claimed.contains(&c) {
+                b = b.channel(c).expect("mesh cell free");
+            }
+        }
+    }
+    b.build().expect("chip is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routed paths are simple, 4-connected, endpoint-correct, and avoid
+    /// blocked cells.
+    #[test]
+    fn routes_are_simple_and_respect_blocks(
+        w in 9u16..=15,
+        h in 9u16..=15,
+        blocked_seed in proptest::collection::vec((1u16..14, 1u16..14), 0..6),
+    ) {
+        let chip = mesh_chip(w, h, None);
+        let blocked: Vec<Coord> = blocked_seed
+            .into_iter()
+            .map(|(x, y)| Coord::new(x.min(w - 2), y.min(h - 2)))
+            .collect();
+        let from = Coord::new(0, 2);
+        let to = Coord::new(w - 1, 2);
+        if let Some(cells) = chip.route(from, to, &blocked) {
+            let path = FlowPath::new(cells).expect("route returns a simple path");
+            prop_assert_eq!(path.source(), from);
+            prop_assert_eq!(path.sink(), to);
+            prop_assert!(chip.validate_path(&path).is_ok());
+            for c in &path {
+                prop_assert!(!blocked.contains(c), "path crosses blocked cell {c}");
+            }
+        }
+    }
+
+    /// `route_via` visits every waypoint, in order.
+    #[test]
+    fn route_via_visits_stops_in_order(
+        w in 11u16..=15,
+        h in 11u16..=15,
+        sx in 1u16..5,
+        sy in 1u16..5,
+    ) {
+        let chip = mesh_chip(w, h, None);
+        // Two mesh waypoints (even coordinates stay on the mesh).
+        let a = Coord::new((2 * sx).min(w - 2) & !1, (2 * sy).min(h - 2) & !1);
+        let b = Coord::new((w - 3) & !1, (h - 3) & !1);
+        let from = Coord::new(0, 2);
+        let to = Coord::new(w - 1, 2);
+        if let Some(cells) = chip.route_via(from, &[a, b], to, &[]) {
+            let path = FlowPath::new(cells).expect("simple path");
+            let pa = path.cells().iter().position(|&c| c == a);
+            let pb = path.cells().iter().position(|&c| c == b);
+            prop_assert!(pa.is_some() && pb.is_some(), "waypoints missed");
+            prop_assert!(pa.expect("checked") <= pb.expect("checked"), "order violated");
+        }
+    }
+
+    /// A shortest route never beats Manhattan distance, and on an
+    /// unobstructed mesh it never exceeds it by more than the detour the
+    /// pillars force (bounded by twice the Manhattan distance plus a ring).
+    #[test]
+    fn route_length_is_sane(w in 9u16..=15, h in 9u16..=15) {
+        let chip = mesh_chip(w, h, None);
+        let from = Coord::new(0, 2);
+        let to = Coord::new(w - 1, 2);
+        let cells = chip.route(from, to, &[]).expect("mesh is connected");
+        let manhattan = from.manhattan(to) as usize;
+        prop_assert!(cells.len() > manhattan);
+        prop_assert!(cells.len() <= 2 * manhattan + 8, "absurd detour: {}", cells.len());
+    }
+}

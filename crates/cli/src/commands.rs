@@ -1,0 +1,338 @@
+//! Command parsing and execution for the `pdw` binary.
+
+use std::fmt;
+use std::time::Duration;
+
+use pathdriver_wash::{dawo, pdw, PdwConfig};
+use pdw_assay::benchmarks::{self, Benchmark};
+use pdw_sim::Metrics;
+use pdw_synth::{synthesize, Synthesis};
+
+/// Usage text printed on errors and `pdw help`.
+pub const USAGE: &str = "\
+usage:
+  pdw list                         list built-in benchmarks
+  pdw show <benchmark>             print chip layout and ASCII schedule
+  pdw run  <benchmark> [options]   run DAWO vs PathDriver-Wash
+  pdw run  --assay <file> [opts]   run a custom assay (JSON Benchmark)
+  pdw export <benchmark> <file>    write a benchmark as JSON (edit & re-run)
+
+options for `run`:
+  --budget <seconds>   ILP wall-clock budget per run (default 5)
+  --no-ilp             greedy placement only
+  --json <file>        write metrics of both methods as JSON
+  --svg <dir>          write chip.svg, base.svg, dawo.svg, pdw.svg Gantt charts
+  --valves             also print control-layer (valve) statistics
+  --stats              also print device utilization and parallelism
+  --heatmap <file>     write an SVG contamination heatmap of the base schedule";
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+fn builtin(name: &str) -> Option<Benchmark> {
+    let all: Vec<Benchmark> = benchmarks::suite()
+        .into_iter()
+        .chain([benchmarks::demo()])
+        .collect();
+    all.into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+/// Parses and executes a command line.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on unknown commands,
+/// missing arguments, I/O failures, or pipeline failures.
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => cmd_show(args.get(1).map(String::as_str)),
+        Some("run") => cmd_run(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_list() -> Result<(), CliError> {
+    println!("{:<14} {:>4} {:>4} {:>4}  grid", "name", "|O|", "|D|", "|E|");
+    for b in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
+        println!(
+            "{:<14} {:>4} {:>4} {:>4}  {}x{}",
+            b.name,
+            b.op_count(),
+            b.device_count(),
+            b.edge_count(),
+            b.grid.0,
+            b.grid.1
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(name: Option<&str>) -> Result<(), CliError> {
+    let name = name.ok_or(CliError("`show` needs a benchmark name".into()))?;
+    let bench = builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?;
+    let s = synthesize(&bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    println!("{}", bench.graph);
+    println!("{}", s.chip.grid());
+    for d in s.chip.devices() {
+        println!("  {}", d);
+    }
+    println!("\nwash-free schedule ({} s):", s.schedule.makespan());
+    print!("{}", pdw_viz::ascii::gantt(&s.schedule, 80));
+    Ok(())
+}
+
+struct RunOptions {
+    bench: Benchmark,
+    budget: u64,
+    ilp: bool,
+    json: Option<String>,
+    svg: Option<String>,
+    valves: bool,
+    stats: bool,
+    heatmap: Option<String>,
+}
+
+fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
+    let mut bench: Option<Benchmark> = None;
+    let mut budget = 5;
+    let mut ilp = true;
+    let mut json = None;
+    let mut svg = None;
+    let mut valves = false;
+    let mut stats = false;
+    let mut heatmap = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--assay" => {
+                let path = it.next().ok_or(CliError("--assay needs a file".into()))?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                let b: Benchmark = serde_json::from_str(&text)
+                    .map_err(|e| CliError(format!("invalid assay JSON: {e}")))?;
+                // serde bypasses the builder's checks; re-validate.
+                b.graph
+                    .revalidate()
+                    .map_err(|e| CliError(format!("invalid assay graph: {e}")))?;
+                bench = Some(b);
+            }
+            "--budget" => {
+                let v = it.next().ok_or(CliError("--budget needs seconds".into()))?;
+                budget = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad budget `{v}`")))?;
+            }
+            "--no-ilp" => ilp = false,
+            "--json" => json = Some(it.next().ok_or(CliError("--json needs a file".into()))?.clone()),
+            "--svg" => svg = Some(it.next().ok_or(CliError("--svg needs a directory".into()))?.clone()),
+            "--valves" => valves = true,
+            "--stats" => stats = true,
+            "--heatmap" => {
+                heatmap = Some(it.next().ok_or(CliError("--heatmap needs a file".into()))?.clone())
+            }
+            name if bench.is_none() && !name.starts_with('-') => {
+                bench = Some(
+                    builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?,
+                );
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    let bench = bench.ok_or(CliError("`run` needs a benchmark name or --assay".into()))?;
+    Ok(RunOptions {
+        bench,
+        budget,
+        ilp,
+        json,
+        svg,
+        valves,
+        stats,
+        heatmap,
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_run(args)?;
+    let bench = &opts.bench;
+    let s: Synthesis =
+        synthesize(bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    let base = Metrics::measure(&bench.graph, &s.schedule);
+    let config = PdwConfig {
+        ilp: opts.ilp,
+        ilp_budget: Duration::from_secs(opts.budget),
+        ..PdwConfig::default()
+    };
+    let d = dawo(bench, &s).map_err(|e| CliError(format!("dawo failed: {e}")))?;
+    let p = pdw(bench, &s, &config).map_err(|e| CliError(format!("pdw failed: {e}")))?;
+
+    println!("benchmark {} (|O|={}, |D|={}, |E|={})", bench.name, bench.op_count(), bench.device_count(), bench.edge_count());
+    println!("{:<22} {:>10} {:>10} {:>10}", "metric", "base", "DAWO", "PDW");
+    println!("{:<22} {:>10} {:>10} {:>10}", "N_wash", 0, d.metrics.n_wash, p.metrics.n_wash);
+    println!("{:<22} {:>10.0} {:>10.0} {:>10.0}", "L_wash (mm)", 0.0, d.metrics.l_wash_mm, p.metrics.l_wash_mm);
+    println!("{:<22} {:>10} {:>10} {:>10}", "T_assay (s)", base.t_assay, d.metrics.t_assay, p.metrics.t_assay);
+    println!("{:<22} {:>10} {:>10} {:>10}", "T_delay (s)", 0, d.metrics.delay_vs(&base), p.metrics.delay_vs(&base));
+    println!("{:<22} {:>10} {:>10} {:>10}", "total wash time (s)", 0, d.metrics.total_wash_time, p.metrics.total_wash_time);
+    println!("{:<22} {:>10.2} {:>10.2} {:>10.2}", "avg op wait (s)", base.avg_wait, d.metrics.avg_wait, p.metrics.avg_wait);
+    println!("PDW: {} removals integrated, ILP used: {}", p.integrated, p.solver.used_ilp);
+
+    if let Some(path) = &opts.heatmap {
+        let analysis = pdw_contam::analyze(
+            &s.chip,
+            &bench.graph,
+            &s.schedule,
+            pdw_contam::NecessityOptions::full(),
+        );
+        let svg = pdw_viz::heatmap::contamination(
+            &s.chip,
+            analysis.events.iter().map(|e| (e.cell, 1)),
+        );
+        std::fs::write(path, svg).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+
+    if opts.stats {
+        for (name, sched) in [("base", &s.schedule), ("DAWO", &d.schedule), ("PDW", &p.schedule)] {
+            let st = pdw_sim::ScheduleStats::collect(&s.chip, sched);
+            let busiest = st
+                .devices
+                .iter()
+                .max_by(|a, b| a.utilization.partial_cmp(&b.utilization).expect("finite"))
+                .expect("chips have devices");
+            println!(
+                "stats[{name}]: peak {} tasks, avg {:.2} tasks, busiest device {} at {:.0}%",
+                st.peak_parallel_tasks,
+                st.avg_parallel_tasks,
+                s.chip.device(busiest.device).label(),
+                busiest.utilization * 100.0
+            );
+        }
+    }
+
+    if opts.valves {
+        for (name, sched) in [("base", &s.schedule), ("DAWO", &d.schedule), ("PDW", &p.schedule)] {
+            let program = pdw_control::compile(&s.chip, sched);
+            let stats = pdw_control::ControlStats::measure(&program);
+            println!(
+                "valves[{name}]: {} switches, peak {} open, {} events",
+                stats.switches, stats.peak_open, stats.events
+            );
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        #[derive(serde::Serialize)]
+        struct Out<'a> {
+            benchmark: &'a str,
+            base: &'a Metrics,
+            dawo: &'a Metrics,
+            pdw: &'a Metrics,
+            integrated: usize,
+        }
+        let out = Out {
+            benchmark: &bench.name,
+            base: &base,
+            dawo: &d.metrics,
+            pdw: &p.metrics,
+            integrated: p.integrated,
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+
+    if let Some(dir) = &opts.svg {
+        std::fs::create_dir_all(dir).map_err(|e| CliError(format!("cannot create {dir}: {e}")))?;
+        let writes = [
+            ("chip.svg", pdw_viz::svg::chip(&s.chip, None)),
+            ("base.svg", pdw_viz::svg::gantt(&s.chip, &s.schedule)),
+            ("dawo.svg", pdw_viz::svg::gantt(&s.chip, &d.schedule)),
+            ("pdw.svg", pdw_viz::svg::gantt(&s.chip, &p.schedule)),
+        ];
+        for (name, content) in writes {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, content)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            println!("wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), CliError> {
+    let name = args.first().ok_or(CliError("`export` needs a benchmark".into()))?;
+    let path = args.get(1).ok_or(CliError("`export` needs a target file".into()))?;
+    let bench = builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?;
+    std::fs::write(path, serde_json::to_string_pretty(&bench).expect("serializable"))
+        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup_is_case_insensitive() {
+        assert!(builtin("pcr").is_some());
+        assert!(builtin("PCR").is_some());
+        assert!(builtin("Demo").is_some());
+        assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn run_parsing_rejects_unknown_options() {
+        let args = vec!["PCR".to_string(), "--frobnicate".to_string()];
+        assert!(parse_run(&args).is_err());
+    }
+
+    #[test]
+    fn run_parsing_accepts_full_option_set() {
+        let args: Vec<String> = ["PCR", "--budget", "2", "--no-ilp", "--valves", "--stats"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(o.budget, 2);
+        assert!(!o.ilp);
+        assert!(o.valves);
+        assert!(o.stats);
+        assert_eq!(o.bench.name, "PCR");
+    }
+
+    #[test]
+    fn dispatch_reports_unknown_commands() {
+        let e = dispatch(&["wibble".to_string()]).unwrap_err();
+        assert!(e.to_string().contains("wibble"));
+    }
+
+    #[test]
+    fn benchmark_json_roundtrip() {
+        let b = benchmarks::pcr();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: Benchmark = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, b.name);
+        assert_eq!(back.op_count(), b.op_count());
+        assert_eq!(back.edge_count(), b.edge_count());
+    }
+}

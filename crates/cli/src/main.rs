@@ -1,0 +1,26 @@
+//! `pdw` — command-line front end for the PathDriver-Wash reproduction.
+//!
+//! ```text
+//! pdw list                                 # available benchmarks
+//! pdw run PCR                              # DAWO vs PDW comparison
+//! pdw run --assay my_assay.json            # custom assay from JSON
+//! pdw run IVD --svg out/ --json result.json
+//! pdw show demo                            # chip + ASCII Gantt
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pdw: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Contamination tracking and wash-necessity analysis.
+//!
+//! Every fluidic task leaves residue of its fluid type on the interior cells
+//! of its flow path; a later fluid of a *different* type traversing a
+//! contaminated cell is cross-contaminated (Section I of the paper). This
+//! crate:
+//!
+//! - replays a [`Schedule`](pdw_sched::Schedule) and derives every
+//!   contamination event ([`replay`]),
+//! - classifies each event against the paper's three wash exemptions
+//!   (Section II-A / Eqs. 9–11): **Type 1** (cell never used again),
+//!   **Type 2** (next fluid through the cell has the same type), **Type 3**
+//!   (cell only used to carry waste) — yielding the set of *wash
+//!   requirements* ([`analyze`]),
+//! - verifies that a final schedule (with wash operations inserted) never
+//!   lets a delivery traverse a dirty cell ([`verify_clean`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::benchmarks;
+//! use pdw_contam::{analyze, NecessityOptions};
+//! use pdw_synth::synthesize;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::demo();
+//! let synthesis = synthesize(&bench)?;
+//! let analysis = analyze(
+//!     &synthesis.chip,
+//!     &bench.graph,
+//!     &synthesis.schedule,
+//!     NecessityOptions::full(),
+//! );
+//! // The demo assay has contaminated cells, but not all need washing.
+//! assert!(analysis.events.len() > analysis.requirements.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod necessity;
+mod state;
+
+pub use necessity::{analyze, Analysis, Classification, NecessityOptions, Source, WashRequirement};
+pub use state::{replay, verify_clean, CleanlinessViolation, ContamEvent};

@@ -1,0 +1,353 @@
+//! Wash-necessity analysis: which contaminated cells actually need washing.
+
+use std::collections::HashMap;
+
+use pdw_assay::{AssayGraph, FluidType, OpId, OpInput};
+use pdw_biochip::{Chip, Coord};
+use pdw_sched::{Schedule, TaskId, TaskKind, Time};
+
+use crate::state::{interior_cells, op_devices, replay, ContamEvent};
+
+/// What deposited a residue or consumes a cell next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// A fluidic task.
+    Task(TaskId),
+    /// A biochemical operation executing on its device.
+    Op(OpId),
+}
+
+impl std::fmt::Display for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Source::Task(t) => write!(f, "{t}"),
+            Source::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// Which exemption (if any) applies to a contamination event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Type 1: the cell is never used by a later task/operation.
+    Type1Unused,
+    /// Type 2: the next fluid through the cell has the same type as the
+    /// residue.
+    Type2SameFluid,
+    /// Type 3: the cell is next used only to carry waste off-chip.
+    Type3WasteOnly,
+    /// No exemption applies: the cell must be washed before its next use.
+    NeedsWash,
+}
+
+/// Which of the paper's exemptions the analysis applies.
+///
+/// PathDriver-Wash uses all three ([`full`](Self::full)). The DAWO baseline
+/// has no fluid-type analysis and uses [`reuse_only`](Self::reuse_only):
+/// a contaminated cell demands a wash iff it is reused by a non-waste task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NecessityOptions {
+    /// Apply the Type-1 (never-used-again) exemption.
+    pub type1: bool,
+    /// Apply the Type-2 (same-fluid) exemption.
+    pub type2: bool,
+    /// Apply the Type-3 (waste-transport) exemption.
+    pub type3: bool,
+}
+
+impl NecessityOptions {
+    /// All three exemptions (PathDriver-Wash, Section II-A).
+    pub fn full() -> Self {
+        Self {
+            type1: true,
+            type2: true,
+            type3: true,
+        }
+    }
+
+    /// Only the structural exemptions (Types 1 and 3), no fluid-type
+    /// analysis — the demand-driven behaviour of the DAWO baseline.
+    pub fn reuse_only() -> Self {
+        Self {
+            type1: true,
+            type2: false,
+            type3: true,
+        }
+    }
+}
+
+/// A cell that must be washed within a time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WashRequirement {
+    /// The cell to wash.
+    pub cell: Coord,
+    /// The residue to remove.
+    pub fluid: FluidType,
+    /// When the residue appears (window start, `t_{j,e}` in Eq. 16).
+    pub contaminated_at: Time,
+    /// What deposited the residue.
+    pub source: Source,
+    /// The task or operation that will be harmed if the cell stays dirty.
+    pub next_use: Source,
+    /// Start time of `next_use` (window end, `t_{j,s}` in Eq. 16).
+    pub deadline: Time,
+}
+
+/// Result of the wash-necessity analysis.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Every contamination event of the schedule.
+    pub events: Vec<ContamEvent>,
+    /// Classification of each event (same order as `events`).
+    pub classifications: Vec<Classification>,
+    /// The first future use that justified each classification (same order
+    /// as `events`; `None` for Type-1 events, which have no future use).
+    ///
+    /// A Type-2/3 exemption is only as good as its witness: an optimizer
+    /// that *deletes* the witnessing task (e.g. by integrating an excess
+    /// removal into a wash, ψ = 1) would re-expose the residue. Such tasks
+    /// must not be deleted.
+    pub witnesses: Vec<Option<Source>>,
+    /// The events that demand a wash, as requirements with time windows.
+    pub requirements: Vec<WashRequirement>,
+    /// Waste-disposal tasks that may safely be deleted (e.g. integrated
+    /// into a wash, ψ = 1): every event they witness remains exempt without
+    /// them, or is already covered by a wash requirement on the same cell.
+    pub deletable: std::collections::HashSet<TaskId>,
+}
+
+impl Analysis {
+    /// Number of events exempted by the given classification.
+    pub fn count(&self, c: Classification) -> usize {
+        self.classifications.iter().filter(|&&x| x == c).count()
+    }
+}
+
+/// A future consumption of a cell.
+#[derive(Debug, Clone)]
+struct Use {
+    start: Time,
+    /// Fluid types that this use tolerates on the cell (its own fluids).
+    fluids: Vec<FluidType>,
+    is_waste: bool,
+    what: Source,
+}
+
+/// Classifies every contamination event of `schedule` against the wash
+/// exemptions enabled in `opts` and derives the wash requirements.
+///
+/// Uses are collected per cell from all non-wash tasks and from operation
+/// executions. Cells inside a delivery's own source/destination devices are
+/// not uses (fluids meeting in a device are intended chemistry), matching
+/// [`verify_clean`](crate::verify_clean).
+pub fn analyze(
+    chip: &Chip,
+    graph: &AssayGraph,
+    schedule: &Schedule,
+    opts: NecessityOptions,
+) -> Analysis {
+    let events = replay(chip, graph, schedule);
+    let op_dev = op_devices(schedule);
+
+    // Collect per-cell uses.
+    let mut uses: HashMap<Coord, Vec<Use>> = HashMap::new();
+    for (id, task) in schedule.tasks() {
+        if task.kind().is_wash() {
+            continue;
+        }
+        let mut exempt: Vec<Coord> = Vec::new();
+        match *task.kind() {
+            TaskKind::Injection { op, .. } => {
+                exempt.extend(chip.device(op_dev[&op]).footprint());
+            }
+            TaskKind::Transport { from_op, to_op } => {
+                exempt.extend(chip.device(op_dev[&from_op]).footprint());
+                exempt.extend(chip.device(op_dev[&to_op]).footprint());
+            }
+            TaskKind::OutputRemoval { op } => {
+                exempt.extend(chip.device(op_dev[&op]).footprint());
+            }
+            _ => {}
+        }
+        for cell in interior_cells(chip, task) {
+            if exempt.contains(&cell) {
+                continue;
+            }
+            uses.entry(cell).or_default().push(Use {
+                start: task.start(),
+                fluids: vec![task.fluid()],
+                is_waste: task.kind().is_waste_disposal(),
+                what: Source::Task(id),
+            });
+        }
+    }
+    // Operation executions tolerate their own input fluids.
+    for sop in schedule.ops() {
+        let op = graph.op(sop.op);
+        let fluids: Vec<FluidType> = op
+            .inputs()
+            .iter()
+            .map(|&inp| match inp {
+                OpInput::Reagent(r) => graph.reagent_fluid(r),
+                OpInput::Op(o) => graph.output_fluid(o),
+            })
+            .collect();
+        for &cell in chip.device(sop.device).footprint() {
+            uses.entry(cell).or_default().push(Use {
+                start: sop.start,
+                fluids: fluids.clone(),
+                is_waste: false,
+                what: Source::Op(sop.op),
+            });
+        }
+    }
+    for list in uses.values_mut() {
+        list.sort_by_key(|u| u.start);
+    }
+
+    let mut classifications = Vec::with_capacity(events.len());
+    let mut witnesses = Vec::with_capacity(events.len());
+    let mut requirements = Vec::new();
+    for e in &events {
+        let first_use = uses.get(&e.cell).and_then(|list| {
+            list.iter()
+                .find(|u| u.start >= e.time && u.what != e.source)
+        });
+        witnesses.push(first_use.map(|u| u.what));
+        let class = match first_use {
+            // Residue nobody ever touches can never harm anything; Type 1
+            // holds regardless of `opts` (disabling it would only fabricate
+            // requirements with no consumer).
+            None => Classification::Type1Unused,
+            Some(u) => {
+                if opts.type2 && u.fluids.contains(&e.fluid) {
+                    Classification::Type2SameFluid
+                } else if opts.type3 && u.is_waste {
+                    Classification::Type3WasteOnly
+                } else if !opts.type2 && u.fluids.contains(&e.fluid) && matches!(u.what, Source::Op(_))
+                {
+                    // Even without fluid-type analysis, residue that is one
+                    // of the very inputs an operation is about to consume is
+                    // part of the recipe, not contamination.
+                    Classification::Type2SameFluid
+                } else {
+                    requirements.push(WashRequirement {
+                        cell: e.cell,
+                        fluid: e.fluid,
+                        contaminated_at: e.time,
+                        source: e.source,
+                        next_use: u.what,
+                        deadline: u.start,
+                    });
+                    Classification::NeedsWash
+                }
+            }
+        };
+        classifications.push(class);
+    }
+
+    // Which disposals are safe to delete? For every event E witnessed by a
+    // disposal r, E must stay harmless when r vanishes: its first use
+    // *skipping r* is absent or fluid-compatible, or r's own residue event
+    // on that cell demands a wash (which will clean E's residue too, since
+    // the wash covers the cell before that next use).
+    let needs_wash_cells: std::collections::HashSet<(Coord, Source)> = requirements
+        .iter()
+        .map(|r| (r.cell, r.source))
+        .collect();
+    let mut unsafe_removals: std::collections::HashSet<TaskId> =
+        std::collections::HashSet::new();
+    for (e, w) in events.iter().zip(&witnesses) {
+        let Some(Source::Task(rid)) = w else { continue };
+        let is_disposal = matches!(
+            schedule.get_task(*rid).map(|t| t.kind().is_waste_disposal()),
+            Some(true)
+        );
+        if !is_disposal {
+            continue;
+        }
+        let next = uses.get(&e.cell).and_then(|list| {
+            list.iter().find(|u| {
+                u.start >= e.time && u.what != e.source && u.what != Source::Task(*rid)
+            })
+        });
+        let safe = match next {
+            None => true,
+            Some(u) if u.fluids.contains(&e.fluid) => true,
+            // Relying on *another* disposal would entangle deletions;
+            // treat as unsafe unless a wash already covers the cell.
+            Some(_) => needs_wash_cells.contains(&(e.cell, Source::Task(*rid))),
+        };
+        if !safe {
+            unsafe_removals.insert(*rid);
+        }
+    }
+    let deletable: std::collections::HashSet<TaskId> = schedule
+        .tasks()
+        .filter(|(_, t)| t.kind().is_waste_disposal())
+        .map(|(id, _)| id)
+        .filter(|id| !unsafe_removals.contains(id))
+        .collect();
+
+    Analysis {
+        events,
+        classifications,
+        witnesses,
+        requirements,
+        deletable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    fn demo_analysis(opts: NecessityOptions) -> Analysis {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        analyze(&s.chip, &bench.graph, &s.schedule, opts)
+    }
+
+    #[test]
+    fn full_analysis_exempts_some_events() {
+        let a = demo_analysis(NecessityOptions::full());
+        assert!(a.count(Classification::Type1Unused) > 0, "no type-1 exemptions");
+        assert!(a.count(Classification::Type2SameFluid) > 0, "no type-2 exemptions");
+        assert!(!a.requirements.is_empty(), "demo needs some washes");
+        assert_eq!(a.classifications.len(), a.events.len());
+    }
+
+    #[test]
+    fn reuse_only_never_needs_fewer_washes() {
+        let full = demo_analysis(NecessityOptions::full());
+        let reuse = demo_analysis(NecessityOptions::reuse_only());
+        assert!(reuse.requirements.len() >= full.requirements.len());
+    }
+
+    #[test]
+    fn requirements_have_consistent_windows() {
+        let a = demo_analysis(NecessityOptions::full());
+        for r in &a.requirements {
+            assert!(
+                r.contaminated_at <= r.deadline,
+                "window inverted for {:?}",
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_produces_requirements() {
+        for bench in benchmarks::suite() {
+            let s = synthesize(&bench).unwrap();
+            let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+            assert!(
+                !a.requirements.is_empty(),
+                "{}: wash problem is vacuous",
+                bench.name
+            );
+        }
+    }
+}

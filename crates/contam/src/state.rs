@@ -1,0 +1,241 @@
+//! Residue replay and cleanliness verification.
+
+use std::collections::HashMap;
+
+use pdw_assay::{AssayGraph, FluidType, OpId};
+use pdw_biochip::{Chip, Coord};
+use pdw_sched::{Schedule, Task, TaskId, TaskKind, Time};
+
+use crate::necessity::Source;
+
+/// A contamination event: `cell` holds residue of `fluid` from `time` on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContamEvent {
+    /// The contaminated cell (`(x, y) ∈ R_c` in the paper).
+    pub cell: Coord,
+    /// The residue's fluid type.
+    pub fluid: FluidType,
+    /// The time the residue is deposited (`t^c_{x,y}`): the end of the
+    /// depositing task or operation.
+    pub time: Time,
+    /// What deposited the residue.
+    pub source: Source,
+}
+
+/// The interior (residue-capable) cells of a task's path.
+pub(crate) fn interior_cells<'a>(
+    chip: &'a Chip,
+    task: &'a Task,
+) -> impl Iterator<Item = Coord> + 'a {
+    task.path()
+        .iter()
+        .copied()
+        .filter(|&c| chip.grid().kind(c).can_hold_residue())
+}
+
+/// Device bound to each operation, extracted from the schedule.
+pub(crate) fn op_devices(schedule: &Schedule) -> HashMap<OpId, pdw_biochip::DeviceId> {
+    schedule.ops().iter().map(|s| (s.op, s.device)).collect()
+}
+
+/// Replays the schedule and returns every contamination event in
+/// chronological order.
+///
+/// Non-wash tasks deposit their fluid on the interior cells of their paths
+/// at task end; operations deposit their result fluid on their device's
+/// footprint at operation end. Wash tasks deposit nothing (buffer counts as
+/// clean).
+pub fn replay(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Vec<ContamEvent> {
+    let mut events = Vec::new();
+    for (id, task) in schedule.tasks() {
+        if task.kind().is_wash() {
+            continue;
+        }
+        for cell in interior_cells(chip, task) {
+            events.push(ContamEvent {
+                cell,
+                fluid: task.fluid(),
+                time: task.end(),
+                source: Source::Task(id),
+            });
+        }
+    }
+    for sop in schedule.ops() {
+        let fluid = graph.output_fluid(sop.op);
+        for &cell in chip.device(sop.device).footprint() {
+            events.push(ContamEvent {
+                cell,
+                fluid,
+                time: sop.end(),
+                source: Source::Op(sop.op),
+            });
+        }
+    }
+    events.sort_by_key(|e| (e.time, e.cell));
+    events
+}
+
+/// A delivery traversed a dirty cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CleanlinessViolation {
+    /// The delivery task that got contaminated.
+    pub task: TaskId,
+    /// The dirty cell.
+    pub cell: Coord,
+    /// The residue found on the cell.
+    pub residue: FluidType,
+    /// The fluid being delivered.
+    pub fluid: FluidType,
+    /// The delivery's start time.
+    pub time: Time,
+}
+
+impl std::fmt::Display for CleanlinessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "delivery {} of {} at t={} crosses cell {} holding residue {}",
+            self.task, self.fluid, self.time, self.cell, self.residue
+        )
+    }
+}
+
+impl std::error::Error for CleanlinessViolation {}
+
+/// Verifies that no delivery (injection or transport) traverses a cell
+/// holding residue of a different fluid type at its start time.
+///
+/// Cells of the delivery's own source and destination devices are exempt:
+/// fluids meeting *inside* a device are the intended biochemistry, not
+/// contamination. Wash tasks clean the interior cells of their paths at
+/// their end time.
+///
+/// # Errors
+///
+/// Returns the first (earliest) violation found.
+pub fn verify_clean(
+    chip: &Chip,
+    graph: &AssayGraph,
+    schedule: &Schedule,
+) -> Result<(), CleanlinessViolation> {
+    let op_dev = op_devices(schedule);
+
+    // Timeline events: residue deposits and wash cleans, at task/op ends.
+    enum Ev {
+        Deposit(Vec<Coord>, FluidType),
+        Clean(Vec<Coord>),
+    }
+    let mut events: Vec<(Time, Ev)> = Vec::new();
+    for (_, task) in schedule.tasks() {
+        let cells: Vec<Coord> = interior_cells(chip, task).collect();
+        if task.kind().is_wash() {
+            events.push((task.end(), Ev::Clean(cells)));
+        } else {
+            events.push((task.end(), Ev::Deposit(cells, task.fluid())));
+        }
+    }
+    for sop in schedule.ops() {
+        let cells = chip.device(sop.device).footprint().to_vec();
+        events.push((sop.end(), Ev::Deposit(cells, graph.output_fluid(sop.op))));
+    }
+    events.sort_by_key(|(t, _)| *t);
+
+    // Checks: deliveries at their start times.
+    let mut checks: Vec<(Time, TaskId)> = schedule
+        .tasks()
+        .filter(|(_, t)| t.kind().is_delivery())
+        .map(|(id, t)| (t.start(), id))
+        .collect();
+    checks.sort_unstable();
+
+    let mut residue: HashMap<Coord, FluidType> = HashMap::new();
+    let mut ei = 0;
+    for (start, id) in checks {
+        while ei < events.len() && events[ei].0 <= start {
+            match &events[ei].1 {
+                Ev::Deposit(cells, fluid) => {
+                    for &c in cells {
+                        residue.insert(c, *fluid);
+                    }
+                }
+                Ev::Clean(cells) => {
+                    for c in cells {
+                        residue.remove(c);
+                    }
+                }
+            }
+            ei += 1;
+        }
+        let task = schedule.task(id);
+        let mut exempt: Vec<Coord> = Vec::new();
+        match *task.kind() {
+            TaskKind::Injection { op, .. } => {
+                exempt.extend(chip.device(op_dev[&op]).footprint());
+            }
+            TaskKind::Transport { from_op, to_op } => {
+                exempt.extend(chip.device(op_dev[&from_op]).footprint());
+                exempt.extend(chip.device(op_dev[&to_op]).footprint());
+            }
+            _ => {}
+        }
+        for cell in interior_cells(chip, task) {
+            if exempt.contains(&cell) {
+                continue;
+            }
+            if let Some(&r) = residue.get(&cell) {
+                if !r.is_buffer() && r != task.fluid() {
+                    return Err(CleanlinessViolation {
+                        task: id,
+                        cell,
+                        residue: r,
+                        fluid: task.fluid(),
+                        time: start,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn replay_reports_residue_with_sources() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let events = replay(&s.chip, &bench.graph, &s.schedule);
+        assert!(!events.is_empty());
+        // Chronologically sorted.
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        // Both task and op sources appear.
+        assert!(events.iter().any(|e| matches!(e.source, Source::Task(_))));
+        assert!(events.iter().any(|e| matches!(e.source, Source::Op(_))));
+    }
+
+    #[test]
+    fn ports_never_contaminated() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        for e in replay(&s.chip, &bench.graph, &s.schedule) {
+            assert!(
+                s.chip.grid().kind(e.cell).can_hold_residue(),
+                "port cell {} contaminated",
+                e.cell
+            );
+        }
+    }
+
+    #[test]
+    fn raw_synthesis_schedule_is_dirty() {
+        // Without wash operations, some delivery must cross residue in a
+        // multi-fluid assay — otherwise the wash problem would be vacuous.
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        assert!(verify_clean(&s.chip, &bench.graph, &s.schedule).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Control-layer model for continuous-flow biochips.
+//!
+//! In the two-layer architecture of Fig. 1(a)/(b) of the PathDriver-Wash
+//! paper, a *control layer* sits above the flow layer: elastomer-membrane
+//! microvalves at the overlap of the two layers pinch flow channels shut
+//! when pressurized. Executing a fluidic task means opening exactly the
+//! valves along its flow path and keeping every crossing channel closed.
+//!
+//! This crate derives, from a [`Schedule`]:
+//!
+//! - the **valve set** of a chip (one valve per channel/device cell,
+//!   [`valve_count`]),
+//! - the **actuation program** ([`ValveProgram`]): for every event time,
+//!   which valves open and which close,
+//! - control-layer **cost metrics** ([`ControlStats`]): total switching
+//!   operations, peak simultaneously-open valves, and event count — the
+//!   standard control-overhead measures in the flow-based biochip
+//!   literature. Wash operations open extra valves; PathDriver-Wash's
+//!   fewer/shorter washes translate directly into fewer switch operations.
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::benchmarks;
+//! use pdw_control::{compile, ControlStats};
+//! use pdw_synth::synthesize;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::demo();
+//! let s = synthesize(&bench)?;
+//! let program = compile(&s.chip, &s.schedule);
+//! let stats = ControlStats::measure(&program);
+//! assert!(stats.switches > 0);
+//! assert!(stats.peak_open <= pdw_control::valve_count(&s.chip));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pdw_biochip::{Chip, Coord};
+use pdw_sched::{Schedule, Time};
+use serde::{Deserialize, Serialize};
+
+/// Number of valves on the chip: one per channel or device cell (ports are
+/// external connections and carry no valve).
+pub fn valve_count(chip: &Chip) -> usize {
+    chip.grid()
+        .occupied()
+        .filter(|(_, k)| k.can_hold_residue())
+        .count()
+}
+
+/// A switching event: at `time`, `open` valves are released and `close`
+/// valves are pressurized.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValveEvent {
+    /// The event time in seconds.
+    pub time: Time,
+    /// Valves (cells) that open at this time.
+    pub open: Vec<Coord>,
+    /// Valves (cells) that close at this time.
+    pub close: Vec<Coord>,
+}
+
+/// A compiled valve actuation program: chronologically ordered switching
+/// events. All valves are closed before the first event and after the last.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValveProgram {
+    events: Vec<ValveEvent>,
+}
+
+impl ValveProgram {
+    /// The switching events, in time order.
+    pub fn events(&self) -> &[ValveEvent] {
+        &self.events
+    }
+
+    /// The set of open valves at time `t` (after applying all events with
+    /// `time ≤ t`).
+    pub fn open_at(&self, t: Time) -> BTreeSet<Coord> {
+        let mut open = BTreeSet::new();
+        for e in &self.events {
+            if e.time > t {
+                break;
+            }
+            for &c in &e.open {
+                open.insert(c);
+            }
+            for &c in &e.close {
+                open.remove(&c);
+            }
+        }
+        open
+    }
+}
+
+/// Compiles the valve actuation program for a schedule.
+///
+/// At any time, the open valves are exactly the union of (a) the interior
+/// cells of the flow paths of active tasks and (b) the device cells of
+/// executing operations; every other valve is held closed, which is what
+/// isolates concurrent flows from each other.
+pub fn compile(chip: &Chip, schedule: &Schedule) -> ValveProgram {
+    // Demand intervals per cell.
+    let mut intervals: Vec<(Coord, Time, Time)> = Vec::new();
+    for (_, task) in schedule.tasks() {
+        for &c in task.path().cells() {
+            if chip.grid().kind(c).can_hold_residue() {
+                intervals.push((c, task.start(), task.end()));
+            }
+        }
+    }
+    for sop in schedule.ops() {
+        for &c in chip.device(sop.device).footprint() {
+            intervals.push((c, sop.start, sop.end()));
+        }
+    }
+
+    // Per-cell open intervals, merged where they touch (a valve that a
+    // back-to-back pair of tasks both needs stays open across the boundary).
+    let mut per_cell: BTreeMap<Coord, Vec<(Time, Time)>> = BTreeMap::new();
+    for (c, s, e) in intervals {
+        per_cell.entry(c).or_default().push((s, e));
+    }
+    let mut deltas: BTreeMap<Time, (Vec<Coord>, Vec<Coord>)> = BTreeMap::new();
+    for (c, mut spans) in per_cell {
+        spans.sort_unstable();
+        let mut merged: Vec<(Time, Time)> = Vec::new();
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        for (s, e) in merged {
+            deltas.entry(s).or_default().0.push(c);
+            deltas.entry(e).or_default().1.push(c);
+        }
+    }
+
+    let events = deltas
+        .into_iter()
+        .map(|(time, (mut open, mut close))| {
+            open.sort_unstable();
+            close.sort_unstable();
+            ValveEvent { time, open, close }
+        })
+        .collect();
+    ValveProgram { events }
+}
+
+/// Control-layer cost metrics of a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlStats {
+    /// Total valve switching operations (each open and each close counts).
+    pub switches: usize,
+    /// Peak number of simultaneously open valves.
+    pub peak_open: usize,
+    /// Number of distinct switching instants.
+    pub events: usize,
+}
+
+impl ControlStats {
+    /// Measures a compiled program.
+    pub fn measure(program: &ValveProgram) -> Self {
+        let mut open = 0isize;
+        let mut peak = 0isize;
+        let mut switches = 0usize;
+        for e in program.events() {
+            switches += e.open.len() + e.close.len();
+            open += e.open.len() as isize - e.close.len() as isize;
+            peak = peak.max(open);
+        }
+        ControlStats {
+            switches,
+            peak_open: peak.max(0) as usize,
+            events: program.events().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    fn demo_program() -> (pdw_synth::Synthesis, ValveProgram) {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let p = compile(&s.chip, &s.schedule);
+        (s, p)
+    }
+
+    #[test]
+    fn events_are_chronological_and_balanced() {
+        let (_, p) = demo_program();
+        assert!(p.events().windows(2).all(|w| w[0].time < w[1].time));
+        let opens: usize = p.events().iter().map(|e| e.open.len()).sum();
+        let closes: usize = p.events().iter().map(|e| e.close.len()).sum();
+        assert_eq!(opens, closes, "every opened valve eventually closes");
+    }
+
+    #[test]
+    fn active_task_paths_are_open() {
+        let (s, p) = demo_program();
+        for (_, task) in s.schedule.tasks() {
+            let open = p.open_at(task.start());
+            for &c in task.path().cells() {
+                if s.chip.grid().kind(c).can_hold_residue() {
+                    assert!(open.contains(&c), "valve {c} closed under active task");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_valves_closed_at_the_end() {
+        let (s, p) = demo_program();
+        assert!(p.open_at(s.schedule.makespan() + 1).is_empty());
+    }
+
+    #[test]
+    fn peak_open_bounded_by_valve_count() {
+        let (s, p) = demo_program();
+        let stats = ControlStats::measure(&p);
+        assert!(stats.peak_open <= valve_count(&s.chip));
+        assert!(stats.peak_open > 0);
+        assert!(stats.switches >= stats.events);
+    }
+
+    #[test]
+    fn back_to_back_use_keeps_the_valve_open() {
+        // Build a tiny schedule with two touching intervals on one cell.
+        use pdw_assay::FluidType;
+        use pdw_biochip::{ChipBuilder, Coord, FlowPath};
+        use pdw_sched::{Task, TaskKind};
+
+        let chip = ChipBuilder::new(5, 3)
+            .flow_port("in", Coord::new(0, 1))
+            .unwrap()
+            .waste_port("out", Coord::new(4, 1))
+            .unwrap()
+            .channel_segment(Coord::new(1, 1), Coord::new(3, 1))
+            .unwrap()
+            .build()
+            .unwrap();
+        let path = FlowPath::new(
+            (0..5).map(|x| Coord::new(x, 1)).collect(),
+        )
+        .unwrap();
+        let mut sched = pdw_sched::Schedule::new();
+        sched.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path.clone(),
+            0,
+            2,
+            FluidType::BUFFER,
+        ));
+        sched.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path,
+            2,
+            2,
+            FluidType::BUFFER,
+        ));
+        let p = compile(&chip, &sched);
+        // One open at t=0, one close at t=4 per cell: exactly 2 events.
+        assert_eq!(p.events().len(), 2);
+        let stats = ControlStats::measure(&p);
+        assert_eq!(stats.switches, 6); // 3 interior cells × (open + close)
+    }
+}

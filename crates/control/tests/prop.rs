@@ -1,0 +1,51 @@
+//! Property tests: valve programs against randomly generated assays.
+
+use proptest::prelude::*;
+
+use pdw_assay::synthetic::{generate, SyntheticSpec};
+use pdw_control::{compile, valve_count, ControlStats};
+use pdw_synth::synthesize;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (4usize..=9, 0usize..=3, 6usize..=9, any::<u64>()).prop_map(|(ops, extra, devices, seed)| {
+        SyntheticSpec {
+            name: format!("ctl-{seed:x}"),
+            ops,
+            edges: 2 * ops - ops / 2 + extra,
+            devices,
+            seed,
+            grid: (15, 15),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any synthesized schedule: the valve program opens every cell an
+    /// active task needs, balances opens and closes, stays within the
+    /// chip's valve count, and ends with all valves closed.
+    #[test]
+    fn valve_programs_are_consistent(spec in spec_strategy()) {
+        let bench = generate(&spec);
+        let s = synthesize(&bench).expect("random assay synthesizes");
+        let program = compile(&s.chip, &s.schedule);
+        let stats = ControlStats::measure(&program);
+
+        prop_assert!(stats.peak_open <= valve_count(&s.chip));
+        let opens: usize = program.events().iter().map(|e| e.open.len()).sum();
+        let closes: usize = program.events().iter().map(|e| e.close.len()).sum();
+        prop_assert_eq!(opens, closes);
+        prop_assert!(program.open_at(s.schedule.makespan() + 1).is_empty());
+
+        // Spot-check: at every task start, its interior cells are open.
+        for (_, task) in s.schedule.tasks() {
+            let open = program.open_at(task.start());
+            for &c in task.path().cells() {
+                if s.chip.grid().kind(c).can_hold_residue() {
+                    prop_assert!(open.contains(&c), "cell {c} closed under a running task");
+                }
+            }
+        }
+    }
+}

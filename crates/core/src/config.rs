@@ -1,0 +1,118 @@
+//! Configuration of the PathDriver-Wash optimizer.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Weighting factors of the objective `α·N_wash + β·L_wash + γ·T_assay`
+/// (Eq. 26).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Weight of the number of wash operations.
+    pub alpha: f64,
+    /// Weight of the total wash-path length (mm).
+    pub beta: f64,
+    /// Weight of the assay completion time (s).
+    pub gamma: f64,
+}
+
+impl Default for Weights {
+    /// The paper's experimental setting: `α = 0.3`, `β = 0.3`, `γ = 0.4`.
+    fn default() -> Self {
+        Self {
+            alpha: 0.3,
+            beta: 0.3,
+            gamma: 0.4,
+        }
+    }
+}
+
+/// How wash-path candidates are picked for each wash operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidatePolicy {
+    /// Enumerate all port pairs and keep the `k` shortest paths
+    /// (PathDriver-Wash: the ILP chooses among them).
+    Shortest,
+    /// Take the first feasible path from the port nearest the targets
+    /// (the DAWO baseline's independent BFS construction).
+    Nearest,
+}
+
+/// Full configuration of a PathDriver-Wash run.
+///
+/// The default matches the paper's setup; the ablation switches isolate the
+/// three techniques of Section III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdwConfig {
+    /// Objective weights (Eq. 26).
+    pub weights: Weights,
+    /// Apply the wash-necessity analysis (technique 1). When `false`, every
+    /// contaminated cell that is reused demands a wash, like the baseline.
+    pub necessity_analysis: bool,
+    /// Integrate wash operations with excess-fluid removals (technique 2,
+    /// the ψ variables of Eqs. 7/21).
+    pub integration: bool,
+    /// Merge compatible wash groups into shared wash paths.
+    pub merging: bool,
+    /// Optimize wash paths and time windows with the ILP (technique 3).
+    /// When `false`, the greedy warm-start solution is returned directly.
+    pub ilp: bool,
+    /// Wall-clock budget for the ILP solver (the paper used 15 minutes;
+    /// the default here keeps the full benchmark suite interactive).
+    pub ilp_budget: Duration,
+    /// Number of candidate wash paths per wash operation offered to the ILP.
+    pub candidates: usize,
+    /// Additionally construct each group's provably shortest wash path with
+    /// the exact Eq. 12–15 flow ILP ([`exact_wash_path`]) and offer it as a
+    /// candidate. One ILP solve per wash group — accurate but slow.
+    ///
+    /// [`exact_wash_path`]: crate::exact_wash_path
+    pub exact_paths: bool,
+}
+
+impl Default for PdwConfig {
+    fn default() -> Self {
+        Self {
+            weights: Weights::default(),
+            necessity_analysis: true,
+            integration: true,
+            merging: true,
+            ilp: true,
+            ilp_budget: Duration::from_secs(10),
+            candidates: 3,
+            exact_paths: false,
+        }
+    }
+}
+
+impl PdwConfig {
+    /// A configuration with every PDW technique disabled — wash demands are
+    /// served naively. Useful as an ablation floor.
+    pub fn naive() -> Self {
+        Self {
+            necessity_analysis: false,
+            integration: false,
+            merging: false,
+            ilp: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_match_the_paper() {
+        let w = Weights::default();
+        assert_eq!((w.alpha, w.beta, w.gamma), (0.3, 0.3, 0.4));
+    }
+
+    #[test]
+    fn default_config_enables_all_techniques() {
+        let c = PdwConfig::default();
+        assert!(c.necessity_analysis && c.integration && c.merging && c.ilp);
+        assert!(c.candidates >= 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Exact wash-path construction: the paper's Eqs. 12–15 as an ILP.
+//!
+//! The paper models a wash path with per-cell binaries `u^j_{x,y}`: one flow
+//! port and one waste port are selected (Eq. 12), each selected port has one
+//! occupied neighbor (Eq. 13), interior path cells have exactly two occupied
+//! neighbors (Eq. 14), and all wash targets are covered (Eq. 15). As
+//! written, that system also admits solutions containing disconnected
+//! degree-2 *cycles* — it has no subtour elimination. This module implements
+//! the intent exactly with a standard single-commodity-flow strengthening:
+//!
+//! - binary arc variables `x_(u,v)` over adjacent routable cells form a unit
+//!   source→sink path (per-node inflow ≤ 1 plus flow conservation ⇒ the
+//!   paper's degree constraints),
+//! - port-selection binaries reproduce Eq. 12,
+//! - a continuous commodity `f ≤ K·x` delivers one unit to every target,
+//!   which forces all targets onto the *connected* path (Eq. 15, without the
+//!   cycle loophole),
+//! - the objective minimizes the number of occupied cells — exactly the
+//!   `L_wash` term the candidate enumeration otherwise approximates.
+//!
+//! Exact construction costs an ILP solve per wash, so it is off by default
+//! ([`PdwConfig::exact_paths`](crate::PdwConfig)); candidate enumeration
+//! stays within a couple of cells of it in practice (see the tests).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use pdw_biochip::{CellKind, Chip, Coord, FlowPath};
+use pdw_ilp::{Model, Relation, SolveOptions, VarId};
+
+use crate::groups::Candidate;
+
+/// Builds the exact minimal wash path covering `targets` on `chip`,
+/// threading only through target devices (other device footprints are
+/// impassable, as in candidate enumeration). A known-feasible `warm` path
+/// (e.g. the best enumerated candidate) seeds branch-and-bound: the result
+/// is then never longer than it, and the solve is anytime. Returns `None`
+/// when the solver finds no path within `budget` (or none exists).
+pub fn exact_wash_path(
+    chip: &Chip,
+    targets: &[Coord],
+    warm: Option<&FlowPath>,
+    budget: Duration,
+) -> Option<Candidate> {
+    let target_set: HashSet<Coord> = targets.iter().copied().collect();
+    if target_set.is_empty() {
+        return None;
+    }
+
+    // Routable nodes: channels, ports, and target-device cells.
+    let mut nodes: Vec<Coord> = Vec::new();
+    for (c, kind) in chip.grid().occupied() {
+        let passable = match kind {
+            CellKind::Channel | CellKind::FlowPort(_) | CellKind::WastePort(_) => true,
+            CellKind::Device(id) => chip
+                .device(id)
+                .footprint()
+                .iter()
+                .any(|f| target_set.contains(f)),
+            CellKind::Empty => false,
+        };
+        if passable {
+            nodes.push(c);
+        }
+    }
+    let index: HashMap<Coord, usize> = nodes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    if targets.iter().any(|t| !index.contains_key(t)) {
+        return None;
+    }
+
+    // Directed arcs between adjacent routable cells.
+    let mut arcs: Vec<(usize, usize)> = Vec::new();
+    for (u, &cu) in nodes.iter().enumerate() {
+        for cv in chip.grid().neighbors(cu) {
+            if let Some(&v) = index.get(&cv) {
+                arcs.push((u, v));
+            }
+        }
+    }
+
+    let mut m = Model::new("exact-wash-path");
+    let k = targets.len() as f64 + 1.0;
+
+    // Arc binaries (objective: one cell per arc head; the source cell is
+    // paid through the port-selection variable).
+    let x: Vec<VarId> = arcs
+        .iter()
+        .map(|&(u, v)| m.binary(&format!("x_{u}_{v}"), 1.0))
+        .collect();
+    // Commodity flow on each arc.
+    let f: Vec<VarId> = arcs
+        .iter()
+        .map(|&(u, v)| m.continuous(&format!("f_{u}_{v}"), 0.0, k, 0.0))
+        .collect();
+    for (i, _) in arcs.iter().enumerate() {
+        // f <= K·x
+        m.constraint([(f[i], 1.0), (x[i], -k)], Relation::Le, 0.0);
+    }
+
+    // Port selection (Eq. 12).
+    let mut s_var: HashMap<usize, VarId> = HashMap::new();
+    let mut t_var: HashMap<usize, VarId> = HashMap::new();
+    for (i, &c) in nodes.iter().enumerate() {
+        match chip.grid().kind(c) {
+            CellKind::FlowPort(_) => {
+                s_var.insert(i, m.binary(&format!("s_{i}"), 1.0));
+            }
+            CellKind::WastePort(_) => {
+                t_var.insert(i, m.binary(&format!("t_{i}"), 0.0));
+            }
+            _ => {}
+        }
+    }
+    let sum = |vars: &HashMap<usize, VarId>| -> Vec<(VarId, f64)> {
+        vars.values().map(|&v| (v, 1.0)).collect()
+    };
+    m.constraint(sum(&s_var), Relation::Eq, 1.0);
+    m.constraint(sum(&t_var), Relation::Eq, 1.0);
+
+    // Unit-path conservation and simplicity (Eqs. 13–14 strengthened):
+    // out(x) − in(x) = s_v − t_v;  in(x) ≤ 1.
+    let mut in_arcs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut out_arcs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, &(u, v)) in arcs.iter().enumerate() {
+        out_arcs[u].push(i);
+        in_arcs[v].push(i);
+    }
+    for v in 0..nodes.len() {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &a in &out_arcs[v] {
+            terms.push((x[a], 1.0));
+        }
+        for &a in &in_arcs[v] {
+            terms.push((x[a], -1.0));
+        }
+        if let Some(&sv) = s_var.get(&v) {
+            terms.push((sv, -1.0));
+        }
+        if let Some(&tv) = t_var.get(&v) {
+            terms.push((tv, 1.0));
+        }
+        m.constraint(terms, Relation::Eq, 0.0);
+        let indeg: Vec<(VarId, f64)> = in_arcs[v].iter().map(|&a| (x[a], 1.0)).collect();
+        if !indeg.is_empty() {
+            m.constraint(indeg, Relation::Le, 1.0);
+        }
+    }
+
+    // Commodity: the source emits K units, each target consumes 1, the sink
+    // absorbs the remainder — all targets end up on the connected path
+    // (Eq. 15 without the cycle loophole).
+    for v in 0..nodes.len() {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &a in &out_arcs[v] {
+            terms.push((f[a], 1.0));
+        }
+        for &a in &in_arcs[v] {
+            terms.push((f[a], -1.0));
+        }
+        let mut rhs = 0.0;
+        if let Some(&sv) = s_var.get(&v) {
+            terms.push((sv, -k));
+        }
+        if target_set.contains(&nodes[v]) {
+            rhs = -1.0;
+        }
+        if let Some(&tv) = t_var.get(&v) {
+            terms.push((tv, 1.0));
+        }
+        m.constraint(terms, Relation::Eq, rhs);
+    }
+
+    // Seed with a known path: arcs along it carry the commodity, depleted
+    // by one unit at each target.
+    let warm_start = warm.and_then(|path| {
+        let mut vals = vec![0.0; m.num_vars()];
+        let cells = path.cells();
+        let arc_index: HashMap<(usize, usize), usize> = arcs
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| ((u, v), i))
+            .collect();
+        let mut remaining = k;
+        for w in cells.windows(2) {
+            let u = *index.get(&w[0])?;
+            let v = *index.get(&w[1])?;
+            let a = *arc_index.get(&(u, v))?;
+            vals[x[a].0] = 1.0;
+            if target_set.contains(&w[0]) {
+                remaining -= 1.0;
+            }
+            vals[f[a].0] = remaining;
+        }
+        let src = index.get(&cells[0])?;
+        let snk = index.get(cells.last()?)?;
+        vals[s_var.get(src)?.0] = 1.0;
+        vals[t_var.get(snk)?.0] = 1.0;
+        Some(vals)
+    });
+
+    let sol = pdw_ilp::solve(
+        &m,
+        &SolveOptions {
+            time_limit: budget,
+            warm_start,
+            ..SolveOptions::default()
+        },
+    )
+    .ok()?;
+
+    // Reconstruct the path by walking chosen arcs from the chosen source.
+    let src = *s_var.iter().find(|(_, &v)| sol.bool_value(v))?.0;
+    let mut next: HashMap<usize, usize> = HashMap::new();
+    for (i, &(u, v)) in arcs.iter().enumerate() {
+        if sol.bool_value(x[i]) {
+            next.insert(u, v);
+        }
+    }
+    let mut cells = vec![nodes[src]];
+    let mut cur = src;
+    while let Some(&v) = next.get(&cur) {
+        cells.push(nodes[v]);
+        cur = v;
+        if cells.len() > nodes.len() {
+            return None; // malformed solution; be safe
+        }
+    }
+    let path = FlowPath::new(cells).ok()?;
+    chip.validate_path(&path).ok()?;
+    if targets.iter().any(|t| !path.contains(*t)) {
+        return None;
+    }
+    Some(Candidate::from_path(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CandidatePolicy;
+    use crate::groups::build_groups;
+    use pdw_assay::benchmarks;
+    use pdw_contam::{analyze, NecessityOptions};
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn exact_path_is_never_longer_than_enumeration() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+        let groups = build_groups(
+            &s.chip,
+            &s.schedule,
+            &a.requirements,
+            CandidatePolicy::Shortest,
+            3,
+        );
+        let mut checked = 0;
+        for g in groups.iter().take(3) {
+            let enumerated = g.candidates[0].path.len();
+            let Some(exact) = exact_wash_path(
+                &s.chip,
+                &g.targets(),
+                Some(&g.candidates[0].path),
+                Duration::from_secs(10),
+            ) else {
+                continue;
+            };
+            assert!(
+                exact.path.len() <= enumerated,
+                "exact {} > enumerated {enumerated}",
+                exact.path.len()
+            );
+            for t in g.targets() {
+                assert!(exact.path.contains(t));
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "no group solved exactly");
+    }
+
+    #[test]
+    fn exact_path_handles_single_cells() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        // Any channel junction works as a single target.
+        let target = Coord::new(2, 6);
+        let c = exact_wash_path(&s.chip, &[target], None, Duration::from_secs(10))
+            .expect("single-cell wash path exists");
+        assert!(c.path.contains(target));
+        s.chip.validate_path(&c.path).unwrap();
+    }
+
+    #[test]
+    fn empty_targets_yield_none() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        assert!(exact_wash_path(&s.chip, &[], None, Duration::from_secs(1)).is_none());
+    }
+}

@@ -1,0 +1,591 @@
+//! Wash-target grouping, merging, and candidate-path enumeration.
+
+use std::collections::HashSet;
+
+use pdw_biochip::{Chip, Coord, FlowPath};
+use pdw_contam::{Source, WashRequirement};
+use pdw_sched::{flow_duration, Schedule, TaskKind, Time};
+use pdw_sim::DISSOLUTION_S;
+
+use crate::config::CandidatePolicy;
+use crate::timeline::Timeline;
+
+/// A candidate wash path for a group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The complete `[flow port → targets → waste port]` path.
+    pub path: FlowPath,
+    /// Required wash duration: flush time plus dissolution (Eq. 17).
+    pub duration: Time,
+}
+
+impl Candidate {
+    fn new(path: FlowPath) -> Self {
+        let duration = flow_duration(path.len()) + DISSOLUTION_S;
+        Self { path, duration }
+    }
+
+    /// Builds a candidate from a complete wash path, deriving its required
+    /// duration (flush + dissolution, Eq. 17).
+    pub fn from_path(path: FlowPath) -> Self {
+        Self::new(path)
+    }
+}
+
+/// The targets contributed by one contaminating source: its dirty cells in
+/// source-path order, with each cell's own reuse deadlines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WashPart {
+    /// Dirty cells, ordered along the contaminating flow path.
+    pub seq: Vec<Coord>,
+    /// The residue's source: the wash may start only after it ends
+    /// (`t_{j,e}`, Eq. 16).
+    pub ready: Source,
+    /// Per-cell reuse deadlines (`t_{j,s}`, Eq. 16), parallel to `seq`.
+    pub cell_deadlines: Vec<Vec<Source>>,
+}
+
+impl WashPart {
+    fn singleton(cell: Coord, ready: Source, deadlines: Vec<Source>) -> Self {
+        Self {
+            seq: vec![cell],
+            ready,
+            cell_deadlines: vec![deadlines],
+        }
+    }
+
+    /// Splits this part into single-cell parts, each keeping only its own
+    /// deadlines.
+    pub fn split_cells(&self) -> Vec<WashPart> {
+        self.seq
+            .iter()
+            .zip(&self.cell_deadlines)
+            .map(|(&c, d)| WashPart::singleton(c, self.ready, d.clone()))
+            .collect()
+    }
+}
+
+/// A wash operation under construction: one or more parts plus candidate
+/// paths covering all their cells.
+#[derive(Debug, Clone)]
+pub struct WashGroup {
+    /// The contamination sources this wash serves.
+    pub parts: Vec<WashPart>,
+    /// Candidate wash paths, shortest first.
+    pub candidates: Vec<Candidate>,
+}
+
+impl WashGroup {
+    /// All target cells (flattened).
+    pub fn targets(&self) -> Vec<Coord> {
+        self.parts.iter().flat_map(|p| p.seq.iter().copied()).collect()
+    }
+
+    /// All ready references (one per part).
+    pub fn ready_refs(&self) -> Vec<Source> {
+        self.parts.iter().map(|p| p.ready).collect()
+    }
+
+    /// All deadline references, deduplicated.
+    pub fn deadline_refs(&self) -> Vec<Source> {
+        let mut out: Vec<Source> = Vec::new();
+        for p in &self.parts {
+            for ds in &p.cell_deadlines {
+                for &d in ds {
+                    if !out.contains(&d) {
+                        out.push(d);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The target sequences (one per part), for candidate enumeration.
+    pub fn target_seqs(&self) -> Vec<Vec<Coord>> {
+        self.parts.iter().map(|p| p.seq.clone()).collect()
+    }
+}
+
+/// End time of a residue source in the current schedule. A source task that
+/// was integrated away no longer deposits residue; it imposes no lower
+/// bound.
+pub(crate) fn source_end(schedule: &Schedule, s: Source) -> Time {
+    match s {
+        Source::Task(t) => schedule.get_task(t).map(|t| t.end()).unwrap_or(0),
+        Source::Op(o) => schedule.scheduled_op(o).expect("op scheduled").end(),
+    }
+}
+
+/// Start time of a future use in the current schedule. For an operation this
+/// is the start of its device *occupancy* (its first delivery): a wash
+/// covering device cells must finish before loading begins.
+pub(crate) fn use_start(schedule: &Schedule, s: Source) -> Time {
+    match s {
+        Source::Task(t) => schedule.get_task(t).map(|t| t.start()).unwrap_or(Time::MAX),
+        Source::Op(o) => {
+            let mut start = schedule.scheduled_op(o).expect("op scheduled").start;
+            for (_, task) in schedule.tasks() {
+                let feeds = match *task.kind() {
+                    TaskKind::Injection { op, .. } | TaskKind::ExcessRemoval { op } => op == o,
+                    TaskKind::Transport { to_op, .. } => to_op == o,
+                    _ => false,
+                };
+                if feeds {
+                    start = start.min(task.start());
+                }
+            }
+            start
+        }
+    }
+}
+
+/// Current `[ready, deadline]` window of a group.
+pub(crate) fn window(schedule: &Schedule, g: &WashGroup) -> (Time, Time) {
+    let ready = g
+        .ready_refs()
+        .iter()
+        .map(|&s| source_end(schedule, s))
+        .max()
+        .unwrap_or(0);
+    let deadline = g
+        .deadline_refs()
+        .iter()
+        .map(|&s| use_start(schedule, s))
+        .min()
+        .unwrap_or(Time::MAX);
+    (ready, deadline)
+}
+
+/// Cells blocked while routing a wash for `targets`: the footprints of every
+/// device that contains none of the targets. A wash may thread through a
+/// device only to wash it — an apparently idle device may hold a resident
+/// plug exactly inside the wash's only feasible window.
+fn wash_blocked(chip: &Chip, targets: &HashSet<Coord>) -> Vec<Coord> {
+    chip.devices()
+        .iter()
+        .filter(|d| !d.footprint().iter().any(|c| targets.contains(c)))
+        .flat_map(|d| d.footprint().iter().copied())
+        .collect()
+}
+
+/// Enumerates candidate wash paths for the target sequences, shortest first.
+///
+/// Every flow/waste port pair is tried; target sequences are visited as
+/// blocks (each forward or reversed, blocks ordered by distance from the
+/// entry port) so the router follows the contamination trails.
+pub fn enumerate_candidates(chip: &Chip, target_seqs: &[Vec<Coord>], k: usize) -> Vec<Candidate> {
+    let target_set: HashSet<Coord> = target_seqs.iter().flatten().copied().collect();
+    let blocked = wash_blocked(chip, &target_set);
+
+    let mut found: Vec<FlowPath> = Vec::new();
+    for fp in chip.flow_ports() {
+        // Order the blocks near-to-far from the entry port; orient each
+        // block to enter at its end nearest the previous position.
+        let mut seqs: Vec<Vec<Coord>> = target_seqs.to_vec();
+        seqs.sort_by_key(|s| s.iter().map(|c| c.manhattan(fp)).min().unwrap_or(u32::MAX));
+        let mut via: Vec<Coord> = Vec::new();
+        let mut pos = fp;
+        for mut seq in seqs {
+            let d_front = seq.first().map(|c| c.manhattan(pos)).unwrap_or(0);
+            let d_back = seq.last().map(|c| c.manhattan(pos)).unwrap_or(0);
+            if d_back < d_front {
+                seq.reverse();
+            }
+            pos = *seq.last().expect("sequences are nonempty");
+            via.extend(seq);
+        }
+        for wp in chip.waste_ports() {
+            if let Some(cells) = chip.route_via(fp, &via, wp, &blocked) {
+                let path = FlowPath::new(cells).expect("route_via returns a simple path");
+                if !found.contains(&path) {
+                    found.push(path);
+                }
+            }
+        }
+    }
+    found.sort_by_key(|p| p.len());
+    found.truncate(k.max(1));
+    found.into_iter().map(Candidate::new).collect()
+}
+
+/// Builds the initial wash groups from the requirements: one group per
+/// contaminating source, targets in source-path order, per-cell deadlines.
+/// Groups no single device-avoiding path covers are split into runs along
+/// the contamination trail (and cells, if needed).
+pub fn build_groups(
+    chip: &Chip,
+    schedule: &Schedule,
+    requirements: &[WashRequirement],
+    policy: CandidatePolicy,
+    k: usize,
+) -> Vec<WashGroup> {
+    // One part per source.
+    let mut parts: Vec<WashPart> = Vec::new();
+    for r in requirements {
+        if let Some(p) = parts.iter_mut().find(|p| p.ready == r.source) {
+            if let Some(i) = p.seq.iter().position(|&c| c == r.cell) {
+                if !p.cell_deadlines[i].contains(&r.next_use) {
+                    p.cell_deadlines[i].push(r.next_use);
+                }
+            } else {
+                p.seq.push(r.cell);
+                p.cell_deadlines.push(vec![r.next_use]);
+            }
+        } else {
+            parts.push(WashPart::singleton(r.cell, r.source, vec![r.next_use]));
+        }
+    }
+
+    // Order each part's cells along its source path.
+    for p in &mut parts {
+        let mut order: Vec<usize> = (0..p.seq.len()).collect();
+        match p.ready {
+            Source::Task(t) => {
+                let path = schedule.task(t).path();
+                order.sort_by_key(|&i| {
+                    path.cells()
+                        .iter()
+                        .position(|c| *c == p.seq[i])
+                        .unwrap_or(usize::MAX)
+                });
+            }
+            Source::Op(_) => order.sort_by_key(|&i| p.seq[i]),
+        }
+        p.seq = order.iter().map(|&i| p.seq[i]).collect();
+        p.cell_deadlines = order.iter().map(|&i| p.cell_deadlines[i].clone()).collect();
+    }
+
+    let k_eff = match policy {
+        CandidatePolicy::Shortest => k,
+        CandidatePolicy::Nearest => 1,
+    };
+    let mut groups: Vec<WashGroup> = Vec::new();
+    for part in parts {
+        for piece in coverable_pieces(chip, schedule, part, k_eff) {
+            let mut g = WashGroup {
+                candidates: enumerate_candidates(chip, std::slice::from_ref(&piece.seq), k_eff),
+                parts: vec![piece],
+            };
+            assert!(
+                !g.candidates.is_empty(),
+                "no wash path reaches {:?}; chip layout is broken",
+                g.targets()
+            );
+            if policy == CandidatePolicy::Nearest {
+                nearest_candidate(chip, &mut g);
+            }
+            groups.push(g);
+        }
+    }
+    groups
+}
+
+/// Splits a part into pieces that a single device-avoiding path can cover:
+/// the whole part if possible, else maximal source-path runs, else cells.
+fn coverable_pieces(
+    chip: &Chip,
+    schedule: &Schedule,
+    part: WashPart,
+    k: usize,
+) -> Vec<WashPart> {
+    if !enumerate_candidates(chip, std::slice::from_ref(&part.seq), k).is_empty() {
+        return vec![part];
+    }
+    let runs = split_runs(schedule, &part);
+    let mut out = Vec::new();
+    for run in runs {
+        if enumerate_candidates(chip, std::slice::from_ref(&run.seq), k).is_empty() {
+            out.extend(run.split_cells());
+        } else {
+            out.push(run);
+        }
+    }
+    out
+}
+
+/// Splits a part into maximal runs of cells that are consecutive on the
+/// contaminating source's flow path (singletons when the source is an
+/// operation).
+fn split_runs(schedule: &Schedule, part: &WashPart) -> Vec<WashPart> {
+    split_runs_gapped(schedule, part, 1)
+}
+
+/// Like [`split_runs`], but cells up to `gap` positions apart on the source
+/// path stay in one run, with the bridging (clean) cells included in the
+/// wash targets.
+fn split_runs_gapped(schedule: &Schedule, part: &WashPart, gap: usize) -> Vec<WashPart> {
+    let Source::Task(t) = part.ready else {
+        // Operation residue covers its device footprint: contiguous cells
+        // form one spot cluster.
+        let mut runs: Vec<WashPart> = Vec::new();
+        for (i, &c) in part.seq.iter().enumerate() {
+            let deadlines = part.cell_deadlines[i].clone();
+            match runs.last_mut() {
+                Some(run) if run.seq.iter().any(|&p| p.is_adjacent(c)) => {
+                    run.seq.push(c);
+                    run.cell_deadlines.push(deadlines);
+                }
+                _ => runs.push(WashPart::singleton(c, part.ready, deadlines)),
+            }
+        }
+        return runs;
+    };
+    let path = schedule.task(t).path();
+    let pos = |c: &Coord| path.cells().iter().position(|p| p == c).unwrap_or(usize::MAX);
+    let mut runs: Vec<WashPart> = Vec::new();
+    for (i, &c) in part.seq.iter().enumerate() {
+        let deadlines = part.cell_deadlines[i].clone();
+        let p = pos(&c);
+        match runs.last_mut() {
+            Some(run) if p.saturating_sub(pos(run.seq.last().expect("nonempty"))) <= gap => {
+                // Bridge across exempt cells on the source path.
+                let last = pos(run.seq.last().expect("nonempty"));
+                for bridge in last + 1..p {
+                    run.seq.push(path.cells()[bridge]);
+                    run.cell_deadlines.push(Vec::new());
+                }
+                run.seq.push(c);
+                run.cell_deadlines.push(deadlines);
+            }
+            _ => runs.push(WashPart::singleton(c, part.ready, deadlines)),
+        }
+    }
+    runs
+}
+
+/// Replaces a group's candidates with the DAWO-style single path: BFS from
+/// the flow port nearest the targets, to the first waste port that works.
+fn nearest_candidate(chip: &Chip, g: &mut WashGroup) {
+    let targets = g.targets();
+    let target_set: HashSet<Coord> = targets.iter().copied().collect();
+    let blocked = wash_blocked(chip, &target_set);
+    let mut fps: Vec<Coord> = chip.flow_ports().collect();
+    fps.sort_by_key(|fp| targets.iter().map(|c| c.manhattan(*fp)).min().unwrap_or(u32::MAX));
+    for fp in fps {
+        let mut via: Vec<Coord> = Vec::new();
+        let mut pos = fp;
+        for p in &g.parts {
+            let mut seq = p.seq.clone();
+            let d_front = seq.first().map(|c| c.manhattan(pos)).unwrap_or(0);
+            let d_back = seq.last().map(|c| c.manhattan(pos)).unwrap_or(0);
+            if d_back < d_front {
+                seq.reverse();
+            }
+            pos = *seq.last().expect("nonempty");
+            via.extend(seq);
+        }
+        let mut wps: Vec<Coord> = chip.waste_ports().collect();
+        wps.sort_by_key(|wp| pos.manhattan(*wp));
+        for wp in wps {
+            if let Some(cells) = chip.route_via(fp, &via, wp, &blocked) {
+                let path = FlowPath::new(cells).expect("simple path");
+                g.candidates = vec![Candidate::new(path)];
+                return;
+            }
+        }
+    }
+    g.candidates.truncate(1);
+}
+
+/// Splits every group into one group per contaminated *spot cluster* (the
+/// DAWO baseline's behaviour: wash operations are introduced per
+/// contaminated spot region and their paths constructed independently — no
+/// resource sharing). Dirty cells closer than `gap` steps along the source
+/// path fall into the same cluster; the clean cells bridging them are
+/// flushed along (wastefully, but that is the baseline).
+pub fn split_into_spot_clusters(
+    chip: &Chip,
+    schedule: &Schedule,
+    groups: Vec<WashGroup>,
+    gap: usize,
+    policy: CandidatePolicy,
+    k: usize,
+) -> Vec<WashGroup> {
+    let mut out = Vec::new();
+    for g in groups {
+        for part in &g.parts {
+            for run in split_runs_gapped(schedule, part, gap) {
+                let mut sub = WashGroup {
+                    candidates: enumerate_candidates(chip, std::slice::from_ref(&run.seq), k),
+                    parts: vec![run],
+                };
+                if sub.candidates.is_empty() {
+                    // Unreachable as one flush: wash cell by cell.
+                    for piece in sub.parts[0].split_cells() {
+                        let mut cellg = WashGroup {
+                            candidates: enumerate_candidates(chip, std::slice::from_ref(&piece.seq), k),
+                            parts: vec![piece],
+                        };
+                        assert!(!cellg.candidates.is_empty(), "unreachable channel cell");
+                        if policy == CandidatePolicy::Nearest {
+                            nearest_candidate(chip, &mut cellg);
+                        }
+                        out.push(cellg);
+                    }
+                    continue;
+                }
+                if policy == CandidatePolicy::Nearest {
+                    nearest_candidate(chip, &mut sub);
+                }
+                out.push(sub);
+            }
+        }
+    }
+    out
+}
+
+/// Greedily merges compatible groups: overlapping time windows, a routable
+/// combined path no longer than the separate ones, and — crucially — a
+/// conflict-free slot for the combined wash inside the combined window of
+/// the *current* schedule. (Without the fit check a merge can become a delay
+/// trap: e.g. a device wash pinned under another member's earlier deadline
+/// while the device still holds a resident plug.)
+pub fn merge_groups(
+    chip: &Chip,
+    schedule: &Schedule,
+    mut groups: Vec<WashGroup>,
+    k: usize,
+) -> Vec<WashGroup> {
+    let timeline = Timeline::new(chip, schedule);
+    let mut merged = true;
+    while merged {
+        merged = false;
+        'pairs: for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if groups[i].parts.len() + groups[j].parts.len() > 6 {
+                    continue; // keep waypoint ordering tractable
+                }
+                let (ri, di) = window(schedule, &groups[i]);
+                let (rj, dj) = window(schedule, &groups[j]);
+                let ready = ri.max(rj);
+                let deadline = di.min(dj);
+                if ready >= deadline {
+                    continue;
+                }
+                let mut seqs = groups[i].target_seqs();
+                seqs.extend(groups[j].target_seqs());
+                let cands = enumerate_candidates(chip, &seqs, k);
+                let Some(best) = cands.first() else { continue };
+                if ready + best.duration > deadline {
+                    continue;
+                }
+                let sep_len =
+                    groups[i].candidates[0].path.len() + groups[j].candidates[0].path.len();
+                if best.path.len() > sep_len {
+                    continue; // merging would lengthen L_wash more than α saves
+                }
+                // The combined wash must actually fit in the window now.
+                let cells: HashSet<Coord> = best.path.iter().copied().collect();
+                if timeline
+                    .earliest_fit(&cells, ready, best.duration, Some(deadline))
+                    .is_none()
+                {
+                    continue;
+                }
+                let gj = groups.remove(j);
+                let gi = &mut groups[i];
+                gi.parts.extend(gj.parts);
+                gi.candidates = cands;
+                merged = true;
+                break 'pairs;
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_contam::{analyze, NecessityOptions};
+    use pdw_synth::synthesize;
+
+    fn demo_groups(policy: CandidatePolicy) -> (pdw_synth::Synthesis, Vec<WashGroup>) {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+        let g = build_groups(&s.chip, &s.schedule, &a.requirements, policy, 3);
+        (s, g)
+    }
+
+    #[test]
+    fn every_group_covers_its_targets() {
+        let (_, groups) = demo_groups(CandidatePolicy::Shortest);
+        assert!(!groups.is_empty());
+        for g in &groups {
+            assert!(!g.candidates.is_empty());
+            for cand in &g.candidates {
+                for cell in g.targets() {
+                    assert!(cand.path.contains(cell), "candidate misses target {cell}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn groups_cover_every_requirement_cell() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+        let groups = build_groups(
+            &s.chip,
+            &s.schedule,
+            &a.requirements,
+            CandidatePolicy::Shortest,
+            3,
+        );
+        for r in &a.requirements {
+            assert!(
+                groups.iter().any(|g| g
+                    .parts
+                    .iter()
+                    .any(|p| p.ready == r.source && p.seq.contains(&r.cell))),
+                "requirement {:?} not covered by any group",
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_are_sorted_shortest_first() {
+        let (_, groups) = demo_groups(CandidatePolicy::Shortest);
+        for g in &groups {
+            assert!(g
+                .candidates
+                .windows(2)
+                .all(|w| w[0].path.len() <= w[1].path.len()));
+        }
+    }
+
+    #[test]
+    fn merging_never_increases_group_count() {
+        let (s, groups) = demo_groups(CandidatePolicy::Shortest);
+        let before = groups.len();
+        let merged = merge_groups(&s.chip, &s.schedule, groups, 3);
+        assert!(merged.len() <= before);
+        for g in &merged {
+            assert!(!g.candidates.is_empty());
+        }
+    }
+
+    #[test]
+    fn nearest_policy_yields_single_candidates() {
+        let (_, groups) = demo_groups(CandidatePolicy::Nearest);
+        for g in &groups {
+            assert_eq!(g.candidates.len(), 1);
+        }
+    }
+
+    #[test]
+    fn group_windows_are_ordered() {
+        // Ready may equal the deadline (back-to-back tasks leave no slack;
+        // the schedulers then shift the schedule), but never exceed it.
+        let (s, groups) = demo_groups(CandidatePolicy::Shortest);
+        for g in &groups {
+            let (ready, deadline) = window(&s.schedule, g);
+            assert!(ready <= deadline, "window [{ready}, {deadline}] inverted");
+        }
+    }
+}

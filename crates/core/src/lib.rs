@@ -1,0 +1,56 @@
+//! PathDriver-Wash: path-driven wash optimization for continuous-flow
+//! lab-on-a-chip systems.
+//!
+//! This crate is the top of the reproduction stack: given a bioassay
+//! benchmark and its synthesized chip + schedule (from [`pdw_synth`]), it
+//! computes an optimized execution with wash operations:
+//!
+//! - [`pdw`] — the paper's method: wash-necessity analysis (Types 1–3),
+//!   wash/excess-removal integration (ψ), and ILP-optimized wash paths and
+//!   time windows minimizing `α·N_wash + β·L_wash + γ·T_assay` (Eq. 26);
+//! - [`dawo`] — the delay-aware wash optimization baseline of TC'22 \[10\]:
+//!   per-spot washes with independently BFS-routed paths and sweep-line
+//!   time assignment.
+//!
+//! Both return a [`WashResult`] whose schedule is guaranteed physically
+//! valid ([`pdw_sim::validate`]) and contamination-free
+//! ([`pdw_contam::verify_clean`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::benchmarks;
+//! use pdw_synth::synthesize;
+//! use pathdriver_wash::{dawo, pdw, PdwConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::demo();
+//! let synthesis = synthesize(&bench)?;
+//! let optimized = pdw(&bench, &synthesis, &PdwConfig::default())?;
+//! let baseline = dawo(&bench, &synthesis)?;
+//! assert!(optimized.metrics.n_wash <= baseline.metrics.n_wash);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dawo;
+mod exact_path;
+mod greedy;
+mod groups;
+mod model;
+mod pdw;
+mod timeline;
+
+pub use config::{CandidatePolicy, PdwConfig, Weights};
+pub use dawo::dawo;
+pub use greedy::{insert_washes, insert_washes_protected, GreedyOutcome, Placement};
+pub use groups::{
+    build_groups, enumerate_candidates, merge_groups, split_into_spot_clusters, Candidate,
+    WashGroup, WashPart,
+};
+pub use exact_path::exact_wash_path;
+pub use pdw::{pdw, PdwError, SolverReport, WashResult};

@@ -1,0 +1,267 @@
+//! The PathDriver-Wash pipeline.
+
+use std::fmt;
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_contam::{analyze, verify_clean, Classification, CleanlinessViolation, NecessityOptions};
+use pdw_sched::Schedule;
+use pdw_sim::{validate, Metrics, SimError};
+use pdw_synth::Synthesis;
+
+use crate::config::{CandidatePolicy, PdwConfig, Weights};
+use crate::greedy::insert_washes_protected;
+use crate::groups::{build_groups, merge_groups};
+use crate::model::refine_with_ilp;
+
+/// How the final schedule was obtained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverReport {
+    /// Whether the ILP produced the returned schedule (`false` = greedy).
+    pub used_ilp: bool,
+    /// Whether the ILP proved optimality within its budget.
+    pub optimal: bool,
+    /// Branch-and-bound nodes processed (0 for greedy).
+    pub nodes: u64,
+}
+
+/// The outcome of a wash optimization run.
+#[derive(Debug, Clone)]
+pub struct WashResult {
+    /// The optimized, validated, contamination-free schedule.
+    pub schedule: Schedule,
+    /// The paper's metrics for this schedule.
+    pub metrics: Metrics,
+    /// `(Type 1, Type 2, Type 3)` exemption counts from the necessity
+    /// analysis.
+    pub exemptions: (usize, usize, usize),
+    /// Number of excess removals integrated into washes (ψ = 1 count).
+    pub integrated: usize,
+    /// Solver diagnostics.
+    pub solver: SolverReport,
+}
+
+impl WashResult {
+    /// The paper's objective `α·N_wash + β·L_wash + γ·T_assay` (Eq. 26).
+    pub fn objective(&self, w: &Weights) -> f64 {
+        w.alpha * self.metrics.n_wash as f64
+            + w.beta * self.metrics.l_wash_mm
+            + w.gamma * self.metrics.t_assay as f64
+    }
+}
+
+/// Failure modes of wash optimization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PdwError {
+    /// The produced schedule violates a physical constraint (internal
+    /// invariant breach — please report).
+    Invalid(SimError),
+    /// The produced schedule still lets a delivery cross residue (internal
+    /// invariant breach — please report).
+    Dirty(CleanlinessViolation),
+}
+
+impl fmt::Display for PdwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdwError::Invalid(e) => write!(f, "optimized schedule is invalid: {e}"),
+            PdwError::Dirty(v) => write!(f, "optimized schedule is contaminated: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PdwError {}
+
+fn finish(
+    bench: &Benchmark,
+    synthesis: &Synthesis,
+    schedule: Schedule,
+    exemptions: (usize, usize, usize),
+    integrated: usize,
+    solver: SolverReport,
+) -> Result<WashResult, PdwError> {
+    validate(&synthesis.chip, &bench.graph, &schedule).map_err(PdwError::Invalid)?;
+    verify_clean(&synthesis.chip, &bench.graph, &schedule).map_err(PdwError::Dirty)?;
+    let metrics = Metrics::measure(&bench.graph, &schedule);
+    Ok(WashResult {
+        schedule,
+        metrics,
+        exemptions,
+        integrated,
+        solver,
+    })
+}
+
+/// Runs PathDriver-Wash: necessity analysis, wash grouping/merging, greedy
+/// warm start, and ILP refinement of wash paths and time windows.
+///
+/// # Errors
+///
+/// Returns [`PdwError`] only if an internal invariant is broken — every
+/// returned schedule has passed [`pdw_sim::validate`] and
+/// [`pdw_contam::verify_clean`].
+pub fn pdw(
+    bench: &Benchmark,
+    synthesis: &Synthesis,
+    config: &PdwConfig,
+) -> Result<WashResult, PdwError> {
+    let necessity = if config.necessity_analysis {
+        NecessityOptions::full()
+    } else {
+        NecessityOptions::reuse_only()
+    };
+    let analysis = analyze(&synthesis.chip, &bench.graph, &synthesis.schedule, necessity);
+    let exemptions = (
+        analysis.count(Classification::Type1Unused),
+        analysis.count(Classification::Type2SameFluid),
+        analysis.count(Classification::Type3WasteOnly),
+    );
+
+    let groups = build_groups(
+        &synthesis.chip,
+        &synthesis.schedule,
+        &analysis.requirements,
+        CandidatePolicy::Shortest,
+        config.candidates,
+    );
+    // Work at spot-cluster granularity (fine washes schedule concurrently
+    // far more easily), then let merging coarsen only where it pays off.
+    let groups = crate::groups::split_into_spot_clusters(
+        &synthesis.chip,
+        &synthesis.schedule,
+        groups,
+        4,
+        CandidatePolicy::Shortest,
+        config.candidates,
+    );
+    let mut groups = if config.merging {
+        merge_groups(&synthesis.chip, &synthesis.schedule, groups, config.candidates)
+    } else {
+        groups
+    };
+    if config.exact_paths {
+        for g in &mut groups {
+            let warm = g.candidates[0].path.clone();
+            if let Some(exact) = crate::exact_path::exact_wash_path(
+                &synthesis.chip,
+                &g.targets(),
+                Some(&warm),
+                config.ilp_budget,
+            ) {
+                if exact.path.len() < g.candidates[0].path.len() {
+                    g.candidates.insert(0, exact);
+                    g.candidates.truncate(config.candidates.max(1));
+                }
+            }
+        }
+    }
+
+    // Only provably-safe removals may be integrated away: deleting a
+    // removal that witnesses a Type-2/3 exemption would re-expose residue
+    // unless a wash already covers the cell (`Analysis::deletable`).
+    let protected: std::collections::HashSet<pdw_sched::TaskId> = synthesis
+        .schedule
+        .tasks()
+        .filter(|(_, t)| t.kind().is_waste_disposal())
+        .map(|(id, _)| id)
+        .filter(|id| !analysis.deletable.contains(id))
+        .collect();
+    let greedy = insert_washes_protected(
+        &synthesis.chip,
+        &synthesis.schedule,
+        &groups,
+        config.integration,
+        &protected,
+    );
+    let integrated = greedy.integrated.len();
+
+    if config.ilp {
+        if let Some(refined) =
+            refine_with_ilp(&synthesis.chip, &bench.graph, &greedy.groups, &greedy, config)
+        {
+            let report = SolverReport {
+                used_ilp: true,
+                optimal: refined.optimal,
+                nodes: refined.nodes,
+            };
+            // The ILP schedule must independently pass validation; on any
+            // breach, fall back to the (always valid) greedy schedule.
+            if let Ok(result) =
+                finish(bench, synthesis, refined.schedule, exemptions, integrated, report)
+            {
+                // Only adopt the refinement when it does not regress the
+                // paper's objective (floor-rounding can cost a second).
+                let greedy_metrics = Metrics::measure(&bench.graph, &greedy.schedule);
+                let w = &config.weights;
+                let greedy_obj = w.alpha * greedy_metrics.n_wash as f64
+                    + w.beta * greedy_metrics.l_wash_mm
+                    + w.gamma * greedy_metrics.t_assay as f64;
+                if result.objective(w) <= greedy_obj {
+                    return Ok(result);
+                }
+            }
+        }
+    }
+
+    finish(
+        bench,
+        synthesis,
+        greedy.schedule,
+        exemptions,
+        integrated,
+        SolverReport {
+            used_ilp: false,
+            optimal: false,
+            nodes: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn demo_pdw_produces_clean_valid_schedule() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let r = pdw(&bench, &s, &PdwConfig::default()).unwrap();
+        assert!(r.metrics.n_wash > 0);
+        assert!(r.metrics.l_wash_mm > 0.0);
+    }
+
+    #[test]
+    fn necessity_analysis_reduces_wash_count() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let full = pdw(&bench, &s, &PdwConfig::default()).unwrap();
+        let no_necessity = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                necessity_analysis: false,
+                ..PdwConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(full.metrics.n_wash <= no_necessity.metrics.n_wash);
+    }
+
+    #[test]
+    fn greedy_only_mode_skips_the_solver() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let r = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                ilp: false,
+                ..PdwConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.solver.used_ilp);
+    }
+}

@@ -1,0 +1,257 @@
+//! Cell/time occupancy view of a schedule, for wash insertion.
+
+use std::collections::{HashMap, HashSet};
+
+use pdw_biochip::{Chip, Coord};
+use pdw_sched::{Schedule, TaskKind, Time};
+
+/// One busy interval on a set of cells: a task's path over its window, or a
+/// device footprint from the start of an operation's loading to the pickup
+/// of its result.
+#[derive(Debug, Clone)]
+struct Item {
+    cells: HashSet<Coord>,
+    start: Time,
+    end: Time,
+    /// Start time of the item's *last* component: a task's own start, or an
+    /// operation occupancy's result-pickup start. If a right-shift pivot
+    /// falls at or before `moves_at` (but after `start`), the item
+    /// stretches over the gap instead of moving out of it.
+    moves_at: Time,
+}
+
+/// An immutable occupancy index over a schedule.
+///
+/// Rebuilt after every mutation — schedules are small (hundreds of tasks),
+/// so reconstruction is cheaper than maintaining the index incrementally.
+#[derive(Debug, Clone)]
+pub(crate) struct Timeline {
+    items: Vec<Item>,
+}
+
+impl Timeline {
+    /// Builds the occupancy index: every task plus every operation's
+    /// loading-to-pickup device residency.
+    pub fn new(chip: &Chip, schedule: &Schedule) -> Self {
+        let mut items: Vec<Item> = schedule
+            .tasks()
+            .map(|(_, t)| Item {
+                cells: t.path().iter().copied().collect(),
+                start: t.start(),
+                end: t.end(),
+                moves_at: t.start(),
+            })
+            .collect();
+
+        // Device occupancy windows: (load start, pickup end, pickup start).
+        let mut occupancy: HashMap<_, (Time, Time, Time)> = schedule
+            .ops()
+            .iter()
+            .map(|sop| (sop.op, (sop.start, sop.end(), sop.start)))
+            .collect();
+        for (_, task) in schedule.tasks() {
+            match *task.kind() {
+                TaskKind::Injection { op, .. } | TaskKind::ExcessRemoval { op } => {
+                    if let Some(w) = occupancy.get_mut(&op) {
+                        w.0 = w.0.min(task.start());
+                    }
+                }
+                TaskKind::Transport { from_op, to_op } => {
+                    if let Some(w) = occupancy.get_mut(&to_op) {
+                        w.0 = w.0.min(task.start());
+                    }
+                    if let Some(w) = occupancy.get_mut(&from_op) {
+                        if task.end() > w.1 {
+                            w.1 = task.end();
+                            w.2 = w.2.max(task.start());
+                        }
+                    }
+                }
+                TaskKind::OutputRemoval { op } => {
+                    if let Some(w) = occupancy.get_mut(&op) {
+                        if task.end() > w.1 {
+                            w.1 = task.end();
+                            w.2 = w.2.max(task.start());
+                        }
+                    }
+                }
+                TaskKind::Wash { .. } => {}
+            }
+        }
+        for sop in schedule.ops() {
+            let (start, end, moves_at) = occupancy[&sop.op];
+            items.push(Item {
+                cells: chip.device(sop.device).footprint().iter().copied().collect(),
+                start,
+                end,
+                moves_at,
+            });
+        }
+        Timeline { items }
+    }
+
+    /// Earliest `t ≥ ready` with `t + dur ≤ deadline` (when given) such that
+    /// `cells` are free over `[t, t + dur)`.
+    pub fn earliest_fit(
+        &self,
+        cells: &HashSet<Coord>,
+        ready: Time,
+        dur: Time,
+        deadline: Option<Time>,
+    ) -> Option<Time> {
+        let relevant: Vec<&Item> = self
+            .items
+            .iter()
+            .filter(|it| !it.cells.is_disjoint(cells))
+            .collect();
+        let mut candidates: Vec<Time> = vec![ready];
+        candidates.extend(relevant.iter().map(|it| it.end).filter(|&e| e > ready));
+        candidates.sort_unstable();
+        candidates.dedup();
+        'outer: for &t in &candidates {
+            if let Some(d) = deadline {
+                if t + dur > d {
+                    return None; // candidates ascend; nothing later fits either
+                }
+            }
+            for it in &relevant {
+                if t < it.end && it.start < t + dur {
+                    continue 'outer;
+                }
+            }
+            return Some(t);
+        }
+        None
+    }
+
+    /// Earliest `t ≥ ready` such that `cells` stay free over `[t, t + dur)`
+    /// *after* a right-shift of everything starting at or after `pivot`
+    /// (with the shift sized so the shifted block lands after `t + dur`):
+    ///
+    /// - items starting at or after `pivot` move past the wash — ignored;
+    /// - items entirely before `pivot` are fixed — checked as usual;
+    /// - items that straddle (`start < pivot ≤ moves_at`) *stretch* across
+    ///   the gap: they block their cells from `start` onward, forever.
+    ///
+    /// Returns `None` when a straddling item covers the cells from before
+    /// `ready`, i.e. no shift of this shape can ever make room.
+    pub fn earliest_fit_shifted(
+        &self,
+        cells: &HashSet<Coord>,
+        ready: Time,
+        dur: Time,
+        pivot: Time,
+    ) -> Option<Time> {
+        let relevant: Vec<(Time, Option<Time>)> = self
+            .items
+            .iter()
+            .filter(|it| !it.cells.is_disjoint(cells))
+            .filter_map(|it| {
+                if it.start >= pivot {
+                    None // moves wholesale past the inserted gap
+                } else if it.moves_at >= pivot && it.end > pivot {
+                    Some((it.start, None)) // stretches: open-ended
+                } else {
+                    Some((it.start, Some(it.end)))
+                }
+            })
+            .collect();
+        let mut candidates: Vec<Time> = vec![ready];
+        candidates.extend(relevant.iter().filter_map(|(_, e)| *e).filter(|&e| e > ready));
+        candidates.sort_unstable();
+        candidates.dedup();
+        'outer: for &t in &candidates {
+            for &(start, end) in &relevant {
+                let blocked = match end {
+                    Some(end) => t < end && start < t + dur,
+                    None => start < t + dur,
+                };
+                if blocked {
+                    continue 'outer;
+                }
+            }
+            return Some(t);
+        }
+        None
+    }
+}
+
+/// Shifts every operation and task starting at or after `pivot` by `delay`
+/// seconds. Relative orders are preserved, so a valid schedule stays valid;
+/// gaps between unshifted and shifted items only grow.
+pub(crate) fn shift_from(schedule: &mut Schedule, pivot: Time, delay: Time) {
+    if delay == 0 {
+        return;
+    }
+    for op in schedule.ops_mut() {
+        if op.start >= pivot {
+            op.start += delay;
+        }
+    }
+    let ids: Vec<_> = schedule.tasks().map(|(id, _)| id).collect();
+    for id in ids {
+        let t = schedule.task_mut(id);
+        if t.start() >= pivot {
+            t.set_start(t.start() + delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn earliest_fit_respects_deadline() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let tl = Timeline::new(&s.chip, &s.schedule);
+        // A task's own cells are busy during its window.
+        let (_, t0) = s.schedule.tasks().next().unwrap();
+        let cells: HashSet<Coord> = t0.path().iter().copied().collect();
+        let fit = tl.earliest_fit(&cells, t0.start(), t0.duration(), Some(t0.start() + 1));
+        assert_eq!(fit, None);
+        // Without a deadline, a fit exists after everything ends.
+        let fit = tl.earliest_fit(&cells, 0, 1, None);
+        assert!(fit.is_some());
+    }
+
+    #[test]
+    fn shift_preserves_relative_order() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut moved = s.schedule.clone();
+        let pivot = moved.makespan() / 2;
+        shift_from(&mut moved, pivot, 7);
+        for (id, t) in s.schedule.tasks() {
+            let new = moved.task(id);
+            if t.start() >= pivot {
+                assert_eq!(new.start(), t.start() + 7);
+            } else {
+                assert_eq!(new.start(), t.start());
+            }
+        }
+        // Shifted schedules stay physically valid.
+        pdw_sim::validate(&s.chip, &bench.graph, &moved).unwrap();
+    }
+
+    #[test]
+    fn occupancy_blocks_the_device_window() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let tl = Timeline::new(&s.chip, &s.schedule);
+        let sop = s.schedule.ops()[0];
+        let foot: HashSet<Coord> = s
+            .chip
+            .device(sop.device)
+            .footprint()
+            .iter()
+            .copied()
+            .collect();
+        // No fit inside the op execution window.
+        let fit = tl.earliest_fit(&foot, sop.start, 1, Some(sop.end()));
+        assert_eq!(fit, None);
+    }
+}

@@ -1,0 +1,414 @@
+//! Branch-and-bound over the integer variables.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, VarType};
+use crate::simplex::{solve_lp_with_deadline, LpOutcome};
+use crate::{FEAS_TOL, INT_TOL};
+
+/// Options controlling a MILP solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Wall-clock budget. On expiry the best incumbent found so far is
+    /// returned with [`SolveStatus::Feasible`] (the paper runs Gurobi with a
+    /// 15-minute budget and reports best-effort results the same way).
+    pub time_limit: Duration,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: u64,
+    /// A known-feasible starting assignment (e.g. from a heuristic). Its
+    /// objective becomes the initial cutoff, guaranteeing the result is
+    /// never worse than the warm start.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: Duration::from_secs(10),
+            node_limit: 2_000_000,
+            warm_start: None,
+        }
+    }
+}
+
+/// How a returned solution should be interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Proven optimal.
+    Optimal,
+    /// Feasible incumbent; optimality not proven (budget or node limit hit,
+    /// or an LP relaxation stalled numerically).
+    Feasible,
+}
+
+/// A feasible MILP solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Value per variable, indexed by [`VarId`](crate::VarId). Integer
+    /// variables are snapped to exact integers.
+    pub values: Vec<f64>,
+    /// Objective value `cᵀx`.
+    pub objective: f64,
+    /// Optimality status.
+    pub status: SolveStatus,
+    /// Number of branch-and-bound nodes processed.
+    pub nodes: u64,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: crate::VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Value of a binary/integer variable as `i64`.
+    pub fn int_value(&self, var: crate::VarId) -> i64 {
+        self.values[var.0].round() as i64
+    }
+
+    /// Value of a binary variable as `bool`.
+    pub fn bool_value(&self, var: crate::VarId) -> bool {
+        self.values[var.0].round() as i64 != 0
+    }
+}
+
+/// Failure modes of a MILP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MilpError {
+    /// The model has no feasible assignment.
+    Infeasible,
+    /// The LP relaxation is unbounded below.
+    Unbounded,
+    /// The budget expired before any feasible assignment was found.
+    NoSolutionFound,
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::Infeasible => write!(f, "model is infeasible"),
+            MilpError::Unbounded => write!(f, "objective is unbounded below"),
+            MilpError::NoSolutionFound => {
+                write!(f, "budget expired before a feasible solution was found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+struct Node {
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    /// LP bound inherited from the parent (for pruning before solving).
+    parent_bound: f64,
+}
+
+/// Solves `model` to optimality or best effort within the budget.
+///
+/// # Errors
+///
+/// - [`MilpError::Infeasible`] if no assignment satisfies the constraints,
+/// - [`MilpError::Unbounded`] if the relaxation is unbounded below,
+/// - [`MilpError::NoSolutionFound`] if the budget expired with no incumbent.
+pub fn solve(model: &Model, opts: &SolveOptions) -> Result<Solution, MilpError> {
+    let start = Instant::now();
+    // Cheap reductions first: fewer rows shrink every tableau quadratically.
+    let reduced = match crate::presolve::presolve(model) {
+        crate::presolve::Presolved::Reduced(m) => m,
+        crate::presolve::Presolved::Infeasible => return Err(MilpError::Infeasible),
+    };
+    let model = &reduced;
+    let n = model.num_vars();
+    let int_vars: Vec<usize> = (0..n)
+        .filter(|&j| model.vars[j].vtype == VarType::Integer)
+        .collect();
+
+    let root_lb: Vec<f64> = (0..n).map(|j| model.vars[j].lb).collect();
+    let root_ub: Vec<f64> = (0..n).map(|j| model.vars[j].ub).collect();
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    if let Some(ws) = &opts.warm_start {
+        assert_eq!(ws.len(), n, "warm start has wrong dimension");
+        if model.check_feasible(ws, 1e-6).is_ok() {
+            let mut vals = ws.clone();
+            snap_integers(&mut vals, &int_vars);
+            let obj = model.objective_value(&vals);
+            incumbent = Some((vals, obj));
+        }
+    }
+
+    let deadline = start.checked_add(opts.time_limit);
+    let mut stack = vec![Node {
+        lb: root_lb,
+        ub: root_ub,
+        parent_bound: f64::NEG_INFINITY,
+    }];
+    let mut nodes = 0u64;
+    let mut exhausted = true; // true when the search tree was fully explored
+    let mut any_stall = false;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.node_limit
+            || start.elapsed() >= opts.time_limit
+            || stack.len() > 100_000
+        {
+            exhausted = false;
+            break;
+        }
+        // Bound-based pruning using the parent's relaxation value.
+        if let Some((_, inc_obj)) = &incumbent {
+            if node.parent_bound >= *inc_obj - 1e-9 {
+                continue;
+            }
+        }
+        nodes += 1;
+
+        let lp = solve_lp_with_deadline(model, &node.lb, &node.ub, deadline);
+        let sol = match lp {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if nodes == 1 {
+                    return Err(MilpError::Unbounded);
+                }
+                // A child cannot be unbounded if the root was bounded, but
+                // guard against numerical surprises: treat as unexplorable.
+                any_stall = true;
+                continue;
+            }
+            LpOutcome::Stalled => {
+                any_stall = true;
+                continue;
+            }
+            LpOutcome::Optimal(s) => s,
+        };
+
+        if let Some((_, inc_obj)) = &incumbent {
+            if sol.objective >= *inc_obj - 1e-9 {
+                continue;
+            }
+        }
+
+        // Find the most fractional integer variable.
+        let mut branch: Option<(usize, f64)> = None;
+        let mut best_frac = INT_TOL;
+        for &j in &int_vars {
+            let v = sol.values[j];
+            let frac = (v - v.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch = Some((j, v));
+            }
+        }
+
+        match branch {
+            None => {
+                // Integral: candidate incumbent.
+                let mut vals = sol.values.clone();
+                snap_integers(&mut vals, &int_vars);
+                if model.check_feasible(&vals, 1e-5).is_ok() {
+                    let obj = model.objective_value(&vals);
+                    if incumbent.as_ref().is_none_or(|(_, best)| obj < best - 1e-9) {
+                        incumbent = Some((vals, obj));
+                    }
+                }
+            }
+            Some((j, v)) => {
+                let floor = v.floor();
+                // Dive toward the nearer integer first (pushed last).
+                let mut down = Node {
+                    lb: node.lb.clone(),
+                    ub: node.ub.clone(),
+                    parent_bound: sol.objective,
+                };
+                down.ub[j] = floor;
+                let mut up = Node {
+                    lb: node.lb,
+                    ub: node.ub,
+                    parent_bound: sol.objective,
+                };
+                up.lb[j] = floor + 1.0;
+                if v - floor <= 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((values, objective)) => Ok(Solution {
+            values,
+            objective,
+            status: if exhausted && !any_stall {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::Feasible
+            },
+            nodes,
+        }),
+        None => {
+            if exhausted && !any_stall {
+                Err(MilpError::Infeasible)
+            } else {
+                Err(MilpError::NoSolutionFound)
+            }
+        }
+    }
+}
+
+fn snap_integers(values: &mut [f64], int_vars: &[usize]) {
+    for &j in int_vars {
+        values[j] = values[j].round();
+    }
+}
+
+// Feasibility slack reused by tests.
+#[allow(dead_code)]
+fn feasible(model: &Model, values: &[f64]) -> bool {
+    model.check_feasible(values, FEAS_TOL.sqrt()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+
+    fn opts() -> SolveOptions {
+        SolveOptions {
+            time_limit: Duration::from_secs(30),
+            ..SolveOptions::default()
+        }
+    }
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // max 10a + 13b + 7c  s.t.  4a + 5b + 3c <= 8  (binaries).
+        // Optimum: b + c = 20 (weight 8).
+        let mut m = Model::new("knap");
+        let a = m.binary("a", -10.0);
+        let b = m.binary("b", -13.0);
+        let c = m.binary("c", -7.0);
+        m.constraint([(a, 4.0), (b, 5.0), (c, 3.0)], Relation::Le, 8.0);
+        let s = solve(&m, &opts()).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective + 20.0).abs() < 1e-6);
+        assert!(!s.bool_value(a));
+        assert!(s.bool_value(b));
+        assert!(s.bool_value(c));
+    }
+
+    #[test]
+    fn integer_rounding_is_not_assumed() {
+        // min y  s.t.  y >= 1.5 x, y >= 3 (1 - x), x binary, y <= 10.
+        // x=1 -> y=1.5 ; x=0 -> y=3. LP relaxation would pick x≈0.67.
+        let mut m = Model::new("t");
+        let x = m.binary("x", 0.0);
+        let y = m.continuous("y", 0.0, 10.0, 1.0);
+        m.constraint([(y, 1.0), (x, -1.5)], Relation::Ge, 0.0);
+        m.constraint([(y, 1.0), (x, 3.0)], Relation::Ge, 3.0);
+        let s = solve(&m, &opts()).unwrap();
+        assert!(s.bool_value(x));
+        assert!((s.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 2x = 3 with x integer: LP-feasible, IP-infeasible.
+        let mut m = Model::new("t");
+        let x = m.integer("x", 0.0, 10.0, 1.0);
+        m.constraint([(x, 2.0)], Relation::Eq, 3.0);
+        assert_eq!(solve(&m, &opts()).unwrap_err(), MilpError::Infeasible);
+    }
+
+    #[test]
+    fn warm_start_bounds_the_result() {
+        let mut m = Model::new("t");
+        let x = m.binary("x", -1.0);
+        let y = m.binary("y", -1.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        // Feasible warm start: x=1, y=0, obj -1 (also optimal).
+        let s = solve(
+            &m,
+            &SolveOptions {
+                warm_start: Some(vec![1.0, 0.0]),
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert!((s.objective + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_budget_returns_warm_start() {
+        let mut m = Model::new("t");
+        let x = m.binary("x", -1.0);
+        m.constraint([(x, 1.0)], Relation::Le, 1.0);
+        let s = solve(
+            &m,
+            &SolveOptions {
+                time_limit: Duration::ZERO,
+                warm_start: Some(vec![0.0]),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.status, SolveStatus::Feasible);
+        assert_eq!(s.int_value(x), 0);
+    }
+
+    #[test]
+    fn zero_time_budget_without_warm_start_fails() {
+        let mut m = Model::new("t");
+        let _x = m.binary("x", -1.0);
+        let err = solve(
+            &m,
+            &SolveOptions {
+                time_limit: Duration::ZERO,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, MilpError::NoSolutionFound);
+    }
+
+    #[test]
+    fn big_m_ordering_disjunction() {
+        // Two unit jobs on one machine: either A before B or B before A.
+        // min end = max completion; optimum 2.
+        let mut m = Model::new("seq");
+        const M: f64 = 100.0;
+        let sa = m.continuous("sa", 0.0, 50.0, 0.0);
+        let sb = m.continuous("sb", 0.0, 50.0, 0.0);
+        let end = m.continuous("end", 0.0, 100.0, 1.0);
+        let k = m.binary("k", 0.0);
+        // sb >= sa + 1 - M(1-k)  and  sa >= sb + 1 - Mk
+        m.constraint([(sb, 1.0), (sa, -1.0), (k, -M)], Relation::Ge, 1.0 - M);
+        m.constraint([(sa, 1.0), (sb, -1.0), (k, M)], Relation::Ge, 1.0);
+        m.constraint([(end, 1.0), (sa, -1.0)], Relation::Ge, 1.0);
+        m.constraint([(end, 1.0), (sb, -1.0)], Relation::Ge, 1.0);
+        let s = solve(&m, &opts()).unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-5, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn general_integers_branch_correctly() {
+        // max 3x + 4y  s.t.  2x + 3y <= 12, 2x + y <= 8, x,y int >= 0.
+        // LP opt is fractional; IP opt is x=3, y=2 (obj 17).
+        let mut m = Model::new("int");
+        let x = m.integer("x", 0.0, 10.0, -3.0);
+        let y = m.integer("y", 0.0, 10.0, -4.0);
+        m.constraint([(x, 2.0), (y, 3.0)], Relation::Le, 12.0);
+        m.constraint([(x, 2.0), (y, 1.0)], Relation::Le, 8.0);
+        let s = solve(&m, &opts()).unwrap();
+        assert!((s.objective + 17.0).abs() < 1e-6, "objective {}", s.objective);
+        assert_eq!(s.int_value(x), 3);
+        assert_eq!(s.int_value(y), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Presolve: cheap model reductions applied before branch-and-bound.
+//!
+//! Scheduling models are full of rows the simplex should never see:
+//! singleton rows (`a·x ≤ b`) that are really variable bounds, rows whose
+//! variables are all fixed, and empty rows. Folding them away shrinks the
+//! dense tableau quadratically, and tightening integer bounds to integral
+//! values removes fractional vertices before the first pivot.
+//!
+//! The reduction keeps the variable set (and [`VarId`](crate::VarId)s)
+//! intact — only bounds tighten and rows disappear — so solutions of the
+//! reduced model are solutions of the original and vice versa.
+
+use crate::model::{Model, Relation};
+use crate::{FEAS_TOL, INT_TOL};
+
+/// Result of presolving a model.
+#[derive(Debug, Clone)]
+pub enum Presolved {
+    /// An equivalent model with the same variables, possibly tighter bounds
+    /// and fewer rows.
+    Reduced(Model),
+    /// The reductions proved the model infeasible.
+    Infeasible,
+}
+
+/// Applies singleton-row absorption, fixed-variable substitution, and
+/// empty-row elimination until a fixpoint.
+pub fn presolve(model: &Model) -> Presolved {
+    let mut m = model.clone();
+    loop {
+        let mut changed = false;
+        let mut keep = Vec::with_capacity(m.constraints.len());
+
+        for c in std::mem::take(&mut m.constraints) {
+            // Fold fixed variables into the right-hand side.
+            let mut rhs = c.rhs;
+            let mut live: Vec<(crate::VarId, f64)> = Vec::new();
+            let mut acc: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            for &(v, coef) in c.expr.terms() {
+                *acc.entry(v.0).or_insert(0.0) += coef;
+            }
+            for (j, coef) in acc {
+                if coef == 0.0 {
+                    continue;
+                }
+                let (lb, ub) = (m.vars[j].lb, m.vars[j].ub);
+                if (ub - lb).abs() <= FEAS_TOL {
+                    rhs -= coef * lb;
+                    changed = true;
+                } else {
+                    live.push((crate::VarId(j), coef));
+                }
+            }
+
+            match live.len() {
+                0 => {
+                    // Empty row: feasibility is decided now.
+                    let ok = match c.rel {
+                        Relation::Le => 0.0 <= rhs + FEAS_TOL,
+                        Relation::Ge => 0.0 >= rhs - FEAS_TOL,
+                        Relation::Eq => rhs.abs() <= FEAS_TOL,
+                    };
+                    if !ok {
+                        return Presolved::Infeasible;
+                    }
+                    changed = true;
+                }
+                1 => {
+                    // Singleton row: absorb into the variable's bounds.
+                    let (v, a) = live[0];
+                    let var = &mut m.vars[v.0];
+                    let bound = rhs / a;
+                    let tighten_ub = matches!(
+                        (c.rel, a > 0.0),
+                        (Relation::Le, true) | (Relation::Ge, false)
+                    );
+                    let tighten_lb = matches!(
+                        (c.rel, a > 0.0),
+                        (Relation::Ge, true) | (Relation::Le, false)
+                    );
+                    if c.rel == Relation::Eq {
+                        var.lb = var.lb.max(bound);
+                        var.ub = var.ub.min(bound);
+                    } else if tighten_ub {
+                        var.ub = var.ub.min(bound);
+                    } else if tighten_lb {
+                        var.lb = var.lb.max(bound);
+                    }
+                    if var.vtype == crate::VarType::Integer {
+                        var.lb = (var.lb - INT_TOL).ceil();
+                        var.ub = (var.ub + INT_TOL).floor();
+                    }
+                    if var.lb > var.ub + FEAS_TOL {
+                        return Presolved::Infeasible;
+                    }
+                    changed = true;
+                }
+                _ => {
+                    if live.len() != c.expr.terms().len() || rhs != c.rhs {
+                        changed = true;
+                    }
+                    keep.push(crate::model::Constraint {
+                        expr: live.into(),
+                        rel: c.rel,
+                        rhs,
+                    });
+                }
+            }
+        }
+        m.constraints = keep;
+        if !changed {
+            break;
+        }
+    }
+    Presolved::Reduced(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 100.0, 1.0);
+        m.constraint([(x, 2.0)], Relation::Le, 10.0); // x <= 5
+        m.constraint([(x, 1.0)], Relation::Ge, 2.0); // x >= 2
+        match presolve(&m) {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.num_constraints(), 0);
+                assert_eq!(r.lb(x), 2.0);
+                assert_eq!(r.ub(x), 5.0);
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn negative_coefficient_singletons_flip_direction() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", -0.0, 100.0, 1.0);
+        m.constraint([(x, -1.0)], Relation::Le, -3.0); // -x <= -3  =>  x >= 3
+        match presolve(&m) {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.num_constraints(), 0);
+                assert_eq!(r.lb(x), 3.0);
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn integer_bounds_round_inward() {
+        let mut m = Model::new("t");
+        let x = m.integer("x", 0.0, 10.0, 1.0);
+        m.constraint([(x, 2.0)], Relation::Le, 7.0); // x <= 3.5 -> 3
+        m.constraint([(x, 3.0)], Relation::Ge, 4.0); // x >= 1.33 -> 2
+        match presolve(&m) {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.lb(x), 2.0);
+                assert_eq!(r.ub(x), 3.0);
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn fixed_variables_fold_into_rhs() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 4.0, 4.0, 0.0); // fixed at 4
+        let y = m.continuous("y", 0.0, 100.0, 1.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 10.0); // y >= 6
+        match presolve(&m) {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.num_constraints(), 0); // became a singleton, absorbed
+                assert_eq!(r.lb(y), 6.0);
+            }
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn contradictory_singletons_detect_infeasibility() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 100.0, 1.0);
+        m.constraint([(x, 1.0)], Relation::Ge, 8.0);
+        m.constraint([(x, 1.0)], Relation::Le, 3.0);
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn empty_contradiction_detects_infeasibility() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 2.0, 2.0, 0.0);
+        m.constraint([(x, 1.0)], Relation::Ge, 5.0); // 2 >= 5: false
+        assert!(matches!(presolve(&m), Presolved::Infeasible));
+    }
+
+    #[test]
+    fn multi_variable_rows_survive() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0, 1.0);
+        let y = m.continuous("y", 0.0, 10.0, 1.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        match presolve(&m) {
+            Presolved::Reduced(r) => assert_eq!(r.num_constraints(), 1),
+            Presolved::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn presolved_model_has_same_optimum() {
+        // min x + y  s.t.  x >= 2 (singleton), x + y >= 5.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 100.0, 1.0);
+        let y = m.continuous("y", 0.0, 100.0, 1.0);
+        m.constraint([(x, 1.0)], Relation::Ge, 2.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 5.0);
+        let orig = match crate::solve_lp(&m) {
+            crate::LpOutcome::Optimal(s) => s.objective,
+            o => panic!("unexpected {o:?}"),
+        };
+        let reduced = match presolve(&m) {
+            Presolved::Reduced(r) => match crate::solve_lp(&r) {
+                crate::LpOutcome::Optimal(s) => s.objective,
+                o => panic!("unexpected {o:?}"),
+            },
+            Presolved::Infeasible => panic!("feasible model"),
+        };
+        assert!((orig - reduced).abs() < 1e-9);
+    }
+}

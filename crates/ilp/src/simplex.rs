@@ -1,0 +1,702 @@
+//! Bounded-variable two-phase primal simplex over a dense tableau.
+//!
+//! Variable bounds are handled natively (nonbasic variables rest at either
+//! bound; the ratio test includes bound flips), which keeps binary-heavy
+//! scheduling models — the PathDriver-Wash workload — at half the row count
+//! of the textbook formulation.
+
+use std::time::Instant;
+
+use crate::model::{Model, Relation};
+use crate::FEAS_TOL;
+
+/// A solved LP relaxation: values in the *original* variable space plus the
+/// objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Value per variable, indexed by [`VarId`](crate::VarId).
+    pub values: Vec<f64>,
+    /// Objective value `cᵀx`.
+    pub objective: f64,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal basic solution was found.
+    Optimal(LpSolution),
+    /// The constraints admit no solution within the bounds.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration limit was hit before convergence (numerically cycling
+    /// or extremely degenerate instance). Treated as "unknown" by callers.
+    Stalled,
+}
+
+/// Solves the LP relaxation of `model` (integrality dropped) with the
+/// model's own bounds.
+pub fn solve_lp(model: &Model) -> LpOutcome {
+    let lb: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].lb).collect();
+    let ub: Vec<f64> = (0..model.num_vars()).map(|j| model.vars[j].ub).collect();
+    solve_lp_with_bounds(model, &lb, &ub)
+}
+
+/// Solves the LP relaxation with overridden variable bounds (used by
+/// branch-and-bound).
+pub fn solve_lp_with_bounds(model: &Model, lb: &[f64], ub: &[f64]) -> LpOutcome {
+    solve_lp_with_deadline(model, lb, ub, None)
+}
+
+/// Like [`solve_lp_with_bounds`], aborting with [`LpOutcome::Stalled`] once
+/// `deadline` passes — a single large LP must not blow through the MILP's
+/// wall-clock budget.
+pub fn solve_lp_with_deadline(
+    model: &Model,
+    lb: &[f64],
+    ub: &[f64],
+    deadline: Option<Instant>,
+) -> LpOutcome {
+    // Quick bound sanity: branching can cross bounds (floor < lb).
+    for j in 0..model.num_vars() {
+        if lb[j] > ub[j] + FEAS_TOL {
+            return LpOutcome::Infeasible;
+        }
+    }
+    let mut t = Tableau::build(model, lb, ub);
+    t.deadline = deadline;
+    match t.phase1() {
+        Phase1::Feasible => {}
+        Phase1::Infeasible => return LpOutcome::Infeasible,
+        Phase1::Stalled => return LpOutcome::Stalled,
+    }
+    match t.phase2() {
+        Phase2::Optimal => {}
+        Phase2::Unbounded => return LpOutcome::Unbounded,
+        Phase2::Stalled => return LpOutcome::Stalled,
+    }
+    let values = t.extract(model, lb);
+    let objective = model.objective_value(&values);
+    LpOutcome::Optimal(LpSolution { values, objective })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Basic,
+    Lower,
+    Upper,
+}
+
+enum Phase1 {
+    Feasible,
+    Infeasible,
+    Stalled,
+}
+
+enum Phase2 {
+    Optimal,
+    Unbounded,
+    Stalled,
+}
+
+enum Step {
+    Moved,
+    Converged,
+    Unbounded,
+}
+
+const RC_TOL: f64 = 1e-9;
+const PIVOT_TOL: f64 = 1e-9;
+const DEGENERATE_STREAK: u32 = 60;
+
+struct Tableau {
+    /// Dense rows `B⁻¹A`, length `ncols` each.
+    rows: Vec<Vec<f64>>,
+    /// Current value of the basic variable of each row.
+    beta: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Status per column.
+    status: Vec<Status>,
+    /// Shifted upper bound per column (lower bound is 0 after shifting).
+    upper: Vec<f64>,
+    /// Phase-2 cost per column (structural costs; slacks/artificials 0).
+    cost: Vec<f64>,
+    /// Columns that are artificials (banned from entering in phase 2).
+    artificial: Vec<bool>,
+    n_structural: usize,
+    degenerate_streak: u32,
+    iter_limit: u64,
+    deadline: Option<Instant>,
+}
+
+impl Tableau {
+    fn build(model: &Model, lb: &[f64], ub: &[f64]) -> Self {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+
+        // Column layout: [structurals | slacks (one per Le/Ge row) | artificials].
+        let n_slacks = model
+            .constraints
+            .iter()
+            .filter(|c| c.rel != Relation::Eq)
+            .count();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut rhs: Vec<f64> = Vec::with_capacity(m);
+        let mut slack_coef: Vec<Option<(usize, f64)>> = Vec::with_capacity(m);
+
+        let mut next_slack = n;
+        for c in &model.constraints {
+            let mut row = vec![0.0; n + n_slacks];
+            for &(v, coef) in c.expr.terms() {
+                row[v.0] += coef;
+            }
+            // Shift structurals to start at 0: rhs -= a·lb.
+            let mut r = c.rhs;
+            for (j, item) in row.iter().enumerate().take(n) {
+                r -= item * lb[j];
+            }
+            let sc = match c.rel {
+                Relation::Le => {
+                    row[next_slack] = 1.0;
+                    let s = Some((next_slack, 1.0));
+                    next_slack += 1;
+                    s
+                }
+                Relation::Ge => {
+                    row[next_slack] = -1.0;
+                    let s = Some((next_slack, -1.0));
+                    next_slack += 1;
+                    s
+                }
+                Relation::Eq => None,
+            };
+            // Normalize rhs >= 0.
+            if r < 0.0 {
+                for x in row.iter_mut() {
+                    *x = -*x;
+                }
+                r = -r;
+                slack_coef.push(sc.map(|(j, co)| (j, -co)));
+            } else {
+                slack_coef.push(sc);
+            }
+            rows.push(row);
+            rhs.push(r);
+        }
+
+        // Decide basis per row: a +1 slack if available, else an artificial.
+        let mut artificial_cols = 0;
+        let needs_artificial: Vec<bool> = slack_coef
+            .iter()
+            .map(|sc| !matches!(sc, Some((_, co)) if *co > 0.0))
+            .collect();
+        for need in &needs_artificial {
+            if *need {
+                artificial_cols += 1;
+            }
+        }
+        let ncols = n + n_slacks + artificial_cols;
+        for row in rows.iter_mut() {
+            row.resize(ncols, 0.0);
+        }
+
+        let mut upper = vec![f64::INFINITY; ncols];
+        for j in 0..n {
+            upper[j] = ub[j] - lb[j];
+        }
+        let mut status = vec![Status::Lower; ncols];
+        let mut basis = Vec::with_capacity(m);
+        let mut artificial = vec![false; ncols];
+        let mut next_art = n + n_slacks;
+        for (i, need) in needs_artificial.iter().enumerate() {
+            if *need {
+                rows[i][next_art] = 1.0;
+                artificial[next_art] = true;
+                basis.push(next_art);
+                status[next_art] = Status::Basic;
+                next_art += 1;
+            } else {
+                let (j, _) = slack_coef[i].expect("row without artificial has a +1 slack");
+                basis.push(j);
+                status[j] = Status::Basic;
+            }
+        }
+
+        let mut cost = vec![0.0; ncols];
+        for (j, c) in cost.iter_mut().enumerate().take(n) {
+            *c = model.vars[j].obj;
+        }
+
+        let iter_limit = 200 * (m as u64 + ncols as u64) + 2_000;
+        Tableau {
+            deadline: None,
+            beta: rhs,
+            rows,
+            basis,
+            status,
+            upper,
+            cost,
+            artificial,
+            n_structural: n,
+            degenerate_streak: 0,
+            iter_limit,
+        }
+    }
+
+    /// Reduced costs for a cost vector: `rc_j = c_j − c_Bᵀ T_j`.
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let m = self.rows.len();
+        let ncols = cost.len();
+        let mut rc = cost.to_vec();
+        for i in 0..m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                let row = &self.rows[i];
+                for (j, rcj) in rc.iter_mut().enumerate().take(ncols) {
+                    *rcj -= cb * row[j];
+                }
+            }
+        }
+        rc
+    }
+
+    /// One simplex iteration for the given costs. `allow_artificial` permits
+    /// artificial columns to enter (phase 1 only).
+    fn step(&mut self, cost: &[f64], allow_artificial: bool) -> Step {
+        let rc = self.reduced_costs(cost);
+        let bland = self.degenerate_streak >= DEGENERATE_STREAK;
+
+        // Entering column: eligible if improving given its status.
+        let mut entering: Option<(usize, bool)> = None; // (col, from_lower)
+        let mut best = RC_TOL;
+        for (j, &rcj) in rc.iter().enumerate() {
+            if self.status[j] == Status::Basic {
+                continue;
+            }
+            if !allow_artificial && self.artificial[j] {
+                continue;
+            }
+            let (eligible, from_lower, score) = match self.status[j] {
+                Status::Lower => (rcj < -RC_TOL, true, -rcj),
+                Status::Upper => (rcj > RC_TOL, false, rcj),
+                Status::Basic => unreachable!(),
+            };
+            if eligible {
+                if bland {
+                    entering = Some((j, from_lower));
+                    break;
+                }
+                if score > best {
+                    best = score;
+                    entering = Some((j, from_lower));
+                }
+            }
+        }
+        let Some((q, from_lower)) = entering else {
+            return Step::Converged;
+        };
+
+        // Ratio test.
+        let mut t_limit = self.upper[q]; // bound-flip distance
+        let mut leaving: Option<(usize, Status)> = None; // (row, bound the leaver hits)
+        for i in 0..self.rows.len() {
+            let c = self.rows[i][q];
+            if c.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let ub_b = self.upper[self.basis[i]];
+            // Movement t >= 0 changes basics by -t*c (from lower) or +t*c
+            // (from upper).
+            let (dist, hits) = if from_lower {
+                if c > 0.0 {
+                    (self.beta[i] / c, Status::Lower)
+                } else if ub_b.is_finite() {
+                    ((ub_b - self.beta[i]) / -c, Status::Upper)
+                } else {
+                    continue;
+                }
+            } else if c < 0.0 {
+                (self.beta[i] / -c, Status::Lower)
+            } else if ub_b.is_finite() {
+                ((ub_b - self.beta[i]) / c, Status::Upper)
+            } else {
+                continue;
+            };
+            let dist = dist.max(0.0);
+            let replace = match leaving {
+                // Ties with the bound-flip distance keep the cheaper flip.
+                None => dist < t_limit,
+                Some((r, _)) => {
+                    dist < t_limit - PIVOT_TOL
+                        || ((dist - t_limit).abs() <= PIVOT_TOL
+                            && bland
+                            && self.basis[i] < self.basis[r])
+                }
+            };
+            if replace {
+                t_limit = t_limit.min(dist);
+                leaving = Some((i, hits));
+            }
+        }
+
+        if leaving.is_none() && t_limit.is_infinite() {
+            return Step::Unbounded;
+        }
+
+        let t = t_limit;
+        if t <= PIVOT_TOL {
+            self.degenerate_streak += 1;
+        } else {
+            self.degenerate_streak = 0;
+        }
+
+        // Update basic values.
+        for i in 0..self.rows.len() {
+            let c = self.rows[i][q];
+            if from_lower {
+                self.beta[i] -= t * c;
+            } else {
+                self.beta[i] += t * c;
+            }
+        }
+
+        match leaving {
+            None => {
+                // Pure bound flip.
+                self.status[q] = if from_lower { Status::Upper } else { Status::Lower };
+                Step::Moved
+            }
+            Some((r, hits)) => {
+                // Pivot: q enters the basis in row r.
+                let leaver = self.basis[r];
+                self.status[leaver] = hits;
+                let entering_value = if from_lower { t } else { self.upper[q] - t };
+                let piv = self.rows[r][q];
+                debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small");
+                let inv = 1.0 / piv;
+                for x in self.rows[r].iter_mut() {
+                    *x *= inv;
+                }
+                let pivot_row = self.rows[r].clone();
+                for i in 0..self.rows.len() {
+                    if i == r {
+                        continue;
+                    }
+                    let f = self.rows[i][q];
+                    if f.abs() > 1e-12 {
+                        let row = &mut self.rows[i];
+                        for (x, p) in row.iter_mut().zip(&pivot_row) {
+                            *x -= f * p;
+                        }
+                        row[q] = 0.0; // clean cancellation
+                    }
+                }
+                self.basis[r] = q;
+                self.status[q] = Status::Basic;
+                self.beta[r] = entering_value;
+                Step::Moved
+            }
+        }
+    }
+
+    fn phase1(&mut self) -> Phase1 {
+        if !self.artificial.iter().any(|&a| a) {
+            return Phase1::Feasible;
+        }
+        let cost: Vec<f64> = self
+            .artificial
+            .iter()
+            .map(|&a| if a { 1.0 } else { 0.0 })
+            .collect();
+        let mut iters = 0u64;
+        loop {
+            match self.step(&cost, true) {
+                Step::Converged => break,
+                Step::Unbounded => break, // phase-1 objective is bounded below by 0
+                Step::Moved => {}
+            }
+            iters += 1;
+            if iters > self.iter_limit {
+                return Phase1::Stalled;
+            }
+            if iters.is_multiple_of(64) {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        return Phase1::Stalled;
+                    }
+                }
+            }
+        }
+        let infeas: f64 = (0..self.rows.len())
+            .filter(|&i| self.artificial[self.basis[i]])
+            .map(|i| self.beta[i])
+            .sum();
+        if infeas > 1e-6 {
+            return Phase1::Infeasible;
+        }
+        // Drive basic artificials (at zero) out of the basis where possible.
+        for i in 0..self.rows.len() {
+            if !self.artificial[self.basis[i]] {
+                continue;
+            }
+            let pivot_col = (0..self.n_structural + self.slack_count())
+                .find(|&j| self.status[j] != Status::Basic && self.rows[i][j].abs() > 1e-7);
+            if let Some(q) = pivot_col {
+                let leaver = self.basis[i];
+                self.status[leaver] = Status::Lower;
+                self.upper[leaver] = 0.0;
+                let piv = self.rows[i][q];
+                let inv = 1.0 / piv;
+                for x in self.rows[i].iter_mut() {
+                    *x *= inv;
+                }
+                let pivot_row = self.rows[i].clone();
+                for k in 0..self.rows.len() {
+                    if k == i {
+                        continue;
+                    }
+                    let f = self.rows[k][q];
+                    if f.abs() > 1e-12 {
+                        let row = &mut self.rows[k];
+                        for (x, p) in row.iter_mut().zip(&pivot_row) {
+                            *x -= f * p;
+                        }
+                        row[q] = 0.0;
+                    }
+                }
+                self.basis[i] = q;
+                // Zero-displacement pivot: the solution point is unchanged,
+                // so the entering variable keeps its current (bound) value.
+                self.beta[i] = match self.status[q] {
+                    Status::Lower => 0.0,
+                    Status::Upper => self.upper[q],
+                    Status::Basic => unreachable!("entering column was nonbasic"),
+                };
+                self.status[q] = Status::Basic;
+            }
+            // If no pivot column exists the row is redundant; the artificial
+            // stays basic at zero and is clamped there.
+        }
+        // Clamp all artificials to zero so they never move again.
+        for j in 0..self.upper.len() {
+            if self.artificial[j] {
+                self.upper[j] = 0.0;
+            }
+        }
+        Phase1::Feasible
+    }
+
+    fn slack_count(&self) -> usize {
+        self.upper.len()
+            - self.n_structural
+            - self.artificial.iter().filter(|&&a| a).count()
+    }
+
+    fn phase2(&mut self) -> Phase2 {
+        let cost = self.cost.clone();
+        let mut iters = 0u64;
+        loop {
+            match self.step(&cost, false) {
+                Step::Converged => return Phase2::Optimal,
+                Step::Unbounded => return Phase2::Unbounded,
+                Step::Moved => {}
+            }
+            iters += 1;
+            if iters > self.iter_limit {
+                return Phase2::Stalled;
+            }
+            if iters.is_multiple_of(64) {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        return Phase2::Stalled;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recovers original-space structural values.
+    fn extract(&self, model: &Model, lb: &[f64]) -> Vec<f64> {
+        let n = model.num_vars();
+        let mut shifted = vec![0.0; n];
+        for (j, out) in shifted.iter_mut().enumerate().take(n) {
+            *out = match self.status[j] {
+                Status::Lower => 0.0,
+                Status::Upper => self.upper[j],
+                Status::Basic => {
+                    let row = self
+                        .basis
+                        .iter()
+                        .position(|&b| b == j)
+                        .expect("basic var has a row");
+                    self.beta[row]
+                }
+            };
+        }
+        (0..n).map(|j| lb[j] + shifted[j]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Relation};
+
+    fn assert_opt(outcome: LpOutcome, expected_obj: f64) -> LpSolution {
+        match outcome {
+            LpOutcome::Optimal(s) => {
+                assert!(
+                    (s.objective - expected_obj).abs() < 1e-6,
+                    "objective {} != expected {expected_obj}",
+                    s.objective
+                );
+                s
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solves_basic_2d_lp() {
+        // min -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 3, x,y >= 0.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 3.0, -1.0);
+        let y = m.continuous("y", 0.0, 3.0, -2.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        let s = assert_opt(solve_lp(&m), -7.0);
+        assert!((s.values[x.0] - 1.0).abs() < 1e-6);
+        assert!((s.values[y.0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handles_ge_and_eq_rows() {
+        // min x + y  s.t.  x + y >= 3, x - y = 1  =>  x = 2, y = 1.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.continuous("y", 0.0, f64::INFINITY, 1.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 3.0);
+        m.constraint([(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let s = assert_opt(solve_lp(&m), 3.0);
+        assert!((s.values[x.0] - 2.0).abs() < 1e-6);
+        assert!((s.values[y.0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 1.0, 1.0);
+        m.constraint([(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(solve_lp(&m), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, f64::INFINITY, -1.0);
+        m.constraint([(x, -1.0)], Relation::Le, 0.0);
+        assert_eq!(solve_lp(&m), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn respects_shifted_lower_bounds() {
+        // min x  s.t.  x >= 0 with lb 5: optimum at the bound.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 5.0, 100.0, 1.0);
+        let s = assert_opt(solve_lp(&m), 5.0);
+        assert!((s.values[x.0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_flip_reaches_upper_bound() {
+        // min -x with x in [2, 7] and no constraints: x = 7.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 2.0, 7.0, -1.0);
+        let s = assert_opt(solve_lp(&m), -7.0);
+        assert!((s.values[x.0] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_infinite_is_unbounded() {
+        let mut m = Model::new("t");
+        let _x = m.continuous("x", 0.0, f64::INFINITY, -1.0);
+        assert_eq!(solve_lp(&m), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min x  s.t.  -x <= -3  (i.e. x >= 3).
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0, 1.0);
+        m.constraint([(x, -1.0)], Relation::Le, -3.0);
+        let s = assert_opt(solve_lp(&m), 3.0);
+        assert!((s.values[x.0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_converges() {
+        // Multiple redundant constraints through the optimum.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0, -1.0);
+        let y = m.continuous("y", 0.0, 10.0, -1.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        m.constraint([(x, 2.0), (y, 2.0)], Relation::Le, 8.0);
+        m.constraint([(x, 1.0)], Relation::Le, 4.0);
+        m.constraint([(y, 1.0)], Relation::Le, 4.0);
+        let s = assert_opt(solve_lp(&m), -4.0);
+        assert!(m.check_feasible(&s.values, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn equality_only_system_solves() {
+        // x + y = 5, x - y = 1: unique point (3, 2); any objective.
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0, 2.0);
+        let y = m.continuous("y", 0.0, 10.0, 3.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
+        m.constraint([(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let s = assert_opt(solve_lp(&m), 12.0);
+        assert!((s.values[x.0] - 3.0).abs() < 1e-6);
+        assert!((s.values[y.0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows_do_not_break_phase1() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0, 1.0);
+        m.constraint([(x, 1.0)], Relation::Eq, 4.0);
+        m.constraint([(x, 2.0)], Relation::Eq, 8.0); // redundant copy
+        let s = assert_opt(solve_lp(&m), 4.0);
+        assert!((s.values[x.0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crossing_branch_bounds_reports_infeasible() {
+        let mut m = Model::new("t");
+        let _x = m.continuous("x", 0.0, 10.0, 1.0);
+        assert_eq!(
+            solve_lp_with_bounds(&m, &[5.0], &[4.0]),
+            LpOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn big_m_disjunction_relaxation() {
+        // Classic big-M pair: s2 >= e1 - M(1-k), s1 >= e2 - Mk. The LP
+        // relaxation must be feasible and bounded.
+        let mut m = Model::new("t");
+        let s1 = m.continuous("s1", 0.0, 1e4, 1.0);
+        let s2 = m.continuous("s2", 0.0, 1e4, 1.0);
+        let k = m.continuous("k", 0.0, 1.0, 0.0);
+        const M: f64 = 1e4;
+        // s2 - s1 + M*k >= 3  and  s1 - s2 - M*k >= 2 - M
+        m.constraint([(s2, 1.0), (s1, -1.0), (k, M)], Relation::Ge, 3.0);
+        m.constraint([(s1, 1.0), (s2, -1.0), (k, -M)], Relation::Ge, 2.0 - M);
+        match solve_lp(&m) {
+            LpOutcome::Optimal(s) => {
+                assert!(m.check_feasible(&s.values, 1e-5).is_ok());
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests: the MILP solver against brute-force enumeration.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use pdw_ilp::{solve, solve_lp, LpOutcome, Model, Relation, SolveOptions};
+
+/// A small random binary program described by plain data.
+#[derive(Debug, Clone)]
+struct BinaryProgram {
+    num_vars: usize,
+    objective: Vec<i32>,
+    constraints: Vec<(Vec<i32>, u8, i32)>, // coeffs, relation tag, rhs
+}
+
+fn relation(tag: u8) -> Relation {
+    match tag % 3 {
+        0 => Relation::Le,
+        1 => Relation::Ge,
+        _ => Relation::Eq,
+    }
+}
+
+fn build(p: &BinaryProgram) -> (Model, Vec<pdw_ilp::VarId>) {
+    let mut m = Model::new("prop");
+    let vars: Vec<_> = (0..p.num_vars)
+        .map(|j| m.binary(&format!("b{j}"), p.objective[j] as f64))
+        .collect();
+    for (coeffs, tag, rhs) in &p.constraints {
+        let expr: Vec<_> = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, c as f64))
+            .collect();
+        m.constraint(expr, relation(*tag), *rhs as f64);
+    }
+    (m, vars)
+}
+
+/// Exhaustive optimum over all 2^n assignments; `None` if infeasible.
+fn brute_force(p: &BinaryProgram) -> Option<f64> {
+    let (m, _) = build(p);
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << p.num_vars) {
+        let assign: Vec<f64> = (0..p.num_vars)
+            .map(|j| ((mask >> j) & 1) as f64)
+            .collect();
+        if m.check_feasible(&assign, 1e-9).is_ok() {
+            let obj = m.objective_value(&assign);
+            if best.is_none_or(|b| obj < b) {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+fn program_strategy() -> impl Strategy<Value = BinaryProgram> {
+    (2usize..=6).prop_flat_map(|n| {
+        let obj = proptest::collection::vec(-9i32..=9, n);
+        let cons = proptest::collection::vec(
+            (
+                proptest::collection::vec(-4i32..=4, n),
+                any::<u8>(),
+                -6i32..=10,
+            ),
+            1..=5,
+        );
+        (obj, cons).prop_map(move |(objective, constraints)| BinaryProgram {
+            num_vars: n,
+            objective,
+            constraints,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Branch-and-bound agrees with brute force on feasibility and optimum.
+    #[test]
+    fn milp_matches_brute_force(p in program_strategy()) {
+        let (m, _) = build(&p);
+        let expected = brute_force(&p);
+        let opts = SolveOptions { time_limit: Duration::from_secs(20), ..Default::default() };
+        match (solve(&m, &opts), expected) {
+            (Ok(sol), Some(best)) => {
+                prop_assert!(m.check_feasible(&sol.values, 1e-6).is_ok(),
+                    "returned solution infeasible");
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "objective {} != brute-force {best}", sol.objective);
+            }
+            (Err(pdw_ilp::MilpError::Infeasible), None) => {}
+            (got, want) => prop_assert!(false, "solver {got:?} vs brute force {want:?}"),
+        }
+    }
+
+    /// Any optimal LP relaxation solution satisfies the model, and bounds
+    /// the MILP optimum from below.
+    #[test]
+    fn lp_relaxation_is_feasible_and_bounds_milp(p in program_strategy()) {
+        let (m, _) = build(&p);
+        if let LpOutcome::Optimal(lp) = solve_lp(&m) {
+            // Integrality dropped: only bounds + constraints must hold.
+            let relaxed_check = {
+                let mut ok = true;
+                for (j, v) in lp.values.iter().enumerate() {
+                    if *v < -1e-6 || *v > 1.0 + 1e-6 {
+                        ok = false;
+                        let _ = j;
+                    }
+                }
+                ok
+            };
+            prop_assert!(relaxed_check, "LP values outside [0,1]: {:?}", lp.values);
+            if let Some(best) = brute_force(&p) {
+                prop_assert!(lp.objective <= best + 1e-6,
+                    "LP bound {} above integer optimum {best}", lp.objective);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Task, flow-path, and schedule model shared across the PathDriver-Wash
+//! pipeline.
+//!
+//! The synthesis flow (`pdw-synth`) produces a [`Schedule`]: the set of
+//! scheduled biochemical operations plus every fluidic task — reagent
+//! injections, result transports (`p_{j,i,1}` in the paper), excess-fluid
+//! removals (`p_{j,i,2}`), waste/output removals, and (after wash
+//! optimization) wash operations — each with a complete port-to-port
+//! [`FlowPath`](pdw_biochip::FlowPath) and a time window.
+//!
+//! Both wash optimizers (PathDriver-Wash and the DAWO baseline) consume and
+//! produce this representation, and the simulator (`pdw-sim`) validates and
+//! measures it.
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_sched::{Schedule, Task, TaskKind};
+//! use pdw_biochip::{Coord, FlowPath};
+//! use pdw_assay::FluidType;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let path = FlowPath::new(vec![Coord::new(0, 0), Coord::new(1, 0)])?;
+//! let mut schedule = Schedule::new();
+//! let id = schedule.push_task(Task::new(
+//!     TaskKind::Wash { targets: vec![Coord::new(1, 0)] },
+//!     path,
+//!     10,
+//!     3,
+//!     FluidType::BUFFER,
+//! ));
+//! assert_eq!(schedule.task(id).end(), 13);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod schedule;
+mod task;
+
+pub use schedule::{Schedule, ScheduledOp};
+pub use task::{Task, TaskId, TaskKind};
+
+/// Scheduling time in whole seconds (alias of [`pdw_assay::Seconds`]).
+pub type Time = pdw_assay::Seconds;
+
+/// How many grid cells a fluid front traverses per second
+/// (`FLOW_VELOCITY_MM_S / CELL_PITCH_MM`).
+pub const CELLS_PER_SECOND: usize =
+    (pdw_biochip::FLOW_VELOCITY_MM_S / pdw_biochip::CELL_PITCH_MM) as usize;
+
+/// Duration of a fluid movement along a path of `path_len` cells, in whole
+/// seconds (at least one).
+pub fn flow_duration(path_len: usize) -> Time {
+    (path_len.div_ceil(CELLS_PER_SECOND)).max(1) as Time
+}
+
+#[cfg(test)]
+mod timing_tests {
+    use super::flow_duration;
+
+    #[test]
+    fn flow_duration_rounds_up_and_floors_at_one() {
+        assert_eq!(flow_duration(1), 1);
+        assert_eq!(flow_duration(5), 1);
+        assert_eq!(flow_duration(6), 2);
+        assert_eq!(flow_duration(23), 5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Schedule execution checking and assay metrics.
+//!
+//! This crate is the measurement harness of the reproduction: it validates
+//! that a schedule is physically executable on a chip (dependencies, device
+//! exclusivity, path validity, cell/time conflicts, wash adequacy) and
+//! computes the metrics reported in the paper's evaluation —
+//! `N_wash`, `L_wash`, `T_delay`, `T_assay` (Table II), per-operation
+//! waiting times (Fig. 4), and total wash time (Fig. 5).
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::benchmarks;
+//! use pdw_sim::{validate, Metrics};
+//! use pdw_synth::synthesize;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::demo();
+//! let s = synthesize(&bench)?;
+//! validate(&s.chip, &bench.graph, &s.schedule)?;
+//! let m = Metrics::measure(&bench.graph, &s.schedule);
+//! assert_eq!(m.n_wash, 0); // synthesis emits no washes
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod stats;
+mod validate;
+
+pub use metrics::Metrics;
+pub use stats::{DeviceUtilization, ScheduleStats, TaskMix};
+pub use validate::{validate, SimError, DISSOLUTION_S};

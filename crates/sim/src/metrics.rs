@@ -1,0 +1,167 @@
+//! The paper's evaluation metrics.
+
+use serde::{Deserialize, Serialize};
+
+use pdw_assay::AssayGraph;
+use pdw_biochip::{CELL_PITCH_MM, CHANNEL_HEIGHT_MM, CHANNEL_WIDTH_MM};
+use pdw_sched::{Schedule, Time};
+
+/// Metrics of a (possibly wash-optimized) schedule, matching the columns of
+/// Table II and the series of Figs. 4–5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// `N_wash`: number of wash operations.
+    pub n_wash: usize,
+    /// `L_wash`: total length of wash paths in millimeters.
+    pub l_wash_mm: f64,
+    /// `T_assay`: completion time of the assay in seconds (last operation or
+    /// trailing fluidic task).
+    pub t_assay: Time,
+    /// Total wash time in seconds (Fig. 5): sum of wash durations.
+    pub total_wash_time: Time,
+    /// Average waiting time of biochemical operations in seconds (Fig. 4):
+    /// how long each operation sits ready (all parents finished) before it
+    /// actually starts, averaged over operations.
+    pub avg_wait: f64,
+    /// Buffer fluid consumed by wash operations, in nanoliters: each wash
+    /// fills its path's channel volume once
+    /// (`L_wash × width × height`; the paper lists buffer consumption among
+    /// the extra costs wash optimization should reduce).
+    pub buffer_nl: f64,
+}
+
+impl Metrics {
+    /// Measures a schedule.
+    pub fn measure(graph: &AssayGraph, schedule: &Schedule) -> Self {
+        let washes: Vec<_> = schedule
+            .tasks()
+            .filter(|(_, t)| t.kind().is_wash())
+            .collect();
+        let n_wash = washes.len();
+        let l_wash_mm: f64 = washes
+            .iter()
+            .map(|(_, t)| t.path().len() as f64 * CELL_PITCH_MM)
+            .sum();
+        let total_wash_time: Time = washes.iter().map(|(_, t)| t.duration()).sum();
+        // 1 mm³ = 1 µl = 1000 nl.
+        let buffer_nl = l_wash_mm * CHANNEL_WIDTH_MM * CHANNEL_HEIGHT_MM * 1000.0;
+
+        let mut wait_sum = 0.0;
+        let mut wait_n = 0usize;
+        for id in graph.op_ids() {
+            let Some(sop) = schedule.scheduled_op(id) else {
+                continue;
+            };
+            let ready = graph
+                .op(id)
+                .parent_ops()
+                .filter_map(|p| schedule.scheduled_op(p).map(|s| s.end()))
+                .max()
+                .unwrap_or(0);
+            wait_sum += sop.start.saturating_sub(ready) as f64;
+            wait_n += 1;
+        }
+        let avg_wait = if wait_n == 0 { 0.0 } else { wait_sum / wait_n as f64 };
+
+        Metrics {
+            n_wash,
+            l_wash_mm,
+            t_assay: schedule.makespan(),
+            total_wash_time,
+            avg_wait,
+            buffer_nl,
+        }
+    }
+
+    /// `T_delay`: the assay delay caused by wash, relative to the wash-free
+    /// baseline schedule.
+    pub fn delay_vs(&self, baseline: &Metrics) -> Time {
+        self.t_assay.saturating_sub(baseline.t_assay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_assay::FluidType;
+    use pdw_biochip::{Coord, FlowPath};
+    use pdw_sched::{Task, TaskKind};
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn wash_free_schedule_has_zero_wash_metrics() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let m = Metrics::measure(&bench.graph, &s.schedule);
+        assert_eq!(m.n_wash, 0);
+        assert_eq!(m.l_wash_mm, 0.0);
+        assert_eq!(m.total_wash_time, 0);
+        assert!(m.t_assay > 0);
+    }
+
+    #[test]
+    fn buffer_volume_tracks_wash_length() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut schedule = s.schedule.clone();
+        let path = FlowPath::new(vec![Coord::new(0, 4), Coord::new(1, 4)]).unwrap();
+        let end = schedule.makespan();
+        schedule.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path,
+            end,
+            3,
+            FluidType::BUFFER,
+        ));
+        let m = Metrics::measure(&bench.graph, &schedule);
+        let expected = m.l_wash_mm * CHANNEL_WIDTH_MM * CHANNEL_HEIGHT_MM * 1000.0;
+        assert!((m.buffer_nl - expected).abs() < 1e-9);
+        assert!(m.buffer_nl > 0.0);
+    }
+
+    #[test]
+    fn wash_tasks_contribute_to_all_wash_metrics() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut schedule = s.schedule.clone();
+        let path = FlowPath::new(vec![Coord::new(0, 4), Coord::new(1, 4)]).unwrap();
+        let end = schedule.makespan();
+        schedule.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path,
+            end,
+            3,
+            FluidType::BUFFER,
+        ));
+        let m = Metrics::measure(&bench.graph, &schedule);
+        assert_eq!(m.n_wash, 1);
+        assert!((m.l_wash_mm - 2.0 * CELL_PITCH_MM).abs() < 1e-12);
+        assert_eq!(m.total_wash_time, 3);
+        assert_eq!(m.t_assay, end + 3);
+    }
+
+    #[test]
+    fn delay_vs_baseline_is_saturating() {
+        let a = Metrics {
+            n_wash: 0,
+            l_wash_mm: 0.0,
+            t_assay: 30,
+            total_wash_time: 0,
+            avg_wait: 0.0,
+            buffer_nl: 0.0,
+        };
+        let b = Metrics { t_assay: 36, ..a.clone() };
+        assert_eq!(b.delay_vs(&a), 6);
+        assert_eq!(a.delay_vs(&b), 0);
+    }
+
+    #[test]
+    fn waiting_time_counts_resource_stalls() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let m = Metrics::measure(&bench.graph, &s.schedule);
+        // Transports take time, so ops wait at least a little on average.
+        assert!(m.avg_wait > 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Descriptive schedule statistics: device utilization, fluidic
+//! parallelism, task mix.
+
+use serde::{Deserialize, Serialize};
+
+use pdw_biochip::{Chip, DeviceId};
+use pdw_sched::{Schedule, TaskKind, Time};
+
+/// Utilization of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceUtilization {
+    /// The device.
+    pub device: DeviceId,
+    /// Seconds the device spends executing operations.
+    pub busy: Time,
+    /// `busy / makespan` (0 when the schedule is empty).
+    pub utilization: f64,
+}
+
+/// Task counts by kind: `[injection, transport, excess, output, wash]`.
+pub type TaskMix = [usize; 5];
+
+/// Aggregate statistics of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Per-device execution utilization, indexed by [`DeviceId`].
+    pub devices: Vec<DeviceUtilization>,
+    /// Maximum number of fluidic tasks active in the same second.
+    pub peak_parallel_tasks: usize,
+    /// Time-averaged number of active fluidic tasks.
+    pub avg_parallel_tasks: f64,
+    /// Task counts by kind.
+    pub task_mix: TaskMix,
+}
+
+impl ScheduleStats {
+    /// Collects statistics for `schedule` on `chip`.
+    pub fn collect(chip: &Chip, schedule: &Schedule) -> Self {
+        let makespan = schedule.makespan();
+
+        let mut busy = vec![0u32; chip.devices().len()];
+        for sop in schedule.ops() {
+            busy[sop.device.0 as usize] += sop.duration;
+        }
+        let devices = chip
+            .devices()
+            .iter()
+            .map(|d| DeviceUtilization {
+                device: d.id(),
+                busy: busy[d.id().0 as usize],
+                utilization: if makespan == 0 {
+                    0.0
+                } else {
+                    busy[d.id().0 as usize] as f64 / makespan as f64
+                },
+            })
+            .collect();
+
+        // Parallelism profile via a sweep over start/end events.
+        let mut delta: std::collections::BTreeMap<Time, i64> = std::collections::BTreeMap::new();
+        for (_, t) in schedule.tasks() {
+            *delta.entry(t.start()).or_insert(0) += 1;
+            *delta.entry(t.end()).or_insert(0) -= 1;
+        }
+        let mut active = 0i64;
+        let mut peak = 0i64;
+        let mut weighted = 0f64;
+        let mut prev: Option<Time> = None;
+        for (&t, &d) in &delta {
+            if let Some(p) = prev {
+                weighted += active as f64 * (t - p) as f64;
+            }
+            active += d;
+            peak = peak.max(active);
+            prev = Some(t);
+        }
+        let avg = if makespan == 0 {
+            0.0
+        } else {
+            weighted / makespan as f64
+        };
+
+        let mut task_mix = [0usize; 5];
+        for (_, t) in schedule.tasks() {
+            let idx = match t.kind() {
+                TaskKind::Injection { .. } => 0,
+                TaskKind::Transport { .. } => 1,
+                TaskKind::ExcessRemoval { .. } => 2,
+                TaskKind::OutputRemoval { .. } => 3,
+                TaskKind::Wash { .. } => 4,
+            };
+            task_mix[idx] += 1;
+        }
+
+        ScheduleStats {
+            devices,
+            peak_parallel_tasks: peak.max(0) as usize,
+            avg_parallel_tasks: avg,
+            task_mix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn utilization_is_bounded_and_nonzero_for_used_devices() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let stats = ScheduleStats::collect(&s.chip, &s.schedule);
+        assert_eq!(stats.devices.len(), s.chip.devices().len());
+        for d in &stats.devices {
+            assert!(d.utilization >= 0.0 && d.utilization <= 1.0);
+        }
+        // Every demo device executes at least one operation.
+        assert!(stats.devices.iter().all(|d| d.busy > 0));
+    }
+
+    #[test]
+    fn busy_time_sums_to_op_durations() {
+        let bench = benchmarks::pcr();
+        let s = synthesize(&bench).unwrap();
+        let stats = ScheduleStats::collect(&s.chip, &s.schedule);
+        let total_busy: u32 = stats.devices.iter().map(|d| d.busy).sum();
+        let total_ops: u32 = s.schedule.ops().iter().map(|o| o.duration).sum();
+        assert_eq!(total_busy, total_ops);
+    }
+
+    #[test]
+    fn parallelism_bounds() {
+        let bench = benchmarks::ivd();
+        let s = synthesize(&bench).unwrap();
+        let stats = ScheduleStats::collect(&s.chip, &s.schedule);
+        assert!(stats.peak_parallel_tasks >= 1);
+        assert!(stats.avg_parallel_tasks > 0.0);
+        assert!(stats.avg_parallel_tasks <= stats.peak_parallel_tasks as f64);
+    }
+
+    #[test]
+    fn task_mix_counts_everything_once() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let stats = ScheduleStats::collect(&s.chip, &s.schedule);
+        assert_eq!(stats.task_mix.iter().sum::<usize>(), s.schedule.task_count());
+        assert_eq!(stats.task_mix[4], 0, "synthesis emits no washes");
+    }
+
+    #[test]
+    fn empty_schedule_is_all_zero() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let stats = ScheduleStats::collect(&s.chip, &pdw_sched::Schedule::new());
+        assert_eq!(stats.peak_parallel_tasks, 0);
+        assert_eq!(stats.avg_parallel_tasks, 0.0);
+        assert!(stats.devices.iter().all(|d| d.busy == 0));
+    }
+}

@@ -1,0 +1,355 @@
+//! Physical-executability validation of schedules.
+
+use std::fmt;
+
+use pdw_assay::{AssayGraph, OpId};
+use pdw_biochip::{Chip, Coord};
+use pdw_sched::{Schedule, TaskId, TaskKind, Time};
+use pdw_sched::flow_duration;
+
+/// Dissolution time `t_d` of residues in buffer, in seconds (Eq. 17).
+///
+/// The paper takes dissolution kinetics from protein-diffusion data \[11\];
+/// one second per wash matches the scale of its schedules.
+pub const DISSOLUTION_S: Time = 1;
+
+/// Ways a schedule can be physically invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An operation starts before a parent finishes (Eq. 2).
+    DependencyViolated {
+        /// Parent operation.
+        parent: OpId,
+        /// Child operation.
+        child: OpId,
+    },
+    /// Two operations overlap on the same device (Eq. 3).
+    DeviceOverlap {
+        /// First operation.
+        a: OpId,
+        /// Second operation.
+        b: OpId,
+    },
+    /// A delivery ends after its operation starts (Eqs. 4–5).
+    LateDelivery {
+        /// The delivery task.
+        task: TaskId,
+        /// The operation it feeds.
+        op: OpId,
+    },
+    /// Two tasks overlap in time while sharing a cell (Eq. 8/19/20).
+    TaskConflict {
+        /// First task.
+        a: TaskId,
+        /// Second task.
+        b: TaskId,
+        /// A shared cell.
+        cell: Coord,
+    },
+    /// A task crosses a device while an unrelated operation's fluid occupies
+    /// it (loading, executing, or awaiting pickup).
+    DeviceCrossed {
+        /// The offending task.
+        task: TaskId,
+        /// The occupied operation.
+        op: OpId,
+    },
+    /// A task's path is not a complete flow path on the chip.
+    BadPath {
+        /// The offending task.
+        task: TaskId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A wash is shorter than its required flush + dissolution time
+    /// (Eqs. 17–18).
+    WashTooShort {
+        /// The offending wash task.
+        task: TaskId,
+        /// Required duration.
+        required: Time,
+        /// Actual duration.
+        actual: Time,
+    },
+    /// An operation executes for less than its protocol time (Eq. 1).
+    OpTooShort {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// An operation appears more than once or not at all.
+    OpCountMismatch,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DependencyViolated { parent, child } => {
+                write!(f, "{child} starts before its parent {parent} finishes")
+            }
+            SimError::DeviceOverlap { a, b } => {
+                write!(f, "operations {a} and {b} overlap on the same device")
+            }
+            SimError::LateDelivery { task, op } => {
+                write!(f, "delivery {task} ends after operation {op} starts")
+            }
+            SimError::TaskConflict { a, b, cell } => {
+                write!(f, "tasks {a} and {b} overlap in time and share cell {cell}")
+            }
+            SimError::DeviceCrossed { task, op } => {
+                write!(f, "task {task} crosses the device occupied by {op}")
+            }
+            SimError::BadPath { task, reason } => {
+                write!(f, "task {task} has an invalid flow path: {reason}")
+            }
+            SimError::WashTooShort {
+                task,
+                required,
+                actual,
+            } => write!(
+                f,
+                "wash {task} lasts {actual} s but needs {required} s (flush + dissolution)"
+            ),
+            SimError::OpTooShort { op } => {
+                write!(f, "operation {op} executes for less than its protocol time")
+            }
+            SimError::OpCountMismatch => {
+                write!(f, "schedule does not execute every operation exactly once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Validates that `schedule` is physically executable on `chip` for the
+/// assay `graph`.
+///
+/// Checks, in order: every operation scheduled exactly once with a
+/// sufficient duration; dependency precedence; per-device exclusivity;
+/// delivery-before-start; path validity of every task; pairwise task
+/// conflicts; device occupancy (no foreign task crosses a device between
+/// the start of an operation's loading and the pickup of its result); and
+/// wash adequacy (Eq. 17/18).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Result<(), SimError> {
+    // Exactly one scheduled instance per op, with adequate duration.
+    if schedule.ops().len() != graph.ops().len() {
+        return Err(SimError::OpCountMismatch);
+    }
+    for id in graph.op_ids() {
+        let count = schedule.ops().iter().filter(|s| s.op == id).count();
+        if count != 1 {
+            return Err(SimError::OpCountMismatch);
+        }
+        let sop = schedule.scheduled_op(id).expect("counted above");
+        if sop.duration < graph.op(id).duration() {
+            return Err(SimError::OpTooShort { op: id });
+        }
+    }
+
+    // Dependencies.
+    for (parent, child) in graph.dep_edges() {
+        let p = schedule.scheduled_op(parent).expect("scheduled");
+        let c = schedule.scheduled_op(child).expect("scheduled");
+        if c.start < p.end() {
+            return Err(SimError::DependencyViolated { parent, child });
+        }
+    }
+
+    // Device exclusivity.
+    let ops = schedule.ops();
+    for (i, a) in ops.iter().enumerate() {
+        for b in &ops[i + 1..] {
+            if a.device == b.device && a.start < b.end() && b.start < a.end() {
+                return Err(SimError::DeviceOverlap { a: a.op, b: b.op });
+            }
+        }
+    }
+
+    // Deliveries precede their operations; paths are valid; washes adequate.
+    for (id, task) in schedule.tasks() {
+        if let Err(e) = chip.validate_path(task.path()) {
+            return Err(SimError::BadPath {
+                task: id,
+                reason: e.to_string(),
+            });
+        }
+        let feeds = match *task.kind() {
+            TaskKind::Injection { op, .. } => Some(op),
+            TaskKind::Transport { to_op, .. } => Some(to_op),
+            _ => None,
+        };
+        if let Some(op) = feeds {
+            let sop = schedule.scheduled_op(op).expect("scheduled");
+            if task.end() > sop.start {
+                return Err(SimError::LateDelivery { task: id, op });
+            }
+        }
+        if task.kind().is_wash() {
+            let required = flow_duration(task.path().len()) + DISSOLUTION_S;
+            if task.duration() < required {
+                return Err(SimError::WashTooShort {
+                    task: id,
+                    required,
+                    actual: task.duration(),
+                });
+            }
+        }
+    }
+
+    // Pairwise task conflicts.
+    let ids = schedule.tasks_chronological();
+    for (i, &a) in ids.iter().enumerate() {
+        let ta = schedule.task(a);
+        for &b in &ids[i + 1..] {
+            let tb = schedule.task(b);
+            if tb.start() >= ta.end() {
+                break; // chronological order: no later task can overlap
+            }
+            if ta.path().overlaps(tb.path()) {
+                let cell = *ta
+                    .path()
+                    .iter()
+                    .find(|c| tb.path().contains(**c))
+                    .expect("overlap reported");
+                return Err(SimError::TaskConflict { a, b, cell });
+            }
+        }
+    }
+
+    // Device occupancy: from the start of an operation's first delivery to
+    // the end of the task that picks up (or removes) its result, no
+    // unrelated task may cross the device footprint.
+    for sop in schedule.ops() {
+        let mut occupied_from = sop.start;
+        let mut occupied_to = sop.end();
+        let mut related: Vec<TaskId> = Vec::new();
+        for (id, task) in schedule.tasks() {
+            match *task.kind() {
+                TaskKind::Injection { op, .. } | TaskKind::ExcessRemoval { op } if op == sop.op => {
+                    occupied_from = occupied_from.min(task.start());
+                    related.push(id);
+                }
+                TaskKind::Transport { from_op, to_op } => {
+                    if to_op == sop.op {
+                        occupied_from = occupied_from.min(task.start());
+                        related.push(id);
+                    }
+                    if from_op == sop.op {
+                        occupied_to = occupied_to.max(task.end());
+                        related.push(id);
+                    }
+                }
+                TaskKind::OutputRemoval { op } if op == sop.op => {
+                    occupied_to = occupied_to.max(task.end());
+                    related.push(id);
+                }
+                _ => {}
+            }
+        }
+        let foot = chip.device(sop.device).footprint();
+        for (id, task) in schedule.tasks() {
+            if related.contains(&id) {
+                continue;
+            }
+            let overlaps_window = task.start() < occupied_to && occupied_from < task.end();
+            if overlaps_window && foot.iter().any(|c| task.path().contains(*c)) {
+                return Err(SimError::DeviceCrossed {
+                    task: id,
+                    op: sop.op,
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_assay::FluidType;
+    use pdw_sched::Task;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn synthesized_suite_validates() {
+        for bench in benchmarks::suite() {
+            let s = synthesize(&bench).unwrap();
+            validate(&s.chip, &bench.graph, &s.schedule)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        }
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut bad = s.schedule.clone();
+        // Drag the last op to time zero.
+        let last = bad.ops().last().unwrap().op;
+        for op in bad.ops_mut() {
+            if op.op == last {
+                op.start = 0;
+            }
+        }
+        assert!(matches!(
+            validate(&s.chip, &bench.graph, &bad),
+            Err(SimError::DependencyViolated { .. }) | Err(SimError::LateDelivery { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_task_conflict() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut bad = s.schedule.clone();
+        // Duplicate a task on top of itself.
+        let (_, t0) = bad.tasks().next().map(|(i, t)| (i, t.clone())).unwrap();
+        bad.push_task(t0);
+        assert!(matches!(
+            validate(&s.chip, &bench.graph, &bad),
+            Err(SimError::TaskConflict { .. }) | Err(SimError::DeviceCrossed { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_short_wash() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut bad = s.schedule.clone();
+        // A 1-second wash over a long path is inadequate.
+        let path = bad.tasks().next().unwrap().1.path().clone();
+        let far_future = bad.makespan() + 100;
+        bad.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path,
+            far_future,
+            1,
+            FluidType::BUFFER,
+        ));
+        assert!(matches!(
+            validate(&s.chip, &bench.graph, &bad),
+            Err(SimError::WashTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_missing_op() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut bad = pdw_sched::Schedule::new();
+        for t in s.schedule.tasks().map(|(_, t)| t.clone()) {
+            bad.push_task(t);
+        }
+        assert_eq!(
+            validate(&s.chip, &bench.graph, &bad),
+            Err(SimError::OpCountMismatch)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the synthesis flow.
+
+use std::fmt;
+
+use pdw_assay::OpId;
+use pdw_biochip::ChipError;
+
+/// Errors raised by layout generation or scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The device library does not fit on the requested grid.
+    GridTooSmall {
+        /// Devices requested.
+        devices: usize,
+        /// Devices that fit.
+        capacity: usize,
+    },
+    /// A chip-construction step failed.
+    Chip(ChipError),
+    /// No flow path could be routed for a task of operation `op`.
+    Unroutable {
+        /// The operation whose task failed to route.
+        op: OpId,
+        /// Which task failed ("injection", "transport", "excess removal",
+        /// "output removal").
+        what: &'static str,
+    },
+    /// Scheduling deadlocked: every ready operation is blocked by a device
+    /// holding an unconsumed result, and early delivery into pre-bound
+    /// consumer devices could not break the cycle. This arises when a
+    /// device kind is heavily chained through a single instance (e.g. three
+    /// dependent mix operations and one mixer); provision more devices of
+    /// the contended kind. Parking results in storage devices (the
+    /// distributed-channel-storage architecture of TC'22 \[10\]) would lift
+    /// the limitation and is left as future work.
+    Deadlock {
+        /// Operations that were never scheduled.
+        unscheduled: usize,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::GridTooSmall { devices, capacity } => write!(
+                f,
+                "grid fits only {capacity} devices but the library has {devices}"
+            ),
+            SynthError::Chip(e) => write!(f, "chip construction failed: {e}"),
+            SynthError::Unroutable { op, what } => {
+                write!(f, "no route for the {what} task of {op}")
+            }
+            SynthError::Deadlock { unscheduled } => write!(
+                f,
+                "scheduling deadlocked with {unscheduled} operations unscheduled; \
+                 enlarge the device library"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Chip(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChipError> for SynthError {
+    fn from(e: ChipError) -> Self {
+        SynthError::Chip(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = SynthError::GridTooSmall {
+            devices: 18,
+            capacity: 12,
+        };
+        assert!(e.to_string().contains("18"));
+        let e = SynthError::Deadlock { unscheduled: 3 };
+        assert!(e.to_string().contains("enlarge"));
+    }
+}

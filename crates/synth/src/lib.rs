@@ -1,0 +1,61 @@
+//! PathDriver-style architectural synthesis for continuous-flow biochips.
+//!
+//! The PathDriver-Wash paper consumes the outputs of the (closed-source)
+//! PathDriver+ synthesis flow: a chip layout and an assay schedule with
+//! complete flow paths for every fluidic task. This crate reproduces that
+//! flow:
+//!
+//! 1. **Layout** ([`layout`]): the device library is placed on a virtual
+//!    grid etched with a corridor mesh; flow ports and waste ports are
+//!    spread along the boundary.
+//! 2. **Binding & scheduling** ([`schedule`]): operations are bound to
+//!    devices and list-scheduled; every fluid movement becomes a
+//!    [`Task`](pdw_sched::Task) with a complete `[flow port → … → waste
+//!    port]` path — reagent injections, result transports (`p_{j,i,1}`),
+//!    excess-fluid removals (`p_{j,i,2}`), and output removals.
+//!
+//! The result is a wash-free [`Schedule`](pdw_sched::Schedule) — exactly the
+//! "given scheduling" both wash optimizers start from.
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::benchmarks;
+//! use pdw_synth::synthesize;
+//!
+//! # fn main() -> Result<(), pdw_synth::SynthError> {
+//! let bench = benchmarks::demo();
+//! let synthesis = synthesize(&bench)?;
+//! assert_eq!(synthesis.chip.devices().len(), 5);
+//! assert!(synthesis.schedule.makespan() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod layout;
+mod reservations;
+pub mod schedule;
+
+pub use error::SynthError;
+pub use layout::{build_chip, device_kind_for, device_slots};
+pub use schedule::{
+    blocked_footprints, excess_cells, flow_duration, route_flush, route_task, route_task_from,
+    synthesize_on, Synthesis, CELLS_PER_SECOND, EXCESS_SPAN,
+};
+
+use pdw_assay::benchmarks::Benchmark;
+
+/// Runs the full synthesis flow: layout then binding/scheduling.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] if the device library does not fit the grid or a
+/// required flow path cannot be routed.
+pub fn synthesize(bench: &Benchmark) -> Result<Synthesis, SynthError> {
+    let chip = build_chip(bench)?;
+    synthesize_on(bench, chip)
+}

@@ -1,0 +1,194 @@
+//! Cell/time reservation bookkeeping for the list scheduler.
+
+use std::collections::HashSet;
+
+use pdw_biochip::Coord;
+use pdw_sched::Time;
+
+/// Identifier of a reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ResId(usize);
+
+#[derive(Debug)]
+struct Entry {
+    cells: HashSet<Coord>,
+    start: Time,
+    /// `None` while open-ended (a device holding a resident fluid).
+    end: Option<Time>,
+}
+
+/// A set of cell/time reservations with earliest-fit queries.
+#[derive(Debug, Default)]
+pub(crate) struct Reservations {
+    entries: Vec<Entry>,
+}
+
+impl Reservations {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `cells` for `[start, end)`.
+    pub fn add(&mut self, cells: impl IntoIterator<Item = Coord>, start: Time, end: Time) -> ResId {
+        debug_assert!(end >= start);
+        let id = ResId(self.entries.len());
+        self.entries.push(Entry {
+            cells: cells.into_iter().collect(),
+            start,
+            end: Some(end),
+        });
+        id
+    }
+
+    /// Reserves `cells` from `start` with no end (closed later via
+    /// [`close`](Self::close)).
+    pub fn add_open(&mut self, cells: impl IntoIterator<Item = Coord>, start: Time) -> ResId {
+        let id = ResId(self.entries.len());
+        self.entries.push(Entry {
+            cells: cells.into_iter().collect(),
+            start,
+            end: None,
+        });
+        id
+    }
+
+    /// Closes an open reservation at `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation is already closed.
+    pub fn close(&mut self, id: ResId, end: Time) {
+        let e = &mut self.entries[id.0];
+        assert!(e.end.is_none(), "reservation closed twice");
+        e.end = Some(end.max(e.start));
+    }
+
+    /// Earliest time from which `cells` are free of every reservation not in
+    /// `ignore`, forever. Open reservations must be ignored by the caller
+    /// (they belong to the caller's own device residency); a foreign open
+    /// reservation yields `None`.
+    pub fn free_from(
+        &self,
+        cells: impl IntoIterator<Item = Coord>,
+        ignore: &[ResId],
+    ) -> Option<Time> {
+        let cells: HashSet<Coord> = cells.into_iter().collect();
+        let mut t = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            if ignore.contains(&ResId(i)) || e.cells.is_disjoint(&cells) {
+                continue;
+            }
+            match e.end {
+                Some(end) => t = t.max(end),
+                None => return None,
+            }
+        }
+        Some(t)
+    }
+
+    fn conflicts(&self, idx: usize, cells: &HashSet<Coord>, t: Time, dur: Time) -> bool {
+        let e = &self.entries[idx];
+        let time_overlap = match e.end {
+            Some(end) => t < end && e.start < t + dur,
+            None => e.start < t + dur,
+        };
+        time_overlap && !e.cells.is_disjoint(cells)
+    }
+
+    /// Earliest `t ≥ ready` such that `cells` are free for `[t, t + dur)`,
+    /// ignoring the reservations in `ignore` (the caller's own device
+    /// residencies). Returns `None` if an open reservation blocks forever.
+    pub fn earliest_fit(
+        &self,
+        cells: impl IntoIterator<Item = Coord>,
+        ready: Time,
+        dur: Time,
+        ignore: &[ResId],
+    ) -> Option<Time> {
+        let cells: HashSet<Coord> = cells.into_iter().collect();
+        let relevant: Vec<usize> = (0..self.entries.len())
+            .filter(|i| !ignore.contains(&ResId(*i)))
+            .filter(|&i| !self.entries[i].cells.is_disjoint(&cells))
+            .collect();
+
+        // Candidate start times: `ready` and the end of every relevant entry.
+        let mut candidates: Vec<Time> = vec![ready];
+        for &i in &relevant {
+            if let Some(end) = self.entries[i].end {
+                if end > ready {
+                    candidates.push(end);
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        'outer: for &t in &candidates {
+            for &i in &relevant {
+                if self.conflicts(i, &cells, t, dur) {
+                    continue 'outer;
+                }
+            }
+            return Some(t);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(xs: &[u16]) -> Vec<Coord> {
+        xs.iter().map(|&x| Coord::new(x, 0)).collect()
+    }
+
+    #[test]
+    fn earliest_fit_skips_busy_windows() {
+        let mut r = Reservations::new();
+        r.add(cells(&[1, 2]), 5, 10);
+        // Disjoint cells: immediate.
+        assert_eq!(r.earliest_fit(cells(&[3]), 0, 4, &[]), Some(0));
+        // Same cells before the window: fits at 0 (0+4 <= 5).
+        assert_eq!(r.earliest_fit(cells(&[1]), 0, 5, &[]), Some(0));
+        // Too long to fit before: pushed to the end of the window.
+        assert_eq!(r.earliest_fit(cells(&[1]), 0, 6, &[]), Some(10));
+        // Ready inside the window: pushed to its end.
+        assert_eq!(r.earliest_fit(cells(&[2]), 7, 1, &[]), Some(10));
+    }
+
+    #[test]
+    fn open_reservations_block_forever() {
+        let mut r = Reservations::new();
+        let id = r.add_open(cells(&[4]), 8);
+        // Fits strictly before the open start.
+        assert_eq!(r.earliest_fit(cells(&[4]), 0, 8, &[]), Some(0));
+        // Cannot fit after it.
+        assert_eq!(r.earliest_fit(cells(&[4]), 5, 4, &[]), None);
+        // Unless the caller owns it.
+        assert_eq!(r.earliest_fit(cells(&[4]), 5, 4, &[id]), Some(5));
+        // Closing it unblocks.
+        r.close(id, 12);
+        assert_eq!(r.earliest_fit(cells(&[4]), 5, 4, &[]), Some(12));
+    }
+
+    #[test]
+    fn multiple_windows_are_threaded() {
+        let mut r = Reservations::new();
+        r.add(cells(&[0]), 0, 3);
+        r.add(cells(&[0]), 4, 8);
+        // A 1-second task fits in the gap [3,4).
+        assert_eq!(r.earliest_fit(cells(&[0]), 0, 1, &[]), Some(3));
+        // A 2-second task must wait for the second window to end.
+        assert_eq!(r.earliest_fit(cells(&[0]), 0, 2, &[]), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "closed twice")]
+    fn double_close_panics() {
+        let mut r = Reservations::new();
+        let id = r.add_open(cells(&[0]), 0);
+        r.close(id, 1);
+        r.close(id, 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! ASCII rendering of schedules for terminals and logs.
+
+use std::fmt::Write as _;
+
+use pdw_sched::{Schedule, TaskKind, Time};
+
+fn glyph(kind: &TaskKind) -> char {
+    match kind {
+        TaskKind::Injection { .. } => 'i',
+        TaskKind::Transport { .. } => 't',
+        TaskKind::ExcessRemoval { .. } => 'x',
+        TaskKind::OutputRemoval { .. } => 'o',
+        TaskKind::Wash { .. } => 'W',
+    }
+}
+
+/// Renders a schedule as an ASCII Gantt chart at most `width` columns wide
+/// (labels excluded). Operations are drawn with `#`, tasks with a letter per
+/// kind (`i`njection, `t`ransport, e`x`cess, `o`utput, `W`ash).
+///
+/// # Example
+///
+/// ```
+/// use pdw_sched::Schedule;
+///
+/// let empty = Schedule::new();
+/// assert!(pdw_viz::ascii::gantt(&empty, 40).is_empty());
+/// ```
+pub fn gantt(schedule: &Schedule, width: usize) -> String {
+    let makespan = schedule.makespan();
+    if makespan == 0 {
+        return String::new();
+    }
+    let width = width.max(10);
+    // Seconds per column, rounded up so the chart always fits.
+    let scale = (makespan as usize).div_ceil(width).max(1) as Time;
+    let cols = (makespan as usize).div_ceil(scale as usize);
+
+    let mut out = String::new();
+    let line = |label: String, start: Time, dur: Time, ch: char, out: &mut String| {
+        let from = (start / scale) as usize;
+        let to = (((start + dur).div_ceil(scale)) as usize).clamp(from + 1, cols);
+        let mut row = vec![' '; cols];
+        for c in row.iter_mut().take(to).skip(from) {
+            *c = ch;
+        }
+        let _ = writeln!(out, "{label:>14} |{}|", row.into_iter().collect::<String>());
+    };
+
+    let mut ops = schedule.ops().to_vec();
+    ops.sort_by_key(|o| (o.start, o.op));
+    for o in &ops {
+        line(o.op.to_string(), o.start, o.duration, '#', &mut out);
+    }
+    for id in schedule.tasks_chronological() {
+        let t = schedule.task(id);
+        line(
+            format!("{} {}", t.kind().tag(), id),
+            t.start(),
+            t.duration(),
+            glyph(t.kind()),
+            &mut out,
+        );
+    }
+    let _ = writeln!(out, "{:>14}  0 .. {makespan} s ({} s/col)", "", scale);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn rows_cover_every_op_and_task() {
+        let s = synthesize(&benchmarks::demo()).unwrap();
+        let text = gantt(&s.schedule, 60);
+        let rows = text.lines().count() - 1; // minus the scale footer
+        assert_eq!(rows, s.schedule.ops().len() + s.schedule.task_count());
+    }
+
+    #[test]
+    fn chart_fits_width() {
+        let s = synthesize(&benchmarks::pcr()).unwrap();
+        let text = gantt(&s.schedule, 50);
+        for l in text.lines() {
+            assert!(l.len() <= 14 + 2 + 50 + 30, "line too long: {}", l.len());
+        }
+    }
+
+    #[test]
+    fn washes_use_a_distinct_glyph() {
+        assert_eq!(glyph(&TaskKind::Wash { targets: vec![] }), 'W');
+        assert_eq!(
+            glyph(&TaskKind::OutputRemoval { op: pdw_assay::OpId(0) }),
+            'o'
+        );
+    }
+
+    #[test]
+    fn empty_schedule_renders_empty() {
+        assert!(gantt(&Schedule::new(), 40).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Contamination heatmap: how often each cell gets dirty.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use pdw_biochip::{Chip, Coord};
+
+/// Pixel size of one grid cell.
+const CELL_PX: u32 = 24;
+
+/// Renders an SVG heatmap of per-cell contamination counts (e.g. from
+/// [`pdw_contam::replay`]'s events): white = never contaminated, deep red =
+/// the hottest cell. Ports and empty cells stay uncolored.
+///
+/// The caller supplies `(cell, count)` pairs; duplicate cells accumulate.
+///
+/// [`pdw_contam::replay`]: https://docs.rs/pdw-contam
+pub fn contamination(chip: &Chip, counts: impl IntoIterator<Item = (Coord, usize)>) -> String {
+    let mut per_cell: HashMap<Coord, usize> = HashMap::new();
+    for (c, n) in counts {
+        *per_cell.entry(c).or_insert(0) += n;
+    }
+    let hottest = per_cell.values().copied().max().unwrap_or(0).max(1);
+
+    let g = chip.grid();
+    let (w, h) = (g.width() as u32 * CELL_PX, g.height() as u32 * CELL_PX);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    for c in g.coords() {
+        if !g.kind(c).is_routable() {
+            continue;
+        }
+        let (x, y) = (c.x as u32 * CELL_PX, c.y as u32 * CELL_PX);
+        let n = per_cell.get(&c).copied().unwrap_or(0);
+        let heat = n as f64 / hottest as f64;
+        // White → red ramp.
+        let gb = (255.0 * (1.0 - heat)) as u8;
+        let _ = write!(
+            out,
+            r##"<rect x="{x}" y="{y}" width="{CELL_PX}" height="{CELL_PX}" fill="rgb(255,{gb},{gb})" stroke="#ccc" stroke-width="0.5"/>"##
+        );
+        if n > 0 {
+            let _ = write!(
+                out,
+                r#"<text x="{}" y="{}" font-size="8" font-family="sans-serif" text-anchor="middle">{n}</text>"#,
+                x + CELL_PX / 2,
+                y + CELL_PX / 2 + 3
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn renders_counts_for_contaminated_cells() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let svg = contamination(&s.chip, [(Coord::new(2, 2), 3), (Coord::new(2, 2), 2)]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains(">5</text>"), "accumulated count missing");
+        assert!(svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn empty_counts_render_cleanly() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let svg = contamination(&s.chip, []);
+        assert!(!svg.contains("<text"), "no counts should be drawn");
+    }
+}

@@ -1,0 +1,38 @@
+//! Chip-layout and schedule visualization for the PathDriver-Wash
+//! reproduction.
+//!
+//! Two render targets, no external dependencies:
+//!
+//! - **SVG** ([`svg`]): publication-style figures — the chip layout with
+//!   devices, ports, and a highlighted flow path (Fig. 2(a) of the paper),
+//!   and a Gantt chart of a schedule with operations, fluidic tasks, and
+//!   wash operations in distinct colors (Figs. 2(b)/3).
+//! - **ASCII** ([`ascii`]): quick terminal views of the same artifacts, for
+//!   logs and examples.
+//! - **Heatmaps** ([`heatmap`]): per-cell contamination intensity over a
+//!   chip layout.
+//!
+//! # Example
+//!
+//! ```
+//! use pdw_assay::benchmarks;
+//! use pdw_synth::synthesize;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = benchmarks::demo();
+//! let s = synthesize(&bench)?;
+//! let svg = pdw_viz::svg::chip(&s.chip, None);
+//! assert!(svg.starts_with("<svg"));
+//! let gantt = pdw_viz::svg::gantt(&s.chip, &s.schedule);
+//! assert!(gantt.contains("</svg>"));
+//! println!("{}", pdw_viz::ascii::gantt(&s.schedule, 72));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod heatmap;
+pub mod svg;

@@ -1,0 +1,197 @@
+//! SVG rendering of chips and schedules.
+
+use std::fmt::Write as _;
+
+use pdw_biochip::{CellKind, Chip, FlowPath};
+use pdw_sched::{Schedule, TaskKind};
+
+/// Pixel size of one grid cell in chip drawings.
+const CELL_PX: u32 = 24;
+
+/// Escapes the few XML-special characters that can appear in labels.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a chip layout as SVG: channels in light gray, devices in blue
+/// with their labels, flow ports in green, waste ports in red, and an
+/// optional `highlight` flow path drawn over the grid in orange.
+pub fn chip(chip: &Chip, highlight: Option<&FlowPath>) -> String {
+    let g = chip.grid();
+    let (w, h) = (g.width() as u32 * CELL_PX, g.height() as u32 * CELL_PX);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+
+    for c in g.coords() {
+        let (x, y) = (c.x as u32 * CELL_PX, c.y as u32 * CELL_PX);
+        let fill = match g.kind(c) {
+            CellKind::Empty => continue,
+            CellKind::Channel => "#e8e8e8",
+            CellKind::Device(_) => "#7aa6d6",
+            CellKind::FlowPort(_) => "#74c476",
+            CellKind::WastePort(_) => "#fb6a4a",
+        };
+        let _ = write!(
+            out,
+            r##"<rect x="{x}" y="{y}" width="{CELL_PX}" height="{CELL_PX}" fill="{fill}" stroke="#bbb" stroke-width="1"/>"##
+        );
+    }
+
+    // Device labels, centered on their footprints.
+    for d in chip.devices() {
+        let f = d.footprint();
+        let cx: u32 = f.iter().map(|c| c.x as u32 * CELL_PX + CELL_PX / 2).sum::<u32>()
+            / f.len() as u32;
+        let cy = f[0].y as u32 * CELL_PX + CELL_PX / 2 + 4;
+        let _ = write!(
+            out,
+            r#"<text x="{cx}" y="{cy}" font-size="10" font-family="sans-serif" text-anchor="middle">{}</text>"#,
+            esc(d.label())
+        );
+    }
+
+    if let Some(path) = highlight {
+        let pts: Vec<String> = path
+            .iter()
+            .map(|c| {
+                format!(
+                    "{},{}",
+                    c.x as u32 * CELL_PX + CELL_PX / 2,
+                    c.y as u32 * CELL_PX + CELL_PX / 2
+                )
+            })
+            .collect();
+        let _ = write!(
+            out,
+            r##"<polyline points="{}" fill="none" stroke="#ff8c00" stroke-width="4" stroke-linecap="round" stroke-linejoin="round" opacity="0.85"/>"##,
+            pts.join(" ")
+        );
+    }
+
+    out.push_str("</svg>");
+    out
+}
+
+/// Row height of the Gantt chart.
+const ROW_PX: u32 = 18;
+/// Horizontal pixels per second.
+const SEC_PX: u32 = 8;
+/// Left margin reserved for row labels.
+const LABEL_PX: u32 = 110;
+
+fn task_color(kind: &TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Injection { .. } => "#74c476",
+        TaskKind::Transport { .. } => "#7aa6d6",
+        TaskKind::ExcessRemoval { .. } => "#fdd0a2",
+        TaskKind::OutputRemoval { .. } => "#fb6a4a",
+        TaskKind::Wash { .. } => "#9e9ac8",
+    }
+}
+
+/// Renders a schedule as an SVG Gantt chart: one row per operation (on its
+/// device) and one row per fluidic task, washes in purple — the Fig. 2(b) /
+/// Fig. 3 style of the paper.
+pub fn gantt(chip: &Chip, schedule: &Schedule) -> String {
+    let makespan = schedule.makespan().max(1);
+    let rows = schedule.ops().len() + schedule.task_count();
+    let w = LABEL_PX + makespan * SEC_PX + 10;
+    let h = (rows as u32 + 2) * ROW_PX + 20;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = write!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+
+    // Time grid every 10 s.
+    let mut t = 0;
+    while t <= makespan {
+        let x = LABEL_PX + t * SEC_PX;
+        let _ = write!(
+            out,
+            r##"<line x1="{x}" y1="10" x2="{x}" y2="{}" stroke="#eee"/><text x="{x}" y="{}" font-size="8" font-family="sans-serif" text-anchor="middle">{t}</text>"##,
+            h - 14,
+            h - 4
+        );
+        t += 10;
+    }
+
+    let mut row = 0u32;
+    let mut bar = |label: String, start: u32, dur: u32, color: &str, out: &mut String| {
+        let y = 12 + row * ROW_PX;
+        let x = LABEL_PX + start * SEC_PX;
+        let bw = (dur * SEC_PX).max(2);
+        let _ = write!(
+            out,
+            r#"<text x="{}" y="{}" font-size="9" font-family="sans-serif" text-anchor="end">{}</text>"#,
+            LABEL_PX - 6,
+            y + 12,
+            esc(&label)
+        );
+        let _ = write!(
+            out,
+            r##"<rect x="{x}" y="{y}" width="{bw}" height="{}" fill="{color}" stroke="#666" stroke-width="0.5"/>"##,
+            ROW_PX - 4
+        );
+        row += 1;
+    };
+
+    let mut ops = schedule.ops().to_vec();
+    ops.sort_by_key(|o| (o.start, o.op));
+    for o in &ops {
+        let label = format!("{} @ {}", o.op, chip.device(o.device).label());
+        bar(label, o.start, o.duration, "#fdae6b", &mut out);
+    }
+    for id in schedule.tasks_chronological() {
+        let t = schedule.task(id);
+        let label = format!("{} {}", t.kind().tag(), id);
+        bar(label, t.start(), t.duration(), task_color(t.kind()), &mut out);
+    }
+
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn chip_svg_is_well_formed() {
+        let s = synthesize(&benchmarks::demo()).unwrap();
+        let svg = chip(&s.chip, None);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One label per device.
+        assert_eq!(svg.matches("<text").count(), s.chip.devices().len());
+    }
+
+    #[test]
+    fn highlight_path_is_drawn() {
+        let s = synthesize(&benchmarks::demo()).unwrap();
+        let (_, task) = s.schedule.tasks().next().unwrap();
+        let svg = chip(&s.chip, Some(task.path()));
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn gantt_has_a_bar_per_op_and_task() {
+        let s = synthesize(&benchmarks::demo()).unwrap();
+        let svg = gantt(&s.chip, &s.schedule);
+        let bars = svg.matches(r##"stroke="#666""##).count();
+        assert_eq!(bars, s.schedule.ops().len() + s.schedule.task_count());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(esc("a<b&c>"), "a&lt;b&amp;c&gt;");
+    }
+}

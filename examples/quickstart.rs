@@ -1,0 +1,44 @@
+//! Quickstart: run the paper's demo assay end-to-end.
+//!
+//! ```text
+//! cargo run -p pathdriver-wash --example quickstart
+//! ```
+//!
+//! Synthesizes the Fig. 1(c) bioassay onto a chip, runs the DAWO baseline
+//! and PathDriver-Wash, and prints the paper's metrics side by side.
+
+use pathdriver_wash::{dawo, pdw, PdwConfig};
+use pdw_assay::benchmarks;
+use pdw_sim::Metrics;
+use pdw_synth::synthesize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The bioassay: seven operations over two reagents (Fig. 1(c)).
+    let bench = benchmarks::demo();
+    println!("{}", bench.graph);
+
+    // 2. Architectural synthesis: chip layout + wash-free schedule.
+    let synthesis = synthesize(&bench)?;
+    let base = Metrics::measure(&bench.graph, &synthesis.schedule);
+    println!("chip: {}x{} grid, {} devices, wash-free T_assay = {} s",
+        synthesis.chip.grid().width(),
+        synthesis.chip.grid().height(),
+        synthesis.chip.devices().len(),
+        base.t_assay);
+
+    // 3. Wash optimization: baseline vs the paper's method.
+    let baseline = dawo(&bench, &synthesis)?;
+    let optimized = pdw(&bench, &synthesis, &PdwConfig::default())?;
+
+    println!("\n{:<22} {:>8} {:>8}", "metric", "DAWO", "PDW");
+    println!("{:<22} {:>8} {:>8}", "N_wash", baseline.metrics.n_wash, optimized.metrics.n_wash);
+    println!("{:<22} {:>8.0} {:>8.0}", "L_wash (mm)", baseline.metrics.l_wash_mm, optimized.metrics.l_wash_mm);
+    println!("{:<22} {:>8} {:>8}", "T_delay (s)",
+        baseline.metrics.delay_vs(&base), optimized.metrics.delay_vs(&base));
+    println!("{:<22} {:>8} {:>8}", "T_assay (s)", baseline.metrics.t_assay, optimized.metrics.t_assay);
+    println!("{:<22} {:>8} {:>8}", "total wash time (s)",
+        baseline.metrics.total_wash_time, optimized.metrics.total_wash_time);
+    println!("\nPDW integrated {} excess removals into washes; ILP used: {}",
+        optimized.integrated, optimized.solver.used_ilp);
+    Ok(())
+}

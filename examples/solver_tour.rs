@@ -1,0 +1,114 @@
+//! Tour of the built-in MILP solver.
+//!
+//! ```text
+//! cargo run -p pathdriver-wash --example solver_tour
+//! ```
+//!
+//! The wash optimizer's ILPs run on `pdw-ilp`, a self-contained
+//! simplex + branch-and-bound solver. This example uses it directly on the
+//! kind of model PathDriver-Wash generates: two washes sharing a channel,
+//! each with two candidate paths, minimizing β·L_wash + γ·T_assay.
+
+use std::time::Duration;
+
+use pdw_ilp::{solve, Model, Relation, SolveOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut m = Model::new("two-washes");
+    const M: f64 = 1e3;
+    let (beta, gamma) = (0.3, 0.4);
+
+    // Wash A: candidates of length 20 mm (4 s) or 32 mm (5 s).
+    let a_start = m.continuous("a_start", 0.0, M, 0.0);
+    let a_short = m.binary("a_short", beta * 20.0);
+    let a_long = m.binary("a_long", beta * 32.0);
+    m.constraint([(a_short, 1.0), (a_long, 1.0)], Relation::Eq, 1.0);
+
+    // Wash B: candidates of length 24 mm (4 s) or 30 mm (5 s).
+    let b_start = m.continuous("b_start", 0.0, M, 0.0);
+    let b_short = m.binary("b_short", beta * 24.0);
+    let b_long = m.binary("b_long", beta * 30.0);
+    m.constraint([(b_short, 1.0), (b_long, 1.0)], Relation::Eq, 1.0);
+
+    // Windows: A in [3, 20], B in [6, 20] (wash ends before reuse).
+    let a_end = |m: &mut Model, bound: f64| {
+        // a_end = a_start + 4·a_short + 5·a_long <= bound
+        m.constraint(
+            [(a_start, 1.0), (a_short, 4.0), (a_long, 5.0)],
+            Relation::Le,
+            bound,
+        );
+    };
+    m.constraint([(a_start, 1.0)], Relation::Ge, 3.0);
+    a_end(&mut m, 20.0);
+    m.constraint([(b_start, 1.0)], Relation::Ge, 6.0);
+    m.constraint(
+        [(b_start, 1.0), (b_short, 4.0), (b_long, 5.0)],
+        Relation::Le,
+        20.0,
+    );
+
+    // The short candidates share a channel: A and B must not overlap when
+    // both pick them (η disjunction, Eq. 20 of the paper).
+    let eta = m.binary("eta", 0.0);
+    // η=1: A before B:  b_start - a_end >= -M(1-η) - M(1-a_short) - M(1-b_short)
+    m.constraint(
+        [
+            (b_start, 1.0),
+            (a_start, -1.0),
+            (a_short, -4.0 - M),
+            (a_long, -5.0),
+            (eta, -M),
+            (b_short, -M),
+        ],
+        Relation::Ge,
+        -3.0 * M,
+    );
+    // η=0: B before A.
+    m.constraint(
+        [
+            (a_start, 1.0),
+            (b_start, -1.0),
+            (b_short, -4.0 - M),
+            (b_long, -5.0),
+            (eta, M),
+            (a_short, -M),
+        ],
+        Relation::Ge,
+        -2.0 * M,
+    );
+
+    // Makespan.
+    let t_assay = m.continuous("T_assay", 0.0, M, gamma);
+    m.constraint(
+        [(t_assay, 1.0), (a_start, -1.0), (a_short, -4.0), (a_long, -5.0)],
+        Relation::Ge,
+        0.0,
+    );
+    m.constraint(
+        [(t_assay, 1.0), (b_start, -1.0), (b_short, -4.0), (b_long, -5.0)],
+        Relation::Ge,
+        0.0,
+    );
+
+    let sol = solve(
+        &m,
+        &SolveOptions {
+            time_limit: Duration::from_secs(5),
+            ..Default::default()
+        },
+    )?;
+    println!("status: {:?} after {} nodes", sol.status, sol.nodes);
+    println!(
+        "wash A: start {:.0}, {} candidate",
+        sol.value(a_start),
+        if sol.bool_value(a_short) { "short" } else { "long" }
+    );
+    println!(
+        "wash B: start {:.0}, {} candidate",
+        sol.value(b_start),
+        if sol.bool_value(b_short) { "short" } else { "long" }
+    );
+    println!("T_assay = {:.0}, objective = {:.2}", sol.value(t_assay), sol.objective);
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! End-to-end pipeline tests: every benchmark flows through synthesis,
+//! contamination analysis, DAWO, and PDW; every produced schedule is
+//! physically valid and contamination-free.
+
+use std::time::Duration;
+
+use pathdriver_wash::{dawo, pdw, PdwConfig};
+use pdw_assay::benchmarks;
+use pdw_contam::verify_clean;
+use pdw_sim::{validate, Metrics};
+use pdw_synth::synthesize;
+
+fn quick_config() -> PdwConfig {
+    PdwConfig {
+        ilp_budget: Duration::from_secs(2),
+        ..PdwConfig::default()
+    }
+}
+
+#[test]
+fn every_benchmark_runs_end_to_end() {
+    for bench in benchmarks::suite() {
+        let s = synthesize(&bench).unwrap_or_else(|e| panic!("{}: synthesis: {e}", bench.name));
+        validate(&s.chip, &bench.graph, &s.schedule)
+            .unwrap_or_else(|e| panic!("{}: base invalid: {e}", bench.name));
+
+        let d = dawo(&bench, &s).unwrap_or_else(|e| panic!("{}: dawo: {e}", bench.name));
+        let p = pdw(&bench, &s, &quick_config())
+            .unwrap_or_else(|e| panic!("{}: pdw: {e}", bench.name));
+
+        for (name, r) in [("dawo", &d), ("pdw", &p)] {
+            validate(&s.chip, &bench.graph, &r.schedule)
+                .unwrap_or_else(|e| panic!("{}: {name} invalid: {e}", bench.name));
+            verify_clean(&s.chip, &bench.graph, &r.schedule)
+                .unwrap_or_else(|e| panic!("{}: {name} dirty: {e}", bench.name));
+            assert!(r.metrics.n_wash > 0, "{}: {name} washed nothing", bench.name);
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let bench = benchmarks::pcr();
+    let s1 = synthesize(&bench).unwrap();
+    let s2 = synthesize(&bench).unwrap();
+    assert_eq!(s1.schedule, s2.schedule, "synthesis must be deterministic");
+
+    let config = PdwConfig {
+        ilp: false, // the ILP is budget-bound and may differ run to run
+        ..quick_config()
+    };
+    let p1 = pdw(&bench, &s1, &config).unwrap();
+    let p2 = pdw(&bench, &s2, &config).unwrap();
+    assert_eq!(p1.schedule, p2.schedule, "greedy optimization must be deterministic");
+}
+
+#[test]
+fn wash_metrics_are_consistent_with_schedules() {
+    let bench = benchmarks::ivd();
+    let s = synthesize(&bench).unwrap();
+    let p = pdw(&bench, &s, &quick_config()).unwrap();
+    let remeasured = Metrics::measure(&bench.graph, &p.schedule);
+    assert_eq!(p.metrics, remeasured);
+    let washes = p
+        .schedule
+        .tasks()
+        .filter(|(_, t)| t.kind().is_wash())
+        .count();
+    assert_eq!(p.metrics.n_wash, washes);
+}
+
+#[test]
+fn optimization_never_loses_operations_or_deliveries() {
+    let bench = benchmarks::protein_split();
+    let s = synthesize(&bench).unwrap();
+    let p = pdw(&bench, &s, &quick_config()).unwrap();
+    assert_eq!(p.schedule.ops().len(), bench.graph.ops().len());
+    let deliveries = |sched: &pdw_sched::Schedule| {
+        sched
+            .tasks()
+            .filter(|(_, t)| t.kind().is_delivery())
+            .count()
+    };
+    assert_eq!(deliveries(&p.schedule), deliveries(&s.schedule));
+}

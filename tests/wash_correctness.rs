@@ -1,0 +1,113 @@
+//! Wash-correctness tests: the semantic guarantees of the optimizers.
+
+use std::time::Duration;
+
+use pathdriver_wash::{dawo, pdw, PdwConfig};
+use pdw_assay::benchmarks;
+use pdw_sched::{flow_duration, TaskKind};
+use pdw_sim::DISSOLUTION_S;
+use pdw_synth::synthesize;
+
+fn quick_config() -> PdwConfig {
+    PdwConfig {
+        ilp_budget: Duration::from_secs(2),
+        ..PdwConfig::default()
+    }
+}
+
+#[test]
+fn washes_cover_their_targets() {
+    let bench = benchmarks::demo();
+    let s = synthesize(&bench).unwrap();
+    let p = pdw(&bench, &s, &quick_config()).unwrap();
+    for (_, t) in p.schedule.tasks() {
+        if let TaskKind::Wash { targets } = t.kind() {
+            for cell in targets {
+                assert!(t.path().contains(*cell), "wash misses its target {cell}");
+            }
+        }
+    }
+}
+
+#[test]
+fn washes_are_adequately_long() {
+    // Eq. 17/18: duration >= flush (L / v_f) + dissolution time.
+    for bench in [benchmarks::demo(), benchmarks::pcr()] {
+        let s = synthesize(&bench).unwrap();
+        for r in [dawo(&bench, &s).unwrap(), pdw(&bench, &s, &quick_config()).unwrap()] {
+            for (_, t) in r.schedule.tasks() {
+                if t.kind().is_wash() {
+                    assert!(t.duration() >= flow_duration(t.path().len()) + DISSOLUTION_S);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wash_paths_are_complete_port_to_port_paths() {
+    let bench = benchmarks::synthetic1();
+    let s = synthesize(&bench).unwrap();
+    let p = pdw(&bench, &s, &quick_config()).unwrap();
+    for (_, t) in p.schedule.tasks() {
+        if t.kind().is_wash() {
+            s.chip
+                .validate_path(t.path())
+                .unwrap_or_else(|e| panic!("wash path invalid: {e}"));
+        }
+    }
+}
+
+#[test]
+fn ablations_stay_correct() {
+    // Disabling each technique must never produce an invalid or dirty
+    // schedule — only a less efficient one.
+    let bench = benchmarks::pcr();
+    let s = synthesize(&bench).unwrap();
+    let variants = [
+        PdwConfig { necessity_analysis: false, ..quick_config() },
+        PdwConfig { integration: false, ..quick_config() },
+        PdwConfig { merging: false, ..quick_config() },
+        PdwConfig { ilp: false, ..quick_config() },
+        PdwConfig::naive(),
+    ];
+    for config in variants {
+        let r = pdw(&bench, &s, &config).unwrap();
+        pdw_sim::validate(&s.chip, &bench.graph, &r.schedule).unwrap();
+        pdw_contam::verify_clean(&s.chip, &bench.graph, &r.schedule).unwrap();
+    }
+}
+
+#[test]
+fn integration_reduces_task_count() {
+    // Every integrated removal is one fluidic manipulation saved.
+    let bench = benchmarks::demo();
+    let s = synthesize(&bench).unwrap();
+    let with = pdw(&bench, &s, &quick_config()).unwrap();
+    let without = pdw(
+        &bench,
+        &s,
+        &PdwConfig {
+            integration: false,
+            ..quick_config()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        with.schedule.task_count() + with.integrated,
+        without.schedule.task_count(),
+        "each ψ=1 removal must disappear from the schedule"
+    );
+}
+
+#[test]
+fn necessity_analysis_never_underwashes() {
+    // With the full analysis, schedules still pass the cleanliness check on
+    // every benchmark (the exemptions are safe, not just aggressive).
+    for bench in benchmarks::suite() {
+        let s = synthesize(&bench).unwrap();
+        let p = pdw(&bench, &s, &PdwConfig { ilp: false, ..quick_config() }).unwrap();
+        pdw_contam::verify_clean(&s.chip, &bench.graph, &p.schedule)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    }
+}
