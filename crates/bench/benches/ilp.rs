@@ -3,44 +3,8 @@
 //! (difference constraints, big-M disjunctions, selection rows).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pdw_ilp::{solve, solve_lp, Model, Relation, SolveOptions};
-
-/// A chain of difference constraints (retiming skeleton).
-fn difference_chain(n: usize) -> Model {
-    let mut m = Model::new("chain");
-    let vars: Vec<_> = (0..n)
-        .map(|i| m.continuous(&format!("s{i}"), 0.0, 1e4, if i + 1 == n { 1.0 } else { 0.0 }))
-        .collect();
-    for w in vars.windows(2) {
-        m.constraint([(w[1], 1.0), (w[0], -1.0)], Relation::Ge, 3.0);
-    }
-    m
-}
-
-/// A disjunctive scheduling core: k unit jobs on one machine (big-M pairs).
-fn disjunctive(k: usize) -> Model {
-    let mut m = Model::new("disj");
-    const M: f64 = 1e3;
-    let starts: Vec<_> = (0..k).map(|i| m.continuous(&format!("s{i}"), 0.0, M, 0.0)).collect();
-    let end = m.continuous("end", 0.0, M, 1.0);
-    for i in 0..k {
-        m.constraint([(end, 1.0), (starts[i], -1.0)], Relation::Ge, 1.0);
-        for j in i + 1..k {
-            let b = m.binary(&format!("o{i}_{j}"), 0.0);
-            m.constraint(
-                [(starts[j], 1.0), (starts[i], -1.0), (b, -M)],
-                Relation::Ge,
-                1.0 - M,
-            );
-            m.constraint(
-                [(starts[i], 1.0), (starts[j], -1.0), (b, M)],
-                Relation::Ge,
-                1.0,
-            );
-        }
-    }
-    m
-}
+use pdw_bench::models::{difference_chain, disjunctive};
+use pdw_ilp::{solve, solve_lp, SolveOptions};
 
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex");

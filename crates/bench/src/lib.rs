@@ -15,11 +15,13 @@
 
 use std::time::Duration;
 
-use pathdriver_wash::{dawo, pdw, PdwConfig, WashResult};
+use pathdriver_wash::{dawo, pdw, PdwConfig, SolverStats, WashResult};
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
 use pdw_synth::{synthesize, Synthesis};
 use serde::Serialize;
+
+pub mod models;
 
 /// One benchmark's results under both methods.
 #[derive(Debug, Clone, Serialize)]
@@ -38,6 +40,9 @@ pub struct Row {
     pub integrated: usize,
     /// Whether PDW's ILP refinement produced the final schedule.
     pub used_ilp: bool,
+    /// Detailed ILP solver counters (`None` when the ILP never ran or its
+    /// refinement was rejected).
+    pub solver_stats: Option<SolverStats>,
 }
 
 impl Row {
@@ -80,6 +85,7 @@ pub fn run_benchmark(bench: &Benchmark, config: &PdwConfig) -> Row {
         pdw: p.metrics,
         integrated: p.integrated,
         used_ilp: p.solver.used_ilp,
+        solver_stats: p.solver.stats,
     }
 }
 

@@ -1,0 +1,112 @@
+//! Synthetic MILP model generators shared by the Criterion benches and the
+//! `bench_ilp` baseline binary.
+//!
+//! Each generator produces the constraint classes PathDriver-Wash emits:
+//! difference constraints (retiming skeletons), big-M disjunctions (wash
+//! serialization), and dense selection/packing rows (candidate choice).
+//! All coefficients are deterministic, so benchmark runs are reproducible.
+
+use pdw_ilp::{Model, Relation};
+
+/// A chain of difference constraints (retiming skeleton).
+pub fn difference_chain(n: usize) -> Model {
+    let mut m = Model::new("chain");
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.continuous(&format!("s{i}"), 0.0, 1e4, if i + 1 == n { 1.0 } else { 0.0 }))
+        .collect();
+    for w in vars.windows(2) {
+        m.constraint([(w[1], 1.0), (w[0], -1.0)], Relation::Ge, 3.0);
+    }
+    m
+}
+
+/// A disjunctive scheduling core: k unit jobs on one machine (big-M pairs).
+pub fn disjunctive(k: usize) -> Model {
+    let mut m = Model::new("disj");
+    const M: f64 = 1e3;
+    let starts: Vec<_> = (0..k)
+        .map(|i| m.continuous(&format!("s{i}"), 0.0, M, 0.0))
+        .collect();
+    let end = m.continuous("end", 0.0, M, 1.0);
+    for i in 0..k {
+        m.constraint([(end, 1.0), (starts[i], -1.0)], Relation::Ge, 1.0);
+        for j in i + 1..k {
+            let b = m.binary(&format!("o{i}_{j}"), 0.0);
+            m.constraint(
+                [(starts[j], 1.0), (starts[i], -1.0), (b, -M)],
+                Relation::Ge,
+                1.0 - M,
+            );
+            m.constraint(
+                [(starts[i], 1.0), (starts[j], -1.0), (b, M)],
+                Relation::Ge,
+                1.0,
+            );
+        }
+    }
+    m
+}
+
+/// Disjunctive jobs each dragging a chain of `span` downstream operations:
+/// the shape PathDriver-Wash actually emits — a large continuous timing
+/// core (`jobs * span` difference rows) with a handful of serialization
+/// binaries. This is the regime where warm starts pay off: a cold node LP
+/// runs phase 1 across the whole chain, while a warm child repairs a
+/// single bound change with a few dual pivots.
+pub fn disjunctive_chain(jobs: usize, span: usize) -> Model {
+    let mut m = Model::new("disj_chain");
+    const M: f64 = 1e4;
+    let mut firsts = Vec::new();
+    let mut lasts = Vec::new();
+    for j in 0..jobs {
+        let chain: Vec<_> = (0..span)
+            .map(|i| m.continuous(&format!("s{j}_{i}"), 0.0, M, 0.0))
+            .collect();
+        for w in chain.windows(2) {
+            m.constraint([(w[1], 1.0), (w[0], -1.0)], Relation::Ge, 1.0);
+        }
+        firsts.push(chain[0]);
+        lasts.push(*chain.last().expect("span > 0"));
+    }
+    let end = m.continuous("end", 0.0, M, 1.0);
+    for &last in &lasts {
+        m.constraint([(end, 1.0), (last, -1.0)], Relation::Ge, 1.0);
+    }
+    for i in 0..jobs {
+        for j in i + 1..jobs {
+            let b = m.binary(&format!("o{i}_{j}"), 0.0);
+            m.constraint(
+                [(firsts[j], 1.0), (firsts[i], -1.0), (b, -M)],
+                Relation::Ge,
+                1.0 - M,
+            );
+            m.constraint(
+                [(firsts[i], 1.0), (firsts[j], -1.0), (b, M)],
+                Relation::Ge,
+                1.0,
+            );
+        }
+    }
+    m
+}
+
+/// A multi-constraint 0/1 knapsack with deterministic pseudo-random
+/// coefficients: `items` binaries packed under `rows` capacity rows at 40%
+/// of each row's total weight. Fractional LP optima everywhere — a
+/// branching stress test.
+pub fn multi_knapsack(items: usize, rows: usize) -> Model {
+    let mut m = Model::new("knap");
+    let xs: Vec<_> = (0..items)
+        .map(|i| m.binary(&format!("x{i}"), -(((i * 7 + 3) % 11) as f64 + 1.0)))
+        .collect();
+    for r in 0..rows {
+        let expr: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, ((i * 5 + r * 3) % 7 + 1) as f64))
+            .collect();
+        let cap = (expr.iter().map(|(_, c)| *c).sum::<f64>() * 0.4).round();
+        m.constraint(expr, Relation::Le, cap);
+    }
+    m
+}

@@ -19,6 +19,7 @@ usage:
 
 options for `run`:
   --budget <seconds>   ILP wall-clock budget per run (default 5)
+  --threads <n>        ILP solver threads (default 0 = all cores)
   --no-ilp             greedy placement only
   --json <file>        write metrics of both methods as JSON
   --svg <dir>          write chip.svg, base.svg, dawo.svg, pdw.svg Gantt charts
@@ -104,6 +105,7 @@ fn cmd_show(name: Option<&str>) -> Result<(), CliError> {
 struct RunOptions {
     bench: Benchmark,
     budget: u64,
+    threads: usize,
     ilp: bool,
     json: Option<String>,
     svg: Option<String>,
@@ -115,6 +117,7 @@ struct RunOptions {
 fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     let mut bench: Option<Benchmark> = None;
     let mut budget = 5;
+    let mut threads = 0usize;
     let mut ilp = true;
     let mut json = None;
     let mut svg = None;
@@ -142,6 +145,12 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                     .parse()
                     .map_err(|_| CliError(format!("bad budget `{v}`")))?;
             }
+            "--threads" => {
+                let v = it.next().ok_or(CliError("--threads needs a count".into()))?;
+                threads = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
+            }
             "--no-ilp" => ilp = false,
             "--json" => json = Some(it.next().ok_or(CliError("--json needs a file".into()))?.clone()),
             "--svg" => svg = Some(it.next().ok_or(CliError("--svg needs a directory".into()))?.clone()),
@@ -162,6 +171,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     Ok(RunOptions {
         bench,
         budget,
+        threads,
         ilp,
         json,
         svg,
@@ -180,6 +190,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let config = PdwConfig {
         ilp: opts.ilp,
         ilp_budget: Duration::from_secs(opts.budget),
+        solver_threads: opts.threads,
         ..PdwConfig::default()
     };
     let d = dawo(bench, &s).map_err(|e| CliError(format!("dawo failed: {e}")))?;
@@ -194,6 +205,30 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     println!("{:<22} {:>10} {:>10} {:>10}", "total wash time (s)", 0, d.metrics.total_wash_time, p.metrics.total_wash_time);
     println!("{:<22} {:>10.2} {:>10.2} {:>10.2}", "avg op wait (s)", base.avg_wait, d.metrics.avg_wait, p.metrics.avg_wait);
     println!("PDW: {} removals integrated, ILP used: {}", p.integrated, p.solver.used_ilp);
+    if let Some(st) = &p.solver.stats {
+        println!(
+            "solver: {} nodes in {:.2}s ({:.0} nodes/s, {} threads), {} pivots, \
+             warm/cold LPs {}/{} ({} fallbacks)",
+            st.nodes,
+            st.search_time_s,
+            st.nodes_per_sec,
+            st.threads,
+            st.lp_pivots,
+            st.warm_lps,
+            st.cold_lps,
+            st.warm_start_fallbacks
+        );
+        if let Some(t) = st.time_to_first_incumbent_s {
+            println!(
+                "solver: first incumbent after {:.3}s, {} improvements, presolve removed {} rows / tightened {} bounds in {:.3}s",
+                t,
+                st.incumbent_timeline.len(),
+                st.presolve.rows_removed,
+                st.presolve.bounds_tightened,
+                st.presolve_time_s
+            );
+        }
+    }
 
     if let Some(path) = &opts.heatmap {
         let analysis = pdw_contam::analyze(
@@ -308,12 +343,14 @@ mod tests {
 
     #[test]
     fn run_parsing_accepts_full_option_set() {
-        let args: Vec<String> = ["PCR", "--budget", "2", "--no-ilp", "--valves", "--stats"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["PCR", "--budget", "2", "--threads", "3", "--no-ilp", "--valves", "--stats"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let o = parse_run(&args).unwrap();
         assert_eq!(o.budget, 2);
+        assert_eq!(o.threads, 3);
         assert!(!o.ilp);
         assert!(o.valves);
         assert!(o.stats);

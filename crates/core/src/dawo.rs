@@ -70,11 +70,7 @@ pub fn dawo(bench: &Benchmark, synthesis: &Synthesis) -> Result<WashResult, PdwE
         metrics,
         exemptions,
         integrated: 0,
-        solver: SolverReport {
-            used_ilp: false,
-            optimal: false,
-            nodes: 0,
-        },
+        solver: SolverReport::greedy(),
     })
 }
 

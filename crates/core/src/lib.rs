@@ -54,3 +54,4 @@ pub use groups::{
 };
 pub use exact_path::exact_wash_path;
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
+pub use pdw_ilp::{IncumbentEvent, SolverStats};

@@ -42,6 +42,8 @@ pub(crate) struct Refined {
     pub optimal: bool,
     /// Branch-and-bound nodes processed.
     pub nodes: u64,
+    /// Detailed solver counters and timings.
+    pub stats: pdw_ilp::SolverStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -587,6 +589,7 @@ pub(crate) fn refine_with_ilp(
     let options = SolveOptions {
         time_limit: config.ilp_budget,
         warm_start: Some(warm),
+        threads: config.solver_threads,
         ..SolveOptions::default()
     };
     let sol = pdw_ilp::solve(&m, &options).ok()?;
@@ -624,6 +627,7 @@ pub(crate) fn refine_with_ilp(
         schedule,
         optimal: sol.status == pdw_ilp::SolveStatus::Optimal,
         nodes: sol.nodes,
+        stats: sol.stats,
     })
 }
 

@@ -14,7 +14,7 @@ use crate::groups::{build_groups, merge_groups};
 use crate::model::refine_with_ilp;
 
 /// How the final schedule was obtained.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverReport {
     /// Whether the ILP produced the returned schedule (`false` = greedy).
     pub used_ilp: bool,
@@ -22,6 +22,21 @@ pub struct SolverReport {
     pub optimal: bool,
     /// Branch-and-bound nodes processed (0 for greedy).
     pub nodes: u64,
+    /// Detailed solver counters and timings (`None` when the ILP never ran
+    /// or its refinement was rejected).
+    pub stats: Option<pdw_ilp::SolverStats>,
+}
+
+impl SolverReport {
+    /// A report for a schedule produced without the ILP.
+    pub fn greedy() -> Self {
+        SolverReport {
+            used_ilp: false,
+            optimal: false,
+            nodes: 0,
+            stats: None,
+        }
+    }
 }
 
 /// The outcome of a wash optimization run.
@@ -183,6 +198,7 @@ pub fn pdw(
                 used_ilp: true,
                 optimal: refined.optimal,
                 nodes: refined.nodes,
+                stats: Some(refined.stats),
             };
             // The ILP schedule must independently pass validation; on any
             // breach, fall back to the (always valid) greedy schedule.
@@ -209,11 +225,7 @@ pub fn pdw(
         greedy.schedule,
         exemptions,
         integrated,
-        SolverReport {
-            used_ilp: false,
-            optimal: false,
-            nodes: 0,
-        },
+        SolverReport::greedy(),
     )
 }
 

@@ -237,6 +237,90 @@ mod tests {
         pdw_sim::validate(&s.chip, &bench.graph, &moved).unwrap();
     }
 
+    /// A hand-built timeline with one item occupying `cells` over
+    /// `[start, end)` whose last component begins at `moves_at`.
+    fn fixture(start: Time, end: Time, moves_at: Time) -> (Timeline, HashSet<Coord>) {
+        let cells: HashSet<Coord> = [Coord::new(1, 1)].into_iter().collect();
+        let tl = Timeline {
+            items: vec![Item {
+                cells: cells.clone(),
+                start,
+                end,
+                moves_at,
+            }],
+        };
+        (tl, cells)
+    }
+
+    #[test]
+    fn shifted_fit_ignores_items_starting_at_the_pivot() {
+        // start == pivot: the item moves wholesale past the gap, so the
+        // window it used to occupy is free immediately.
+        let (tl, cells) = fixture(5, 9, 5);
+        assert_eq!(tl.earliest_fit_shifted(&cells, 5, 3, 5), Some(5));
+        // One tick earlier and the item stays put: the fit lands at its end.
+        assert_eq!(tl.earliest_fit_shifted(&cells, 5, 3, 6), Some(9));
+    }
+
+    #[test]
+    fn shifted_fit_treats_straddling_items_as_open_ended() {
+        // start < pivot <= moves_at and end > pivot: the item stretches over
+        // the gap, blocking its cells from `start` forever.
+        let (tl, cells) = fixture(2, 9, 6);
+        assert_eq!(tl.earliest_fit_shifted(&cells, 3, 2, 6), None);
+        // But a slot strictly before the straddler's start still fits.
+        assert_eq!(tl.earliest_fit_shifted(&cells, 0, 2, 6), Some(0));
+    }
+
+    #[test]
+    fn shifted_fit_accepts_zero_length_windows() {
+        // dur == 0 occupies no time: only instants strictly inside the item
+        // are blocked. Both boundaries are fair game.
+        let (tl, cells) = fixture(5, 9, 5);
+        assert_eq!(tl.earliest_fit_shifted(&cells, 5, 0, 20), Some(5));
+        assert_eq!(tl.earliest_fit_shifted(&cells, 6, 0, 20), Some(9));
+        assert_eq!(tl.earliest_fit_shifted(&cells, 0, 0, 20), Some(0));
+    }
+
+    #[test]
+    fn zero_length_items_never_block() {
+        // A degenerate item with start == end occupies no time at all.
+        let (tl, cells) = fixture(5, 5, 5);
+        assert_eq!(tl.earliest_fit_shifted(&cells, 0, 3, 20), Some(0));
+        assert_eq!(tl.earliest_fit(&cells, 0, 3, None), Some(0));
+    }
+
+    #[test]
+    fn shift_moves_tasks_starting_exactly_at_the_pivot() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        // Pivot on a task's exact start: `>=` must include it.
+        let (id, t) = s.schedule.tasks().next().unwrap();
+        let pivot = t.start();
+        let mut moved = s.schedule.clone();
+        shift_from(&mut moved, pivot, 4);
+        assert_eq!(moved.task(id).start(), pivot + 4);
+        // Ops starting exactly at the pivot move too.
+        for (old, new) in s.schedule.ops().iter().zip(moved.ops()) {
+            if old.start >= pivot {
+                assert_eq!(new.start, old.start + 4);
+            } else {
+                assert_eq!(new.start, old.start);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delay_shift_is_a_no_op() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut moved = s.schedule.clone();
+        shift_from(&mut moved, 0, 0);
+        for (id, t) in s.schedule.tasks() {
+            assert_eq!(moved.task(id).start(), t.start());
+        }
+    }
+
     #[test]
     fn occupancy_blocks_the_device_window() {
         let bench = benchmarks::demo();

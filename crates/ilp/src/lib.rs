@@ -9,11 +9,16 @@
 //!   constraints (`≤`, `≥`, `=`), and a linear objective to *minimize*;
 //! - a **bounded-variable two-phase primal simplex** for LP relaxations
 //!   ([`solve_lp`]);
-//! - **branch-and-bound** over the integer variables ([`solve`]) with
-//!   depth-first diving, a wall-clock budget, and anytime incumbents —
-//!   mirroring the paper's "15-minute best-effort" solver usage.
+//! - **parallel branch-and-bound** over the integer variables ([`solve`])
+//!   with best-first work sharing, depth-first diving, warm-started node
+//!   LPs, a wall-clock budget, and anytime incumbents — mirroring the
+//!   paper's "15-minute best-effort" solver usage;
+//! - a [`SolverStats`] report on every solution (node throughput, LP
+//!   pivots, warm-start hit rate, incumbent timeline).
 //!
-//! The solver is deterministic: identical models yield identical solutions.
+//! The solver is deterministic: identical models yield identical objectives
+//! regardless of the configured thread count
+//! ([`SolveOptions::threads`]).
 //!
 //! # Example
 //!
@@ -38,8 +43,10 @@ mod model;
 mod presolve;
 mod simplex;
 
-pub use branch::{solve, MilpError, Solution, SolveOptions, SolveStatus};
-pub use presolve::{presolve, Presolved};
+pub use branch::{
+    solve, IncumbentEvent, MilpError, Solution, SolveOptions, SolveStatus, SolverStats,
+};
+pub use presolve::{presolve, presolve_with_stats, Presolved, PresolveStats};
 pub use model::{LinExpr, Model, Relation, VarId, VarType};
 pub use simplex::{solve_lp, solve_lp_with_bounds, solve_lp_with_deadline, LpOutcome, LpSolution};
 

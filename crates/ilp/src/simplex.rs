@@ -1,9 +1,29 @@
-//! Bounded-variable two-phase primal simplex over a dense tableau.
+//! Bounded-variable two-phase primal simplex over a dense tableau, with
+//! warm-started reoptimization for branch-and-bound.
 //!
 //! Variable bounds are handled natively (nonbasic variables rest at either
 //! bound; the ratio test includes bound flips), which keeps binary-heavy
 //! scheduling models — the PathDriver-Wash workload — at half the row count
 //! of the textbook formulation.
+//!
+//! The solver is split for reuse across branch-and-bound nodes:
+//!
+//! - [`Prepared`] holds the canonical constraint matrix built **once** per
+//!   model (fixed column layout: structurals, then one slack per inequality
+//!   row, then one artificial per row), so a node solve starts from a flat
+//!   `memcpy` instead of re-assembling rows.
+//! - [`Workspace`] owns every mutable buffer (tableau, basic values, reduced
+//!   costs, pivot row). A branch-and-bound worker keeps one workspace and
+//!   reuses it for every node it processes — zero per-node allocations.
+//! - [`Basis`] snapshots a parent node's optimal basis. A child LP differs
+//!   from its parent by a single variable bound, so the parent basis is
+//!   rebuilt by Gauss-Jordan elimination and reoptimized with the **dual
+//!   simplex** (the basis stays dual feasible under bound changes), skipping
+//!   phase 1 entirely on the hot path.
+//!
+//! The standalone entry points ([`solve_lp`], [`solve_lp_with_bounds`],
+//! [`solve_lp_with_deadline`]) build a `Prepared`/`Workspace` pair
+//! internally and run the cold two-phase path.
 
 use std::time::Instant;
 
@@ -57,34 +77,27 @@ pub fn solve_lp_with_deadline(
     ub: &[f64],
     deadline: Option<Instant>,
 ) -> LpOutcome {
-    // Quick bound sanity: branching can cross bounds (floor < lb).
-    for j in 0..model.num_vars() {
-        if lb[j] > ub[j] + FEAS_TOL {
-            return LpOutcome::Infeasible;
-        }
-    }
-    let mut t = Tableau::build(model, lb, ub);
-    t.deadline = deadline;
-    match t.phase1() {
-        Phase1::Feasible => {}
-        Phase1::Infeasible => return LpOutcome::Infeasible,
-        Phase1::Stalled => return LpOutcome::Stalled,
-    }
-    match t.phase2() {
-        Phase2::Optimal => {}
-        Phase2::Unbounded => return LpOutcome::Unbounded,
-        Phase2::Stalled => return LpOutcome::Stalled,
-    }
-    let values = t.extract(model, lb);
-    let objective = model.objective_value(&values);
-    LpOutcome::Optimal(LpSolution { values, objective })
+    let prep = Prepared::new(model);
+    let mut ws = Workspace::new();
+    solve_cold(&prep, &mut ws, lb, ub, deadline)
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Status {
+/// Per-column simplex status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum Status {
     Basic,
+    #[default]
     Lower,
     Upper,
+}
+
+/// A basis snapshot: which column is basic in each row, plus the resting
+/// bound of every nonbasic column. Enough to reconstruct the tableau of the
+/// node that produced it — or of a child differing only in variable bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct Basis {
+    pub(crate) cols: Vec<usize>,
+    pub(crate) status: Vec<Status>,
 }
 
 enum Phase1 {
@@ -105,179 +118,408 @@ enum Step {
     Unbounded,
 }
 
+enum Dual {
+    PrimalFeasible,
+    Infeasible,
+    Stalled,
+}
+
+/// Why a warm-started solve could not be completed (the caller falls back to
+/// the cold two-phase path).
+pub(crate) enum WarmError {
+    /// The parent basis is numerically singular under the child's matrix.
+    Singular,
+    /// The dual/primal cleanup loops hit their iteration or time budget.
+    Stalled,
+}
+
 const RC_TOL: f64 = 1e-9;
 const PIVOT_TOL: f64 = 1e-9;
 const DEGENERATE_STREAK: u32 = 60;
+/// A rebuilt basis whose pivot falls below this is treated as singular.
+const REBUILD_TOL: f64 = 1e-8;
 
-struct Tableau {
-    /// Dense rows `B⁻¹A`, length `ncols` each.
-    rows: Vec<Vec<f64>>,
-    /// Current value of the basic variable of each row.
-    beta: Vec<f64>,
-    /// Basic variable of each row.
-    basis: Vec<usize>,
-    /// Status per column.
-    status: Vec<Status>,
-    /// Shifted upper bound per column (lower bound is 0 after shifting).
-    upper: Vec<f64>,
-    /// Phase-2 cost per column (structural costs; slacks/artificials 0).
+/// The canonical constraint matrix of one model, built once and shared by
+/// every node solve (read-only).
+///
+/// Column layout (fixed, independent of node bounds):
+/// `[0, n)` structurals · `[n, art0)` slacks (`+1` per `≤` row, `−1` per `≥`
+/// row, in constraint order) · `[art0, ncols)` one artificial per row
+/// (stored as zero here; materialized as an identity entry when a tableau is
+/// loaded).
+#[derive(Debug, Clone)]
+pub(crate) struct Prepared {
+    n: usize,
+    m: usize,
+    ncols: usize,
+    art0: usize,
+    /// Dense `m × ncols` matrix, row-major.
+    a: Vec<f64>,
+    /// Unshifted right-hand sides.
+    rhs: Vec<f64>,
+    /// Phase-2 cost (structural objective coefficients; 0 elsewhere).
     cost: Vec<f64>,
-    /// Columns that are artificials (banned from entering in phase 2).
-    artificial: Vec<bool>,
-    n_structural: usize,
-    degenerate_streak: u32,
-    iter_limit: u64,
-    deadline: Option<Instant>,
+    /// Slack column of each row (`None` for equality rows).
+    slack_of_row: Vec<Option<usize>>,
 }
 
-impl Tableau {
-    fn build(model: &Model, lb: &[f64], ub: &[f64]) -> Self {
+impl Prepared {
+    pub(crate) fn new(model: &Model) -> Self {
         let n = model.num_vars();
         let m = model.num_constraints();
-
-        // Column layout: [structurals | slacks (one per Le/Ge row) | artificials].
         let n_slacks = model
             .constraints
             .iter()
             .filter(|c| c.rel != Relation::Eq)
             .count();
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
-        let mut rhs: Vec<f64> = Vec::with_capacity(m);
-        let mut slack_coef: Vec<Option<(usize, f64)>> = Vec::with_capacity(m);
+        let art0 = n + n_slacks;
+        let ncols = art0 + m;
 
+        let mut a = vec![0.0; m * ncols];
+        let mut rhs = Vec::with_capacity(m);
+        let mut slack_of_row = Vec::with_capacity(m);
         let mut next_slack = n;
-        for c in &model.constraints {
-            let mut row = vec![0.0; n + n_slacks];
+        for (i, c) in model.constraints.iter().enumerate() {
+            let row = &mut a[i * ncols..(i + 1) * ncols];
             for &(v, coef) in c.expr.terms() {
                 row[v.0] += coef;
             }
-            // Shift structurals to start at 0: rhs -= a·lb.
-            let mut r = c.rhs;
-            for (j, item) in row.iter().enumerate().take(n) {
-                r -= item * lb[j];
-            }
-            let sc = match c.rel {
+            slack_of_row.push(match c.rel {
                 Relation::Le => {
                     row[next_slack] = 1.0;
-                    let s = Some((next_slack, 1.0));
                     next_slack += 1;
-                    s
+                    Some(next_slack - 1)
                 }
                 Relation::Ge => {
                     row[next_slack] = -1.0;
-                    let s = Some((next_slack, -1.0));
                     next_slack += 1;
-                    s
+                    Some(next_slack - 1)
                 }
                 Relation::Eq => None,
-            };
-            // Normalize rhs >= 0.
-            if r < 0.0 {
-                for x in row.iter_mut() {
-                    *x = -*x;
-                }
-                r = -r;
-                slack_coef.push(sc.map(|(j, co)| (j, -co)));
-            } else {
-                slack_coef.push(sc);
-            }
-            rows.push(row);
-            rhs.push(r);
-        }
-
-        // Decide basis per row: a +1 slack if available, else an artificial.
-        let mut artificial_cols = 0;
-        let needs_artificial: Vec<bool> = slack_coef
-            .iter()
-            .map(|sc| !matches!(sc, Some((_, co)) if *co > 0.0))
-            .collect();
-        for need in &needs_artificial {
-            if *need {
-                artificial_cols += 1;
-            }
-        }
-        let ncols = n + n_slacks + artificial_cols;
-        for row in rows.iter_mut() {
-            row.resize(ncols, 0.0);
-        }
-
-        let mut upper = vec![f64::INFINITY; ncols];
-        for j in 0..n {
-            upper[j] = ub[j] - lb[j];
-        }
-        let mut status = vec![Status::Lower; ncols];
-        let mut basis = Vec::with_capacity(m);
-        let mut artificial = vec![false; ncols];
-        let mut next_art = n + n_slacks;
-        for (i, need) in needs_artificial.iter().enumerate() {
-            if *need {
-                rows[i][next_art] = 1.0;
-                artificial[next_art] = true;
-                basis.push(next_art);
-                status[next_art] = Status::Basic;
-                next_art += 1;
-            } else {
-                let (j, _) = slack_coef[i].expect("row without artificial has a +1 slack");
-                basis.push(j);
-                status[j] = Status::Basic;
-            }
+            });
+            rhs.push(c.rhs);
         }
 
         let mut cost = vec![0.0; ncols];
-        for (j, c) in cost.iter_mut().enumerate().take(n) {
-            *c = model.vars[j].obj;
+        for (j, cj) in cost.iter_mut().enumerate().take(n) {
+            *cj = model.vars[j].obj;
         }
 
-        let iter_limit = 200 * (m as u64 + ncols as u64) + 2_000;
-        Tableau {
-            deadline: None,
-            beta: rhs,
-            rows,
-            basis,
-            status,
-            upper,
-            cost,
-            artificial,
-            n_structural: n,
-            degenerate_streak: 0,
-            iter_limit,
+        Prepared { n, m, ncols, art0, a, rhs, cost, slack_of_row }
+    }
+
+    fn iter_limit(&self) -> u64 {
+        200 * (self.m as u64 + self.ncols as u64) + 2_000
+    }
+}
+
+/// Reusable mutable state for node solves. One per worker thread; every
+/// buffer is resized on first use with a given [`Prepared`] and then reused
+/// allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct Workspace {
+    rows: Vec<f64>,
+    beta: Vec<f64>,
+    basis: Vec<usize>,
+    status: Vec<Status>,
+    upper: Vec<f64>,
+    rc: Vec<f64>,
+    pivot_row: Vec<f64>,
+    row_of: Vec<usize>,
+    degenerate_streak: u32,
+    /// Total pivots (basis changes and bound flips) performed through this
+    /// workspace; the branch-and-bound layer aggregates these into
+    /// [`SolverStats`](crate::SolverStats).
+    pub(crate) pivots: u64,
+}
+
+impl Workspace {
+    pub(crate) fn new() -> Self {
+        Workspace::default()
+    }
+
+    fn reset(&mut self, prep: &Prepared) {
+        self.rows.clear();
+        self.rows.extend_from_slice(&prep.a);
+        self.beta.clear();
+        self.basis.clear();
+        self.status.clear();
+        self.status.resize(prep.ncols, Status::Lower);
+        self.upper.clear();
+        self.upper.resize(prep.ncols, f64::INFINITY);
+        self.rc.clear();
+        self.rc.resize(prep.ncols, 0.0);
+        self.pivot_row.clear();
+        self.pivot_row.resize(prep.ncols, 0.0);
+        self.row_of.clear();
+        self.row_of.resize(prep.ncols, usize::MAX);
+        self.degenerate_streak = 0;
+    }
+
+    /// Snapshots the current basis (valid after an optimal solve).
+    pub(crate) fn snapshot_basis(&self) -> Basis {
+        Basis { cols: self.basis.clone(), status: self.status.clone() }
+    }
+}
+
+/// Solves one LP from scratch (two-phase), reusing `ws` buffers.
+pub(crate) fn solve_cold(
+    prep: &Prepared,
+    ws: &mut Workspace,
+    lb: &[f64],
+    ub: &[f64],
+    deadline: Option<Instant>,
+) -> LpOutcome {
+    for j in 0..prep.n {
+        if lb[j] > ub[j] + FEAS_TOL {
+            return LpOutcome::Infeasible;
+        }
+    }
+    let mut s = Solver { prep, ws, deadline };
+    s.load_cold(lb, ub);
+    match s.phase1() {
+        Phase1::Feasible => {}
+        Phase1::Infeasible => return LpOutcome::Infeasible,
+        Phase1::Stalled => return LpOutcome::Stalled,
+    }
+    match s.phase2() {
+        Phase2::Optimal => {}
+        Phase2::Unbounded => return LpOutcome::Unbounded,
+        Phase2::Stalled => return LpOutcome::Stalled,
+    }
+    LpOutcome::Optimal(s.extract(lb))
+}
+
+/// Solves one LP warm-started from a parent basis: rebuilds the tableau by
+/// elimination, restores primal feasibility with the dual simplex, and
+/// polishes with primal phase 2. Falls back to the caller on numerical
+/// trouble rather than guessing.
+pub(crate) fn solve_warm(
+    prep: &Prepared,
+    ws: &mut Workspace,
+    lb: &[f64],
+    ub: &[f64],
+    basis: &Basis,
+    deadline: Option<Instant>,
+) -> Result<LpOutcome, WarmError> {
+    for j in 0..prep.n {
+        if lb[j] > ub[j] + FEAS_TOL {
+            return Ok(LpOutcome::Infeasible);
+        }
+    }
+    debug_assert_eq!(basis.cols.len(), prep.m);
+    debug_assert_eq!(basis.status.len(), prep.ncols);
+    let mut s = Solver { prep, ws, deadline };
+    if !s.load_warm(lb, ub, basis) {
+        return Err(WarmError::Singular);
+    }
+    match s.dual_simplex() {
+        Dual::PrimalFeasible => {}
+        Dual::Infeasible => return Ok(LpOutcome::Infeasible),
+        Dual::Stalled => return Err(WarmError::Stalled),
+    }
+    match s.phase2() {
+        Phase2::Optimal => {}
+        Phase2::Unbounded => return Ok(LpOutcome::Unbounded),
+        Phase2::Stalled => return Err(WarmError::Stalled),
+    }
+    Ok(LpOutcome::Optimal(s.extract(lb)))
+}
+
+struct Solver<'a> {
+    prep: &'a Prepared,
+    ws: &'a mut Workspace,
+    deadline: Option<Instant>,
+}
+
+impl Solver<'_> {
+    /// Shifted right-hand side of row `i`: `rhs_i − Σ_j a_ij · lb_j`.
+    fn shifted_rhs(&self, lb: &[f64]) -> Vec<f64> {
+        // Reuses no scratch: called once per load, and the result becomes
+        // `beta` (moved, not copied).
+        let (nc, n) = (self.prep.ncols, self.prep.n);
+        self.prep
+            .rhs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let row = &self.prep.a[i * nc..i * nc + n];
+                r - row
+                    .iter()
+                    .zip(lb)
+                    .filter(|(&a, _)| a != 0.0)
+                    .map(|(&a, &l)| a * l)
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn set_structural_uppers(&mut self, lb: &[f64], ub: &[f64]) {
+        for j in 0..self.prep.n {
+            self.ws.upper[j] = ub[j] - lb[j];
         }
     }
 
-    /// Reduced costs for a cost vector: `rc_j = c_j − c_Bᵀ T_j`.
-    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
-        let m = self.rows.len();
-        let ncols = cost.len();
-        let mut rc = cost.to_vec();
-        for i in 0..m {
-            let cb = cost[self.basis[i]];
-            if cb != 0.0 {
-                let row = &self.rows[i];
-                for (j, rcj) in rc.iter_mut().enumerate().take(ncols) {
-                    *rcj -= cb * row[j];
+    /// Loads the classic phase-1 start: slack basis where the slack sign
+    /// works out, artificial basis elsewhere.
+    fn load_cold(&mut self, lb: &[f64], ub: &[f64]) {
+        let prep = self.prep;
+        self.ws.reset(prep);
+        self.set_structural_uppers(lb, ub);
+        let mut rhs = self.shifted_rhs(lb);
+        let ws = &mut *self.ws;
+        let nc = prep.ncols;
+        for (i, r) in rhs.iter_mut().enumerate() {
+            // Normalize rhs >= 0 by flipping the working row (the canonical
+            // matrix in `prep` is untouched).
+            if *r < 0.0 {
+                for x in ws.rows[i * nc..(i + 1) * nc].iter_mut() {
+                    *x = -*x;
+                }
+                *r = -*r;
+            }
+            // A +1 slack can start basic; otherwise the row's artificial.
+            let basic = match prep.slack_of_row[i] {
+                Some(sj) if ws.rows[i * nc + sj] > 0.0 => sj,
+                _ => {
+                    let aj = prep.art0 + i;
+                    ws.rows[i * nc + aj] = 1.0;
+                    aj
+                }
+            };
+            ws.basis.push(basic);
+            ws.status[basic] = Status::Basic;
+        }
+        // Artificials not in the basis can never move.
+        for j in prep.art0..nc {
+            if ws.status[j] != Status::Basic {
+                ws.upper[j] = 0.0;
+            }
+        }
+        ws.beta = rhs;
+    }
+
+    /// Loads the tableau for a parent basis via Gauss-Jordan elimination
+    /// with partial pivoting. Returns `false` if the basis is singular for
+    /// this node's matrix.
+    fn load_warm(&mut self, lb: &[f64], ub: &[f64], basis: &Basis) -> bool {
+        let prep = self.prep;
+        self.ws.reset(prep);
+        self.set_structural_uppers(lb, ub);
+        let mut rhs = self.shifted_rhs(lb);
+        let ws = &mut *self.ws;
+        let nc = prep.ncols;
+        // Artificial identity entries (all clamped to zero post-phase-1).
+        for i in 0..prep.m {
+            ws.rows[i * nc + prep.art0 + i] = 1.0;
+        }
+        for j in prep.art0..nc {
+            ws.upper[j] = 0.0;
+        }
+        ws.status.copy_from_slice(&basis.status);
+        ws.basis.extend_from_slice(&basis.cols);
+
+        // Re-eliminate the basic columns: after processing step k, column
+        // basis[k] is the k-th identity column.
+        for k in 0..prep.m {
+            let col = ws.basis[k];
+            // Partial pivoting over the not-yet-assigned rows.
+            let (mut best_row, mut best_abs) = (k, ws.rows[k * nc + col].abs());
+            for r in k + 1..prep.m {
+                let a = ws.rows[r * nc + col].abs();
+                if a > best_abs {
+                    best_abs = a;
+                    best_row = r;
+                }
+            }
+            if best_abs < REBUILD_TOL {
+                return false;
+            }
+            if best_row != k {
+                // Swap rows (flat storage: swap element-wise) and rhs.
+                for j in 0..nc {
+                    ws.rows.swap(k * nc + j, best_row * nc + j);
+                }
+                rhs.swap(k, best_row);
+            }
+            let inv = 1.0 / ws.rows[k * nc + col];
+            for x in ws.rows[k * nc..(k + 1) * nc].iter_mut() {
+                *x *= inv;
+            }
+            rhs[k] *= inv;
+            ws.pivot_row.copy_from_slice(&ws.rows[k * nc..(k + 1) * nc]);
+            let pivot_rhs = rhs[k];
+            for (i, r) in rhs.iter_mut().enumerate() {
+                if i == k {
+                    continue;
+                }
+                let f = ws.rows[i * nc + col];
+                if f.abs() > 1e-12 {
+                    let row = &mut ws.rows[i * nc..(i + 1) * nc];
+                    for (x, p) in row.iter_mut().zip(&ws.pivot_row) {
+                        *x -= f * p;
+                    }
+                    row[col] = 0.0;
+                    *r -= f * pivot_rhs;
                 }
             }
         }
-        rc
+
+        // Basic values: beta = B⁻¹b − Σ_{j at upper} (B⁻¹A)_j · u_j.
+        ws.beta.extend_from_slice(&rhs);
+        for j in 0..nc {
+            if ws.status[j] == Status::Upper {
+                let u = ws.upper[j];
+                if u != 0.0 {
+                    for i in 0..prep.m {
+                        ws.beta[i] -= ws.rows[i * nc + j] * u;
+                    }
+                }
+            }
+        }
+        true
     }
 
-    /// One simplex iteration for the given costs. `allow_artificial` permits
-    /// artificial columns to enter (phase 1 only).
+    /// Reduced costs `rc_j = c_j − c_Bᵀ T_j` into the workspace buffer.
+    fn reduced_costs(&mut self, cost: &[f64]) {
+        let ws = &mut *self.ws;
+        let nc = self.prep.ncols;
+        ws.rc.copy_from_slice(cost);
+        for i in 0..self.prep.m {
+            let cb = cost[ws.basis[i]];
+            if cb != 0.0 {
+                let row = &ws.rows[i * nc..(i + 1) * nc];
+                for (rcj, &t) in ws.rc.iter_mut().zip(row) {
+                    *rcj -= cb * t;
+                }
+            }
+        }
+    }
+
+    fn deadline_hit(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// One primal simplex iteration for the given costs. `allow_artificial`
+    /// permits artificial columns to enter (phase 1 only).
     fn step(&mut self, cost: &[f64], allow_artificial: bool) -> Step {
-        let rc = self.reduced_costs(cost);
-        let bland = self.degenerate_streak >= DEGENERATE_STREAK;
+        self.reduced_costs(cost);
+        let prep = self.prep;
+        let ws = &mut *self.ws;
+        let nc = prep.ncols;
+        let bland = ws.degenerate_streak >= DEGENERATE_STREAK;
 
         // Entering column: eligible if improving given its status.
         let mut entering: Option<(usize, bool)> = None; // (col, from_lower)
         let mut best = RC_TOL;
-        for (j, &rcj) in rc.iter().enumerate() {
-            if self.status[j] == Status::Basic {
+        for (j, &rcj) in ws.rc.iter().enumerate() {
+            if ws.status[j] == Status::Basic {
                 continue;
             }
-            if !allow_artificial && self.artificial[j] {
+            if !allow_artificial && j >= prep.art0 {
                 continue;
             }
-            let (eligible, from_lower, score) = match self.status[j] {
+            let (eligible, from_lower, score) = match ws.status[j] {
                 Status::Lower => (rcj < -RC_TOL, true, -rcj),
                 Status::Upper => (rcj > RC_TOL, false, rcj),
                 Status::Basic => unreachable!(),
@@ -298,28 +540,28 @@ impl Tableau {
         };
 
         // Ratio test.
-        let mut t_limit = self.upper[q]; // bound-flip distance
+        let mut t_limit = ws.upper[q]; // bound-flip distance
         let mut leaving: Option<(usize, Status)> = None; // (row, bound the leaver hits)
-        for i in 0..self.rows.len() {
-            let c = self.rows[i][q];
+        for i in 0..prep.m {
+            let c = ws.rows[i * nc + q];
             if c.abs() <= PIVOT_TOL {
                 continue;
             }
-            let ub_b = self.upper[self.basis[i]];
+            let ub_b = ws.upper[ws.basis[i]];
             // Movement t >= 0 changes basics by -t*c (from lower) or +t*c
             // (from upper).
             let (dist, hits) = if from_lower {
                 if c > 0.0 {
-                    (self.beta[i] / c, Status::Lower)
+                    (ws.beta[i] / c, Status::Lower)
                 } else if ub_b.is_finite() {
-                    ((ub_b - self.beta[i]) / -c, Status::Upper)
+                    ((ub_b - ws.beta[i]) / -c, Status::Upper)
                 } else {
                     continue;
                 }
             } else if c < 0.0 {
-                (self.beta[i] / -c, Status::Lower)
+                (ws.beta[i] / -c, Status::Lower)
             } else if ub_b.is_finite() {
-                ((ub_b - self.beta[i]) / c, Status::Upper)
+                ((ub_b - ws.beta[i]) / c, Status::Upper)
             } else {
                 continue;
             };
@@ -331,7 +573,7 @@ impl Tableau {
                     dist < t_limit - PIVOT_TOL
                         || ((dist - t_limit).abs() <= PIVOT_TOL
                             && bland
-                            && self.basis[i] < self.basis[r])
+                            && ws.basis[i] < ws.basis[r])
                 }
             };
             if replace {
@@ -346,69 +588,77 @@ impl Tableau {
 
         let t = t_limit;
         if t <= PIVOT_TOL {
-            self.degenerate_streak += 1;
+            ws.degenerate_streak += 1;
         } else {
-            self.degenerate_streak = 0;
+            ws.degenerate_streak = 0;
         }
 
         // Update basic values.
-        for i in 0..self.rows.len() {
-            let c = self.rows[i][q];
+        for i in 0..prep.m {
+            let c = ws.rows[i * nc + q];
             if from_lower {
-                self.beta[i] -= t * c;
+                ws.beta[i] -= t * c;
             } else {
-                self.beta[i] += t * c;
+                ws.beta[i] += t * c;
             }
         }
+        ws.pivots += 1;
 
         match leaving {
             None => {
                 // Pure bound flip.
-                self.status[q] = if from_lower { Status::Upper } else { Status::Lower };
+                ws.status[q] = if from_lower { Status::Upper } else { Status::Lower };
                 Step::Moved
             }
             Some((r, hits)) => {
                 // Pivot: q enters the basis in row r.
-                let leaver = self.basis[r];
-                self.status[leaver] = hits;
-                let entering_value = if from_lower { t } else { self.upper[q] - t };
-                let piv = self.rows[r][q];
-                debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small");
-                let inv = 1.0 / piv;
-                for x in self.rows[r].iter_mut() {
-                    *x *= inv;
-                }
-                let pivot_row = self.rows[r].clone();
-                for i in 0..self.rows.len() {
-                    if i == r {
-                        continue;
-                    }
-                    let f = self.rows[i][q];
-                    if f.abs() > 1e-12 {
-                        let row = &mut self.rows[i];
-                        for (x, p) in row.iter_mut().zip(&pivot_row) {
-                            *x -= f * p;
-                        }
-                        row[q] = 0.0; // clean cancellation
-                    }
-                }
-                self.basis[r] = q;
-                self.status[q] = Status::Basic;
-                self.beta[r] = entering_value;
+                let leaver = ws.basis[r];
+                ws.status[leaver] = hits;
+                let entering_value = if from_lower { t } else { ws.upper[q] - t };
+                Self::eliminate(ws, nc, prep.m, r, q);
+                ws.basis[r] = q;
+                ws.status[q] = Status::Basic;
+                ws.beta[r] = entering_value;
                 Step::Moved
             }
         }
     }
 
+    /// Row-reduces column `q` to the `r`-th identity column.
+    fn eliminate(ws: &mut Workspace, nc: usize, m: usize, r: usize, q: usize) {
+        let piv = ws.rows[r * nc + q];
+        debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small");
+        let inv = 1.0 / piv;
+        for x in ws.rows[r * nc..(r + 1) * nc].iter_mut() {
+            *x *= inv;
+        }
+        ws.pivot_row.copy_from_slice(&ws.rows[r * nc..(r + 1) * nc]);
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = ws.rows[i * nc + q];
+            if f.abs() > 1e-12 {
+                let row = &mut ws.rows[i * nc..(i + 1) * nc];
+                for (x, p) in row.iter_mut().zip(&ws.pivot_row) {
+                    *x -= f * p;
+                }
+                row[q] = 0.0; // clean cancellation
+            }
+        }
+    }
+
     fn phase1(&mut self) -> Phase1 {
-        if !self.artificial.iter().any(|&a| a) {
+        let prep = self.prep;
+        let nc = prep.ncols;
+        if !self.ws.basis.iter().any(|&b| b >= prep.art0) {
             return Phase1::Feasible;
         }
-        let cost: Vec<f64> = self
-            .artificial
-            .iter()
-            .map(|&a| if a { 1.0 } else { 0.0 })
-            .collect();
+        let mut cost = vec![0.0; nc];
+        for cj in cost.iter_mut().skip(prep.art0) {
+            *cj = 1.0;
+        }
+        let iter_limit = prep.iter_limit();
         let mut iters = 0u64;
         loop {
             match self.step(&cost, true) {
@@ -417,84 +667,56 @@ impl Tableau {
                 Step::Moved => {}
             }
             iters += 1;
-            if iters > self.iter_limit {
+            if iters > iter_limit {
                 return Phase1::Stalled;
             }
-            if iters.is_multiple_of(64) {
-                if let Some(d) = self.deadline {
-                    if Instant::now() >= d {
-                        return Phase1::Stalled;
-                    }
-                }
+            if iters.is_multiple_of(64) && self.deadline_hit() {
+                return Phase1::Stalled;
             }
         }
-        let infeas: f64 = (0..self.rows.len())
-            .filter(|&i| self.artificial[self.basis[i]])
-            .map(|i| self.beta[i])
+        let ws = &mut *self.ws;
+        let infeas: f64 = (0..prep.m)
+            .filter(|&i| ws.basis[i] >= prep.art0)
+            .map(|i| ws.beta[i])
             .sum();
         if infeas > 1e-6 {
             return Phase1::Infeasible;
         }
         // Drive basic artificials (at zero) out of the basis where possible.
-        for i in 0..self.rows.len() {
-            if !self.artificial[self.basis[i]] {
+        for i in 0..prep.m {
+            if ws.basis[i] < prep.art0 {
                 continue;
             }
-            let pivot_col = (0..self.n_structural + self.slack_count())
-                .find(|&j| self.status[j] != Status::Basic && self.rows[i][j].abs() > 1e-7);
+            let pivot_col = (0..prep.art0)
+                .find(|&j| ws.status[j] != Status::Basic && ws.rows[i * nc + j].abs() > 1e-7);
             if let Some(q) = pivot_col {
-                let leaver = self.basis[i];
-                self.status[leaver] = Status::Lower;
-                self.upper[leaver] = 0.0;
-                let piv = self.rows[i][q];
-                let inv = 1.0 / piv;
-                for x in self.rows[i].iter_mut() {
-                    *x *= inv;
-                }
-                let pivot_row = self.rows[i].clone();
-                for k in 0..self.rows.len() {
-                    if k == i {
-                        continue;
-                    }
-                    let f = self.rows[k][q];
-                    if f.abs() > 1e-12 {
-                        let row = &mut self.rows[k];
-                        for (x, p) in row.iter_mut().zip(&pivot_row) {
-                            *x -= f * p;
-                        }
-                        row[q] = 0.0;
-                    }
-                }
-                self.basis[i] = q;
+                let leaver = ws.basis[i];
+                ws.status[leaver] = Status::Lower;
+                ws.upper[leaver] = 0.0;
+                Self::eliminate(ws, nc, prep.m, i, q);
+                ws.basis[i] = q;
                 // Zero-displacement pivot: the solution point is unchanged,
                 // so the entering variable keeps its current (bound) value.
-                self.beta[i] = match self.status[q] {
+                ws.beta[i] = match ws.status[q] {
                     Status::Lower => 0.0,
-                    Status::Upper => self.upper[q],
+                    Status::Upper => ws.upper[q],
                     Status::Basic => unreachable!("entering column was nonbasic"),
                 };
-                self.status[q] = Status::Basic;
+                ws.status[q] = Status::Basic;
             }
             // If no pivot column exists the row is redundant; the artificial
             // stays basic at zero and is clamped there.
         }
         // Clamp all artificials to zero so they never move again.
-        for j in 0..self.upper.len() {
-            if self.artificial[j] {
-                self.upper[j] = 0.0;
-            }
+        for j in prep.art0..nc {
+            ws.upper[j] = 0.0;
         }
         Phase1::Feasible
     }
 
-    fn slack_count(&self) -> usize {
-        self.upper.len()
-            - self.n_structural
-            - self.artificial.iter().filter(|&&a| a).count()
-    }
-
     fn phase2(&mut self) -> Phase2 {
-        let cost = self.cost.clone();
+        let cost = self.prep.cost.clone();
+        let iter_limit = self.prep.iter_limit();
         let mut iters = 0u64;
         loop {
             match self.step(&cost, false) {
@@ -503,38 +725,141 @@ impl Tableau {
                 Step::Moved => {}
             }
             iters += 1;
-            if iters > self.iter_limit {
+            if iters > iter_limit {
                 return Phase2::Stalled;
             }
-            if iters.is_multiple_of(64) {
-                if let Some(d) = self.deadline {
-                    if Instant::now() >= d {
-                        return Phase2::Stalled;
-                    }
+            if iters.is_multiple_of(64) && self.deadline_hit() {
+                return Phase2::Stalled;
+            }
+        }
+    }
+
+    /// Bounded-variable dual simplex: starting from a dual-feasible basis
+    /// (inherited from a phase-2-optimal parent), drives out primal bound
+    /// violations one leaving row at a time while keeping the reduced costs
+    /// sign-feasible.
+    fn dual_simplex(&mut self) -> Dual {
+        let prep = self.prep;
+        let nc = prep.ncols;
+        let iter_limit = prep.iter_limit();
+        let mut iters = 0u64;
+        loop {
+            // Most-violated leaving row (deterministic: first on ties).
+            let ws = &*self.ws;
+            let mut leaving: Option<(usize, bool)> = None; // (row, below_lower)
+            let mut worst = FEAS_TOL;
+            for i in 0..prep.m {
+                let b = ws.beta[i];
+                let ub_b = ws.upper[ws.basis[i]];
+                if -b > worst {
+                    worst = -b;
+                    leaving = Some((i, true));
+                } else if ub_b.is_finite() && b - ub_b > worst {
+                    worst = b - ub_b;
+                    leaving = Some((i, false));
                 }
+            }
+            let Some((r, below)) = leaving else {
+                return Dual::PrimalFeasible;
+            };
+
+            self.reduced_costs(&prep.cost);
+            let ws = &mut *self.ws;
+
+            // Entering column: smallest dual ratio |rc_j| / |T_rj| among
+            // sign-compatible nonbasic columns; ties break on the lowest
+            // index for determinism.
+            let mut entering: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..prep.art0 {
+                if ws.status[j] == Status::Basic {
+                    continue;
+                }
+                let t = ws.rows[r * nc + j];
+                if t.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // Fixed columns (upper 0) cannot re-enter meaningfully.
+                if ws.upper[j] <= 0.0 {
+                    continue;
+                }
+                let compatible = match (below, ws.status[j]) {
+                    (true, Status::Lower) => t < 0.0,
+                    (true, Status::Upper) => t > 0.0,
+                    (false, Status::Lower) => t > 0.0,
+                    (false, Status::Upper) => t < 0.0,
+                    (_, Status::Basic) => unreachable!(),
+                };
+                if !compatible {
+                    continue;
+                }
+                let ratio = ws.rc[j].abs() / t.abs();
+                if ratio < best_ratio - RC_TOL {
+                    best_ratio = ratio;
+                    entering = Some(j);
+                }
+            }
+            let Some(q) = entering else {
+                // No compatible column: the violated row cannot be repaired;
+                // the LP is infeasible (dual unbounded).
+                return Dual::Infeasible;
+            };
+
+            // Pivot: basis[r] leaves to the violated bound, q enters.
+            let target = if below { 0.0 } else { ws.upper[ws.basis[r]] };
+            let t_rq = ws.rows[r * nc + q];
+            let delta = (ws.beta[r] - target) / t_rq;
+            let q_old = match ws.status[q] {
+                Status::Lower => 0.0,
+                Status::Upper => ws.upper[q],
+                Status::Basic => unreachable!(),
+            };
+            for i in 0..prep.m {
+                if i != r {
+                    ws.beta[i] -= ws.rows[i * nc + q] * delta;
+                }
+            }
+            let leaver = ws.basis[r];
+            ws.status[leaver] = if below { Status::Lower } else { Status::Upper };
+            Self::eliminate(ws, nc, prep.m, r, q);
+            ws.basis[r] = q;
+            ws.status[q] = Status::Basic;
+            ws.beta[r] = q_old + delta;
+            ws.pivots += 1;
+
+            iters += 1;
+            if iters > iter_limit {
+                return Dual::Stalled;
+            }
+            if iters.is_multiple_of(64) && self.deadline_hit() {
+                return Dual::Stalled;
             }
         }
     }
 
     /// Recovers original-space structural values.
-    fn extract(&self, model: &Model, lb: &[f64]) -> Vec<f64> {
-        let n = model.num_vars();
-        let mut shifted = vec![0.0; n];
-        for (j, out) in shifted.iter_mut().enumerate().take(n) {
-            *out = match self.status[j] {
-                Status::Lower => 0.0,
-                Status::Upper => self.upper[j],
-                Status::Basic => {
-                    let row = self
-                        .basis
-                        .iter()
-                        .position(|&b| b == j)
-                        .expect("basic var has a row");
-                    self.beta[row]
-                }
-            };
+    fn extract(&mut self, lb: &[f64]) -> LpSolution {
+        let prep = self.prep;
+        let ws = &mut *self.ws;
+        for x in ws.row_of.iter_mut() {
+            *x = usize::MAX;
         }
-        (0..n).map(|j| lb[j] + shifted[j]).collect()
+        for (i, &b) in ws.basis.iter().enumerate() {
+            ws.row_of[b] = i;
+        }
+        let mut values = Vec::with_capacity(prep.n);
+        let mut objective = 0.0;
+        for (j, &lo) in lb.iter().enumerate().take(prep.n) {
+            let shifted = match ws.status[j] {
+                Status::Lower => 0.0,
+                Status::Upper => ws.upper[j],
+                Status::Basic => ws.beta[ws.row_of[j]],
+            };
+            let v = lo + shifted;
+            objective += prep.cost[j] * v;
+            values.push(v);
+        }
+        LpSolution { values, objective }
     }
 }
 
@@ -698,5 +1023,139 @@ mod tests {
             }
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Warm-start path
+    // ------------------------------------------------------------------
+
+    /// A small mixed model with inequality, equality, and bound structure.
+    fn warm_model() -> (Model, Vec<crate::VarId>) {
+        let mut m = Model::new("warm");
+        let x = m.continuous("x", 0.0, 6.0, -1.0);
+        let y = m.continuous("y", 0.0, 6.0, -2.0);
+        let z = m.continuous("z", 0.0, 6.0, 1.0);
+        m.constraint([(x, 1.0), (y, 1.0), (z, -1.0)], Relation::Le, 5.0);
+        m.constraint([(x, 1.0), (y, -1.0)], Relation::Ge, -3.0);
+        m.constraint([(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Le, 9.0);
+        (m, vec![x, y, z])
+    }
+
+    fn bounds_of(m: &Model) -> (Vec<f64>, Vec<f64>) {
+        let lb = (0..m.num_vars()).map(|j| m.vars[j].lb).collect();
+        let ub = (0..m.num_vars()).map(|j| m.vars[j].ub).collect();
+        (lb, ub)
+    }
+
+    /// Warm solves after each single-bound tightening must agree with the
+    /// cold solver — the exact branch-and-bound access pattern.
+    #[test]
+    fn warm_restart_matches_cold_after_bound_changes() {
+        let (m, vars) = warm_model();
+        let prep = Prepared::new(&m);
+        let mut ws = Workspace::new();
+        let (lb0, ub0) = bounds_of(&m);
+        let root = match solve_cold(&prep, &mut ws, &lb0, &ub0, None) {
+            LpOutcome::Optimal(s) => s,
+            o => panic!("root not optimal: {o:?}"),
+        };
+        let basis = ws.snapshot_basis();
+
+        for &v in &vars {
+            for (dl, du) in [(1.0, f64::INFINITY), (0.0, 2.0), (2.0, 2.0)] {
+                let mut lb = lb0.clone();
+                let mut ub = ub0.clone();
+                lb[v.0] = lb[v.0].max(dl);
+                if du.is_finite() {
+                    ub[v.0] = ub[v.0].min(du);
+                }
+                let mut ws_cold = Workspace::new();
+                let cold = solve_cold(&prep, &mut ws_cold, &lb, &ub, None);
+                let warm = solve_warm(&prep, &mut ws, &lb, &ub, &basis, None)
+                    .unwrap_or_else(|_| panic!("warm solve fell back for {v:?}"));
+                match (&cold, &warm) {
+                    (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                        assert!(
+                            (a.objective - b.objective).abs() < 1e-6,
+                            "cold {} != warm {} (var {v:?}, root {})",
+                            a.objective,
+                            b.objective,
+                            root.objective
+                        );
+                    }
+                    (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+                    other => panic!("cold/warm disagree: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// A child whose branched bound removes all feasible points must be
+    /// recognized by the dual simplex, not mislabeled optimal.
+    #[test]
+    fn warm_restart_detects_infeasible_child() {
+        let mut m = Model::new("t");
+        let x = m.continuous("x", 0.0, 10.0, 1.0);
+        let y = m.continuous("y", 0.0, 10.0, 1.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        m.constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 2.0);
+        let prep = Prepared::new(&m);
+        let mut ws = Workspace::new();
+        let (lb0, ub0) = bounds_of(&m);
+        assert!(matches!(
+            solve_cold(&prep, &mut ws, &lb0, &ub0, None),
+            LpOutcome::Optimal(_)
+        ));
+        let basis = ws.snapshot_basis();
+        // x >= 3 and y >= 3 violates x + y <= 4.
+        let lb = vec![3.0, 3.0];
+        let outcome = solve_warm(&prep, &mut ws, &lb, &ub0, &basis, None)
+            .unwrap_or_else(|_| panic!("warm solve fell back"));
+        assert_eq!(outcome, LpOutcome::Infeasible);
+    }
+
+    /// Repeated warm solves through one workspace must not leak state
+    /// between solves (buffers are reused, not reallocated).
+    #[test]
+    fn workspace_reuse_is_stateless() {
+        let (m, vars) = warm_model();
+        let prep = Prepared::new(&m);
+        let mut ws = Workspace::new();
+        let (lb0, ub0) = bounds_of(&m);
+        let first = match solve_cold(&prep, &mut ws, &lb0, &ub0, None) {
+            LpOutcome::Optimal(s) => s.objective,
+            o => panic!("unexpected {o:?}"),
+        };
+        let basis = ws.snapshot_basis();
+        let x = vars[0];
+        let mut ub = ub0.clone();
+        ub[x.0] = 1.0;
+        // Interleave warm and cold solves through the same workspace.
+        for _ in 0..3 {
+            match solve_warm(&prep, &mut ws, &lb0, &ub, &basis, None) {
+                Ok(LpOutcome::Optimal(_)) => {}
+                o => panic!("warm solve failed: {:?}", o.is_err()),
+            }
+            match solve_cold(&prep, &mut ws, &lb0, &ub0, None) {
+                LpOutcome::Optimal(s) => {
+                    assert!((s.objective - first).abs() < 1e-9);
+                }
+                o => panic!("unexpected {o:?}"),
+            }
+        }
+    }
+
+    /// The workspace pivot counter increases monotonically across solves.
+    #[test]
+    fn pivot_counter_accumulates() {
+        let (m, _) = warm_model();
+        let prep = Prepared::new(&m);
+        let mut ws = Workspace::new();
+        let (lb0, ub0) = bounds_of(&m);
+        let _ = solve_cold(&prep, &mut ws, &lb0, &ub0, None);
+        let after_first = ws.pivots;
+        assert!(after_first > 0, "an LP with pivots recorded none");
+        let _ = solve_cold(&prep, &mut ws, &lb0, &ub0, None);
+        assert!(ws.pivots >= 2 * after_first);
     }
 }

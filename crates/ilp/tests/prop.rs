@@ -96,6 +96,38 @@ proptest! {
         }
     }
 
+    /// The reported objective is invariant under the thread count: the
+    /// search prunes conservatively, so 1-, 2-, and 4-thread runs of the
+    /// same model prove the same optimum (or the same infeasibility).
+    #[test]
+    fn objective_is_thread_count_invariant(p in program_strategy()) {
+        let (m, _) = build(&p);
+        let opts = |threads| SolveOptions {
+            time_limit: Duration::from_secs(20),
+            threads,
+            ..Default::default()
+        };
+        let reference = solve(&m, &opts(1));
+        for threads in [2, 4] {
+            match (&reference, solve(&m, &opts(threads))) {
+                (Ok(a), Ok(b)) => prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-9,
+                    "threads={threads}: objective {} != single-thread {}",
+                    b.objective,
+                    a.objective
+                ),
+                (Err(ea), Err(eb)) => prop_assert!(
+                    *ea == eb,
+                    "threads={threads}: error {eb:?} != single-thread {ea:?}"
+                ),
+                (a, b) => prop_assert!(
+                    false,
+                    "threads={threads}: outcome {b:?} != single-thread {a:?}"
+                ),
+            }
+        }
+    }
+
     /// Any optimal LP relaxation solution satisfies the model, and bounds
     /// the MILP optimum from below.
     #[test]

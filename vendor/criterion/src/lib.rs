@@ -1,0 +1,186 @@
+//! Minimal vendored stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Runs each benchmark closure in a simple timed loop and prints a
+//! mean-per-iteration line — enough to execute `cargo bench` and eyeball
+//! relative performance, without criterion's statistics, plots, or HTML
+//! reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 || start.elapsed() < self.measurement_time {
+            black_box(routine());
+            iters += 1;
+            if iters >= 1_000_000_000 {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target wall-clock time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Benchmarks a no-input routine.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = if b.iters > 0 {
+            b.total / (b.iters as u32)
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{:<40} time: {:>12.3?}  ({} iters)",
+            self.name, id, mean, b.iters
+        );
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing left to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let owned = name.to_string();
+        self.benchmark_group(owned.clone())
+            .bench_function(BenchmarkId::from_parameter(""), routine);
+        self
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,100 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::Strategy;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the test fails.
+    Fail(String),
+    /// The case was discarded (`prop_assume!`); another is generated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with a reason.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on discarded cases before the runner gives up generating.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` passing cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 4096 }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `test` on `config.cases` generated inputs; panics on the first
+/// failing case with the input that produced it. Deterministic: the RNG
+/// sequence depends only on the test name and attempt number.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        let mut rng = StdRng::seed_from_u64(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    eprintln!(
+                        "proptest {name}: giving up after {rejected} rejects \
+                         ({passed}/{} cases passed)",
+                        config.cases
+                    );
+                    return;
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case #{} failed (attempt {attempt}, seed {seed:#x})\n\
+                     input: {shown}\n{msg}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}

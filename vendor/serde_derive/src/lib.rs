@@ -1,0 +1,437 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored `serde`.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build
+//! environment is offline) and emits impls of the vendored `serde::Serialize`
+//! / `serde::Deserialize` traits, which are value-tree based rather than
+//! visitor based. Supports the shapes this workspace uses:
+//!
+//! - named-field structs (including lifetime-generic ones),
+//! - tuple structs (newtype and wider),
+//! - unit structs,
+//! - enums with unit, tuple, and named-field variants.
+//!
+//! Field attributes are ignored; `#[serde(...)]` customization is not
+//! supported (and not used in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Raw generics text, e.g. `<'a>`; empty when non-generic.
+    generics: String,
+    is_enum: bool,
+    body: Body,          // for structs
+    variants: Vec<Variant>, // for enums
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Advances past any `#[...]` attributes starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        if matches!(&toks[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket) {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Advances past `pub`, `pub(...)`, or nothing.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if i < toks.len()
+            && matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Counts top-level (angle-depth-0) comma-separated items in a token list.
+fn count_fields(toks: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut seen_any = false;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                seen_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        seen_any = true;
+    }
+    if seen_any {
+        count += 1;
+    }
+    count
+}
+
+/// Parses named fields out of a brace-group token list: returns field names.
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attrs(toks, i);
+        i = skip_vis(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive: expected field name, got {:?}", toks[i]);
+        };
+        names.push(name.to_string());
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "serde_derive: expected `:` after field name");
+        i += 1;
+        // Skip the type: everything up to a top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        i = skip_attrs(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("serde_derive: expected variant name, got {:?}", toks[i]);
+        };
+        let name = name.to_string();
+        i += 1;
+        let body = if i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    Body::Tuple(count_fields(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    Body::Named(parse_named_fields(&inner))
+                }
+                _ => Body::Unit,
+            }
+        } else {
+            Body::Unit
+        };
+        variants.push(Variant { name, body });
+        if i < toks.len() {
+            assert!(is_punct(&toks[i], ','), "serde_derive: expected `,` after variant");
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`, got {:?}", toks[i]);
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde_derive: expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    // Generics (lifetimes only in this workspace): copy tokens verbatim.
+    let mut generics = String::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 0i32;
+        loop {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                _ => {}
+            }
+            generics.push_str(&toks[i].to_string());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    if is_enum {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("serde_derive: expected enum body");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        return Input {
+            name,
+            generics,
+            is_enum,
+            body: Body::Unit,
+            variants: parse_variants(&inner),
+        };
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Named(parse_named_fields(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Body::Tuple(count_fields(&inner))
+        }
+        Some(t) if is_punct(t, ';') => Body::Unit,
+        other => panic!("serde_derive: unexpected struct body {other:?}"),
+    };
+    Input {
+        name,
+        generics,
+        is_enum,
+        body,
+        variants: Vec::new(),
+    }
+}
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {} {{", input.name)
+    } else {
+        format!(
+            "impl{g} ::serde::{trait_name} for {}{g} {{",
+            input.name,
+            g = input.generics
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let mut out = String::new();
+    out.push_str(&impl_header(&input, "Serialize"));
+    out.push_str("fn to_value(&self) -> ::serde::Value {");
+    if input.is_enum {
+        out.push_str("match self {");
+        for v in &input.variants {
+            let full = format!("{}::{}", input.name, v.name);
+            match &v.body {
+                Body::Unit => out.push_str(&format!(
+                    "{full} => ::serde::Value::Str(\"{}\".to_string()),",
+                    v.name
+                )),
+                Body::Tuple(1) => out.push_str(&format!(
+                    "{full}(f0) => ::serde::Value::Object(vec![(\"{}\".to_string(), \
+                     ::serde::Serialize::to_value(f0))]),",
+                    v.name
+                )),
+                Body::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                    let elems: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    out.push_str(&format!(
+                        "{full}({}) => ::serde::Value::Object(vec![(\"{}\".to_string(), \
+                         ::serde::Value::Array(vec![{}]))]),",
+                        binders.join(","),
+                        v.name,
+                        elems.join(",")
+                    ));
+                }
+                Body::Named(fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "{full} {{ {} }} => ::serde::Value::Object(vec![(\"{}\".to_string(), \
+                         ::serde::Value::Object(vec![{}]))]),",
+                        fields.join(","),
+                        v.name,
+                        pairs.join(",")
+                    ));
+                }
+            }
+        }
+        out.push('}');
+    } else {
+        match &input.body {
+            Body::Named(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                    })
+                    .collect();
+                out.push_str(&format!("::serde::Value::Object(vec![{}])", pairs.join(",")));
+            }
+            Body::Tuple(1) => out.push_str("::serde::Serialize::to_value(&self.0)"),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                out.push_str(&format!("::serde::Value::Array(vec![{}])", elems.join(",")));
+            }
+            Body::Unit => out.push_str("::serde::Value::Null"),
+        }
+    }
+    out.push_str("}}");
+    out.parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut out = String::new();
+    out.push_str(&impl_header(&input, "Deserialize"));
+    out.push_str(
+        "fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {",
+    );
+    if input.is_enum {
+        out.push_str("match v {");
+        // Unit variants arrive as plain strings.
+        out.push_str("::serde::Value::Str(s) => match s.as_str() {");
+        for v in input.variants.iter().filter(|v| matches!(v.body, Body::Unit)) {
+            out.push_str(&format!("\"{0}\" => Ok({name}::{0}),", v.name));
+        }
+        out.push_str(&format!(
+            "other => Err(::serde::Error::custom(format!(\
+             \"unknown unit variant `{{other}}` for {name}\"))),"
+        ));
+        out.push_str("},");
+        // Data variants arrive as single-key objects.
+        out.push_str(
+            "::serde::Value::Object(o) if o.len() == 1 => { \
+             let (k, inner) = &o[0]; match k.as_str() {",
+        );
+        for v in &input.variants {
+            match &v.body {
+                Body::Unit => {}
+                Body::Tuple(1) => out.push_str(&format!(
+                    "\"{0}\" => Ok({name}::{0}(::serde::Deserialize::from_value(inner)?)),",
+                    v.name
+                )),
+                Body::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!("::serde::Deserialize::from_value(&items[{k}])?")
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "\"{0}\" => {{ let items = inner.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}::{0}\"))?; \
+                         if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {name}::{0}\")); }} \
+                         Ok({name}::{0}({1})) }},",
+                        v.name,
+                        elems.join(",")
+                    ));
+                }
+                Body::Named(fields) => {
+                    let setters: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "\"{0}\" => {{ let obj = inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}::{0}\"))?; \
+                         Ok({name}::{0} {{ {1} }}) }},",
+                        v.name,
+                        setters.join(",")
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "other => Err(::serde::Error::custom(format!(\
+             \"unknown variant `{{other}}` for {name}\"))),"
+        ));
+        out.push_str("}}");
+        out.push_str(&format!(
+            ", _ => Err(::serde::Error::custom(\"expected string or object for {name}\")),"
+        ));
+        out.push('}');
+    } else {
+        match &input.body {
+            Body::Named(fields) => {
+                let setters: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                    .collect();
+                out.push_str(&format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected object for {name}\"))?; Ok({name} {{ {} }})",
+                    setters.join(",")
+                ));
+            }
+            Body::Tuple(1) => out.push_str(&format!(
+                "Ok({name}(::serde::Deserialize::from_value(v)?))"
+            )),
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                out.push_str(&format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected array for {name}\"))?; \
+                     if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                     \"wrong tuple arity for {name}\")); }} Ok({name}({}))",
+                    elems.join(",")
+                ));
+            }
+            Body::Unit => out.push_str(&format!("Ok({name})")),
+        }
+    }
+    out.push_str("}}");
+    out.parse().expect("serde_derive: generated Deserialize impl parses")
+}
