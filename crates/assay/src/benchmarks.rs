@@ -58,11 +58,15 @@ pub fn demo() -> Benchmark {
     let r1 = b.reagent("r1");
     let r2 = b.reagent("r2");
     let o1 = b.op("o1", OpKind::Filter, 3, [r1.into()]).expect("demo");
-    let o2 = b.op("o2", OpKind::Mix, 3, [o1.into(), r2.into()]).expect("demo");
+    let o2 = b
+        .op("o2", OpKind::Mix, 3, [o1.into(), r2.into()])
+        .expect("demo");
     let o3 = b.op("o3", OpKind::Detect, 2, [r1.into()]).expect("demo");
     let o4 = b.op("o4", OpKind::Detect, 2, [o2.into()]).expect("demo");
     let o5 = b.op("o5", OpKind::Heat, 4, [o3.into()]).expect("demo");
-    let o6 = b.op("o6", OpKind::Mix, 3, [o4.into(), o5.into()]).expect("demo");
+    let o6 = b
+        .op("o6", OpKind::Mix, 3, [o4.into(), o5.into()])
+        .expect("demo");
     let _o7 = b.op("o7", OpKind::Detect, 2, [o6.into()]).expect("demo");
     Benchmark {
         name: "demo".into(),
@@ -91,20 +95,41 @@ pub fn pcr() -> Benchmark {
     let probe1 = b.reagent("probe A");
     let probe2 = b.reagent("probe B");
     let o1 = b
-        .op("master mix", OpKind::Mix, 4, [primer.into(), dntp.into(), polymerase.into()])
+        .op(
+            "master mix",
+            OpKind::Mix,
+            4,
+            [primer.into(), dntp.into(), polymerase.into()],
+        )
         .expect("pcr");
     let o2 = b
-        .op("template mix", OpKind::Mix, 4, [sample.into(), buffer.into(), water.into()])
+        .op(
+            "template mix",
+            OpKind::Mix,
+            4,
+            [sample.into(), buffer.into(), water.into()],
+        )
         .expect("pcr");
     let o3 = b
         .op("reaction mix", OpKind::Mix, 4, [o1.into(), o2.into()])
         .expect("pcr");
-    let o4 = b.op("thermocycle", OpKind::Heat, 8, [o3.into()]).expect("pcr");
-    let o5 = b.op("amplicon read", OpKind::Detect, 2, [o4.into()]).expect("pcr");
-    let o6 = b
-        .op("control mix", OpKind::Mix, 3, [probe1.into(), probe2.into()])
+    let o4 = b
+        .op("thermocycle", OpKind::Heat, 8, [o3.into()])
         .expect("pcr");
-    let _o7 = b.op("control read", OpKind::Detect, 2, [o6.into()]).expect("pcr");
+    let o5 = b
+        .op("amplicon read", OpKind::Detect, 2, [o4.into()])
+        .expect("pcr");
+    let o6 = b
+        .op(
+            "control mix",
+            OpKind::Mix,
+            3,
+            [probe1.into(), probe2.into()],
+        )
+        .expect("pcr");
+    let _o7 = b
+        .op("control read", OpKind::Detect, 2, [o6.into()])
+        .expect("pcr");
     let _ = o5;
     Benchmark {
         name: "PCR".into(),
@@ -167,21 +192,40 @@ pub fn ivd() -> Benchmark {
 pub fn protein_split() -> Benchmark {
     let mut b = AssayBuilder::new("ProteinSplit");
     let r: Vec<_> = (1..=13).map(|i| b.reagent(&format!("r{i}"))).collect();
-    let m1 = b.op("mix 1", OpKind::Mix, 3, [r[0].into(), r[1].into()]).expect("ps");
+    let m1 = b
+        .op("mix 1", OpKind::Mix, 3, [r[0].into(), r[1].into()])
+        .expect("ps");
     let m2 = b
-        .op("mix 2", OpKind::Mix, 3, [m1.into(), r[2].into(), r[12].into()])
+        .op(
+            "mix 2",
+            OpKind::Mix,
+            3,
+            [m1.into(), r[2].into(), r[12].into()],
+        )
         .expect("ps");
     let _d1 = b.op("read 1", OpKind::Detect, 2, [m2.into()]).expect("ps");
-    let m3 = b.op("mix 3", OpKind::Mix, 3, [r[3].into(), r[4].into()]).expect("ps");
-    let m4 = b.op("mix 4", OpKind::Mix, 3, [m3.into(), r[5].into()]).expect("ps");
+    let m3 = b
+        .op("mix 3", OpKind::Mix, 3, [r[3].into(), r[4].into()])
+        .expect("ps");
+    let m4 = b
+        .op("mix 4", OpKind::Mix, 3, [m3.into(), r[5].into()])
+        .expect("ps");
     let _d2 = b.op("read 2", OpKind::Detect, 2, [m4.into()]).expect("ps");
-    let m5 = b.op("mix 5", OpKind::Mix, 3, [r[6].into(), r[7].into()]).expect("ps");
+    let m5 = b
+        .op("mix 5", OpKind::Mix, 3, [r[6].into(), r[7].into()])
+        .expect("ps");
     let h1 = b.op("denature", OpKind::Heat, 6, [m5.into()]).expect("ps");
     let _d3 = b.op("read 3", OpKind::Detect, 2, [h1.into()]).expect("ps");
-    let m6 = b.op("mix 6", OpKind::Mix, 3, [r[8].into(), r[9].into()]).expect("ps");
-    let s1 = b.op("separate", OpKind::Separate, 4, [m6.into()]).expect("ps");
+    let m6 = b
+        .op("mix 6", OpKind::Mix, 3, [r[8].into(), r[9].into()])
+        .expect("ps");
+    let s1 = b
+        .op("separate", OpKind::Separate, 4, [m6.into()])
+        .expect("ps");
     let _d4 = b.op("read 4", OpKind::Detect, 2, [s1.into()]).expect("ps");
-    let m7 = b.op("mix 7", OpKind::Mix, 3, [r[10].into(), r[11].into()]).expect("ps");
+    let m7 = b
+        .op("mix 7", OpKind::Mix, 3, [r[10].into(), r[11].into()])
+        .expect("ps");
     let _f1 = b.op("clarify", OpKind::Filter, 3, [m7.into()]).expect("ps");
     Benchmark {
         name: "ProteinSplit".into(),
@@ -209,16 +253,36 @@ pub fn kinase_act_1() -> Benchmark {
     let mut b = AssayBuilder::new("Kinase act-1");
     let r: Vec<_> = (1..=12).map(|i| b.reagent(&format!("r{i}"))).collect();
     let o1 = b
-        .op("mix 1", OpKind::Mix, 4, [r[0].into(), r[1].into(), r[2].into(), r[3].into()])
+        .op(
+            "mix 1",
+            OpKind::Mix,
+            4,
+            [r[0].into(), r[1].into(), r[2].into(), r[3].into()],
+        )
         .expect("ka1");
     let o2 = b
-        .op("mix 2", OpKind::Mix, 4, [o1.into(), r[4].into(), r[5].into(), r[6].into()])
+        .op(
+            "mix 2",
+            OpKind::Mix,
+            4,
+            [o1.into(), r[4].into(), r[5].into(), r[6].into()],
+        )
         .expect("ka1");
     let o3 = b
-        .op("mix 3", OpKind::Mix, 4, [o2.into(), r[7].into(), r[8].into(), r[9].into()])
+        .op(
+            "mix 3",
+            OpKind::Mix,
+            4,
+            [o2.into(), r[7].into(), r[8].into(), r[9].into()],
+        )
         .expect("ka1");
     let _o4 = b
-        .op("mix 4", OpKind::Mix, 4, [o3.into(), r[10].into(), r[11].into()])
+        .op(
+            "mix 4",
+            OpKind::Mix,
+            4,
+            [o3.into(), r[10].into(), r[11].into()],
+        )
         .expect("ka1");
     Benchmark {
         name: "Kinase act-1".into(),

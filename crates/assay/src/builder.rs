@@ -174,9 +174,7 @@ mod tests {
         let r = b.reagent("r");
         let o1 = b.op("f", OpKind::Filter, 1, [r.into()]).unwrap();
         // Wrong arity: o1 must not be marked consumed by the failed call.
-        let _ = b
-            .op("m", OpKind::Mix, 1, [o1.into()])
-            .unwrap_err();
+        let _ = b.op("m", OpKind::Mix, 1, [o1.into()]).unwrap_err();
         let _ok = b.op("d", OpKind::Detect, 1, [o1.into()]).unwrap();
     }
 }

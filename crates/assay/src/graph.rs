@@ -156,7 +156,9 @@ impl AssayGraph {
                 consumed[p.0 as usize] = true;
             }
         }
-        self.op_ids().filter(|id| !consumed[id.0 as usize]).collect()
+        self.op_ids()
+            .filter(|id| !consumed[id.0 as usize])
+            .collect()
     }
 
     /// Total edge count in the extended sense of Table II: dependency edges

@@ -143,7 +143,12 @@ pub struct Operation {
 }
 
 impl Operation {
-    pub(crate) fn new(label: String, kind: OpKind, duration: Seconds, inputs: Vec<OpInput>) -> Self {
+    pub(crate) fn new(
+        label: String,
+        kind: OpKind,
+        duration: Seconds,
+        inputs: Vec<OpInput>,
+    ) -> Self {
         Self {
             label,
             kind,

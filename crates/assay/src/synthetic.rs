@@ -177,9 +177,8 @@ fn try_generate(spec: &SyntheticSpec, attempt: u64) -> Option<Benchmark> {
             .iter()
             .copied()
             .max_by(|&a, &b| {
-                let load = |k: OpKind| {
-                    usage(k) / devices.iter().filter(|&&d| d == k).count() as f64
-                };
+                let load =
+                    |k: OpKind| usage(k) / devices.iter().filter(|&&d| d == k).count() as f64;
                 load(a).partial_cmp(&load(b)).expect("loads are finite")
             })
             .expect("required kinds are nonempty");

@@ -6,16 +6,16 @@ use pdw_assay::synthetic::{generate, SyntheticSpec};
 use pdw_assay::{OpInput, Seconds};
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
-    (4usize..=16, 0usize..=5, 5usize..=12, any::<u64>()).prop_map(
-        |(ops, extra, devices, seed)| SyntheticSpec {
+    (4usize..=16, 0usize..=5, 5usize..=12, any::<u64>()).prop_map(|(ops, extra, devices, seed)| {
+        SyntheticSpec {
             name: format!("prop-{seed:x}"),
             ops,
             edges: 2 * ops - ops / 2 + extra,
             devices,
             seed,
             grid: (15, 15),
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -22,10 +22,34 @@ fn variants() -> Vec<(&'static str, PdwConfig)> {
     };
     vec![
         ("full", base.clone()),
-        ("no-necessity", PdwConfig { necessity_analysis: false, ..base.clone() }),
-        ("no-integration", PdwConfig { integration: false, ..base.clone() }),
-        ("no-merging", PdwConfig { merging: false, ..base.clone() }),
-        ("no-ilp", PdwConfig { ilp: false, ..base.clone() }),
+        (
+            "no-necessity",
+            PdwConfig {
+                necessity_analysis: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-integration",
+            PdwConfig {
+                integration: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-merging",
+            PdwConfig {
+                merging: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-ilp",
+            PdwConfig {
+                ilp: false,
+                ..base.clone()
+            },
+        ),
     ]
 }
 
@@ -36,11 +60,9 @@ fn bench_ablations(c: &mut Criterion) {
     for bench in [benchmarks::pcr(), benchmarks::synthetic1()] {
         let synthesis = synthesize(&bench).expect("synthesis succeeds");
         for (name, config) in variants() {
-            group.bench_with_input(
-                BenchmarkId::new(name, &bench.name),
-                &config,
-                |b, config| b.iter(|| pdw(&bench, &synthesis, config).expect("pdw succeeds")),
-            );
+            group.bench_with_input(BenchmarkId::new(name, &bench.name), &config, |b, config| {
+                b.iter(|| pdw(&bench, &synthesis, config).expect("pdw succeeds"))
+            });
         }
     }
     group.finish();

@@ -28,16 +28,12 @@ fn bench_methods(c: &mut Criterion) {
         .filter(|b| picks.contains(&b.name.as_str()))
     {
         let synthesis = synthesize(&bench).expect("synthesis succeeds");
-        group.bench_with_input(
-            BenchmarkId::new("dawo", &bench.name),
-            &bench,
-            |b, bench| b.iter(|| dawo(bench, &synthesis).expect("dawo succeeds")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("pdw", &bench.name),
-            &bench,
-            |b, bench| b.iter(|| pdw(bench, &synthesis, &config).expect("pdw succeeds")),
-        );
+        group.bench_with_input(BenchmarkId::new("dawo", &bench.name), &bench, |b, bench| {
+            b.iter(|| dawo(bench, &synthesis).expect("dawo succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("pdw", &bench.name), &bench, |b, bench| {
+            b.iter(|| pdw(bench, &synthesis, &config).expect("pdw succeeds"))
+        });
     }
     group.finish();
 }
@@ -47,9 +43,11 @@ fn bench_synthesis(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(8));
     for bench in benchmarks::suite() {
-        group.bench_with_input(BenchmarkId::from_parameter(&bench.name), &bench, |b, bench| {
-            b.iter(|| synthesize(bench).expect("synthesis succeeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&bench.name),
+            &bench,
+            |b, bench| b.iter(|| synthesize(bench).expect("synthesis succeeds")),
+        );
     }
     group.finish();
 }

@@ -72,7 +72,10 @@ fn time_cold_lp(m: &Model) -> f64 {
         let t = Instant::now();
         let out = solve_lp(m);
         let dt = t.elapsed().as_secs_f64() * 1e3;
-        assert!(matches!(out, LpOutcome::Optimal(_)), "baseline LP must solve");
+        assert!(
+            matches!(out, LpOutcome::Optimal(_)),
+            "baseline LP must solve"
+        );
         best = best.min(dt);
     }
     best
@@ -160,7 +163,14 @@ fn main() {
         };
         println!(
             "{:<22} {:>6} {:>6} | {:>9.0} {:>9.0} {:>9.0} | {:>7.1}% {:>8.3} {:>6.1}x",
-            r.model, r.rows, r.vars, nps[0], nps[1], nps[2], warm_pct, r.cold_lp_ms,
+            r.model,
+            r.rows,
+            r.vars,
+            nps[0],
+            nps[1],
+            nps[2],
+            warm_pct,
+            r.cold_lp_ms,
             r.node_speedup_vs_cold_lp
         );
     }

@@ -1,0 +1,200 @@
+//! Front-end pipeline benchmark: measures the wash-path front end
+//! (grouping + merging + greedy insertion) per bundled benchmark at 1 and 8
+//! worker threads, and compares against the committed pre-refactor baseline
+//! (`BENCH_pipeline_baseline.json`).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pipeline [--smoke] [--out FILE]
+//! ```
+//!
+//! `--smoke` runs only the demo benchmark once, prints the stage breakdown,
+//! and writes nothing — a fast CI sanity check that the harness still runs.
+//! The full run writes `BENCH_pipeline.json` (or `--out FILE`).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use pathdriver_wash::{
+    build_groups, insert_washes_protected, merge_groups, split_into_spot_clusters, CandidatePolicy,
+};
+use pdw_assay::benchmarks::{self, Benchmark};
+use pdw_biochip::routing_counters;
+use pdw_contam::{analyze, NecessityOptions};
+use pdw_synth::Synthesis;
+use serde::{Deserialize, Serialize};
+
+/// One front-end measurement (best of three runs, by front-end time).
+#[derive(Debug, Clone, Serialize)]
+struct Measurement {
+    threads: usize,
+    requirements: usize,
+    groups: usize,
+    necessity_s: f64,
+    grouping_s: f64,
+    merge_s: f64,
+    greedy_s: f64,
+    front_end_s: f64,
+    route_calls: u64,
+    bfs_runs: u64,
+    scratch_reuses: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Row {
+    benchmark: String,
+    baseline_front_end_s: Option<f64>,
+    serial: Measurement,
+    parallel: Measurement,
+    /// Committed pre-refactor serial front end / 8-thread front end.
+    speedup_vs_baseline: Option<f64>,
+    /// 1-thread front end / 8-thread front end (same binary).
+    speedup_vs_serial: f64,
+}
+
+/// The schema of `BENCH_pipeline_baseline.json` (pre-refactor harness).
+#[derive(Debug, Deserialize)]
+struct BaselineRow {
+    benchmark: String,
+    front_end_s: f64,
+}
+
+fn measure(bench: &Benchmark, s: &Synthesis, threads: usize, repeats: usize) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..repeats {
+        let c0 = routing_counters();
+        let t0 = Instant::now();
+        let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+        let necessity_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let groups = build_groups(
+            &s.chip,
+            &s.schedule,
+            &a.requirements,
+            CandidatePolicy::Shortest,
+            3,
+            threads,
+        );
+        let groups = split_into_spot_clusters(
+            &s.chip,
+            &s.schedule,
+            groups,
+            4,
+            CandidatePolicy::Shortest,
+            3,
+            threads,
+        );
+        let grouping_s = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let groups = merge_groups(&s.chip, &s.schedule, groups, 3);
+        let merge_s = t2.elapsed().as_secs_f64();
+
+        let protected: HashSet<pdw_sched::TaskId> = s
+            .schedule
+            .tasks()
+            .filter(|(_, t)| t.kind().is_waste_disposal())
+            .map(|(id, _)| id)
+            .filter(|id| !a.deletable.contains(id))
+            .collect();
+        let t3 = Instant::now();
+        let out = insert_washes_protected(&s.chip, &s.schedule, &groups, true, &protected);
+        let greedy_s = t3.elapsed().as_secs_f64();
+        let d = routing_counters() - c0;
+
+        let m = Measurement {
+            threads,
+            requirements: a.requirements.len(),
+            groups: out.groups.len(),
+            necessity_s,
+            grouping_s,
+            merge_s,
+            greedy_s,
+            front_end_s: grouping_s + merge_s + greedy_s,
+            route_calls: d.route_calls,
+            bfs_runs: d.bfs_runs,
+            scratch_reuses: d.scratch_reuses,
+        };
+        if best.as_ref().is_none_or(|b| m.front_end_s < b.front_end_s) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn print_measurement(name: &str, m: &Measurement) {
+    println!(
+        "{:<14} t={} req={:<4} groups={:<4} grouping {:.4}s merge {:.4}s greedy {:.4}s \
+         front-end {:.4}s (routes {}, bfs {}, reuses {})",
+        name,
+        m.threads,
+        m.requirements,
+        m.groups,
+        m.grouping_s,
+        m.merge_s,
+        m.greedy_s,
+        m.front_end_s,
+        m.route_calls,
+        m.bfs_runs,
+        m.scratch_reuses,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_pipeline.json");
+
+    if smoke {
+        let bench = benchmarks::demo();
+        let s = pdw_synth::synthesize(&bench).expect("demo synthesizes");
+        let m = measure(&bench, &s, 0, 1);
+        print_measurement(&bench.name, &m);
+        println!("smoke run ok");
+        return;
+    }
+
+    let baseline: Vec<BaselineRow> = std::fs::read_to_string("BENCH_pipeline_baseline.json")
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+
+    let mut rows = Vec::new();
+    for bench in benchmarks::suite() {
+        let s = pdw_synth::synthesize(&bench).expect("benchmark synthesizes");
+        let serial = measure(&bench, &s, 1, 3);
+        let parallel = measure(&bench, &s, 8, 3);
+        let base = baseline
+            .iter()
+            .find(|b| b.benchmark == bench.name)
+            .map(|b| b.front_end_s);
+        print_measurement(&bench.name, &serial);
+        print_measurement(&bench.name, &parallel);
+        let row = Row {
+            benchmark: bench.name.clone(),
+            baseline_front_end_s: base,
+            speedup_vs_baseline: base.map(|b| b / parallel.front_end_s),
+            speedup_vs_serial: serial.front_end_s / parallel.front_end_s,
+            serial,
+            parallel,
+        };
+        if let Some(sp) = row.speedup_vs_baseline {
+            println!(
+                "{:<14} {:.2}x vs committed baseline, {:.2}x vs 1-thread",
+                row.benchmark, sp, row.speedup_vs_serial
+            );
+        }
+        rows.push(row);
+    }
+
+    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
+    std::fs::write(out_path, json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

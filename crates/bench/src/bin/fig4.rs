@@ -7,7 +7,10 @@ use pdw_bench::{experiment_config, improvement, run_suite};
 
 fn main() {
     let rows = run_suite(&experiment_config());
-    println!("{:<13} {:>10} {:>10} {:>8}", "Benchmark", "DAWO (s)", "PDW (s)", "Imp%");
+    println!(
+        "{:<13} {:>10} {:>10} {:>8}",
+        "Benchmark", "DAWO (s)", "PDW (s)", "Imp%"
+    );
     let mut sum = 0.0;
     for r in &rows {
         let imp = improvement(r.dawo.avg_wait, r.pdw.avg_wait);
@@ -19,7 +22,10 @@ fn main() {
     }
     println!(
         "{:<13} {:>10} {:>10} {:>7.2}%",
-        "Average", "-", "-", sum / rows.len() as f64
+        "Average",
+        "-",
+        "-",
+        sum / rows.len() as f64
     );
     println!("\nshape target (Fig. 4): PDW bars at or below DAWO bars on every benchmark");
 }

@@ -32,7 +32,12 @@ fn main() {
             .join(" -> ")
     };
     for (id, t) in s.schedule.tasks() {
-        println!("  {:<3} {:<7} {}", id.to_string(), t.kind().tag(), describe(t.path()));
+        println!(
+            "  {:<3} {:<7} {}",
+            id.to_string(),
+            t.kind().tag(),
+            describe(t.path())
+        );
     }
 
     println!("\n== wash-free schedule (Fig. 2(b) analogue) ==");

@@ -38,11 +38,18 @@ fn main() {
     let n = rows.len() as f64;
     println!(
         "{:<13} {:>9} | {:>11} {:>6.2}% | {:>13} {:>6.2}% | {:>11} {:>6.2}% | {:>13} {:>6.2}%",
-        "Average", "-", "", sums[0] / n, "", sums[1] / n, "", sums[2] / n, "", sums[3] / n
+        "Average",
+        "-",
+        "",
+        sums[0] / n,
+        "",
+        sums[1] / n,
+        "",
+        sums[2] / n,
+        "",
+        sums[3] / n
     );
-    println!(
-        "\npaper averages: N_wash 17.73%, L_wash 24.56%, T_delay 33.10%, T_assay 9.28%"
-    );
+    println!("\npaper averages: N_wash 17.73%, L_wash 24.56%, T_delay 33.10%, T_assay 9.28%");
 
     // Optional JSON dump for EXPERIMENTS.md regeneration.
     let mut args = std::env::args().skip(1);

@@ -12,7 +12,14 @@ use pdw_ilp::{Model, Relation};
 pub fn difference_chain(n: usize) -> Model {
     let mut m = Model::new("chain");
     let vars: Vec<_> = (0..n)
-        .map(|i| m.continuous(&format!("s{i}"), 0.0, 1e4, if i + 1 == n { 1.0 } else { 0.0 }))
+        .map(|i| {
+            m.continuous(
+                &format!("s{i}"),
+                0.0,
+                1e4,
+                if i + 1 == n { 1.0 } else { 0.0 },
+            )
+        })
         .collect();
     for w in vars.windows(2) {
         m.constraint([(w[1], 1.0), (w[0], -1.0)], Relation::Ge, 3.0);

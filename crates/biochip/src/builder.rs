@@ -354,7 +354,16 @@ mod tests {
 
     #[test]
     fn out_of_bounds_reported_with_dimensions() {
-        let err = ChipBuilder::new(4, 4).channel(Coord::new(9, 0)).unwrap_err();
-        assert!(matches!(err, ChipError::OutOfBounds { width: 4, height: 4, .. }));
+        let err = ChipBuilder::new(4, 4)
+            .channel(Coord::new(9, 0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ChipError::OutOfBounds {
+                width: 4,
+                height: 4,
+                ..
+            }
+        ));
     }
 }

@@ -1,0 +1,302 @@
+//! Word-packed cell sets for O(words) overlap/subset/membership tests.
+//!
+//! A [`CellSet`] stores a set of [`Coord`]s as a dense bitmask over the
+//! tight bounding box of its members: one bit per cell, 64 cells per word,
+//! rows indexed by absolute `y` and word columns by absolute `x / 64`. Two
+//! sets built from the same chip's coordinates therefore share an absolute
+//! frame, and intersection/subset queries reduce to a handful of `AND`s over
+//! the overlapping window — no hashing, no per-query allocation.
+//!
+//! The representation is canonical: equal cell sets produce bit-identical
+//! structures regardless of insertion order, so the derived `PartialEq`/
+//! `Hash` agree with set equality.
+
+use crate::grid::Coord;
+
+/// An immutable set of grid cells packed 64-per-word over the set's
+/// bounding box.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct CellSet {
+    /// Smallest `y` of any member (rows are `y_min ..`).
+    y_min: u16,
+    /// First occupied 64-bit word column (`x / 64`).
+    x_word_min: u16,
+    /// Word columns per row.
+    words_per_row: u16,
+    /// Number of members.
+    len: u32,
+    /// `rows × words_per_row` words, row-major.
+    words: Vec<u64>,
+}
+
+impl CellSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the set of `cells` (duplicates are harmless).
+    pub fn from_cells(cells: &[Coord]) -> Self {
+        let Some(&first) = cells.first() else {
+            return Self::default();
+        };
+        let (mut y_min, mut y_max) = (first.y, first.y);
+        let (mut w_min, mut w_max) = (first.x / 64, first.x / 64);
+        for &c in cells {
+            y_min = y_min.min(c.y);
+            y_max = y_max.max(c.y);
+            w_min = w_min.min(c.x / 64);
+            w_max = w_max.max(c.x / 64);
+        }
+        let words_per_row = (w_max - w_min + 1) as usize;
+        let rows = (y_max - y_min + 1) as usize;
+        let mut words = vec![0u64; rows * words_per_row];
+        let mut len = 0u32;
+        for &c in cells {
+            let idx = (c.y - y_min) as usize * words_per_row + (c.x / 64 - w_min) as usize;
+            let bit = 1u64 << (c.x % 64);
+            if words[idx] & bit == 0 {
+                words[idx] |= bit;
+                len += 1;
+            }
+        }
+        Self {
+            y_min,
+            x_word_min: w_min,
+            words_per_row: words_per_row as u16,
+            len,
+            words,
+        }
+    }
+
+    /// Number of cells in the set.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the set has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn rows(&self) -> usize {
+        if self.words_per_row == 0 {
+            0
+        } else {
+            self.words.len() / self.words_per_row as usize
+        }
+    }
+
+    /// Returns `true` if `c` is a member.
+    pub fn contains(&self, c: Coord) -> bool {
+        if self.is_empty() || c.y < self.y_min || c.x / 64 < self.x_word_min {
+            return false;
+        }
+        let row = (c.y - self.y_min) as usize;
+        let wcol = (c.x / 64 - self.x_word_min) as usize;
+        if row >= self.rows() || wcol >= self.words_per_row as usize {
+            return false;
+        }
+        self.words[row * self.words_per_row as usize + wcol] & (1u64 << (c.x % 64)) != 0
+    }
+
+    /// Returns `true` if the two sets share at least one cell.
+    pub fn intersects(&self, other: &CellSet) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let y_lo = self.y_min.max(other.y_min) as u32;
+        let y_hi =
+            (self.y_min as u32 + self.rows() as u32).min(other.y_min as u32 + other.rows() as u32);
+        let w_lo = self.x_word_min.max(other.x_word_min) as u32;
+        let w_hi = (self.x_word_min as u32 + self.words_per_row as u32)
+            .min(other.x_word_min as u32 + other.words_per_row as u32);
+        if y_lo >= y_hi || w_lo >= w_hi {
+            return false;
+        }
+        for y in y_lo..y_hi {
+            let a_base = (y - self.y_min as u32) as usize * self.words_per_row as usize;
+            let b_base = (y - other.y_min as u32) as usize * other.words_per_row as usize;
+            for w in w_lo..w_hi {
+                let a = self.words[a_base + (w - self.x_word_min as u32) as usize];
+                let b = other.words[b_base + (w - other.x_word_min as u32) as usize];
+                if a & b != 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` if every cell of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &CellSet) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        if self.len > other.len {
+            return false;
+        }
+        for row in 0..self.rows() {
+            let y = self.y_min + row as u16;
+            for wcol in 0..self.words_per_row {
+                let a = self.words[row * self.words_per_row as usize + wcol as usize];
+                if a == 0 {
+                    continue;
+                }
+                let w = self.x_word_min + wcol;
+                // Any set bit outside `other`'s bounding box disproves it.
+                let b = if y < other.y_min
+                    || (y - other.y_min) as usize >= other.rows()
+                    || w < other.x_word_min
+                    || w - other.x_word_min >= other.words_per_row
+                {
+                    0
+                } else {
+                    other.words[(y - other.y_min) as usize * other.words_per_row as usize
+                        + (w - other.x_word_min) as usize]
+                };
+                if a & !b != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over the member cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.rows()).flat_map(move |row| {
+            (0..self.words_per_row as usize).flat_map(move |wcol| {
+                let mut word = self.words[row * self.words_per_row as usize + wcol];
+                let y = self.y_min + row as u16;
+                let x_base = (self.x_word_min as u32 + wcol as u32) * 64;
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        return None;
+                    }
+                    let bit = word.trailing_zeros();
+                    word &= word - 1;
+                    Some(Coord::new((x_base + bit) as u16, y))
+                })
+            })
+        })
+    }
+}
+
+impl FromIterator<Coord> for CellSet {
+    fn from_iter<I: IntoIterator<Item = Coord>>(iter: I) -> Self {
+        let cells: Vec<Coord> = iter.into_iter().collect();
+        Self::from_cells(&cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn set(cells: &[(u16, u16)]) -> CellSet {
+        let coords: Vec<Coord> = cells.iter().map(|&(x, y)| Coord::new(x, y)).collect();
+        CellSet::from_cells(&coords)
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let e = CellSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(Coord::new(0, 0)));
+        assert!(!e.intersects(&set(&[(1, 1)])));
+        assert!(e.is_subset_of(&set(&[(1, 1)])));
+        assert!(e.is_subset_of(&e.clone()));
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn membership_and_duplicates() {
+        let s = set(&[(3, 4), (3, 4), (5, 4), (3, 6)]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(Coord::new(3, 4)));
+        assert!(s.contains(Coord::new(5, 4)));
+        assert!(s.contains(Coord::new(3, 6)));
+        assert!(!s.contains(Coord::new(4, 4)));
+        assert!(!s.contains(Coord::new(3, 5)));
+        assert!(!s.contains(Coord::new(0, 0)));
+        assert!(!s.contains(Coord::new(1000, 1000)));
+    }
+
+    #[test]
+    fn canonical_representation_ignores_order() {
+        let a = set(&[(1, 1), (2, 2), (3, 3)]);
+        let b = set(&[(3, 3), (1, 1), (2, 2)]);
+        assert_eq!(a, b);
+    }
+
+    type PairCases = [(&'static [(u16, u16)], &'static [(u16, u16)])];
+
+    #[test]
+    fn intersects_matches_naive() {
+        let cases: &PairCases = &[
+            (&[(0, 0)], &[(0, 0)]),
+            (&[(0, 0)], &[(1, 0)]),
+            (&[(10, 10), (11, 10)], &[(11, 10), (12, 10)]),
+            (&[(0, 0), (63, 0), (64, 0)], &[(64, 0)]),
+            (&[(0, 0), (63, 0)], &[(64, 0), (127, 0)]),
+            (&[(5, 1), (5, 2)], &[(5, 3), (5, 4)]),
+        ];
+        for (a_cells, b_cells) in cases {
+            let a = set(a_cells);
+            let b = set(b_cells);
+            let na: HashSet<_> = a_cells.iter().collect();
+            let nb: HashSet<_> = b_cells.iter().collect();
+            let expect = !na.is_disjoint(&nb);
+            assert_eq!(a.intersects(&b), expect, "{a_cells:?} vs {b_cells:?}");
+            assert_eq!(b.intersects(&a), expect, "{b_cells:?} vs {a_cells:?}");
+        }
+    }
+
+    #[test]
+    fn subset_matches_naive() {
+        let cases: &PairCases = &[
+            (&[(1, 1)], &[(1, 1)]),
+            (&[(1, 1)], &[(1, 1), (2, 1)]),
+            (&[(1, 1), (2, 1)], &[(1, 1)]),
+            (&[(64, 3)], &[(64, 3), (0, 3)]),
+            (&[(64, 3), (0, 3)], &[(64, 3)]),
+            (&[(2, 2)], &[(3, 3)]),
+        ];
+        for (a_cells, b_cells) in cases {
+            let a = set(a_cells);
+            let b = set(b_cells);
+            let na: HashSet<_> = a_cells.iter().collect();
+            let nb: HashSet<_> = b_cells.iter().collect();
+            assert_eq!(
+                a.is_subset_of(&b),
+                na.is_subset(&nb),
+                "{a_cells:?} ⊆ {b_cells:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn iter_yields_members_row_major() {
+        let s = set(&[(5, 2), (1, 2), (3, 1)]);
+        let got: Vec<Coord> = s.iter().collect();
+        assert_eq!(
+            got,
+            vec![Coord::new(3, 1), Coord::new(1, 2), Coord::new(5, 2)]
+        );
+    }
+
+    #[test]
+    fn word_boundary_cells() {
+        let s = set(&[(63, 0), (64, 0), (127, 0), (128, 0)]);
+        assert_eq!(s.len(), 4);
+        for x in [63u16, 64, 127, 128] {
+            assert!(s.contains(Coord::new(x, 0)), "x={x}");
+        }
+        assert!(!s.contains(Coord::new(62, 0)));
+        assert!(!s.contains(Coord::new(129, 0)));
+        assert!(!s.contains(Coord::new(0, 0)));
+    }
+}

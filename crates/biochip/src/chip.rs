@@ -1,13 +1,16 @@
 //! A validated chip architecture: grid, devices, and ports.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::device::{Device, DeviceId};
 use crate::error::ChipError;
 use crate::grid::{CellKind, Coord, Grid};
 use crate::path::FlowPath;
+use crate::routing::{PortReach, RouteScratch};
 
 /// Identifier of a flow (inlet) port on a chip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -41,13 +44,64 @@ pub(crate) struct Port {
 /// Constructed through [`ChipBuilder`](crate::ChipBuilder). A chip owns the
 /// virtual grid, the placed devices, and the flow/waste ports, and offers
 /// routing queries over the channel network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Chip {
     grid: Grid,
     devices: Vec<Device>,
     flow_ports: Vec<Port>,
     waste_ports: Vec<Port>,
     labels: HashMap<String, Coord>,
+    /// Lazily computed port reachability fields (see [`PortReach`]). Not
+    /// part of the chip's identity: excluded from equality and
+    /// serialization.
+    reach: OnceLock<PortReach>,
+}
+
+impl PartialEq for Chip {
+    fn eq(&self, other: &Self) -> bool {
+        self.grid == other.grid
+            && self.devices == other.devices
+            && self.flow_ports == other.flow_ports
+            && self.waste_ports == other.waste_ports
+            && self.labels == other.labels
+    }
+}
+
+// Manual impls (the derive would serialize the `reach` cache): same wire
+// format as the former derive — an object with the persistent fields in
+// declaration order.
+impl Serialize for Chip {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("grid".to_string(), self.grid.to_value()),
+            ("devices".to_string(), self.devices.to_value()),
+            ("flow_ports".to_string(), self.flow_ports.to_value()),
+            ("waste_ports".to_string(), self.waste_ports.to_value()),
+            ("labels".to_string(), self.labels.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Chip {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for Chip"))?;
+        Ok(Chip {
+            grid: serde::field(obj, "grid")?,
+            devices: serde::field(obj, "devices")?,
+            flow_ports: serde::field(obj, "flow_ports")?,
+            waste_ports: serde::field(obj, "waste_ports")?,
+            labels: serde::field(obj, "labels")?,
+            reach: OnceLock::new(),
+        })
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocation-free `route`/`route_via`
+    /// wrappers; rebuilt only when the grid size changes.
+    static SCRATCH: RefCell<Option<RouteScratch>> = const { RefCell::new(None) };
 }
 
 impl Chip {
@@ -70,6 +124,7 @@ impl Chip {
             flow_ports,
             waste_ports,
             labels,
+            reach: OnceLock::new(),
         }
     }
 
@@ -151,7 +206,7 @@ impl Chip {
     ///
     /// Ports other than the endpoints are impassable: fluid entering another
     /// inlet's tubing or a closed outlet is physically meaningless.
-    fn passable(&self, c: Coord, src: Coord, dst: Coord) -> bool {
+    pub(crate) fn passable(&self, c: Coord, src: Coord, dst: Coord) -> bool {
         match self.grid.get(c) {
             None | Some(CellKind::Empty) => false,
             Some(CellKind::Channel) | Some(CellKind::Device(_)) => true,
@@ -162,46 +217,15 @@ impl Chip {
     /// BFS shortest path from `from` to `to` over routable cells, avoiding
     /// `blocked` cells. Returns the full cell sequence including endpoints,
     /// or `None` if unreachable.
+    ///
+    /// Backed by a per-thread [`RouteScratch`]; hot loops that probe many
+    /// endpoint pairs against one blocked set should hold their own scratch
+    /// and call [`route_with`](Self::route_with) instead.
     pub fn route(&self, from: Coord, to: Coord, blocked: &[Coord]) -> Option<Vec<Coord>> {
-        let blocked: HashSet<Coord> = blocked.iter().copied().collect();
-        self.route_set(from, to, &blocked)
-    }
-
-    /// Like [`route`](Self::route) but takes an already-built blocked set.
-    pub fn route_set(&self, from: Coord, to: Coord, blocked: &HashSet<Coord>) -> Option<Vec<Coord>> {
-        if !self.passable(from, from, to) || blocked.contains(&from) {
-            return None;
-        }
-        if from == to {
-            return Some(vec![from]);
-        }
-        let mut prev: HashMap<Coord, Coord> = HashMap::new();
-        let mut queue = VecDeque::new();
-        queue.push_back(from);
-        prev.insert(from, from);
-        while let Some(cur) = queue.pop_front() {
-            for n in self.grid.neighbors(cur) {
-                if prev.contains_key(&n) || blocked.contains(&n) {
-                    continue;
-                }
-                if !self.passable(n, from, to) {
-                    continue;
-                }
-                prev.insert(n, cur);
-                if n == to {
-                    let mut path = vec![to];
-                    let mut c = to;
-                    while c != from {
-                        c = prev[&c];
-                        path.push(c);
-                    }
-                    path.reverse();
-                    return Some(path);
-                }
-                queue.push_back(n);
-            }
-        }
-        None
+        self.with_scratch(|chip, scratch| {
+            scratch.load_blocked(blocked.iter().copied());
+            chip.route_with(scratch, from, to)
+        })
     }
 
     /// Routes a simple path `from → via[0] → via[1] → … → to`, visiting the
@@ -217,37 +241,27 @@ impl Chip {
         to: Coord,
         blocked: &[Coord],
     ) -> Option<Vec<Coord>> {
-        let mut used: HashSet<Coord> = blocked.iter().copied().collect();
-        let stops: Vec<Coord> = via.iter().copied().chain(std::iter::once(to)).collect();
-        let mut path: Vec<Coord> = Vec::new();
-        let mut cur = from;
-        for (k, &stop) in stops.iter().enumerate() {
-            if stop == cur {
-                if path.is_empty() {
-                    path.push(cur);
-                    used.insert(cur);
-                }
-                continue;
+        self.with_scratch(|chip, scratch| {
+            scratch.load_blocked(blocked.iter().copied());
+            chip.route_via_with(scratch, from, via, to)
+        })
+    }
+
+    fn with_scratch<R>(&self, f: impl FnOnce(&Chip, &mut RouteScratch) -> R) -> R {
+        SCRATCH.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if slot.as_ref().is_none_or(|s| !s.fits(self)) {
+                *slot = Some(RouteScratch::for_chip(self));
             }
-            // Allow the current head to be re-entered as a leg start, and
-            // forbid cutting through stops that must be visited later.
-            let mut leg_used = used.clone();
-            leg_used.remove(&cur);
-            for &future in &stops[k + 1..] {
-                leg_used.insert(future);
-            }
-            let leg = self.route_set(cur, stop, &leg_used)?;
-            for &c in &leg {
-                used.insert(c);
-            }
-            if path.is_empty() {
-                path.extend(leg);
-            } else {
-                path.extend(leg.into_iter().skip(1));
-            }
-            cur = stop;
-        }
-        Some(path)
+            f(self, slot.as_mut().expect("scratch just installed"))
+        })
+    }
+
+    /// Cached unblocked reachability fields from every flow and waste port,
+    /// computed on first use (the chip is immutable, so the cache never
+    /// goes stale).
+    pub fn port_reach(&self) -> &PortReach {
+        self.reach.get_or_init(|| PortReach::compute(self))
     }
 
     /// Validates that `path` is a complete flow path on this chip: it starts
@@ -322,7 +336,12 @@ mod tests {
             .unwrap()
             .waste_port("out1", Coord::new(7, 3))
             .unwrap()
-            .device(DeviceKind::Mixer, "mixer", Coord::new(3, 3), Coord::new(4, 3))
+            .device(
+                DeviceKind::Mixer,
+                "mixer",
+                Coord::new(3, 3),
+                Coord::new(4, 3),
+            )
             .unwrap()
             .channel(Coord::new(1, 3))
             .unwrap()
@@ -354,7 +373,9 @@ mod tests {
         let c = chip();
         // Blocking the only corridor makes the sink unreachable.
         let blocked = [Coord::new(2, 3)];
-        assert!(c.route(Coord::new(0, 3), Coord::new(7, 3), &blocked).is_none());
+        assert!(c
+            .route(Coord::new(0, 3), Coord::new(7, 3), &blocked)
+            .is_none());
     }
 
     #[test]
@@ -382,12 +403,7 @@ mod tests {
     fn route_via_visits_stops_in_order() {
         let c = chip();
         let p = c
-            .route_via(
-                Coord::new(0, 3),
-                &[Coord::new(3, 3)],
-                Coord::new(7, 3),
-                &[],
-            )
+            .route_via(Coord::new(0, 3), &[Coord::new(3, 3)], Coord::new(7, 3), &[])
             .unwrap();
         let path = FlowPath::new(p).expect("route_via returns a simple path");
         assert!(path.contains(Coord::new(3, 3)));
@@ -399,19 +415,15 @@ mod tests {
     fn route_via_fails_when_stop_forces_revisit() {
         let c = chip();
         // Going out to the stub tip and back would revisit (3,2)/(3,3).
-        let p = c.route_via(
-            Coord::new(0, 3),
-            &[Coord::new(3, 1)],
-            Coord::new(7, 3),
-            &[],
-        );
+        let p = c.route_via(Coord::new(0, 3), &[Coord::new(3, 1)], Coord::new(7, 3), &[]);
         assert!(p.is_none());
     }
 
     #[test]
     fn validate_path_checks_endpoints_and_interior() {
         let c = chip();
-        let good = FlowPath::new(c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap()).unwrap();
+        let good =
+            FlowPath::new(c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap()).unwrap();
         assert!(c.validate_path(&good).is_ok());
 
         let bad_src = FlowPath::new(vec![Coord::new(1, 3), Coord::new(2, 3)]).unwrap();

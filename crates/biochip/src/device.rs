@@ -79,7 +79,12 @@ pub struct Device {
 }
 
 impl Device {
-    pub(crate) fn new(id: DeviceId, kind: DeviceKind, label: String, footprint: Vec<Coord>) -> Self {
+    pub(crate) fn new(
+        id: DeviceId,
+        kind: DeviceKind,
+        label: String,
+        footprint: Vec<Coord>,
+    ) -> Self {
         debug_assert!(!footprint.is_empty());
         Self {
             id,

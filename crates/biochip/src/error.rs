@@ -61,7 +61,10 @@ impl fmt::Display for ChipError {
                 write!(f, "cell {coord} is already occupied")
             }
             ChipError::BadFootprint { label } => {
-                write!(f, "device `{label}` has an empty or non-contiguous footprint")
+                write!(
+                    f,
+                    "device `{label}` has an empty or non-contiguous footprint"
+                )
             }
             ChipError::PortNotOnBoundary { coord } => {
                 write!(f, "port at {coord} is not on the grid boundary")
@@ -95,7 +98,9 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("(9, 9)"));
         assert!(msg.contains("5x5"));
-        let e = ChipError::DuplicateLabel { label: "in1".into() };
+        let e = ChipError::DuplicateLabel {
+            label: "in1".into(),
+        };
         assert!(e.to_string().contains("in1"));
     }
 

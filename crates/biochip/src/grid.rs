@@ -231,7 +231,10 @@ mod tests {
     fn coord_order_is_row_major() {
         let mut v = vec![Coord::new(1, 1), Coord::new(0, 0), Coord::new(2, 0)];
         v.sort();
-        assert_eq!(v, vec![Coord::new(0, 0), Coord::new(2, 0), Coord::new(1, 1)]);
+        assert_eq!(
+            v,
+            vec![Coord::new(0, 0), Coord::new(2, 0), Coord::new(1, 1)]
+        );
     }
 
     #[test]

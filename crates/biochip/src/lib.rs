@@ -42,19 +42,23 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod cellset;
 mod chip;
 mod device;
 mod error;
 mod grid;
 mod path;
+mod routing;
 pub mod text;
 
 pub use builder::ChipBuilder;
+pub use cellset::CellSet;
 pub use chip::{Chip, FlowPortId, PathValidationError, WastePortId};
 pub use device::{Device, DeviceId, DeviceKind};
 pub use error::ChipError;
 pub use grid::{CellKind, Coord, Grid};
 pub use path::{FlowPath, PathError};
+pub use routing::{counters as routing_counters, PortReach, RouteScratch, RoutingCounters};
 
 /// Physical pitch of one virtual-grid cell, in millimeters.
 ///

@@ -2,7 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
+use crate::cellset::CellSet;
 use crate::grid::Coord;
 use crate::CELL_PITCH_MM;
 
@@ -48,9 +50,46 @@ impl std::error::Error for PathError {}
 /// path type itself only enforces the geometric invariants — adjacency and
 /// simplicity; whether the endpoints are ports of a specific chip is checked
 /// by [`Chip::validate_path`](crate::Chip::validate_path).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowPath {
     cells: Vec<Coord>,
+    /// Word-packed occupancy mask over the path's bounding box, precomputed
+    /// so overlap/subset/membership queries need no per-call set building.
+    /// Derived from `cells`: excluded from equality, hashing, and
+    /// serialization.
+    mask: CellSet,
+}
+
+impl PartialEq for FlowPath {
+    fn eq(&self, other: &Self) -> bool {
+        self.cells == other.cells
+    }
+}
+
+impl Eq for FlowPath {}
+
+impl Hash for FlowPath {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.cells.hash(state);
+    }
+}
+
+// Manual impls (the derive would serialize the derived `mask`): same wire
+// format as the former derive — an object holding only `cells`.
+impl Serialize for FlowPath {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![("cells".to_string(), self.cells.to_value())])
+    }
+}
+
+impl Deserialize for FlowPath {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for FlowPath"))?;
+        let cells: Vec<Coord> = serde::field(obj, "cells")?;
+        FlowPath::new(cells).map_err(serde::Error::custom)
+    }
 }
 
 impl FlowPath {
@@ -69,13 +108,18 @@ impl FlowPath {
                 return Err(PathError::NotAdjacent { index: i });
             }
         }
-        let mut seen = std::collections::HashSet::with_capacity(cells.len());
-        for &c in &cells {
-            if !seen.insert(c) {
-                return Err(PathError::RepeatedCell { coord: c });
+        let mask = CellSet::from_cells(&cells);
+        if mask.len() != cells.len() {
+            // Cold path: rediscover the first repeat for the error report.
+            let mut seen = std::collections::HashSet::with_capacity(cells.len());
+            for &c in &cells {
+                if !seen.insert(c) {
+                    return Err(PathError::RepeatedCell { coord: c });
+                }
             }
+            unreachable!("mask/cells length mismatch implies a repeated cell");
         }
-        Ok(Self { cells })
+        Ok(Self { cells, mask })
     }
 
     /// The cells of the path, in traversal order.
@@ -111,26 +155,25 @@ impl FlowPath {
 
     /// Returns `true` if `c` lies on the path.
     pub fn contains(&self, c: Coord) -> bool {
-        self.cells.contains(&c)
+        self.mask.contains(c)
+    }
+
+    /// The path's occupancy mask (the same cells as [`cells`](Self::cells),
+    /// as a word-packed [`CellSet`]).
+    pub fn mask(&self) -> &CellSet {
+        &self.mask
     }
 
     /// Returns `true` if the two paths share at least one cell
     /// (`l_a ∩ l_b ≠ ∅` in the paper's conflict constraints).
     pub fn overlaps(&self, other: &FlowPath) -> bool {
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let set: std::collections::HashSet<_> = large.cells.iter().collect();
-        small.cells.iter().any(|c| set.contains(c))
+        self.mask.intersects(&other.mask)
     }
 
     /// Returns `true` if every cell of `self` lies on `other`
     /// (`l_a ⊆ l_b`, used by the removal-integration rule, Eq. 21).
     pub fn is_subpath_of(&self, other: &FlowPath) -> bool {
-        let set: std::collections::HashSet<_> = other.cells.iter().collect();
-        self.cells.iter().all(|c| set.contains(c))
+        self.mask.is_subset_of(&other.mask)
     }
 
     /// Iterates over the cells of the path.
@@ -217,6 +260,39 @@ mod tests {
         assert!(!a.overlaps(&c));
         assert!(b.is_subpath_of(&a));
         assert!(!a.is_subpath_of(&b));
+    }
+
+    /// Pairwise oracle check of the bitset-backed `overlaps`/`is_subpath_of`
+    /// against the old `HashSet` semantics: single-cell paths, identical
+    /// paths, disjoint paths, and subpaths at either end.
+    #[test]
+    fn overlap_subpath_edge_cases_match_naive() {
+        use std::collections::HashSet;
+        let paths = [
+            FlowPath::new(vec![Coord::new(2, 0)]).unwrap(), // single cell on the line
+            FlowPath::new(vec![Coord::new(7, 7)]).unwrap(), // single cell off the line
+            FlowPath::new(line(4)).unwrap(),                // (0,0)..(3,0)
+            FlowPath::new(line(4)).unwrap(),                // identical copy
+            FlowPath::new(vec![Coord::new(0, 0), Coord::new(1, 0)]).unwrap(), // front subpath
+            FlowPath::new(vec![Coord::new(2, 0), Coord::new(3, 0)]).unwrap(), // back subpath
+            FlowPath::new(vec![Coord::new(0, 5), Coord::new(1, 5)]).unwrap(), // disjoint
+            FlowPath::new(vec![Coord::new(3, 0), Coord::new(3, 1)]).unwrap(), // crosses one end
+        ];
+        for a in &paths {
+            for b in &paths {
+                let sa: HashSet<_> = a.cells().iter().collect();
+                let sb: HashSet<_> = b.cells().iter().collect();
+                assert_eq!(a.overlaps(b), !sa.is_disjoint(&sb), "overlaps: {a} vs {b}");
+                assert_eq!(b.overlaps(a), !sb.is_disjoint(&sa), "overlaps: {b} vs {a}");
+                assert_eq!(a.is_subpath_of(b), sa.is_subset(&sb), "subpath: {a} vs {b}");
+            }
+        }
+        for p in &paths {
+            for &c in p.cells() {
+                assert!(p.contains(c));
+            }
+            assert!(!p.contains(Coord::new(9, 9)));
+        }
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! Dense, allocation-free BFS routing state.
+//!
+//! The router's hot loops (candidate wash-path enumeration tries many
+//! via-orders per wash group) used to rebuild `HashMap`/`HashSet` frontier
+//! state on every call. [`RouteScratch`] replaces those with flat
+//! `Vec`-indexed arrays keyed by grid cell index, stamped with epochs so a
+//! warm scratch is reused without clearing: after the first route on a given
+//! grid size, routing allocates nothing but the returned path.
+//!
+//! [`PortReach`] caches BFS distance fields from every flow and waste port
+//! over the unblocked chip, computed once per chip (the chip is immutable
+//! after construction, so the cache never goes stale). Because blocking
+//! cells only ever shrinks reachability, a cell unreachable in these fields
+//! can never be routed, so enumeration prunes hopeless port/via
+//! combinations without running the router at all.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::chip::Chip;
+use crate::grid::{CellKind, Coord};
+
+/// Monotone counters over all routing activity in the process.
+///
+/// Incremented with relaxed ordering (they are statistics, not
+/// synchronization); read them with [`counters`] before and after a pipeline
+/// stage and subtract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoutingCounters {
+    /// Top-level routing queries (`route` / `route_via` and scratch
+    /// variants).
+    pub route_calls: u64,
+    /// Individual BFS leg searches (a `route_via` runs one per stop).
+    pub bfs_runs: u64,
+    /// Routing queries served by an already-warm scratch (no allocation).
+    pub scratch_reuses: u64,
+}
+
+static ROUTE_CALLS: AtomicU64 = AtomicU64::new(0);
+static BFS_RUNS: AtomicU64 = AtomicU64::new(0);
+static SCRATCH_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide [`RoutingCounters`].
+pub fn counters() -> RoutingCounters {
+    RoutingCounters {
+        route_calls: ROUTE_CALLS.load(Ordering::Relaxed),
+        bfs_runs: BFS_RUNS.load(Ordering::Relaxed),
+        scratch_reuses: SCRATCH_REUSES.load(Ordering::Relaxed),
+    }
+}
+
+impl std::ops::Sub for RoutingCounters {
+    type Output = RoutingCounters;
+
+    fn sub(self, rhs: RoutingCounters) -> RoutingCounters {
+        RoutingCounters {
+            route_calls: self.route_calls - rhs.route_calls,
+            bfs_runs: self.bfs_runs - rhs.bfs_runs,
+            scratch_reuses: self.scratch_reuses - rhs.scratch_reuses,
+        }
+    }
+}
+
+const UNSET: u32 = u32::MAX;
+
+/// Reusable BFS state for one grid size.
+///
+/// All membership tests (`visited`, `blocked`, `used`, pending stops) are
+/// epoch-stamped flat arrays: bumping an epoch invalidates the whole set in
+/// O(1), so repeated routes reuse the buffers without clearing or
+/// allocating. One scratch serves one thread; parallel enumeration gives
+/// each worker its own.
+#[derive(Debug, Clone)]
+pub struct RouteScratch {
+    width: u16,
+    height: u16,
+    /// BFS visited stamp + predecessor (per BFS leg).
+    visit: Vec<u32>,
+    prev: Vec<u32>,
+    visit_epoch: u32,
+    /// Blocked-cell stamp (loaded once, valid across many routes).
+    blocked: Vec<u32>,
+    blocked_epoch: u32,
+    /// Cells consumed by earlier legs of the current `route_via`.
+    used: Vec<u32>,
+    used_epoch: u32,
+    /// Pending-stop stamp and rank for the current `route_via`.
+    stop: Vec<u32>,
+    stop_rank: Vec<u32>,
+    stop_epoch: u32,
+    /// FIFO frontier.
+    queue: Vec<u32>,
+    /// Whether this scratch has served a route before (for the reuse
+    /// counter).
+    warm: bool,
+}
+
+impl RouteScratch {
+    /// Creates scratch buffers sized for `chip`'s grid.
+    pub fn for_chip(chip: &Chip) -> Self {
+        Self::new(chip.grid().width(), chip.grid().height())
+    }
+
+    /// Creates scratch buffers for a `width × height` grid.
+    pub fn new(width: u16, height: u16) -> Self {
+        let n = width as usize * height as usize;
+        Self {
+            width,
+            height,
+            visit: vec![0; n],
+            prev: vec![0; n],
+            visit_epoch: 0,
+            blocked: vec![0; n],
+            blocked_epoch: 0,
+            used: vec![0; n],
+            used_epoch: 0,
+            stop: vec![0; n],
+            stop_rank: vec![0; n],
+            stop_epoch: 0,
+            queue: Vec::with_capacity(n),
+            warm: false,
+        }
+    }
+
+    /// Returns `true` if this scratch fits `chip`'s grid.
+    pub fn fits(&self, chip: &Chip) -> bool {
+        self.width == chip.grid().width() && self.height == chip.grid().height()
+    }
+
+    #[inline]
+    fn idx(&self, c: Coord) -> usize {
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Bumps an epoch counter, resetting the stamp array on wrap-around so a
+    /// stale stamp can never alias the new epoch. Epoch 0 is reserved for
+    /// "freshly zeroed", so stamps start valid-empty.
+    fn bump(epoch: &mut u32, stamps: &mut [u32]) -> u32 {
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == UNSET {
+            stamps.fill(0);
+            *epoch = 1;
+        }
+        *epoch
+    }
+
+    /// Replaces the blocked set. The set stays loaded across subsequent
+    /// `route_with`/`route_via_with` calls, so a caller probing many port
+    /// pairs against one blocked set stamps it exactly once.
+    pub fn load_blocked(&mut self, blocked: impl IntoIterator<Item = Coord>) {
+        let e = Self::bump(&mut self.blocked_epoch, &mut self.blocked);
+        for c in blocked {
+            if c.x < self.width && c.y < self.height {
+                let i = c.y as usize * self.width as usize + c.x as usize;
+                self.blocked[i] = e;
+            }
+        }
+    }
+
+    /// Starts a fresh routing query: invalidates the leg-used set and the
+    /// pending-stop set (the blocked set persists).
+    fn begin_query(&mut self) {
+        Self::bump(&mut self.used_epoch, &mut self.used);
+        Self::bump(&mut self.stop_epoch, &mut self.stop);
+        ROUTE_CALLS.fetch_add(1, Ordering::Relaxed);
+        if self.warm {
+            SCRATCH_REUSES.fetch_add(1, Ordering::Relaxed);
+        }
+        self.warm = true;
+    }
+
+    #[inline]
+    fn is_blocked(&self, i: usize) -> bool {
+        self.blocked[i] == self.blocked_epoch
+    }
+
+    #[inline]
+    fn is_used(&self, i: usize) -> bool {
+        self.used[i] == self.used_epoch
+    }
+
+    /// One BFS leg from `cur` to `stop`. A cell is traversable when it is
+    /// passable for the `(cur, stop)` endpoint pair, not blocked, not
+    /// consumed by an earlier leg (`cur` itself is exempt: it is the head of
+    /// the previous leg, which this leg restarts from), and not a stop that
+    /// must be visited later (`rank > leg`).
+    fn leg(&mut self, chip: &Chip, cur: Coord, stop: Coord, leg: u32) -> bool {
+        BFS_RUNS.fetch_add(1, Ordering::Relaxed);
+        let start = self.idx(cur);
+        let pending = |s: &Self, i: usize| s.stop[i] == s.stop_epoch && s.stop_rank[i] > leg;
+        let barred = |s: &Self, i: usize, c: Coord| {
+            ((s.is_blocked(i) || s.is_used(i)) && c != cur) || pending(s, i)
+        };
+        if !chip.passable(cur, cur, stop) || barred(self, start, cur) {
+            return false;
+        }
+        let e = Self::bump(&mut self.visit_epoch, &mut self.visit);
+        self.visit[start] = e;
+        self.prev[start] = start as u32;
+        self.queue.clear();
+        self.queue.push(start as u32);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let ci = self.queue[head] as usize;
+            head += 1;
+            let c = Coord::new(
+                (ci % self.width as usize) as u16,
+                (ci / self.width as usize) as u16,
+            );
+            for n in chip.grid().neighbors(c) {
+                let ni = self.idx(n);
+                if self.visit[ni] == e || barred(self, ni, n) {
+                    continue;
+                }
+                if !chip.passable(n, cur, stop) {
+                    continue;
+                }
+                self.visit[ni] = e;
+                self.prev[ni] = ci as u32;
+                if n == stop {
+                    return true;
+                }
+                self.queue.push(ni as u32);
+            }
+        }
+        false
+    }
+
+    /// Appends the found leg path (endpoints included) to `out`.
+    fn extract(&self, from: Coord, to: Coord, out: &mut Vec<Coord>) {
+        let mark = out.len();
+        let start = self.idx(from) as u32;
+        let mut i = self.idx(to) as u32;
+        loop {
+            out.push(Coord::new(
+                (i % self.width as u32) as u16,
+                (i / self.width as u32) as u16,
+            ));
+            if i == start {
+                break;
+            }
+            i = self.prev[i as usize];
+        }
+        out[mark..].reverse();
+    }
+}
+
+impl Chip {
+    /// Like [`route`](Self::route), but against the blocked set loaded into
+    /// `scratch` — hot loops load the blocked set once and probe many
+    /// endpoint pairs with zero per-call allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different grid.
+    pub fn route_with(
+        &self,
+        scratch: &mut RouteScratch,
+        from: Coord,
+        to: Coord,
+    ) -> Option<Vec<Coord>> {
+        assert!(scratch.fits(self), "scratch sized for a different grid");
+        scratch.begin_query();
+        if !self.passable(from, from, to) || scratch.is_blocked(scratch.idx(from)) {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        if !scratch.leg(self, from, to, 0) {
+            return None;
+        }
+        let mut path = Vec::new();
+        scratch.extract(from, to, &mut path);
+        Some(path)
+    }
+
+    /// Like [`route_via`](Self::route_via), but against the blocked set
+    /// loaded into `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different grid.
+    pub fn route_via_with(
+        &self,
+        scratch: &mut RouteScratch,
+        from: Coord,
+        via: &[Coord],
+        to: Coord,
+    ) -> Option<Vec<Coord>> {
+        assert!(scratch.fits(self), "scratch sized for a different grid");
+        scratch.begin_query();
+        let se = scratch.stop_epoch;
+        for (k, &s) in via.iter().chain(std::iter::once(&to)).enumerate() {
+            if s.x < scratch.width && s.y < scratch.height {
+                let i = scratch.idx(s);
+                scratch.stop[i] = se;
+                // Duplicate stops keep the last (maximum) rank, matching the
+                // "blocked while any later visit is pending" rule.
+                scratch.stop_rank[i] = k as u32;
+            }
+        }
+
+        let mut path: Vec<Coord> = Vec::new();
+        let mut cur = from;
+        for k in 0..=via.len() {
+            let stop = if k < via.len() { via[k] } else { to };
+            if stop == cur {
+                if path.is_empty() {
+                    path.push(cur);
+                    let i = scratch.idx(cur);
+                    scratch.used[i] = scratch.used_epoch;
+                }
+                continue;
+            }
+            if !scratch.leg(self, cur, stop, k as u32) {
+                return None;
+            }
+            let mark = path.len();
+            scratch.extract(cur, stop, &mut path);
+            // Drop the duplicated leg-start cell for non-first legs.
+            if mark > 0 {
+                path.remove(mark);
+            }
+            for &c in &path[mark..] {
+                let i = scratch.idx(c);
+                scratch.used[i] = scratch.used_epoch;
+            }
+            cur = stop;
+        }
+        Some(path)
+    }
+}
+
+/// Cached unblocked BFS distance fields from every flow and waste port.
+///
+/// `flow[p][cell]` is the hop distance from flow port `p` to `cell` through
+/// channel/device cells only (ports are impassable except as the source);
+/// `u32::MAX` means unreachable. `flow_any`/`waste_any` are the minima over
+/// all ports. Blocking cells can only shrink reachability, so these fields
+/// soundly prune routing queries that cannot possibly succeed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortReach {
+    flow: Vec<Vec<u32>>,
+    waste: Vec<Vec<u32>>,
+    flow_any: Vec<u32>,
+    waste_any: Vec<u32>,
+    width: u16,
+}
+
+impl PortReach {
+    pub(crate) fn compute(chip: &Chip) -> Self {
+        let w = chip.grid().width();
+        let flow: Vec<Vec<u32>> = chip.flow_ports().map(|p| Self::field(chip, p)).collect();
+        let waste: Vec<Vec<u32>> = chip.waste_ports().map(|p| Self::field(chip, p)).collect();
+        let n = w as usize * chip.grid().height() as usize;
+        let min_over = |fields: &[Vec<u32>]| {
+            (0..n)
+                .map(|i| fields.iter().map(|f| f[i]).min().unwrap_or(u32::MAX))
+                .collect()
+        };
+        PortReach {
+            flow_any: min_over(&flow),
+            waste_any: min_over(&waste),
+            flow,
+            waste,
+            width: w,
+        }
+    }
+
+    /// Single-source BFS from `port` over channel/device cells.
+    fn field(chip: &Chip, port: Coord) -> Vec<u32> {
+        let w = chip.grid().width() as usize;
+        let h = chip.grid().height() as usize;
+        let mut dist = vec![u32::MAX; w * h];
+        let mut queue: Vec<Coord> = vec![port];
+        dist[port.y as usize * w + port.x as usize] = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let c = queue[head];
+            head += 1;
+            let d = dist[c.y as usize * w + c.x as usize];
+            for n in chip.grid().neighbors(c) {
+                let ni = n.y as usize * w + n.x as usize;
+                if dist[ni] != u32::MAX {
+                    continue;
+                }
+                // Ports other than the source are impassable.
+                match chip.grid().kind(n) {
+                    CellKind::Channel | CellKind::Device(_) => {}
+                    _ => continue,
+                }
+                dist[ni] = d + 1;
+                queue.push(n);
+            }
+        }
+        dist
+    }
+
+    #[inline]
+    fn at(&self, field: &[u32], c: Coord) -> u32 {
+        field[c.y as usize * self.width as usize + c.x as usize]
+    }
+
+    /// Returns `true` if `cell` is reachable from flow port `p` on the
+    /// unblocked chip.
+    pub fn flow_reaches(&self, p: usize, cell: Coord) -> bool {
+        self.at(&self.flow[p], cell) != u32::MAX
+    }
+
+    /// Returns `true` if `cell` can reach waste port `p` on the unblocked
+    /// chip.
+    pub fn waste_reaches(&self, p: usize, cell: Coord) -> bool {
+        self.at(&self.waste[p], cell) != u32::MAX
+    }
+
+    /// Returns `true` if `cell` is reachable from at least one flow port
+    /// and can reach at least one waste port — the minimum requirement for
+    /// any complete wash path through it.
+    pub fn washable(&self, cell: Coord) -> bool {
+        self.at(&self.flow_any, cell) != u32::MAX && self.at(&self.waste_any, cell) != u32::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChipBuilder;
+    use crate::device::DeviceKind;
+
+    fn chip() -> Chip {
+        ChipBuilder::new(8, 8)
+            .flow_port("in1", Coord::new(0, 3))
+            .unwrap()
+            .waste_port("out1", Coord::new(7, 3))
+            .unwrap()
+            .device(
+                DeviceKind::Mixer,
+                "mixer",
+                Coord::new(3, 3),
+                Coord::new(4, 3),
+            )
+            .unwrap()
+            .channel(Coord::new(1, 3))
+            .unwrap()
+            .channel(Coord::new(2, 3))
+            .unwrap()
+            .channel(Coord::new(5, 3))
+            .unwrap()
+            .channel(Coord::new(6, 3))
+            .unwrap()
+            .channel(Coord::new(3, 2))
+            .unwrap()
+            .channel(Coord::new(3, 1))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn scratch_route_matches_wrapper() {
+        let c = chip();
+        let mut s = RouteScratch::for_chip(&c);
+        s.load_blocked([]);
+        let a = c
+            .route_with(&mut s, Coord::new(0, 3), Coord::new(7, 3))
+            .unwrap();
+        let b = c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_blocked_sets() {
+        let c = chip();
+        let mut s = RouteScratch::for_chip(&c);
+        s.load_blocked([Coord::new(2, 3)]);
+        assert!(c
+            .route_with(&mut s, Coord::new(0, 3), Coord::new(7, 3))
+            .is_none());
+        s.load_blocked([]);
+        assert!(c
+            .route_with(&mut s, Coord::new(0, 3), Coord::new(7, 3))
+            .is_some());
+    }
+
+    #[test]
+    fn blocked_start_fails_route_but_not_route_via_legs() {
+        let c = chip();
+        let mut s = RouteScratch::for_chip(&c);
+        s.load_blocked([Coord::new(0, 3)]);
+        // Plain route from a blocked cell fails (historical semantics)…
+        assert!(c
+            .route_with(&mut s, Coord::new(0, 3), Coord::new(7, 3))
+            .is_none());
+        // …but route_via exempts the leg head from the blocked set.
+        assert!(c
+            .route_via_with(&mut s, Coord::new(0, 3), &[], Coord::new(7, 3))
+            .is_some());
+    }
+
+    #[test]
+    fn port_reach_classifies_cells() {
+        let c = chip();
+        let r = c.port_reach();
+        // Corridor cells are washable; off-network cells are not.
+        assert!(r.washable(Coord::new(1, 3)));
+        assert!(r.washable(Coord::new(3, 1))); // stub tip: reachable both ways
+        assert!(!r.washable(Coord::new(0, 0)));
+        assert!(r.flow_reaches(0, Coord::new(6, 3)));
+        assert!(r.waste_reaches(0, Coord::new(1, 3)));
+    }
+
+    #[test]
+    fn counters_advance() {
+        let c = chip();
+        let before = counters();
+        let _ = c.route(Coord::new(0, 3), Coord::new(7, 3), &[]);
+        let after = counters();
+        assert!(after.route_calls > before.route_calls);
+        assert!(after.bfs_runs > before.bfs_runs);
+    }
+}

@@ -127,10 +127,7 @@ pub fn parse_chip(text: &str) -> Result<Chip, ParseChipError> {
     if lines.is_empty() {
         return Err(ParseChipError::Empty);
     }
-    let rows: Vec<Vec<char>> = lines
-        .iter()
-        .map(|l| l.trim().chars().collect())
-        .collect();
+    let rows: Vec<Vec<char>> = lines.iter().map(|l| l.trim().chars().collect()).collect();
     let width = rows[0].len();
     for (i, r) in rows.iter().enumerate() {
         if r.len() != width {
@@ -254,7 +251,10 @@ O----------";
     #[test]
     fn rejects_unknown_characters() {
         let err = parse_chip("I--?O\n-----").unwrap_err();
-        assert!(matches!(err, ParseChipError::Ragged { .. } | ParseChipError::BadChar { .. }));
+        assert!(matches!(
+            err,
+            ParseChipError::Ragged { .. } | ParseChipError::BadChar { .. }
+        ));
     }
 
     #[test]
@@ -266,7 +266,10 @@ O----------";
     fn layout_errors_surface() {
         // Port in the interior.
         let err = parse_chip("-----\n--I--\n-----").unwrap_err();
-        assert!(matches!(err, ParseChipError::Chip(ChipError::PortNotOnBoundary { .. })));
+        assert!(matches!(
+            err,
+            ParseChipError::Chip(ChipError::PortNotOnBoundary { .. })
+        ));
     }
 
     #[test]

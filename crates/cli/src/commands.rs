@@ -19,7 +19,8 @@ usage:
 
 options for `run`:
   --budget <seconds>   ILP wall-clock budget per run (default 5)
-  --threads <n>        ILP solver threads (default 0 = all cores)
+  --threads <n>        worker threads for candidate enumeration and the ILP
+                       solver (default 0 = all cores)
   --no-ilp             greedy placement only
   --json <file>        write metrics of both methods as JSON
   --svg <dir>          write chip.svg, base.svg, dawo.svg, pdw.svg Gantt charts
@@ -48,8 +49,7 @@ fn builtin(name: &str) -> Option<Benchmark> {
         .into_iter()
         .chain([benchmarks::demo()])
         .collect();
-    all.into_iter()
-        .find(|b| b.name.eq_ignore_ascii_case(name))
+    all.into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 /// Parses and executes a command line.
@@ -73,7 +73,10 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_list() -> Result<(), CliError> {
-    println!("{:<14} {:>4} {:>4} {:>4}  grid", "name", "|O|", "|D|", "|E|");
+    println!(
+        "{:<14} {:>4} {:>4} {:>4}  grid",
+        "name", "|O|", "|D|", "|E|"
+    );
     for b in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
         println!(
             "{:<14} {:>4} {:>4} {:>4}  {}x{}",
@@ -146,23 +149,40 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                     .map_err(|_| CliError(format!("bad budget `{v}`")))?;
             }
             "--threads" => {
-                let v = it.next().ok_or(CliError("--threads needs a count".into()))?;
+                let v = it
+                    .next()
+                    .ok_or(CliError("--threads needs a count".into()))?;
                 threads = v
                     .parse()
                     .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
             }
             "--no-ilp" => ilp = false,
-            "--json" => json = Some(it.next().ok_or(CliError("--json needs a file".into()))?.clone()),
-            "--svg" => svg = Some(it.next().ok_or(CliError("--svg needs a directory".into()))?.clone()),
+            "--json" => {
+                json = Some(
+                    it.next()
+                        .ok_or(CliError("--json needs a file".into()))?
+                        .clone(),
+                )
+            }
+            "--svg" => {
+                svg = Some(
+                    it.next()
+                        .ok_or(CliError("--svg needs a directory".into()))?
+                        .clone(),
+                )
+            }
             "--valves" => valves = true,
             "--stats" => stats = true,
             "--heatmap" => {
-                heatmap = Some(it.next().ok_or(CliError("--heatmap needs a file".into()))?.clone())
+                heatmap = Some(
+                    it.next()
+                        .ok_or(CliError("--heatmap needs a file".into()))?
+                        .clone(),
+                )
             }
             name if bench.is_none() && !name.starts_with('-') => {
-                bench = Some(
-                    builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?,
-                );
+                bench =
+                    Some(builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?);
             }
             other => return err(format!("unknown option `{other}`")),
         }
@@ -184,27 +204,69 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_run(args)?;
     let bench = &opts.bench;
-    let s: Synthesis =
-        synthesize(bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    let s: Synthesis = synthesize(bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
     let base = Metrics::measure(&bench.graph, &s.schedule);
     let config = PdwConfig {
         ilp: opts.ilp,
         ilp_budget: Duration::from_secs(opts.budget),
-        solver_threads: opts.threads,
+        threads: opts.threads,
         ..PdwConfig::default()
     };
     let d = dawo(bench, &s).map_err(|e| CliError(format!("dawo failed: {e}")))?;
     let p = pdw(bench, &s, &config).map_err(|e| CliError(format!("pdw failed: {e}")))?;
 
-    println!("benchmark {} (|O|={}, |D|={}, |E|={})", bench.name, bench.op_count(), bench.device_count(), bench.edge_count());
-    println!("{:<22} {:>10} {:>10} {:>10}", "metric", "base", "DAWO", "PDW");
-    println!("{:<22} {:>10} {:>10} {:>10}", "N_wash", 0, d.metrics.n_wash, p.metrics.n_wash);
-    println!("{:<22} {:>10.0} {:>10.0} {:>10.0}", "L_wash (mm)", 0.0, d.metrics.l_wash_mm, p.metrics.l_wash_mm);
-    println!("{:<22} {:>10} {:>10} {:>10}", "T_assay (s)", base.t_assay, d.metrics.t_assay, p.metrics.t_assay);
-    println!("{:<22} {:>10} {:>10} {:>10}", "T_delay (s)", 0, d.metrics.delay_vs(&base), p.metrics.delay_vs(&base));
-    println!("{:<22} {:>10} {:>10} {:>10}", "total wash time (s)", 0, d.metrics.total_wash_time, p.metrics.total_wash_time);
-    println!("{:<22} {:>10.2} {:>10.2} {:>10.2}", "avg op wait (s)", base.avg_wait, d.metrics.avg_wait, p.metrics.avg_wait);
-    println!("PDW: {} removals integrated, ILP used: {}", p.integrated, p.solver.used_ilp);
+    println!(
+        "benchmark {} (|O|={}, |D|={}, |E|={})",
+        bench.name,
+        bench.op_count(),
+        bench.device_count(),
+        bench.edge_count()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "metric", "base", "DAWO", "PDW"
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "N_wash", 0, d.metrics.n_wash, p.metrics.n_wash
+    );
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.0}",
+        "L_wash (mm)", 0.0, d.metrics.l_wash_mm, p.metrics.l_wash_mm
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "T_assay (s)", base.t_assay, d.metrics.t_assay, p.metrics.t_assay
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "T_delay (s)",
+        0,
+        d.metrics.delay_vs(&base),
+        p.metrics.delay_vs(&base)
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "total wash time (s)", 0, d.metrics.total_wash_time, p.metrics.total_wash_time
+    );
+    println!(
+        "{:<22} {:>10.2} {:>10.2} {:>10.2}",
+        "avg op wait (s)", base.avg_wait, d.metrics.avg_wait, p.metrics.avg_wait
+    );
+    println!(
+        "PDW: {} removals integrated, ILP used: {}",
+        p.integrated, p.solver.used_ilp
+    );
+    let ps = &p.pipeline;
+    println!(
+        "pipeline: necessity {:.3}s, grouping {:.3}s, merge {:.3}s, greedy {:.3}s, \
+         ilp {:.3}s (total {:.3}s, {} threads)",
+        ps.necessity_s, ps.grouping_s, ps.merge_s, ps.greedy_s, ps.ilp_s, ps.total_s, ps.threads
+    );
+    println!(
+        "pipeline: {} groups, {} candidate paths, {} route calls ({} BFS legs, {} scratch reuses)",
+        ps.groups, ps.candidates, ps.route_calls, ps.bfs_runs, ps.scratch_reuses
+    );
     if let Some(st) = &p.solver.stats {
         println!(
             "solver: {} nodes in {:.2}s ({:.0} nodes/s, {} threads), {} pivots, \
@@ -237,16 +299,18 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             &s.schedule,
             pdw_contam::NecessityOptions::full(),
         );
-        let svg = pdw_viz::heatmap::contamination(
-            &s.chip,
-            analysis.events.iter().map(|e| (e.cell, 1)),
-        );
+        let svg =
+            pdw_viz::heatmap::contamination(&s.chip, analysis.events.iter().map(|e| (e.cell, 1)));
         std::fs::write(path, svg).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
     }
 
     if opts.stats {
-        for (name, sched) in [("base", &s.schedule), ("DAWO", &d.schedule), ("PDW", &p.schedule)] {
+        for (name, sched) in [
+            ("base", &s.schedule),
+            ("DAWO", &d.schedule),
+            ("PDW", &p.schedule),
+        ] {
             let st = pdw_sim::ScheduleStats::collect(&s.chip, sched);
             let busiest = st
                 .devices
@@ -264,7 +328,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     }
 
     if opts.valves {
-        for (name, sched) in [("base", &s.schedule), ("DAWO", &d.schedule), ("PDW", &p.schedule)] {
+        for (name, sched) in [
+            ("base", &s.schedule),
+            ("DAWO", &d.schedule),
+            ("PDW", &p.schedule),
+        ] {
             let program = pdw_control::compile(&s.chip, sched);
             let stats = pdw_control::ControlStats::measure(&program);
             println!(
@@ -290,8 +358,11 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             pdw: &p.metrics,
             integrated: p.integrated,
         };
-        std::fs::write(path, serde_json::to_string_pretty(&out).expect("serializable"))
-            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&out).expect("serializable"),
+        )
+        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         println!("wrote {path}");
     }
 
@@ -314,11 +385,18 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_export(args: &[String]) -> Result<(), CliError> {
-    let name = args.first().ok_or(CliError("`export` needs a benchmark".into()))?;
-    let path = args.get(1).ok_or(CliError("`export` needs a target file".into()))?;
+    let name = args
+        .first()
+        .ok_or(CliError("`export` needs a benchmark".into()))?;
+    let path = args
+        .get(1)
+        .ok_or(CliError("`export` needs a target file".into()))?;
     let bench = builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?;
-    std::fs::write(path, serde_json::to_string_pretty(&bench).expect("serializable"))
-        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&bench).expect("serializable"),
+    )
+    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
     println!("wrote {path}");
     Ok(())
 }
@@ -343,11 +421,19 @@ mod tests {
 
     #[test]
     fn run_parsing_accepts_full_option_set() {
-        let args: Vec<String> =
-            ["PCR", "--budget", "2", "--threads", "3", "--no-ilp", "--valves", "--stats"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "PCR",
+            "--budget",
+            "2",
+            "--threads",
+            "3",
+            "--no-ilp",
+            "--valves",
+            "--stats",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = parse_run(&args).unwrap();
         assert_eq!(o.budget, 2);
         assert_eq!(o.threads, 3);

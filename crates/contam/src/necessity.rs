@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use pdw_assay::{AssayGraph, FluidType, OpId, OpInput};
-use pdw_biochip::{Chip, Coord};
+use pdw_biochip::{CellSet, Chip, Coord};
 use pdw_sched::{Schedule, TaskId, TaskKind, Time};
 
 use crate::state::{interior_cells, op_devices, replay, ContamEvent};
@@ -155,22 +155,23 @@ pub fn analyze(
         if task.kind().is_wash() {
             continue;
         }
-        let mut exempt: Vec<Coord> = Vec::new();
+        let mut exempt_cells: Vec<Coord> = Vec::new();
         match *task.kind() {
             TaskKind::Injection { op, .. } => {
-                exempt.extend(chip.device(op_dev[&op]).footprint());
+                exempt_cells.extend(chip.device(op_dev[&op]).footprint());
             }
             TaskKind::Transport { from_op, to_op } => {
-                exempt.extend(chip.device(op_dev[&from_op]).footprint());
-                exempt.extend(chip.device(op_dev[&to_op]).footprint());
+                exempt_cells.extend(chip.device(op_dev[&from_op]).footprint());
+                exempt_cells.extend(chip.device(op_dev[&to_op]).footprint());
             }
             TaskKind::OutputRemoval { op } => {
-                exempt.extend(chip.device(op_dev[&op]).footprint());
+                exempt_cells.extend(chip.device(op_dev[&op]).footprint());
             }
             _ => {}
         }
+        let exempt = CellSet::from_cells(&exempt_cells);
         for cell in interior_cells(chip, task) {
-            if exempt.contains(&cell) {
+            if exempt.contains(cell) {
                 continue;
             }
             uses.entry(cell).or_default().push(Use {
@@ -224,7 +225,9 @@ pub fn analyze(
                     Classification::Type2SameFluid
                 } else if opts.type3 && u.is_waste {
                     Classification::Type3WasteOnly
-                } else if !opts.type2 && u.fluids.contains(&e.fluid) && matches!(u.what, Source::Op(_))
+                } else if !opts.type2
+                    && u.fluids.contains(&e.fluid)
+                    && matches!(u.what, Source::Op(_))
                 {
                     // Even without fluid-type analysis, residue that is one
                     // of the very inputs an operation is about to consume is
@@ -251,25 +254,23 @@ pub fn analyze(
     // *skipping r* is absent or fluid-compatible, or r's own residue event
     // on that cell demands a wash (which will clean E's residue too, since
     // the wash covers the cell before that next use).
-    let needs_wash_cells: std::collections::HashSet<(Coord, Source)> = requirements
-        .iter()
-        .map(|r| (r.cell, r.source))
-        .collect();
-    let mut unsafe_removals: std::collections::HashSet<TaskId> =
-        std::collections::HashSet::new();
+    let needs_wash_cells: std::collections::HashSet<(Coord, Source)> =
+        requirements.iter().map(|r| (r.cell, r.source)).collect();
+    let mut unsafe_removals: std::collections::HashSet<TaskId> = std::collections::HashSet::new();
     for (e, w) in events.iter().zip(&witnesses) {
         let Some(Source::Task(rid)) = w else { continue };
         let is_disposal = matches!(
-            schedule.get_task(*rid).map(|t| t.kind().is_waste_disposal()),
+            schedule
+                .get_task(*rid)
+                .map(|t| t.kind().is_waste_disposal()),
             Some(true)
         );
         if !is_disposal {
             continue;
         }
         let next = uses.get(&e.cell).and_then(|list| {
-            list.iter().find(|u| {
-                u.start >= e.time && u.what != e.source && u.what != Source::Task(*rid)
-            })
+            list.iter()
+                .find(|u| u.start >= e.time && u.what != e.source && u.what != Source::Task(*rid))
         });
         let safe = match next {
             None => true,
@@ -313,8 +314,14 @@ mod tests {
     #[test]
     fn full_analysis_exempts_some_events() {
         let a = demo_analysis(NecessityOptions::full());
-        assert!(a.count(Classification::Type1Unused) > 0, "no type-1 exemptions");
-        assert!(a.count(Classification::Type2SameFluid) > 0, "no type-2 exemptions");
+        assert!(
+            a.count(Classification::Type1Unused) > 0,
+            "no type-1 exemptions"
+        );
+        assert!(
+            a.count(Classification::Type2SameFluid) > 0,
+            "no type-2 exemptions"
+        );
         assert!(!a.requirements.is_empty(), "demo needs some washes");
         assert_eq!(a.classifications.len(), a.events.len());
     }

@@ -249,10 +249,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let path = FlowPath::new(
-            (0..5).map(|x| Coord::new(x, 1)).collect(),
-        )
-        .unwrap();
+        let path = FlowPath::new((0..5).map(|x| Coord::new(x, 1)).collect()).unwrap();
         let mut sched = pdw_sched::Schedule::new();
         sched.push_task(Task::new(
             TaskKind::Wash { targets: vec![] },

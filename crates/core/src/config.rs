@@ -60,10 +60,11 @@ pub struct PdwConfig {
     /// Wall-clock budget for the ILP solver (the paper used 15 minutes;
     /// the default here keeps the full benchmark suite interactive).
     pub ilp_budget: Duration,
-    /// Worker threads for the ILP's branch-and-bound search. `0` (the
-    /// default) uses all available cores. The objective is thread-count
-    /// invariant; only solve time changes.
-    pub solver_threads: usize,
+    /// Worker threads, shared by the front-end (candidate-path enumeration
+    /// during grouping) and the ILP's branch-and-bound search. `0` (the
+    /// default) uses all available cores. Results are thread-count
+    /// invariant; only wall time changes.
+    pub threads: usize,
     /// Number of candidate wash paths per wash operation offered to the ILP.
     pub candidates: usize,
     /// Additionally construct each group's provably shortest wash path with
@@ -83,7 +84,7 @@ impl Default for PdwConfig {
             merging: true,
             ilp: true,
             ilp_budget: Duration::from_secs(10),
-            solver_threads: 0,
+            threads: 0,
             candidates: 3,
             exact_paths: false,
         }

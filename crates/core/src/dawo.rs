@@ -12,6 +12,8 @@
 //!    existing schedule, right-shifting the assay when no interval fits —
 //!    the source of DAWO's delay.
 
+use std::time::Instant;
+
 use pdw_assay::benchmarks::Benchmark;
 use pdw_contam::{analyze, Classification, NecessityOptions};
 use pdw_sim::Metrics;
@@ -21,6 +23,7 @@ use crate::config::CandidatePolicy;
 use crate::greedy::insert_washes;
 use crate::groups::build_groups;
 use crate::pdw::{PdwError, SolverReport, WashResult};
+use crate::stats::PipelineStats;
 
 /// Runs the DAWO baseline on a synthesized assay.
 ///
@@ -30,24 +33,34 @@ use crate::pdw::{PdwError, SolverReport, WashResult};
 /// returned schedule has passed [`pdw_sim::validate`] and
 /// [`pdw_contam::verify_clean`].
 pub fn dawo(bench: &Benchmark, synthesis: &Synthesis) -> Result<WashResult, PdwError> {
+    let run_start = Instant::now();
+    let counters_start = pdw_biochip::routing_counters();
+    let mut stats = PipelineStats {
+        threads: crate::par::resolve_threads(0),
+        ..PipelineStats::default()
+    };
+    let stage = Instant::now();
     let analysis = analyze(
         &synthesis.chip,
         &bench.graph,
         &synthesis.schedule,
         NecessityOptions::reuse_only(),
     );
+    stats.necessity_s = stage.elapsed().as_secs_f64();
     let exemptions = (
         analysis.count(Classification::Type1Unused),
         analysis.count(Classification::Type2SameFluid),
         analysis.count(Classification::Type3WasteOnly),
     );
 
+    let stage = Instant::now();
     let groups = build_groups(
         &synthesis.chip,
         &synthesis.schedule,
         &analysis.requirements,
         CandidatePolicy::Nearest,
         1,
+        0,
     );
     // DAWO introduces washes per contaminated spot cluster and constructs
     // each path independently — no resource sharing across clusters.
@@ -58,19 +71,31 @@ pub fn dawo(bench: &Benchmark, synthesis: &Synthesis) -> Result<WashResult, PdwE
         4,
         CandidatePolicy::Nearest,
         1,
+        0,
     );
+    stats.grouping_s = stage.elapsed().as_secs_f64();
+    let stage = Instant::now();
     let out = insert_washes(&synthesis.chip, &synthesis.schedule, &groups, false);
+    stats.greedy_s = stage.elapsed().as_secs_f64();
 
     pdw_sim::validate(&synthesis.chip, &bench.graph, &out.schedule).map_err(PdwError::Invalid)?;
     pdw_contam::verify_clean(&synthesis.chip, &bench.graph, &out.schedule)
         .map_err(PdwError::Dirty)?;
     let metrics = Metrics::measure(&bench.graph, &out.schedule);
+    stats.groups = out.groups.len();
+    stats.candidates = out.groups.iter().map(|g| g.candidates.len()).sum();
+    stats.total_s = run_start.elapsed().as_secs_f64();
+    let d = pdw_biochip::routing_counters() - counters_start;
+    stats.route_calls = d.route_calls;
+    stats.bfs_runs = d.bfs_runs;
+    stats.scratch_reuses = d.scratch_reuses;
     Ok(WashResult {
         schedule: out.schedule,
         metrics,
         exemptions,
         integrated: 0,
         solver: SolverReport::greedy(),
+        pipeline: stats,
     })
 }
 

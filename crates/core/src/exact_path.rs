@@ -253,6 +253,7 @@ mod tests {
             &a.requirements,
             CandidatePolicy::Shortest,
             3,
+            0,
         );
         let mut checked = 0;
         for g in groups.iter().take(3) {

@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 
 use pdw_assay::FluidType;
-use pdw_biochip::{Chip, Coord};
+use pdw_biochip::{CellSet, Chip, Coord};
 use pdw_sched::{Schedule, Task, TaskId, TaskKind, Time};
 
 use crate::groups::{window, WashGroup};
@@ -47,14 +47,14 @@ pub struct GreedyOutcome {
 /// `cells`; returns its start time.
 fn next_use_of_cells(
     schedule: &Schedule,
-    cells: &HashSet<Coord>,
+    cells: &CellSet,
     from: Time,
     except: TaskId,
 ) -> Option<Time> {
     schedule
         .tasks()
         .filter(|(id, t)| *id != except && !t.kind().is_wash() && t.start() >= from)
-        .filter(|(_, t)| t.path().iter().any(|c| cells.contains(c)))
+        .filter(|(_, t)| t.path().mask().intersects(cells))
         .map(|(_, t)| t.start())
         .min()
 }
@@ -144,11 +144,12 @@ pub fn insert_washes_protected(
         // Try candidates shortest-first inside the window.
         let mut choice: Option<(usize, Time, Time)> = None; // (ci, t, delay)
         for (ci, cand) in groups[gi].candidates.iter().enumerate() {
-            let cells: HashSet<Coord> = cand.path.iter().copied().collect();
             if deadline.checked_sub(cand.duration).is_none() {
                 continue;
             }
-            if let Some(t) = timeline.earliest_fit(&cells, ready, cand.duration, Some(deadline)) {
+            if let Some(t) =
+                timeline.earliest_fit(cand.path.mask(), ready, cand.duration, Some(deadline))
+            {
                 choice = Some((ci, t, 0));
                 break;
             }
@@ -159,9 +160,8 @@ pub fn insert_washes_protected(
         // are rejected). Pick the candidate needing the smallest delay.
         if choice.is_none() {
             for (ci, cand) in groups[gi].candidates.iter().enumerate() {
-                let cells: HashSet<Coord> = cand.path.iter().copied().collect();
                 if let Some(t) =
-                    timeline.earliest_fit_shifted(&cells, ready, cand.duration, deadline)
+                    timeline.earliest_fit_shifted(cand.path.mask(), ready, cand.duration, deadline)
                 {
                     let delay = (t + cand.duration).saturating_sub(deadline);
                     if choice.is_none_or(|(_, _, d)| delay < d) {
@@ -192,7 +192,11 @@ pub fn insert_washes_protected(
                     .split_cells()
                     .into_iter()
                     .map(|p| WashGroup {
-                        candidates: crate::groups::enumerate_candidates(chip, std::slice::from_ref(&p.seq), 3),
+                        candidates: crate::groups::enumerate_candidates(
+                            chip,
+                            std::slice::from_ref(&p.seq),
+                            3,
+                        ),
                         parts: vec![p],
                     })
                     .collect()
@@ -249,7 +253,7 @@ pub fn insert_washes_protected(
                 if start < appears {
                     continue;
                 }
-                let e_cells: HashSet<Coord> = excess.into_iter().collect();
+                let e_cells: CellSet = excess.into_iter().collect();
                 let next_use =
                     next_use_of_cells(&schedule, &e_cells, r.start(), rid).unwrap_or(Time::MAX);
                 if start + cand.duration > next_use {
@@ -325,6 +329,7 @@ mod tests {
             &a.requirements,
             CandidatePolicy::Shortest,
             3,
+            0,
         );
         let groups = merge_groups(&s.chip, &s.schedule, groups, 3);
         // Integration may only delete provably-safe removals.

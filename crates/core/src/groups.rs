@@ -1,13 +1,12 @@
 //! Wash-target grouping, merging, and candidate-path enumeration.
 
-use std::collections::HashSet;
-
-use pdw_biochip::{Chip, Coord, FlowPath};
+use pdw_biochip::{CellSet, Chip, Coord, FlowPath, RouteScratch};
 use pdw_contam::{Source, WashRequirement};
 use pdw_sched::{flow_duration, Schedule, TaskKind, Time};
 use pdw_sim::DISSOLUTION_S;
 
 use crate::config::CandidatePolicy;
+use crate::par::par_map_ctx;
 use crate::timeline::Timeline;
 
 /// A candidate wash path for a group.
@@ -20,15 +19,11 @@ pub struct Candidate {
 }
 
 impl Candidate {
-    fn new(path: FlowPath) -> Self {
-        let duration = flow_duration(path.len()) + DISSOLUTION_S;
-        Self { path, duration }
-    }
-
     /// Builds a candidate from a complete wash path, deriving its required
     /// duration (flush + dissolution, Eq. 17).
     pub fn from_path(path: FlowPath) -> Self {
-        Self::new(path)
+        let duration = flow_duration(path.len()) + DISSOLUTION_S;
+        Self { path, duration }
     }
 }
 
@@ -78,7 +73,10 @@ pub struct WashGroup {
 impl WashGroup {
     /// All target cells (flattened).
     pub fn targets(&self) -> Vec<Coord> {
-        self.parts.iter().flat_map(|p| p.seq.iter().copied()).collect()
+        self.parts
+            .iter()
+            .flat_map(|p| p.seq.iter().copied())
+            .collect()
     }
 
     /// All ready references (one per part).
@@ -161,10 +159,10 @@ pub(crate) fn window(schedule: &Schedule, g: &WashGroup) -> (Time, Time) {
 /// device that contains none of the targets. A wash may thread through a
 /// device only to wash it — an apparently idle device may hold a resident
 /// plug exactly inside the wash's only feasible window.
-fn wash_blocked(chip: &Chip, targets: &HashSet<Coord>) -> Vec<Coord> {
+fn wash_blocked(chip: &Chip, targets: &CellSet) -> Vec<Coord> {
     chip.devices()
         .iter()
-        .filter(|d| !d.footprint().iter().any(|c| targets.contains(c)))
+        .filter(|d| !d.footprint().iter().any(|c| targets.contains(*c)))
         .flat_map(|d| d.footprint().iter().copied())
         .collect()
 }
@@ -175,11 +173,36 @@ fn wash_blocked(chip: &Chip, targets: &HashSet<Coord>) -> Vec<Coord> {
 /// blocks (each forward or reversed, blocks ordered by distance from the
 /// entry port) so the router follows the contamination trails.
 pub fn enumerate_candidates(chip: &Chip, target_seqs: &[Vec<Coord>], k: usize) -> Vec<Candidate> {
-    let target_set: HashSet<Coord> = target_seqs.iter().flatten().copied().collect();
-    let blocked = wash_blocked(chip, &target_set);
+    let mut scratch = RouteScratch::for_chip(chip);
+    enumerate_with(chip, &mut scratch, target_seqs, k)
+}
+
+/// [`enumerate_candidates`] against a caller-held scratch (allocation-free
+/// after warm-up).
+fn enumerate_with(
+    chip: &Chip,
+    scratch: &mut RouteScratch,
+    target_seqs: &[Vec<Coord>],
+    k: usize,
+) -> Vec<Candidate> {
+    let targets: CellSet = target_seqs.iter().flatten().copied().collect();
+    // Hopeless-query pruning: `route_via` greedily routes port-free legs, so
+    // a target cell unreachable from a port with *no* blocking can never lie
+    // on a wash path from that port — skipping those pairs cannot change the
+    // output. Reachability of every target is equivalent to reachability of
+    // any one (the via legs chain them into one port-free component).
+    let reach = chip.port_reach();
+    if targets.iter().any(|c| !reach.washable(c)) {
+        return Vec::new();
+    }
+    let blocked = wash_blocked(chip, &targets);
+    scratch.load_blocked(blocked);
 
     let mut found: Vec<FlowPath> = Vec::new();
-    for fp in chip.flow_ports() {
+    for (pi, fp) in chip.flow_ports().enumerate() {
+        if targets.iter().any(|c| !reach.flow_reaches(pi, c)) {
+            continue;
+        }
         // Order the blocks near-to-far from the entry port; orient each
         // block to enter at its end nearest the previous position.
         let mut seqs: Vec<Vec<Coord>> = target_seqs.to_vec();
@@ -195,8 +218,11 @@ pub fn enumerate_candidates(chip: &Chip, target_seqs: &[Vec<Coord>], k: usize) -
             pos = *seq.last().expect("sequences are nonempty");
             via.extend(seq);
         }
-        for wp in chip.waste_ports() {
-            if let Some(cells) = chip.route_via(fp, &via, wp, &blocked) {
+        for (wi, wp) in chip.waste_ports().enumerate() {
+            if targets.iter().any(|c| !reach.waste_reaches(wi, c)) {
+                continue;
+            }
+            if let Some(cells) = chip.route_via_with(scratch, fp, &via, wp) {
                 let path = FlowPath::new(cells).expect("route_via returns a simple path");
                 if !found.contains(&path) {
                     found.push(path);
@@ -206,19 +232,25 @@ pub fn enumerate_candidates(chip: &Chip, target_seqs: &[Vec<Coord>], k: usize) -
     }
     found.sort_by_key(|p| p.len());
     found.truncate(k.max(1));
-    found.into_iter().map(Candidate::new).collect()
+    found.into_iter().map(Candidate::from_path).collect()
 }
 
 /// Builds the initial wash groups from the requirements: one group per
 /// contaminating source, targets in source-path order, per-cell deadlines.
 /// Groups no single device-avoiding path covers are split into runs along
 /// the contamination trail (and cells, if needed).
+///
+/// Candidate enumeration fans out over `threads` workers (0 = all cores),
+/// one routing scratch per worker; per-source work is independent and
+/// results merge in input order, so the output is identical at any thread
+/// count.
 pub fn build_groups(
     chip: &Chip,
     schedule: &Schedule,
     requirements: &[WashRequirement],
     policy: CandidatePolicy,
     k: usize,
+    threads: usize,
 ) -> Vec<WashGroup> {
     // One part per source.
     let mut parts: Vec<WashPart> = Vec::new();
@@ -260,42 +292,54 @@ pub fn build_groups(
         CandidatePolicy::Shortest => k,
         CandidatePolicy::Nearest => 1,
     };
-    let mut groups: Vec<WashGroup> = Vec::new();
-    for part in parts {
-        for piece in coverable_pieces(chip, schedule, part, k_eff) {
-            let mut g = WashGroup {
-                candidates: enumerate_candidates(chip, std::slice::from_ref(&piece.seq), k_eff),
-                parts: vec![piece],
-            };
-            assert!(
-                !g.candidates.is_empty(),
-                "no wash path reaches {:?}; chip layout is broken",
-                g.targets()
-            );
-            if policy == CandidatePolicy::Nearest {
-                nearest_candidate(chip, &mut g);
+    let nested = par_map_ctx(
+        &parts,
+        threads,
+        || RouteScratch::for_chip(chip),
+        |scratch, _, part| {
+            let mut out: Vec<WashGroup> = Vec::new();
+            for piece in coverable_pieces(chip, scratch, schedule, part.clone(), k_eff) {
+                let mut g = WashGroup {
+                    candidates: enumerate_with(
+                        chip,
+                        scratch,
+                        std::slice::from_ref(&piece.seq),
+                        k_eff,
+                    ),
+                    parts: vec![piece],
+                };
+                assert!(
+                    !g.candidates.is_empty(),
+                    "no wash path reaches {:?}; chip layout is broken",
+                    g.targets()
+                );
+                if policy == CandidatePolicy::Nearest {
+                    nearest_candidate(chip, scratch, &mut g);
+                }
+                out.push(g);
             }
-            groups.push(g);
-        }
-    }
-    groups
+            out
+        },
+    );
+    nested.into_iter().flatten().collect()
 }
 
 /// Splits a part into pieces that a single device-avoiding path can cover:
 /// the whole part if possible, else maximal source-path runs, else cells.
 fn coverable_pieces(
     chip: &Chip,
+    scratch: &mut RouteScratch,
     schedule: &Schedule,
     part: WashPart,
     k: usize,
 ) -> Vec<WashPart> {
-    if !enumerate_candidates(chip, std::slice::from_ref(&part.seq), k).is_empty() {
+    if !enumerate_with(chip, scratch, std::slice::from_ref(&part.seq), k).is_empty() {
         return vec![part];
     }
     let runs = split_runs(schedule, &part);
     let mut out = Vec::new();
     for run in runs {
-        if enumerate_candidates(chip, std::slice::from_ref(&run.seq), k).is_empty() {
+        if enumerate_with(chip, scratch, std::slice::from_ref(&run.seq), k).is_empty() {
             out.extend(run.split_cells());
         } else {
             out.push(run);
@@ -332,7 +376,12 @@ fn split_runs_gapped(schedule: &Schedule, part: &WashPart, gap: usize) -> Vec<Wa
         return runs;
     };
     let path = schedule.task(t).path();
-    let pos = |c: &Coord| path.cells().iter().position(|p| p == c).unwrap_or(usize::MAX);
+    let pos = |c: &Coord| {
+        path.cells()
+            .iter()
+            .position(|p| p == c)
+            .unwrap_or(usize::MAX)
+    };
     let mut runs: Vec<WashPart> = Vec::new();
     for (i, &c) in part.seq.iter().enumerate() {
         let deadlines = part.cell_deadlines[i].clone();
@@ -356,12 +405,19 @@ fn split_runs_gapped(schedule: &Schedule, part: &WashPart, gap: usize) -> Vec<Wa
 
 /// Replaces a group's candidates with the DAWO-style single path: BFS from
 /// the flow port nearest the targets, to the first waste port that works.
-fn nearest_candidate(chip: &Chip, g: &mut WashGroup) {
+fn nearest_candidate(chip: &Chip, scratch: &mut RouteScratch, g: &mut WashGroup) {
     let targets = g.targets();
-    let target_set: HashSet<Coord> = targets.iter().copied().collect();
+    let target_set: CellSet = targets.iter().copied().collect();
     let blocked = wash_blocked(chip, &target_set);
+    scratch.load_blocked(blocked);
     let mut fps: Vec<Coord> = chip.flow_ports().collect();
-    fps.sort_by_key(|fp| targets.iter().map(|c| c.manhattan(*fp)).min().unwrap_or(u32::MAX));
+    fps.sort_by_key(|fp| {
+        targets
+            .iter()
+            .map(|c| c.manhattan(*fp))
+            .min()
+            .unwrap_or(u32::MAX)
+    });
     for fp in fps {
         let mut via: Vec<Coord> = Vec::new();
         let mut pos = fp;
@@ -378,9 +434,9 @@ fn nearest_candidate(chip: &Chip, g: &mut WashGroup) {
         let mut wps: Vec<Coord> = chip.waste_ports().collect();
         wps.sort_by_key(|wp| pos.manhattan(*wp));
         for wp in wps {
-            if let Some(cells) = chip.route_via(fp, &via, wp, &blocked) {
+            if let Some(cells) = chip.route_via_with(scratch, fp, &via, wp) {
                 let path = FlowPath::new(cells).expect("simple path");
-                g.candidates = vec![Candidate::new(path)];
+                g.candidates = vec![Candidate::from_path(path)];
                 return;
             }
         }
@@ -401,38 +457,55 @@ pub fn split_into_spot_clusters(
     gap: usize,
     policy: CandidatePolicy,
     k: usize,
+    threads: usize,
 ) -> Vec<WashGroup> {
-    let mut out = Vec::new();
-    for g in groups {
-        for part in &g.parts {
-            for run in split_runs_gapped(schedule, part, gap) {
-                let mut sub = WashGroup {
-                    candidates: enumerate_candidates(chip, std::slice::from_ref(&run.seq), k),
-                    parts: vec![run],
-                };
-                if sub.candidates.is_empty() {
-                    // Unreachable as one flush: wash cell by cell.
-                    for piece in sub.parts[0].split_cells() {
-                        let mut cellg = WashGroup {
-                            candidates: enumerate_candidates(chip, std::slice::from_ref(&piece.seq), k),
-                            parts: vec![piece],
-                        };
-                        assert!(!cellg.candidates.is_empty(), "unreachable channel cell");
-                        if policy == CandidatePolicy::Nearest {
-                            nearest_candidate(chip, &mut cellg);
+    let nested = par_map_ctx(
+        &groups,
+        threads,
+        || RouteScratch::for_chip(chip),
+        |scratch, _, g| {
+            let mut out: Vec<WashGroup> = Vec::new();
+            for part in &g.parts {
+                for run in split_runs_gapped(schedule, part, gap) {
+                    let mut sub = WashGroup {
+                        candidates: enumerate_with(
+                            chip,
+                            scratch,
+                            std::slice::from_ref(&run.seq),
+                            k,
+                        ),
+                        parts: vec![run],
+                    };
+                    if sub.candidates.is_empty() {
+                        // Unreachable as one flush: wash cell by cell.
+                        for piece in sub.parts[0].split_cells() {
+                            let mut cellg = WashGroup {
+                                candidates: enumerate_with(
+                                    chip,
+                                    scratch,
+                                    std::slice::from_ref(&piece.seq),
+                                    k,
+                                ),
+                                parts: vec![piece],
+                            };
+                            assert!(!cellg.candidates.is_empty(), "unreachable channel cell");
+                            if policy == CandidatePolicy::Nearest {
+                                nearest_candidate(chip, scratch, &mut cellg);
+                            }
+                            out.push(cellg);
                         }
-                        out.push(cellg);
+                        continue;
                     }
-                    continue;
+                    if policy == CandidatePolicy::Nearest {
+                        nearest_candidate(chip, scratch, &mut sub);
+                    }
+                    out.push(sub);
                 }
-                if policy == CandidatePolicy::Nearest {
-                    nearest_candidate(chip, &mut sub);
-                }
-                out.push(sub);
             }
-        }
-    }
-    out
+            out
+        },
+    );
+    nested.into_iter().flatten().collect()
 }
 
 /// Greedily merges compatible groups: overlapping time windows, a routable
@@ -448,6 +521,7 @@ pub fn merge_groups(
     k: usize,
 ) -> Vec<WashGroup> {
     let timeline = Timeline::new(chip, schedule);
+    let mut scratch = RouteScratch::for_chip(chip);
     let mut merged = true;
     while merged {
         merged = false;
@@ -465,7 +539,7 @@ pub fn merge_groups(
                 }
                 let mut seqs = groups[i].target_seqs();
                 seqs.extend(groups[j].target_seqs());
-                let cands = enumerate_candidates(chip, &seqs, k);
+                let cands = enumerate_with(chip, &mut scratch, &seqs, k);
                 let Some(best) = cands.first() else { continue };
                 if ready + best.duration > deadline {
                     continue;
@@ -476,9 +550,8 @@ pub fn merge_groups(
                     continue; // merging would lengthen L_wash more than α saves
                 }
                 // The combined wash must actually fit in the window now.
-                let cells: HashSet<Coord> = best.path.iter().copied().collect();
                 if timeline
-                    .earliest_fit(&cells, ready, best.duration, Some(deadline))
+                    .earliest_fit(best.path.mask(), ready, best.duration, Some(deadline))
                     .is_none()
                 {
                     continue;
@@ -506,7 +579,7 @@ mod tests {
         let bench = benchmarks::demo();
         let s = synthesize(&bench).unwrap();
         let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
-        let g = build_groups(&s.chip, &s.schedule, &a.requirements, policy, 3);
+        let g = build_groups(&s.chip, &s.schedule, &a.requirements, policy, 3, 0);
         (s, g)
     }
 
@@ -535,6 +608,7 @@ mod tests {
             &a.requirements,
             CandidatePolicy::Shortest,
             3,
+            0,
         );
         for r in &a.requirements {
             assert!(

@@ -42,16 +42,19 @@ mod exact_path;
 mod greedy;
 mod groups;
 mod model;
+mod par;
 mod pdw;
+mod stats;
 mod timeline;
 
 pub use config::{CandidatePolicy, PdwConfig, Weights};
 pub use dawo::dawo;
+pub use exact_path::exact_wash_path;
 pub use greedy::{insert_washes, insert_washes_protected, GreedyOutcome, Placement};
 pub use groups::{
     build_groups, enumerate_candidates, merge_groups, split_into_spot_clusters, Candidate,
     WashGroup, WashPart,
 };
-pub use exact_path::exact_wash_path;
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
 pub use pdw_ilp::{IncumbentEvent, SolverStats};
+pub use stats::PipelineStats;

@@ -123,21 +123,36 @@ pub(crate) fn refine_with_ilp(
                 add_edge(&mut edges, Node::Task(id), Node::Op(op), task.duration());
             }
             TaskKind::Transport { from_op, to_op } => {
-                add_edge(&mut edges, Node::Op(from_op), Node::Task(id), dur_of(Node::Op(from_op)));
+                add_edge(
+                    &mut edges,
+                    Node::Op(from_op),
+                    Node::Task(id),
+                    dur_of(Node::Op(from_op)),
+                );
                 add_edge(&mut edges, Node::Task(id), Node::Op(to_op), task.duration());
             }
             TaskKind::ExcessRemoval { op } => {
                 add_edge(&mut edges, Node::Task(id), Node::Op(op), task.duration());
             }
             TaskKind::OutputRemoval { op } => {
-                add_edge(&mut edges, Node::Op(op), Node::Task(id), dur_of(Node::Op(op)));
+                add_edge(
+                    &mut edges,
+                    Node::Op(op),
+                    Node::Task(id),
+                    dur_of(Node::Op(op)),
+                );
             }
             TaskKind::Wash { .. } => unreachable!("washes were removed"),
         }
     }
     // Operation dependencies (Eq. 2).
     for (parent, child) in graph.dep_edges() {
-        add_edge(&mut edges, Node::Op(parent), Node::Op(child), dur_of(Node::Op(parent)));
+        add_edge(
+            &mut edges,
+            Node::Op(parent),
+            Node::Op(child),
+            dur_of(Node::Op(parent)),
+        );
     }
 
     // Cell-sharing pairs, ordered as in the base schedule (ε of Eq. 8 fixed)
@@ -589,7 +604,7 @@ pub(crate) fn refine_with_ilp(
     let options = SolveOptions {
         time_limit: config.ilp_budget,
         warm_start: Some(warm),
-        threads: config.solver_threads,
+        threads: config.threads,
         ..SolveOptions::default()
     };
     let sol = pdw_ilp::solve(&m, &options).ok()?;
@@ -696,11 +711,7 @@ mod tests {
         edges.insert((a, b), 3);
         edges.insert((b, c), 4);
         edges.insert((a, c), 5); // implied: a→b→c has length 7 ≥ 5
-        let intervals = vec![
-            (a, 0, vec![]),
-            (b, 3, vec![]),
-            (c, 7, vec![]),
-        ];
+        let intervals = vec![(a, 0, vec![]), (b, 3, vec![]), (c, 7, vec![])];
         let reduced = transitive_reduce(&edges, &intervals);
         assert!(reduced.contains_key(&(a, b)));
         assert!(reduced.contains_key(&(b, c)));
@@ -717,11 +728,7 @@ mod tests {
         edges.insert((a, b), 1);
         edges.insert((b, c), 1);
         edges.insert((a, c), 9); // tighter than the 2-long path: must stay
-        let intervals = vec![
-            (a, 0, vec![]),
-            (b, 1, vec![]),
-            (c, 9, vec![]),
-        ];
+        let intervals = vec![(a, 0, vec![]), (b, 1, vec![]), (c, 9, vec![])];
         let reduced = transitive_reduce(&edges, &intervals);
         assert!(reduced.contains_key(&(a, c)));
     }
@@ -743,6 +750,7 @@ mod tests {
             &a.requirements,
             CandidatePolicy::Shortest,
             config.candidates,
+            0,
         );
         let groups = crate::groups::split_into_spot_clusters(
             &s.chip,
@@ -751,6 +759,7 @@ mod tests {
             4,
             CandidatePolicy::Shortest,
             config.candidates,
+            0,
         );
         let groups = merge_groups(&s.chip, &s.schedule, groups, config.candidates);
         let greedy = insert_washes(&s.chip, &s.schedule, &groups, config.integration);
@@ -767,8 +776,12 @@ mod tests {
             let obj = |x: &Metrics| {
                 w.alpha * x.n_wash as f64 + w.beta * x.l_wash_mm + w.gamma * x.t_assay as f64
             };
-            assert!(obj(&m) <= obj(&greedy_metrics) + 1e-6,
-                "ILP objective {} worse than greedy {}", obj(&m), obj(&greedy_metrics));
+            assert!(
+                obj(&m) <= obj(&greedy_metrics) + 1e-6,
+                "ILP objective {} worse than greedy {}",
+                obj(&m),
+                obj(&greedy_metrics)
+            );
         }
     }
 }

@@ -1,0 +1,113 @@
+//! Deterministic parallel map over a work list.
+//!
+//! Same worker pattern as the ILP's branch-and-bound pool: scoped threads
+//! pulling indices off a shared atomic counter, writing results into
+//! per-index slots. Because every item's result lands in its own slot, the
+//! output order is the input order regardless of which worker ran what —
+//! callers get bit-identical results at any thread count as long as the
+//! closure itself is a pure function of the item.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a thread-count knob: `0` means all available cores.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `items` with up to `threads` workers (0 = all cores), each
+/// worker holding one context built by `init` (e.g. a routing scratch).
+/// Results come back in input order.
+pub(crate) fn par_map_ctx<T, R, C, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        let mut ctx = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut ctx, i, t))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut ctx = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&mut ctx, i, &items[i]);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = par_map_ctx(&items, 1, || (), |(), i, &x| (i, x * x));
+        for threads in [2, 3, 8] {
+            let par = par_map_ctx(&items, threads, || (), |(), i, &x| (i, x * x));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map_ctx(&[] as &[u32], 8, || (), |(), _, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn context_is_per_worker() {
+        // Each worker counts its own items; the counts must sum to the total.
+        use std::sync::atomic::AtomicUsize;
+        static TOTAL: AtomicUsize = AtomicUsize::new(0);
+        struct Tally(usize);
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                TOTAL.fetch_add(self.0, Ordering::Relaxed);
+            }
+        }
+        let items: Vec<u32> = (0..50).collect();
+        let _ = par_map_ctx(
+            &items,
+            4,
+            || Tally(0),
+            |t, _, &x| {
+                t.0 += 1;
+                x
+            },
+        );
+        assert_eq!(TOTAL.load(Ordering::Relaxed), 50);
+    }
+}

@@ -1,6 +1,7 @@
 //! The PathDriver-Wash pipeline.
 
 use std::fmt;
+use std::time::Instant;
 
 use pdw_assay::benchmarks::Benchmark;
 use pdw_contam::{analyze, verify_clean, Classification, CleanlinessViolation, NecessityOptions};
@@ -12,6 +13,7 @@ use crate::config::{CandidatePolicy, PdwConfig, Weights};
 use crate::greedy::insert_washes_protected;
 use crate::groups::{build_groups, merge_groups};
 use crate::model::refine_with_ilp;
+use crate::stats::PipelineStats;
 
 /// How the final schedule was obtained.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +55,8 @@ pub struct WashResult {
     pub integrated: usize,
     /// Solver diagnostics.
     pub solver: SolverReport,
+    /// Per-stage wall times and routing-effort counters.
+    pub pipeline: PipelineStats,
 }
 
 impl WashResult {
@@ -94,6 +98,7 @@ fn finish(
     exemptions: (usize, usize, usize),
     integrated: usize,
     solver: SolverReport,
+    pipeline: PipelineStats,
 ) -> Result<WashResult, PdwError> {
     validate(&synthesis.chip, &bench.graph, &schedule).map_err(PdwError::Invalid)?;
     verify_clean(&synthesis.chip, &bench.graph, &schedule).map_err(PdwError::Dirty)?;
@@ -104,6 +109,7 @@ fn finish(
         exemptions,
         integrated,
         solver,
+        pipeline,
     })
 }
 
@@ -120,24 +126,40 @@ pub fn pdw(
     synthesis: &Synthesis,
     config: &PdwConfig,
 ) -> Result<WashResult, PdwError> {
+    let run_start = Instant::now();
+    let counters_start = pdw_biochip::routing_counters();
+    let mut stats = PipelineStats {
+        threads: crate::par::resolve_threads(config.threads),
+        ..PipelineStats::default()
+    };
+
     let necessity = if config.necessity_analysis {
         NecessityOptions::full()
     } else {
         NecessityOptions::reuse_only()
     };
-    let analysis = analyze(&synthesis.chip, &bench.graph, &synthesis.schedule, necessity);
+    let stage = Instant::now();
+    let analysis = analyze(
+        &synthesis.chip,
+        &bench.graph,
+        &synthesis.schedule,
+        necessity,
+    );
+    stats.necessity_s = stage.elapsed().as_secs_f64();
     let exemptions = (
         analysis.count(Classification::Type1Unused),
         analysis.count(Classification::Type2SameFluid),
         analysis.count(Classification::Type3WasteOnly),
     );
 
+    let stage = Instant::now();
     let groups = build_groups(
         &synthesis.chip,
         &synthesis.schedule,
         &analysis.requirements,
         CandidatePolicy::Shortest,
         config.candidates,
+        config.threads,
     );
     // Work at spot-cluster granularity (fine washes schedule concurrently
     // far more easily), then let merging coarsen only where it pays off.
@@ -148,12 +170,21 @@ pub fn pdw(
         4,
         CandidatePolicy::Shortest,
         config.candidates,
+        config.threads,
     );
+    stats.grouping_s = stage.elapsed().as_secs_f64();
+    let stage = Instant::now();
     let mut groups = if config.merging {
-        merge_groups(&synthesis.chip, &synthesis.schedule, groups, config.candidates)
+        merge_groups(
+            &synthesis.chip,
+            &synthesis.schedule,
+            groups,
+            config.candidates,
+        )
     } else {
         groups
     };
+    stats.merge_s = stage.elapsed().as_secs_f64();
     if config.exact_paths {
         for g in &mut groups {
             let warm = g.candidates[0].path.clone();
@@ -181,6 +212,7 @@ pub fn pdw(
         .map(|(id, _)| id)
         .filter(|id| !analysis.deletable.contains(id))
         .collect();
+    let stage = Instant::now();
     let greedy = insert_washes_protected(
         &synthesis.chip,
         &synthesis.schedule,
@@ -188,23 +220,40 @@ pub fn pdw(
         config.integration,
         &protected,
     );
+    stats.greedy_s = stage.elapsed().as_secs_f64();
     let integrated = greedy.integrated.len();
+    stats.groups = greedy.groups.len();
+    stats.candidates = greedy.groups.iter().map(|g| g.candidates.len()).sum();
 
     if config.ilp {
-        if let Some(refined) =
-            refine_with_ilp(&synthesis.chip, &bench.graph, &greedy.groups, &greedy, config)
-        {
+        let stage = Instant::now();
+        let refined = refine_with_ilp(
+            &synthesis.chip,
+            &bench.graph,
+            &greedy.groups,
+            &greedy,
+            config,
+        );
+        stats.ilp_s = stage.elapsed().as_secs_f64();
+        if let Some(refined) = refined {
             let report = SolverReport {
                 used_ilp: true,
                 optimal: refined.optimal,
                 nodes: refined.nodes,
                 stats: Some(refined.stats),
             };
+            let stats = seal_stats(stats, run_start, counters_start);
             // The ILP schedule must independently pass validation; on any
             // breach, fall back to the (always valid) greedy schedule.
-            if let Ok(result) =
-                finish(bench, synthesis, refined.schedule, exemptions, integrated, report)
-            {
+            if let Ok(result) = finish(
+                bench,
+                synthesis,
+                refined.schedule,
+                exemptions,
+                integrated,
+                report,
+                stats,
+            ) {
                 // Only adopt the refinement when it does not regress the
                 // paper's objective (floor-rounding can cost a second).
                 let greedy_metrics = Metrics::measure(&bench.graph, &greedy.schedule);
@@ -219,6 +268,7 @@ pub fn pdw(
         }
     }
 
+    let stats = seal_stats(stats, run_start, counters_start);
     finish(
         bench,
         synthesis,
@@ -226,7 +276,23 @@ pub fn pdw(
         exemptions,
         integrated,
         SolverReport::greedy(),
+        stats,
     )
+}
+
+/// Fills the run-wide totals: end-to-end wall time and the routing-counter
+/// deltas accumulated since `counters_start`.
+fn seal_stats(
+    mut stats: PipelineStats,
+    run_start: Instant,
+    counters_start: pdw_biochip::RoutingCounters,
+) -> PipelineStats {
+    stats.total_s = run_start.elapsed().as_secs_f64();
+    let d = pdw_biochip::routing_counters() - counters_start;
+    stats.route_calls = d.route_calls;
+    stats.bfs_runs = d.bfs_runs;
+    stats.scratch_reuses = d.scratch_reuses;
+    stats
 }
 
 #[cfg(test)]

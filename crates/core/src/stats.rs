@@ -1,0 +1,64 @@
+//! Per-stage observability of the wash-optimization pipeline.
+
+use serde::Serialize;
+
+/// Wall-clock and routing-effort breakdown of one optimizer run.
+///
+/// Stage names follow the pipeline: necessity analysis → grouping (group
+/// construction plus candidate-path enumeration, including the spot-cluster
+/// split) → merging → greedy insertion → ILP refinement. Routing counters
+/// are process-wide deltas taken over the run, so they include every BFS the
+/// stages triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct PipelineStats {
+    /// Front-end worker threads used (after resolving 0 = all cores).
+    pub threads: usize,
+    /// Wash-necessity analysis wall time, seconds.
+    pub necessity_s: f64,
+    /// Group construction + candidate enumeration wall time, seconds.
+    pub grouping_s: f64,
+    /// Group merging wall time, seconds.
+    pub merge_s: f64,
+    /// Greedy sweep-line insertion wall time, seconds.
+    pub greedy_s: f64,
+    /// ILP refinement wall time, seconds (0 when the ILP is disabled).
+    pub ilp_s: f64,
+    /// End-to-end optimizer wall time, seconds.
+    pub total_s: f64,
+    /// Routing queries (`route`/`route_via`) issued during the run.
+    pub route_calls: u64,
+    /// BFS leg searches run (a `route_via` runs one per stop).
+    pub bfs_runs: u64,
+    /// Routing queries served by an already-warm scratch (no allocation).
+    pub scratch_reuses: u64,
+    /// Wash groups after merging (as handed to the greedy inserter).
+    pub groups: usize,
+    /// Candidate wash paths enumerated across those groups.
+    pub candidates: usize,
+}
+
+impl PipelineStats {
+    /// Sum of the front-end stages (everything but the ILP back-end):
+    /// grouping, merging, and greedy insertion.
+    pub fn front_end_s(&self) -> f64 {
+        self.grouping_s + self.merge_s + self.greedy_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_end_sums_the_non_ilp_stages() {
+        let s = PipelineStats {
+            grouping_s: 1.0,
+            merge_s: 2.0,
+            greedy_s: 4.0,
+            ilp_s: 100.0,
+            necessity_s: 50.0,
+            ..PipelineStats::default()
+        };
+        assert!((s.front_end_s() - 7.0).abs() < 1e-12);
+    }
+}

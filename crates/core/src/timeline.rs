@@ -1,8 +1,8 @@
 //! Cell/time occupancy view of a schedule, for wash insertion.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use pdw_biochip::{Chip, Coord};
+use pdw_biochip::{CellSet, Chip};
 use pdw_sched::{Schedule, TaskKind, Time};
 
 /// One busy interval on a set of cells: a task's path over its window, or a
@@ -10,7 +10,7 @@ use pdw_sched::{Schedule, TaskKind, Time};
 /// of its result.
 #[derive(Debug, Clone)]
 struct Item {
-    cells: HashSet<Coord>,
+    cells: CellSet,
     start: Time,
     end: Time,
     /// Start time of the item's *last* component: a task's own start, or an
@@ -36,7 +36,7 @@ impl Timeline {
         let mut items: Vec<Item> = schedule
             .tasks()
             .map(|(_, t)| Item {
-                cells: t.path().iter().copied().collect(),
+                cells: t.path().mask().clone(),
                 start: t.start(),
                 end: t.end(),
                 moves_at: t.start(),
@@ -81,7 +81,7 @@ impl Timeline {
         for sop in schedule.ops() {
             let (start, end, moves_at) = occupancy[&sop.op];
             items.push(Item {
-                cells: chip.device(sop.device).footprint().iter().copied().collect(),
+                cells: CellSet::from_cells(chip.device(sop.device).footprint()),
                 start,
                 end,
                 moves_at,
@@ -94,7 +94,7 @@ impl Timeline {
     /// `cells` are free over `[t, t + dur)`.
     pub fn earliest_fit(
         &self,
-        cells: &HashSet<Coord>,
+        cells: &CellSet,
         ready: Time,
         dur: Time,
         deadline: Option<Time>,
@@ -102,7 +102,7 @@ impl Timeline {
         let relevant: Vec<&Item> = self
             .items
             .iter()
-            .filter(|it| !it.cells.is_disjoint(cells))
+            .filter(|it| it.cells.intersects(cells))
             .collect();
         let mut candidates: Vec<Time> = vec![ready];
         candidates.extend(relevant.iter().map(|it| it.end).filter(|&e| e > ready));
@@ -137,7 +137,7 @@ impl Timeline {
     /// `ready`, i.e. no shift of this shape can ever make room.
     pub fn earliest_fit_shifted(
         &self,
-        cells: &HashSet<Coord>,
+        cells: &CellSet,
         ready: Time,
         dur: Time,
         pivot: Time,
@@ -145,7 +145,7 @@ impl Timeline {
         let relevant: Vec<(Time, Option<Time>)> = self
             .items
             .iter()
-            .filter(|it| !it.cells.is_disjoint(cells))
+            .filter(|it| it.cells.intersects(cells))
             .filter_map(|it| {
                 if it.start >= pivot {
                     None // moves wholesale past the inserted gap
@@ -157,7 +157,12 @@ impl Timeline {
             })
             .collect();
         let mut candidates: Vec<Time> = vec![ready];
-        candidates.extend(relevant.iter().filter_map(|(_, e)| *e).filter(|&e| e > ready));
+        candidates.extend(
+            relevant
+                .iter()
+                .filter_map(|(_, e)| *e)
+                .filter(|&e| e > ready),
+        );
         candidates.sort_unstable();
         candidates.dedup();
         'outer: for &t in &candidates {
@@ -201,6 +206,7 @@ pub(crate) fn shift_from(schedule: &mut Schedule, pivot: Time, delay: Time) {
 mod tests {
     use super::*;
     use pdw_assay::benchmarks;
+    use pdw_biochip::Coord;
     use pdw_synth::synthesize;
 
     #[test]
@@ -210,7 +216,7 @@ mod tests {
         let tl = Timeline::new(&s.chip, &s.schedule);
         // A task's own cells are busy during its window.
         let (_, t0) = s.schedule.tasks().next().unwrap();
-        let cells: HashSet<Coord> = t0.path().iter().copied().collect();
+        let cells = t0.path().mask().clone();
         let fit = tl.earliest_fit(&cells, t0.start(), t0.duration(), Some(t0.start() + 1));
         assert_eq!(fit, None);
         // Without a deadline, a fit exists after everything ends.
@@ -239,8 +245,8 @@ mod tests {
 
     /// A hand-built timeline with one item occupying `cells` over
     /// `[start, end)` whose last component begins at `moves_at`.
-    fn fixture(start: Time, end: Time, moves_at: Time) -> (Timeline, HashSet<Coord>) {
-        let cells: HashSet<Coord> = [Coord::new(1, 1)].into_iter().collect();
+    fn fixture(start: Time, end: Time, moves_at: Time) -> (Timeline, CellSet) {
+        let cells: CellSet = [Coord::new(1, 1)].into_iter().collect();
         let tl = Timeline {
             items: vec![Item {
                 cells: cells.clone(),
@@ -327,13 +333,7 @@ mod tests {
         let s = synthesize(&bench).unwrap();
         let tl = Timeline::new(&s.chip, &s.schedule);
         let sop = s.schedule.ops()[0];
-        let foot: HashSet<Coord> = s
-            .chip
-            .device(sop.device)
-            .footprint()
-            .iter()
-            .copied()
-            .collect();
+        let foot = CellSet::from_cells(s.chip.device(sop.device).footprint());
         // No fit inside the op execution window.
         let fit = tl.earliest_fit(&foot, sop.start, 1, Some(sop.end()));
         assert_eq!(fit, None);

@@ -31,7 +31,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, VarType};
-use crate::presolve::{presolve_with_stats, Presolved, PresolveStats};
+use crate::presolve::{presolve_with_stats, PresolveStats, Presolved};
 use crate::simplex::{solve_cold, solve_warm, Basis, LpOutcome, Prepared, Workspace};
 use crate::INT_TOL;
 
@@ -501,8 +501,7 @@ fn worker(s: &Search) {
     while let Some(node) = s.next_node() {
         let mut cur = Some(node);
         while let Some(node) = cur.take() {
-            if s.nodes.load(Ordering::Relaxed) >= s.node_limit
-                || s.start.elapsed() >= s.time_limit
+            if s.nodes.load(Ordering::Relaxed) >= s.node_limit || s.start.elapsed() >= s.time_limit
             {
                 s.truncated.store(true, Ordering::Relaxed);
                 s.stop_all();
@@ -606,7 +605,11 @@ fn worker(s: &Search) {
                 basis: Some(basis),
             };
             // Dive toward the nearer integer; the far child goes to the heap.
-            let (near, far) = if v - floor <= 0.5 { (down, up) } else { (up, down) };
+            let (near, far) = if v - floor <= 0.5 {
+                (down, up)
+            } else {
+                (up, down)
+            };
             {
                 let mut q = s.queue.lock().unwrap();
                 if q.heap.len() >= MAX_OPEN {
@@ -750,7 +753,11 @@ mod tests {
         m.constraint([(end, 1.0), (sb, -1.0)], Relation::Ge, 1.0);
         let s = solve(&m, &opts()).unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
-        assert!((s.objective - 2.0).abs() < 1e-5, "objective {}", s.objective);
+        assert!(
+            (s.objective - 2.0).abs() < 1e-5,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -763,7 +770,11 @@ mod tests {
         m.constraint([(x, 2.0), (y, 3.0)], Relation::Le, 12.0);
         m.constraint([(x, 2.0), (y, 1.0)], Relation::Le, 8.0);
         let s = solve(&m, &opts()).unwrap();
-        assert!((s.objective + 17.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective + 17.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert_eq!(s.int_value(x), 3);
         assert_eq!(s.int_value(y), 2);
     }
@@ -777,11 +788,7 @@ mod tests {
             .map(|i| m.binary(&format!("x{i}"), -((i % 5) as f64 + 3.0)))
             .collect();
         for w in xs.windows(3) {
-            m.constraint(
-                [(w[0], 2.0), (w[1], 3.0), (w[2], 5.0)],
-                Relation::Le,
-                7.0,
-            );
+            m.constraint([(w[0], 2.0), (w[1], 3.0), (w[2], 5.0)], Relation::Le, 7.0);
         }
         m.constraint(
             xs.iter().map(|&x| (x, 1.0)).collect::<Vec<_>>(),
@@ -794,7 +801,14 @@ mod tests {
     #[test]
     fn objective_is_thread_count_invariant() {
         let m = branching_model();
-        let reference = solve(&m, &SolveOptions { threads: 1, ..opts() }).unwrap();
+        let reference = solve(
+            &m,
+            &SolveOptions {
+                threads: 1,
+                ..opts()
+            },
+        )
+        .unwrap();
         assert_eq!(reference.status, SolveStatus::Optimal);
         for threads in [2, 4, 8] {
             let s = solve(&m, &SolveOptions { threads, ..opts() }).unwrap();
@@ -811,7 +825,14 @@ mod tests {
     #[test]
     fn stats_account_for_every_node() {
         let m = branching_model();
-        let s = solve(&m, &SolveOptions { threads: 2, ..opts() }).unwrap();
+        let s = solve(
+            &m,
+            &SolveOptions {
+                threads: 2,
+                ..opts()
+            },
+        )
+        .unwrap();
         let st = &s.stats;
         assert_eq!(st.nodes, s.nodes);
         assert!(st.nodes > 1, "expected branching, got {} nodes", st.nodes);

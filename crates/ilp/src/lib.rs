@@ -46,8 +46,8 @@ mod simplex;
 pub use branch::{
     solve, IncumbentEvent, MilpError, Solution, SolveOptions, SolveStatus, SolverStats,
 };
-pub use presolve::{presolve, presolve_with_stats, Presolved, PresolveStats};
 pub use model::{LinExpr, Model, Relation, VarId, VarType};
+pub use presolve::{presolve, presolve_with_stats, PresolveStats, Presolved};
 pub use simplex::{solve_lp, solve_lp_with_bounds, solve_lp_with_deadline, LpOutcome, LpSolution};
 
 /// Feasibility tolerance used throughout the solver.

@@ -127,8 +127,7 @@ pub fn presolve_with_stats(model: &Model) -> (Presolved, PresolveStats) {
                         var.lb = (var.lb - INT_TOL).ceil();
                         var.ub = (var.ub + INT_TOL).floor();
                     }
-                    stats.bounds_tightened +=
-                        (var.lb > old_lb) as u64 + (var.ub < old_ub) as u64;
+                    stats.bounds_tightened += (var.lb > old_lb) as u64 + (var.ub < old_ub) as u64;
                     if var.lb > var.ub + FEAS_TOL {
                         return (Presolved::Infeasible, stats);
                     }
@@ -239,7 +238,11 @@ fn propagate_bounds(
         let mut max_act = Activity::default();
         for &(v, a) in c.expr.terms() {
             let (lb, ub) = (m.vars[v.0].lb, m.vars[v.0].ub);
-            let (lo, hi) = if a > 0.0 { (a * lb, a * ub) } else { (a * ub, a * lb) };
+            let (lo, hi) = if a > 0.0 {
+                (a * lb, a * ub)
+            } else {
+                (a * ub, a * lb)
+            };
             min_act.add(lo);
             max_act.add(hi);
         }
@@ -251,9 +254,7 @@ fn propagate_bounds(
         match c.rel {
             Relation::Le if lhs_min > c.rhs + FEAS_TOL => return Propagation::Infeasible,
             Relation::Ge if lhs_max < c.rhs - FEAS_TOL => return Propagation::Infeasible,
-            Relation::Eq
-                if lhs_min > c.rhs + FEAS_TOL || lhs_max < c.rhs - FEAS_TOL =>
-            {
+            Relation::Eq if lhs_min > c.rhs + FEAS_TOL || lhs_max < c.rhs - FEAS_TOL => {
                 return Propagation::Infeasible
             }
             _ => {}
@@ -262,7 +263,11 @@ fn propagate_bounds(
         for &(v, a) in c.expr.terms() {
             let var = &m.vars[v.0];
             let (lb, ub) = (var.lb, var.ub);
-            let (lo_j, hi_j) = if a > 0.0 { (a * lb, a * ub) } else { (a * ub, a * lb) };
+            let (lo_j, hi_j) = if a > 0.0 {
+                (a * lb, a * ub)
+            } else {
+                (a * ub, a * lb)
+            };
 
             // From Σ ≤ rhs: a_j·x_j ≤ rhs − residual_min.
             let implied_hi = match c.rel {

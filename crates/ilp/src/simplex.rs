@@ -205,7 +205,16 @@ impl Prepared {
             *cj = model.vars[j].obj;
         }
 
-        Prepared { n, m, ncols, art0, a, rhs, cost, slack_of_row }
+        Prepared {
+            n,
+            m,
+            ncols,
+            art0,
+            a,
+            rhs,
+            cost,
+            slack_of_row,
+        }
     }
 
     fn iter_limit(&self) -> u64 {
@@ -258,7 +267,10 @@ impl Workspace {
 
     /// Snapshots the current basis (valid after an optimal solve).
     pub(crate) fn snapshot_basis(&self) -> Basis {
-        Basis { cols: self.basis.clone(), status: self.status.clone() }
+        Basis {
+            cols: self.basis.clone(),
+            status: self.status.clone(),
+        }
     }
 }
 
@@ -607,7 +619,11 @@ impl Solver<'_> {
         match leaving {
             None => {
                 // Pure bound flip.
-                ws.status[q] = if from_lower { Status::Upper } else { Status::Lower };
+                ws.status[q] = if from_lower {
+                    Status::Upper
+                } else {
+                    Status::Lower
+                };
                 Step::Moved
             }
             Some((r, hits)) => {

@@ -43,9 +43,7 @@ fn brute_force(p: &BinaryProgram) -> Option<f64> {
     let (m, _) = build(p);
     let mut best: Option<f64> = None;
     for mask in 0u32..(1 << p.num_vars) {
-        let assign: Vec<f64> = (0..p.num_vars)
-            .map(|j| ((mask >> j) & 1) as f64)
-            .collect();
+        let assign: Vec<f64> = (0..p.num_vars).map(|j| ((mask >> j) & 1) as f64).collect();
         if m.check_feasible(&assign, 1e-9).is_ok() {
             let obj = m.objective_value(&assign);
             if best.is_none_or(|b| obj < b) {

@@ -196,7 +196,13 @@ mod tests {
 
     fn wash_task(start: Time) -> Task {
         let p = FlowPath::new(vec![Coord::new(0, 0), Coord::new(1, 0)]).unwrap();
-        Task::new(TaskKind::Wash { targets: vec![] }, p, start, 2, FluidType::BUFFER)
+        Task::new(
+            TaskKind::Wash { targets: vec![] },
+            p,
+            start,
+            2,
+            FluidType::BUFFER,
+        )
     }
 
     #[test]

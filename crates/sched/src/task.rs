@@ -114,7 +114,13 @@ impl Task {
     /// # Panics
     ///
     /// Panics if `duration` is zero — every fluid movement takes time.
-    pub fn new(kind: TaskKind, path: FlowPath, start: Time, duration: Time, fluid: FluidType) -> Self {
+    pub fn new(
+        kind: TaskKind,
+        path: FlowPath,
+        start: Time,
+        duration: Time,
+        fluid: FluidType,
+    ) -> Self {
         assert!(duration > 0, "task duration must be nonzero");
         Self {
             kind,
@@ -212,7 +218,13 @@ mod tests {
     }
 
     fn wash(y: u16, start: Time, dur: Time) -> Task {
-        Task::new(TaskKind::Wash { targets: vec![] }, path(y, 4), start, dur, FluidType::BUFFER)
+        Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path(y, 4),
+            start,
+            dur,
+            FluidType::BUFFER,
+        )
     }
 
     #[test]
@@ -245,9 +257,18 @@ mod tests {
     fn kind_predicates() {
         assert!(TaskKind::ExcessRemoval { op: OpId(0) }.is_waste_disposal());
         assert!(TaskKind::OutputRemoval { op: OpId(0) }.is_waste_disposal());
-        assert!(!TaskKind::Transport { from_op: OpId(0), to_op: OpId(1) }.is_waste_disposal());
+        assert!(!TaskKind::Transport {
+            from_op: OpId(0),
+            to_op: OpId(1)
+        }
+        .is_waste_disposal());
         assert!(TaskKind::Wash { targets: vec![] }.is_wash());
-        assert!(TaskKind::Injection { reagent: ReagentId(0), op: OpId(0), slot: 0 }.is_delivery());
+        assert!(TaskKind::Injection {
+            reagent: ReagentId(0),
+            op: OpId(0),
+            slot: 0
+        }
+        .is_delivery());
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl Metrics {
             wait_sum += sop.start.saturating_sub(ready) as f64;
             wait_n += 1;
         }
-        let avg_wait = if wait_n == 0 { 0.0 } else { wait_sum / wait_n as f64 };
+        let avg_wait = if wait_n == 0 {
+            0.0
+        } else {
+            wait_sum / wait_n as f64
+        };
 
         Metrics {
             n_wash,
@@ -151,7 +155,10 @@ mod tests {
             avg_wait: 0.0,
             buffer_nl: 0.0,
         };
-        let b = Metrics { t_assay: 36, ..a.clone() };
+        let b = Metrics {
+            t_assay: 36,
+            ..a.clone()
+        };
         assert_eq!(b.delay_vs(&a), 6);
         assert_eq!(a.delay_vs(&b), 0);
     }

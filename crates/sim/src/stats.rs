@@ -145,7 +145,10 @@ mod tests {
         let bench = benchmarks::demo();
         let s = synthesize(&bench).unwrap();
         let stats = ScheduleStats::collect(&s.chip, &s.schedule);
-        assert_eq!(stats.task_mix.iter().sum::<usize>(), s.schedule.task_count());
+        assert_eq!(
+            stats.task_mix.iter().sum::<usize>(),
+            s.schedule.task_count()
+        );
         assert_eq!(stats.task_mix[4], 0, "synthesis emits no washes");
     }
 

@@ -4,8 +4,8 @@ use std::fmt;
 
 use pdw_assay::{AssayGraph, OpId};
 use pdw_biochip::{Chip, Coord};
-use pdw_sched::{Schedule, TaskId, TaskKind, Time};
 use pdw_sched::flow_duration;
+use pdw_sched::{Schedule, TaskId, TaskKind, Time};
 
 /// Dissolution time `t_d` of residues in buffer, in seconds (Eq. 17).
 ///

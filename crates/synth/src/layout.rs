@@ -98,8 +98,11 @@ pub fn build_chip(bench: &Benchmark) -> Result<Chip, SynthError> {
     }
 
     // Devices: 3-cell horizontal footprints on the precomputed slots.
-    let mut claimed: std::collections::HashSet<Coord> =
-        flow_ports.iter().chain(waste_ports.iter()).copied().collect();
+    let mut claimed: std::collections::HashSet<Coord> = flow_ports
+        .iter()
+        .chain(waste_ports.iter())
+        .copied()
+        .collect();
     let mut kind_counts = std::collections::HashMap::new();
     for (&op_kind, &anchor) in bench.devices.iter().zip(&slots) {
         let kind = device_kind_for(op_kind);
@@ -180,10 +183,7 @@ mod tests {
         let chip = build_chip(&benchmarks::demo()).unwrap();
         for fp in chip.flow_ports() {
             for wp in chip.waste_ports() {
-                assert!(
-                    chip.route(fp, wp, &[]).is_some(),
-                    "no route {fp} -> {wp}"
-                );
+                assert!(chip.route(fp, wp, &[]).is_some(), "no route {fp} -> {wp}");
             }
         }
     }

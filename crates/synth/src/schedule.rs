@@ -52,7 +52,12 @@ pub fn route_task(chip: &Chip, via: &[Coord], blocked: &[Coord]) -> Option<FlowP
 
 /// Like [`route_task`] but with a fixed entry flow port (reagent injections
 /// must start at the port plumbed to that reagent's reservoir).
-pub fn route_task_from(chip: &Chip, from: Coord, via: &[Coord], blocked: &[Coord]) -> Option<FlowPath> {
+pub fn route_task_from(
+    chip: &Chip,
+    from: Coord,
+    via: &[Coord],
+    blocked: &[Coord],
+) -> Option<FlowPath> {
     let mut best: Option<Vec<Coord>> = None;
     for wp in chip.waste_ports() {
         if let Some(p) = chip.route_via(from, via, wp, blocked) {
@@ -234,7 +239,12 @@ fn synthesize_ordered(
         let mut ready: Vec<OpId> = unscheduled
             .iter()
             .copied()
-            .filter(|&i| graph.op(i).parent_ops().all(|p| done[p.0 as usize].is_some()))
+            .filter(|&i| {
+                graph
+                    .op(i)
+                    .parent_ops()
+                    .all(|p| done[p.0 as usize].is_some())
+            })
             .collect();
         match order {
             ReadyOrder::Priority => {
@@ -242,9 +252,10 @@ fn synthesize_ordered(
             }
             ReadyOrder::ConsumersFirst => {
                 let consumes_resident = |i: OpId| {
-                    graph.op(i).parent_ops().any(|p| {
-                        dev.iter().any(|d| d.resident_for == Some(p))
-                    })
+                    graph
+                        .op(i)
+                        .parent_ops()
+                        .any(|p| dev.iter().any(|d| d.resident_for == Some(p)))
                 };
                 ready.sort_by_key(|&i| {
                     (
@@ -309,8 +320,12 @@ fn synthesize_ordered(
             // the holder is freed for the ready operations.
             let mut broke = false;
             'residents: for dj in 0..dev.len() {
-                let Some(j) = dev[dj].resident_for else { continue };
-                let Some(c) = graph.consumer_of(j) else { continue };
+                let Some(j) = dev[dj].resident_for else {
+                    continue;
+                };
+                let Some(c) = graph.consumer_of(j) else {
+                    continue;
+                };
                 if done[c.0 as usize].is_some() {
                     continue;
                 }
@@ -401,7 +416,10 @@ fn synthesize_ordered(
     Ok(Synthesis {
         chip,
         schedule,
-        binding: binding.into_iter().map(|b| b.expect("all ops bound")).collect(),
+        binding: binding
+            .into_iter()
+            .map(|b| b.expect("all ops bound"))
+            .collect(),
         reagent_ports,
     })
 }
@@ -465,7 +483,11 @@ fn deliver_input(
             0,
             graph.reagent_fluid(r),
             None,
-            TaskKind::Injection { reagent: r, op: i, slot },
+            TaskKind::Injection {
+                reagent: r,
+                op: i,
+                slot,
+            },
         ),
         OpInput::Op(j) => {
             let src = done[j.0 as usize].expect("parent is done");
@@ -475,7 +497,10 @@ fn deliver_input(
                 src.end,
                 graph.output_fluid(j),
                 Some(j),
-                TaskKind::Transport { from_op: j, to_op: i },
+                TaskKind::Transport {
+                    from_op: j,
+                    to_op: i,
+                },
             )
         }
     };
@@ -505,7 +530,11 @@ fn deliver_input(
     }
     let path = path.ok_or(SynthError::Unroutable {
         op: i,
-        what: if parent.is_some() { "transport" } else { "injection" },
+        what: if parent.is_some() {
+            "transport"
+        } else {
+            "injection"
+        },
     })?;
     let dur = flow_duration(path.len());
 
@@ -545,7 +574,10 @@ fn deliver_input(
         let combined: Vec<Coord> = before.iter().chain(after.iter()).copied().collect();
         let groups: Vec<Vec<Coord>> = match route_flush(chip, &combined, &all_blocked) {
             Some(_) => vec![combined],
-            None => [before, after].into_iter().filter(|g| !g.is_empty()).collect(),
+            None => [before, after]
+                .into_iter()
+                .filter(|g| !g.is_empty())
+                .collect(),
         };
         for group in groups {
             let rpath = route_flush(chip, &group, &all_blocked).ok_or(SynthError::Unroutable {
@@ -611,7 +643,10 @@ fn schedule_op(
     if let Some(r) = dev[d.0 as usize].resident_for {
         ready_for_op = ready_for_op.max(done[r.0 as usize].expect("resident is done").end);
     }
-    let pre_delivered: Vec<OpId> = pre.as_ref().map(|p| p.delivered.clone()).unwrap_or_default();
+    let pre_delivered: Vec<OpId> = pre
+        .as_ref()
+        .map(|p| p.delivered.clone())
+        .unwrap_or_default();
 
     // Plugs are loaded into the device strictly one after another: once the
     // first plug is inside, a crossing flow would flush it out, so each
@@ -677,7 +712,10 @@ fn schedule_op(
         start: op_start,
         duration: op.duration(),
     });
-    done[i.0 as usize] = Some(Done { device: d, end: op_end });
+    done[i.0 as usize] = Some(Done {
+        device: d,
+        end: op_end,
+    });
 
     if graph.consumer_of(i).is_some() {
         // Result stays resident until the consumer's transport picks it up.

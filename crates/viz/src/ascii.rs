@@ -93,7 +93,9 @@ mod tests {
     fn washes_use_a_distinct_glyph() {
         assert_eq!(glyph(&TaskKind::Wash { targets: vec![] }), 'W');
         assert_eq!(
-            glyph(&TaskKind::OutputRemoval { op: pdw_assay::OpId(0) }),
+            glyph(&TaskKind::OutputRemoval {
+                op: pdw_assay::OpId(0)
+            }),
             'o'
         );
     }

@@ -10,7 +10,9 @@ const CELL_PX: u32 = 24;
 
 /// Escapes the few XML-special characters that can appear in labels.
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a chip layout as SVG: channels in light gray, devices in blue
@@ -44,7 +46,10 @@ pub fn chip(chip: &Chip, highlight: Option<&FlowPath>) -> String {
     // Device labels, centered on their footprints.
     for d in chip.devices() {
         let f = d.footprint();
-        let cx: u32 = f.iter().map(|c| c.x as u32 * CELL_PX + CELL_PX / 2).sum::<u32>()
+        let cx: u32 = f
+            .iter()
+            .map(|c| c.x as u32 * CELL_PX + CELL_PX / 2)
+            .sum::<u32>()
             / f.len() as u32;
         let cy = f[0].y as u32 * CELL_PX + CELL_PX / 2 + 4;
         let _ = write!(
@@ -151,7 +156,13 @@ pub fn gantt(chip: &Chip, schedule: &Schedule) -> String {
     for id in schedule.tasks_chronological() {
         let t = schedule.task(id);
         let label = format!("{} {}", t.kind().tag(), id);
-        bar(label, t.start(), t.duration(), task_color(t.kind()), &mut out);
+        bar(
+            label,
+            t.start(),
+            t.duration(),
+            task_color(t.kind()),
+            &mut out,
+        );
     }
 
     out.push_str("</svg>");

@@ -20,25 +20,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Architectural synthesis: chip layout + wash-free schedule.
     let synthesis = synthesize(&bench)?;
     let base = Metrics::measure(&bench.graph, &synthesis.schedule);
-    println!("chip: {}x{} grid, {} devices, wash-free T_assay = {} s",
+    println!(
+        "chip: {}x{} grid, {} devices, wash-free T_assay = {} s",
         synthesis.chip.grid().width(),
         synthesis.chip.grid().height(),
         synthesis.chip.devices().len(),
-        base.t_assay);
+        base.t_assay
+    );
 
     // 3. Wash optimization: baseline vs the paper's method.
     let baseline = dawo(&bench, &synthesis)?;
     let optimized = pdw(&bench, &synthesis, &PdwConfig::default())?;
 
     println!("\n{:<22} {:>8} {:>8}", "metric", "DAWO", "PDW");
-    println!("{:<22} {:>8} {:>8}", "N_wash", baseline.metrics.n_wash, optimized.metrics.n_wash);
-    println!("{:<22} {:>8.0} {:>8.0}", "L_wash (mm)", baseline.metrics.l_wash_mm, optimized.metrics.l_wash_mm);
-    println!("{:<22} {:>8} {:>8}", "T_delay (s)",
-        baseline.metrics.delay_vs(&base), optimized.metrics.delay_vs(&base));
-    println!("{:<22} {:>8} {:>8}", "T_assay (s)", baseline.metrics.t_assay, optimized.metrics.t_assay);
-    println!("{:<22} {:>8} {:>8}", "total wash time (s)",
-        baseline.metrics.total_wash_time, optimized.metrics.total_wash_time);
-    println!("\nPDW integrated {} excess removals into washes; ILP used: {}",
-        optimized.integrated, optimized.solver.used_ilp);
+    println!(
+        "{:<22} {:>8} {:>8}",
+        "N_wash", baseline.metrics.n_wash, optimized.metrics.n_wash
+    );
+    println!(
+        "{:<22} {:>8.0} {:>8.0}",
+        "L_wash (mm)", baseline.metrics.l_wash_mm, optimized.metrics.l_wash_mm
+    );
+    println!(
+        "{:<22} {:>8} {:>8}",
+        "T_delay (s)",
+        baseline.metrics.delay_vs(&base),
+        optimized.metrics.delay_vs(&base)
+    );
+    println!(
+        "{:<22} {:>8} {:>8}",
+        "T_assay (s)", baseline.metrics.t_assay, optimized.metrics.t_assay
+    );
+    println!(
+        "{:<22} {:>8} {:>8}",
+        "total wash time (s)", baseline.metrics.total_wash_time, optimized.metrics.total_wash_time
+    );
+    println!(
+        "\nPDW integrated {} excess removals into washes; ILP used: {}",
+        optimized.integrated, optimized.solver.used_ilp
+    );
     Ok(())
 }

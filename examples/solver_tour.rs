@@ -81,12 +81,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Makespan.
     let t_assay = m.continuous("T_assay", 0.0, M, gamma);
     m.constraint(
-        [(t_assay, 1.0), (a_start, -1.0), (a_short, -4.0), (a_long, -5.0)],
+        [
+            (t_assay, 1.0),
+            (a_start, -1.0),
+            (a_short, -4.0),
+            (a_long, -5.0),
+        ],
         Relation::Ge,
         0.0,
     );
     m.constraint(
-        [(t_assay, 1.0), (b_start, -1.0), (b_short, -4.0), (b_long, -5.0)],
+        [
+            (t_assay, 1.0),
+            (b_start, -1.0),
+            (b_short, -4.0),
+            (b_long, -5.0),
+        ],
         Relation::Ge,
         0.0,
     );
@@ -102,13 +112,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "wash A: start {:.0}, {} candidate",
         sol.value(a_start),
-        if sol.bool_value(a_short) { "short" } else { "long" }
+        if sol.bool_value(a_short) {
+            "short"
+        } else {
+            "long"
+        }
     );
     println!(
         "wash B: start {:.0}, {} candidate",
         sol.value(b_start),
-        if sol.bool_value(b_short) { "short" } else { "long" }
+        if sol.bool_value(b_short) {
+            "short"
+        } else {
+            "long"
+        }
     );
-    println!("T_assay = {:.0}, objective = {:.2}", sol.value(t_assay), sol.objective);
+    println!(
+        "T_assay = {:.0}, objective = {:.2}",
+        sol.value(t_assay),
+        sol.objective
+    );
     Ok(())
 }

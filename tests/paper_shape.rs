@@ -116,8 +116,14 @@ fn average_improvements_land_in_the_papers_bands() {
     );
     assert!(n_wash >= 5.0, "N_wash improvement {n_wash:.2}% too small");
     assert!(l_wash >= 8.0, "L_wash improvement {l_wash:.2}% too small");
-    assert!(t_delay >= 10.0, "T_delay improvement {t_delay:.2}% too small");
-    assert!(t_assay >= 2.0, "T_assay improvement {t_assay:.2}% too small");
+    assert!(
+        t_delay >= 10.0,
+        "T_delay improvement {t_delay:.2}% too small"
+    );
+    assert!(
+        t_assay >= 2.0,
+        "T_assay improvement {t_assay:.2}% too small"
+    );
 }
 
 #[test]

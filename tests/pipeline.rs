@@ -25,15 +25,19 @@ fn every_benchmark_runs_end_to_end() {
             .unwrap_or_else(|e| panic!("{}: base invalid: {e}", bench.name));
 
         let d = dawo(&bench, &s).unwrap_or_else(|e| panic!("{}: dawo: {e}", bench.name));
-        let p = pdw(&bench, &s, &quick_config())
-            .unwrap_or_else(|e| panic!("{}: pdw: {e}", bench.name));
+        let p =
+            pdw(&bench, &s, &quick_config()).unwrap_or_else(|e| panic!("{}: pdw: {e}", bench.name));
 
         for (name, r) in [("dawo", &d), ("pdw", &p)] {
             validate(&s.chip, &bench.graph, &r.schedule)
                 .unwrap_or_else(|e| panic!("{}: {name} invalid: {e}", bench.name));
             verify_clean(&s.chip, &bench.graph, &r.schedule)
                 .unwrap_or_else(|e| panic!("{}: {name} dirty: {e}", bench.name));
-            assert!(r.metrics.n_wash > 0, "{}: {name} washed nothing", bench.name);
+            assert!(
+                r.metrics.n_wash > 0,
+                "{}: {name} washed nothing",
+                bench.name
+            );
         }
     }
 }
@@ -51,7 +55,10 @@ fn pipeline_is_deterministic() {
     };
     let p1 = pdw(&bench, &s1, &config).unwrap();
     let p2 = pdw(&bench, &s2, &config).unwrap();
-    assert_eq!(p1.schedule, p2.schedule, "greedy optimization must be deterministic");
+    assert_eq!(
+        p1.schedule, p2.schedule,
+        "greedy optimization must be deterministic"
+    );
 }
 
 #[test]

@@ -1,0 +1,122 @@
+//! Thread-count invariance of the parallel front end.
+//!
+//! The candidate-enumeration fan-out (`build_groups` /
+//! `split_into_spot_clusters`) distributes work over scoped workers but
+//! merges results in input order, so the groups — and everything downstream
+//! of them: placements and the final objective — must be bit-identical at
+//! any thread count.
+
+use pathdriver_wash::{
+    build_groups, pdw, split_into_spot_clusters, CandidatePolicy, PdwConfig, WashGroup,
+};
+use pdw_assay::benchmarks;
+use pdw_contam::{analyze, NecessityOptions};
+use pdw_synth::synthesize;
+
+fn front_end_groups(bench: &pdw_assay::benchmarks::Benchmark, threads: usize) -> Vec<WashGroup> {
+    let s = synthesize(bench).expect("benchmark synthesizes");
+    let a = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+    let groups = build_groups(
+        &s.chip,
+        &s.schedule,
+        &a.requirements,
+        CandidatePolicy::Shortest,
+        3,
+        threads,
+    );
+    split_into_spot_clusters(
+        &s.chip,
+        &s.schedule,
+        groups,
+        4,
+        CandidatePolicy::Shortest,
+        3,
+        threads,
+    )
+}
+
+/// `WashGroup` carries no `PartialEq`; compare the fields that matter.
+fn assert_same_groups(a: &[WashGroup], b: &[WashGroup], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: group count differs");
+    for (i, (ga, gb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ga.parts, gb.parts, "{ctx}: group {i} parts differ");
+        assert_eq!(
+            ga.candidates, gb.candidates,
+            "{ctx}: group {i} candidates differ"
+        );
+    }
+}
+
+#[test]
+fn candidates_are_identical_at_any_thread_count_on_every_benchmark() {
+    for bench in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
+        let serial = front_end_groups(&bench, 1);
+        for threads in [2, 8] {
+            let par = front_end_groups(&bench, threads);
+            assert_same_groups(
+                &serial,
+                &par,
+                &format!("{} at {threads} threads", bench.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn placements_and_objective_are_thread_count_invariant() {
+    // Full pipeline (ILP off keeps the suite fast; the solver is already
+    // thread-invariant by its own tests) on every bundled benchmark.
+    for bench in benchmarks::suite() {
+        let s = synthesize(&bench).expect("benchmark synthesizes");
+        let mut results = Vec::new();
+        for threads in [1, 2, 8] {
+            let config = PdwConfig {
+                ilp: false,
+                threads,
+                ..PdwConfig::default()
+            };
+            let r = pdw(&bench, &s, &config).expect("pdw runs");
+            results.push((threads, r));
+        }
+        let (_, first) = &results[0];
+        for (threads, r) in &results[1..] {
+            assert_eq!(
+                r.metrics, first.metrics,
+                "{}: metrics differ at {threads} threads",
+                bench.name
+            );
+            assert_eq!(
+                r.schedule, first.schedule,
+                "{}: schedule differs at {threads} threads",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn full_config_demo_is_thread_count_invariant() {
+    // ILP included on the small demo benchmark: the end-to-end objective
+    // must not move with the thread knob.
+    let bench = benchmarks::demo();
+    let s = synthesize(&bench).expect("demo synthesizes");
+    let run = |threads: usize| {
+        let config = PdwConfig {
+            threads,
+            ..PdwConfig::default()
+        };
+        pdw(&bench, &s, &config).expect("pdw runs")
+    };
+    let serial = run(1);
+    for threads in [2, 8] {
+        let par = run(threads);
+        assert_eq!(
+            par.metrics, serial.metrics,
+            "metrics differ at {threads} threads"
+        );
+        assert_eq!(
+            par.schedule, serial.schedule,
+            "schedule differs at {threads} threads"
+        );
+    }
+}

@@ -34,7 +34,10 @@ fn washes_are_adequately_long() {
     // Eq. 17/18: duration >= flush (L / v_f) + dissolution time.
     for bench in [benchmarks::demo(), benchmarks::pcr()] {
         let s = synthesize(&bench).unwrap();
-        for r in [dawo(&bench, &s).unwrap(), pdw(&bench, &s, &quick_config()).unwrap()] {
+        for r in [
+            dawo(&bench, &s).unwrap(),
+            pdw(&bench, &s, &quick_config()).unwrap(),
+        ] {
             for (_, t) in r.schedule.tasks() {
                 if t.kind().is_wash() {
                     assert!(t.duration() >= flow_duration(t.path().len()) + DISSOLUTION_S);
@@ -65,10 +68,22 @@ fn ablations_stay_correct() {
     let bench = benchmarks::pcr();
     let s = synthesize(&bench).unwrap();
     let variants = [
-        PdwConfig { necessity_analysis: false, ..quick_config() },
-        PdwConfig { integration: false, ..quick_config() },
-        PdwConfig { merging: false, ..quick_config() },
-        PdwConfig { ilp: false, ..quick_config() },
+        PdwConfig {
+            necessity_analysis: false,
+            ..quick_config()
+        },
+        PdwConfig {
+            integration: false,
+            ..quick_config()
+        },
+        PdwConfig {
+            merging: false,
+            ..quick_config()
+        },
+        PdwConfig {
+            ilp: false,
+            ..quick_config()
+        },
         PdwConfig::naive(),
     ];
     for config in variants {
@@ -106,7 +121,15 @@ fn necessity_analysis_never_underwashes() {
     // every benchmark (the exemptions are safe, not just aggressive).
     for bench in benchmarks::suite() {
         let s = synthesize(&bench).unwrap();
-        let p = pdw(&bench, &s, &PdwConfig { ilp: false, ..quick_config() }).unwrap();
+        let p = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                ilp: false,
+                ..quick_config()
+            },
+        )
+        .unwrap();
         pdw_contam::verify_clean(&s.chip, &bench.graph, &p.schedule)
             .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
     }

@@ -38,13 +38,19 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// A config that runs `cases` passing cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Default::default() }
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 4096 }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
     }
 }
 

@@ -61,7 +61,9 @@ pub struct Error {
 impl Error {
     /// Creates an error from a message.
     pub fn custom(msg: impl fmt::Display) -> Self {
-        Error { msg: msg.to_string() }
+        Error {
+            msg: msg.to_string(),
+        }
     }
 }
 

@@ -34,7 +34,7 @@ struct Input {
     /// Raw generics text, e.g. `<'a>`; empty when non-generic.
     generics: String,
     is_enum: bool,
-    body: Body,          // for structs
+    body: Body,             // for structs
     variants: Vec<Variant>, // for enums
 }
 
@@ -110,7 +110,10 @@ fn parse_named_fields(toks: &[TokenTree]) -> Vec<String> {
         };
         names.push(name.to_string());
         i += 1;
-        assert!(is_punct(&toks[i], ':'), "serde_derive: expected `:` after field name");
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field name"
+        );
         i += 1;
         // Skip the type: everything up to a top-level comma.
         let mut depth = 0i32;
@@ -162,7 +165,10 @@ fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
         };
         variants.push(Variant { name, body });
         if i < toks.len() {
-            assert!(is_punct(&toks[i], ','), "serde_derive: expected `,` after variant");
+            assert!(
+                is_punct(&toks[i], ','),
+                "serde_derive: expected `,` after variant"
+            );
             i += 1;
         }
     }
@@ -178,7 +184,10 @@ fn parse_input(input: TokenStream) -> Input {
     } else if is_ident(&toks[i], "enum") {
         true
     } else {
-        panic!("serde_derive: expected `struct` or `enum`, got {:?}", toks[i]);
+        panic!(
+            "serde_derive: expected `struct` or `enum`, got {:?}",
+            toks[i]
+        );
     };
     i += 1;
     let TokenTree::Ident(name) = &toks[i] else {
@@ -287,9 +296,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     let pairs: Vec<String> = fields
                         .iter()
                         .map(|f| {
-                            format!(
-                                "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
-                            )
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
                         })
                         .collect();
                     out.push_str(&format!(
@@ -312,7 +319,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))")
                     })
                     .collect();
-                out.push_str(&format!("::serde::Value::Object(vec![{}])", pairs.join(",")));
+                out.push_str(&format!(
+                    "::serde::Value::Object(vec![{}])",
+                    pairs.join(",")
+                ));
             }
             Body::Tuple(1) => out.push_str("::serde::Serialize::to_value(&self.0)"),
             Body::Tuple(n) => {
@@ -325,7 +335,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         }
     }
     out.push_str("}}");
-    out.parse().expect("serde_derive: generated Serialize impl parses")
+    out.parse()
+        .expect("serde_derive: generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -341,7 +352,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         out.push_str("match v {");
         // Unit variants arrive as plain strings.
         out.push_str("::serde::Value::Str(s) => match s.as_str() {");
-        for v in input.variants.iter().filter(|v| matches!(v.body, Body::Unit)) {
+        for v in input
+            .variants
+            .iter()
+            .filter(|v| matches!(v.body, Body::Unit))
+        {
             out.push_str(&format!("\"{0}\" => Ok({name}::{0}),", v.name));
         }
         out.push_str(&format!(
@@ -363,9 +378,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 )),
                 Body::Tuple(n) => {
                     let elems: Vec<String> = (0..*n)
-                        .map(|k| {
-                            format!("::serde::Deserialize::from_value(&items[{k}])?")
-                        })
+                        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
                         .collect();
                     out.push_str(&format!(
                         "\"{0}\" => {{ let items = inner.as_array().ok_or_else(|| \
@@ -414,9 +427,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     setters.join(",")
                 ));
             }
-            Body::Tuple(1) => out.push_str(&format!(
-                "Ok({name}(::serde::Deserialize::from_value(v)?))"
-            )),
+            Body::Tuple(1) => {
+                out.push_str(&format!("Ok({name}(::serde::Deserialize::from_value(v)?))"))
+            }
             Body::Tuple(n) => {
                 let elems: Vec<String> = (0..*n)
                     .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
@@ -433,5 +446,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         }
     }
     out.push_str("}}");
-    out.parse().expect("serde_derive: generated Deserialize impl parses")
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl parses")
 }

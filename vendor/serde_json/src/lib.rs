@@ -283,8 +283,8 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| err("invalid \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| err("invalid \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| err("invalid \\u escape"))?;
                             // Surrogate pairs are not produced by our writer;
@@ -325,8 +325,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| err("invalid number"))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| err("invalid number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));
