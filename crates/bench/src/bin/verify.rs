@@ -1,0 +1,111 @@
+//! Corpus-scale differential verification of the full wash pipeline.
+//!
+//! Runs every bundled benchmark plus a corpus of seeded random instances
+//! (100 by default) through [`pathdriver_wash::verify`]: DAWO, the greedy
+//! pipeline, and the budget-bound ILP each judged by the simulator
+//! validator, `verify_clean`, the contamination-propagation oracle, an
+//! exact objective recompute, and 1/2/8-thread bit-identity of the greedy
+//! schedule.
+//!
+//! Usage: `cargo run -p pdw-bench --bin verify --release [-- <seeds> [out]]`
+//!
+//! `seeds` is the random-corpus size (default 100); `out` is the repro file
+//! written on failure (default `verify-repro.txt`). Failing seeds are
+//! shrunk to the smallest still-failing spec and the file names the exact
+//! `pdw verify --seed <s>` command that reproduces each failure. Exits
+//! nonzero when anything fails.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pathdriver_wash::verify::{shrink_failure, verify_instance, verify_seed, VerifyOptions};
+use pdw_assay::benchmarks;
+use pdw_synth::synthesize;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: u64 = args
+        .first()
+        .map(|s| s.parse().expect("seed count must be a number"))
+        .unwrap_or(100);
+    let out = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "verify-repro.txt".to_string());
+    let opts = VerifyOptions {
+        ilp_budget: Duration::from_secs(1),
+        ..VerifyOptions::default()
+    };
+
+    let mut failures: Vec<String> = Vec::new();
+
+    println!("== bundled benchmarks ==");
+    for bench in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
+        match synthesize(&bench) {
+            Ok(s) => {
+                let report = verify_instance(&bench.name, &bench, &s, &opts);
+                summarize(&report);
+                failures.extend(
+                    report
+                        .failures()
+                        .into_iter()
+                        .map(|f| format!("{}: {f}", bench.name)),
+                );
+            }
+            Err(e) => failures.push(format!("{}: synthesis failed: {e}", bench.name)),
+        }
+    }
+
+    println!("== random corpus ({seeds} seeds) ==");
+    let mut skipped = 0u64;
+    for seed in 0..seeds {
+        match verify_seed(seed, &opts) {
+            None => skipped += 1,
+            Some(report) => {
+                summarize(&report);
+                if !report.passed() {
+                    for f in report.failures() {
+                        failures.push(format!("seed {seed}: {f}"));
+                    }
+                    let (small, steps) = shrink_failure(seed, &opts);
+                    failures.push(format!(
+                        "seed {seed}: shrunk after {steps} step(s) to {small:?}; \
+                         repro: pdw verify --seed {seed}"
+                    ));
+                }
+            }
+        }
+    }
+    println!("({skipped}/{seeds} seeds skipped as infeasible)");
+
+    if failures.is_empty() {
+        println!("verify: all instances passed");
+        ExitCode::SUCCESS
+    } else {
+        let body = failures.join("\n");
+        eprintln!("{body}");
+        if let Err(e) = std::fs::write(&out, format!("{body}\n")) {
+            eprintln!("cannot write {out}: {e}");
+        } else {
+            eprintln!("verify: {} failure(s); details in {out}", failures.len());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// One status line per instance, with the oracle's replay counters from the
+/// greedy plan so corpus logs show the oracle actually exercised each run.
+fn summarize(report: &pathdriver_wash::verify::InstanceReport) {
+    let oracle = report
+        .plans
+        .iter()
+        .find(|p| p.solver == "greedy")
+        .map(|p| &p.oracle);
+    match oracle {
+        Some(o) => println!(
+            "{report}  (oracle: {} deposits, {} dissolved, {} checks)",
+            o.deposits, o.dissolved, o.checks
+        ),
+        None => println!("{report}"),
+    }
+}

@@ -289,6 +289,32 @@ mod tests {
     }
 
     #[test]
+    fn masks_of_63_64_65_cells_span_word_boundaries() {
+        // One row of n consecutive cells: 63 fits one word, 64 exactly fills
+        // it, 65 forces a second word column. All three must round-trip.
+        for n in [63u16, 64, 65] {
+            let cells: Vec<(u16, u16)> = (0..n).map(|x| (x, 7)).collect();
+            let s = set(&cells);
+            assert_eq!(s.len(), n as usize, "n={n}");
+            for x in 0..n {
+                assert!(s.contains(Coord::new(x, 7)), "n={n} x={x}");
+            }
+            assert!(!s.contains(Coord::new(n, 7)), "n={n}");
+            let iterated: Vec<Coord> = s.iter().collect();
+            assert_eq!(iterated.len(), n as usize, "n={n}");
+            assert_eq!(CellSet::from_cells(&iterated), s, "n={n}");
+            // Subset/intersection across the boundary behave like sets.
+            let shorter = set(&cells[..n as usize - 1]);
+            assert!(shorter.is_subset_of(&s), "n={n}");
+            assert!(!s.is_subset_of(&shorter), "n={n}");
+            assert!(s.intersects(&shorter), "n={n}");
+            // A single cell just past the mask's end touches nothing.
+            let past = set(&[(n, 7)]);
+            assert!(!s.intersects(&past), "n={n}");
+        }
+    }
+
+    #[test]
     fn word_boundary_cells() {
         let s = set(&[(63, 0), (64, 0), (127, 0), (128, 0)]);
         assert_eq!(s.len(), 4);

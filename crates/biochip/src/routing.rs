@@ -510,6 +510,74 @@ mod tests {
     }
 
     #[test]
+    fn single_cell_route_is_identity() {
+        let c = chip();
+        let mut s = RouteScratch::for_chip(&c);
+        s.load_blocked([]);
+        let p = Coord::new(0, 3);
+        assert_eq!(c.route_with(&mut s, p, p), Some(vec![p]));
+        // A via list that already sits on the start collapses the same way.
+        assert_eq!(c.route_via_with(&mut s, p, &[p], p), Some(vec![p]));
+    }
+
+    #[test]
+    fn disconnected_ports_fail_gracefully() {
+        // No channel between the ports: every query must return None, never
+        // panic, and the scratch must stay reusable afterwards.
+        let c = ChipBuilder::new(4, 4)
+            .flow_port("in1", Coord::new(0, 1))
+            .unwrap()
+            .waste_port("out1", Coord::new(3, 1))
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut s = RouteScratch::for_chip(&c);
+        s.load_blocked([]);
+        assert!(c
+            .route_with(&mut s, Coord::new(0, 1), Coord::new(3, 1))
+            .is_none());
+        assert!(c
+            .route_via_with(&mut s, Coord::new(0, 1), &[], Coord::new(3, 1))
+            .is_none());
+        assert_eq!(
+            c.route_with(&mut s, Coord::new(0, 1), Coord::new(0, 1)),
+            Some(vec![Coord::new(0, 1)])
+        );
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps() {
+        let c = chip();
+        let mut s = RouteScratch::for_chip(&c);
+        s.load_blocked([]);
+        let baseline = c
+            .route_with(&mut s, Coord::new(0, 3), Coord::new(7, 3))
+            .unwrap();
+        // Park every epoch one bump away from the UNSET sentinel and fill
+        // the stamp arrays with values that would alias the post-wrap epoch
+        // (1) if bump() failed to clear them: every cell would then read as
+        // visited/blocked/used and routing would break.
+        s.visit_epoch = UNSET - 1;
+        s.blocked_epoch = UNSET - 1;
+        s.used_epoch = UNSET - 1;
+        s.stop_epoch = UNSET - 1;
+        s.visit.fill(1);
+        s.blocked.fill(1);
+        s.used.fill(1);
+        s.stop.fill(1);
+        s.stop_rank.fill(0);
+        s.load_blocked([]);
+        for _ in 0..3 {
+            let p = c
+                .route_with(&mut s, Coord::new(0, 3), Coord::new(7, 3))
+                .expect("route survives epoch wraparound");
+            assert_eq!(p, baseline);
+        }
+        assert!(s.visit_epoch >= 1 && s.visit_epoch < UNSET);
+        assert!(s.blocked_epoch >= 1 && s.blocked_epoch < UNSET);
+    }
+
+    #[test]
     fn counters_advance() {
         let c = chip();
         let before = counters();

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use pathdriver_wash::{dawo, pdw, PdwConfig};
+use pathdriver_wash::{dawo, pdw, verify, PdwConfig};
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
 use pdw_synth::{synthesize, Synthesis};
@@ -15,6 +15,7 @@ usage:
   pdw show <benchmark>             print chip layout and ASCII schedule
   pdw run  <benchmark> [options]   run DAWO vs PathDriver-Wash
   pdw run  --assay <file> [opts]   run a custom assay (JSON Benchmark)
+  pdw verify [options]             differentially verify every solver
   pdw export <benchmark> <file>    write a benchmark as JSON (edit & re-run)
 
 options for `run`:
@@ -22,11 +23,22 @@ options for `run`:
   --threads <n>        worker threads for candidate enumeration and the ILP
                        solver (default 0 = all cores)
   --no-ilp             greedy placement only
+  --validate           re-check results with the simulator validator and the
+                       contamination-propagation oracle (default in debug
+                       builds; --no-validate to disable)
   --json <file>        write metrics of both methods as JSON
   --svg <dir>          write chip.svg, base.svg, dawo.svg, pdw.svg Gantt charts
   --valves             also print control-layer (valve) statistics
   --stats              also print device utilization and parallelism
-  --heatmap <file>     write an SVG contamination heatmap of the base schedule";
+  --heatmap <file>     write an SVG contamination heatmap of the base schedule
+
+options for `verify`:
+  --smoke              fast CI profile: bundled suite + 25 seeds, greedy only
+  --seeds <n>          number of seeded random instances (default 10)
+  --seed <s>           verify one seed only; shrinks the instance on failure
+  --no-ilp             skip the budget-bound ILP pipeline
+  --budget <seconds>   ILP wall-clock budget per instance (default 2)
+  --repro <file>       failure report target (default verify-repro.txt)";
 
 /// A CLI-level error with a user-facing message.
 #[derive(Debug)]
@@ -63,6 +75,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("list") => cmd_list(),
         Some("show") => cmd_show(args.get(1).map(String::as_str)),
         Some("run") => cmd_run(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("help") | None => {
             println!("{USAGE}");
@@ -110,6 +123,7 @@ struct RunOptions {
     budget: u64,
     threads: usize,
     ilp: bool,
+    validate: bool,
     json: Option<String>,
     svg: Option<String>,
     valves: bool,
@@ -122,6 +136,8 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     let mut budget = 5;
     let mut threads = 0usize;
     let mut ilp = true;
+    // Release runs are timing-sensitive; debug runs get the safety net.
+    let mut validate = cfg!(debug_assertions);
     let mut json = None;
     let mut svg = None;
     let mut valves = false;
@@ -157,6 +173,8 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                     .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
             }
             "--no-ilp" => ilp = false,
+            "--validate" => validate = true,
+            "--no-validate" => validate = false,
             "--json" => {
                 json = Some(
                     it.next()
@@ -193,6 +211,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
         budget,
         threads,
         ilp,
+        validate,
         json,
         svg,
         valves,
@@ -214,6 +233,22 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     };
     let d = dawo(bench, &s).map_err(|e| CliError(format!("dawo failed: {e}")))?;
     let p = pdw(bench, &s, &config).map_err(|e| CliError(format!("pdw failed: {e}")))?;
+
+    if opts.validate {
+        for (name, sched) in [("dawo", &d.schedule), ("pdw", &p.schedule)] {
+            pdw_sim::validate(&s.chip, &bench.graph, sched)
+                .map_err(|e| CliError(format!("{name}: invalid schedule: {e}")))?;
+            let report = pdw_sim::propagate(&s.chip, &bench.graph, sched);
+            if !report.is_clean() {
+                return err(format!(
+                    "{name}: contamination oracle found {} violation(s); first: {}",
+                    report.violations.len(),
+                    report.violations[0]
+                ));
+            }
+        }
+        println!("validate: both schedules physically valid and oracle-clean");
+    }
 
     println!(
         "benchmark {} (|O|={}, |D|={}, |E|={})",
@@ -384,6 +419,148 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+struct VerifyCliOptions {
+    seeds: u64,
+    single_seed: Option<u64>,
+    opts: verify::VerifyOptions,
+    repro: String,
+}
+
+fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
+    let mut seeds = 10u64;
+    let mut single_seed = None;
+    let mut opts = verify::VerifyOptions::default();
+    let mut repro = "verify-repro.txt".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                seeds = 25;
+                opts.ilp = false;
+            }
+            "--seeds" => {
+                let v = it.next().ok_or(CliError("--seeds needs a count".into()))?;
+                seeds = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad seed count `{v}`")))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or(CliError("--seed needs a value".into()))?;
+                single_seed = Some(v.parse().map_err(|_| CliError(format!("bad seed `{v}`")))?);
+            }
+            "--no-ilp" => opts.ilp = false,
+            "--budget" => {
+                let v = it.next().ok_or(CliError("--budget needs seconds".into()))?;
+                opts.ilp_budget = Duration::from_secs(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad budget `{v}`")))?,
+                );
+            }
+            "--repro" => {
+                repro = it
+                    .next()
+                    .ok_or(CliError("--repro needs a file".into()))?
+                    .clone();
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(VerifyCliOptions {
+        seeds,
+        single_seed,
+        opts,
+        repro,
+    })
+}
+
+/// Differential verification: every solver on every bundled benchmark plus a
+/// corpus of seeded random instances, each judged by the simulator validator,
+/// the first-error cleanliness check, the contamination-propagation oracle,
+/// an exact objective recompute, and 1/2/8-thread bit-identity.
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
+    let cli = parse_verify(args)?;
+    let mut failures: Vec<String> = Vec::new();
+
+    // Single-seed repro mode: verify, and shrink on failure.
+    if let Some(seed) = cli.single_seed {
+        return match verify::verify_seed(seed, &cli.opts) {
+            None => {
+                println!("seed {seed}: skipped (infeasible instance)");
+                Ok(())
+            }
+            Some(report) if report.passed() => {
+                println!("{report}");
+                Ok(())
+            }
+            Some(report) => {
+                println!("{report}");
+                for f in report.failures() {
+                    println!("  {f}");
+                }
+                let (small, steps) = verify::shrink_failure(seed, &cli.opts);
+                println!("shrunk after {steps} step(s) to: {small:?}");
+                err(format!("seed {seed} failed verification"))
+            }
+        };
+    }
+
+    for bench in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
+        let s = match synthesize(&bench) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(format!("{}: synthesis failed: {e}", bench.name));
+                continue;
+            }
+        };
+        let report = verify::verify_instance(&bench.name, &bench, &s, &cli.opts);
+        println!("{report}");
+        failures.extend(
+            report
+                .failures()
+                .into_iter()
+                .map(|f| format!("{}: {f}", bench.name)),
+        );
+    }
+
+    let mut skipped = 0u64;
+    for seed in 0..cli.seeds {
+        match verify::verify_seed(seed, &cli.opts) {
+            None => skipped += 1,
+            Some(report) => {
+                println!("{report}");
+                if !report.passed() {
+                    for f in report.failures() {
+                        failures.push(format!("seed {seed}: {f}"));
+                    }
+                    let (small, steps) = verify::shrink_failure(seed, &cli.opts);
+                    failures.push(format!(
+                        "seed {seed}: shrunk after {steps} step(s) to {small:?}; \
+                         repro: pdw verify --seed {seed}"
+                    ));
+                }
+            }
+        }
+    }
+    if skipped > 0 {
+        println!("({skipped}/{} seeds skipped as infeasible)", cli.seeds);
+    }
+
+    if failures.is_empty() {
+        println!("verify: all instances passed");
+        Ok(())
+    } else {
+        let body = failures.join("\n");
+        std::fs::write(&cli.repro, format!("{body}\n"))
+            .map_err(|e| CliError(format!("cannot write {}: {e}", cli.repro)))?;
+        eprintln!("{body}");
+        err(format!(
+            "verify: {} failure(s); details in {}",
+            failures.len(),
+            cli.repro
+        ))
+    }
+}
+
 fn cmd_export(args: &[String]) -> Result<(), CliError> {
     let name = args
         .first()
@@ -441,6 +618,35 @@ mod tests {
         assert!(o.valves);
         assert!(o.stats);
         assert_eq!(o.bench.name, "PCR");
+    }
+
+    #[test]
+    fn verify_parsing_smoke_profile() {
+        let args = vec!["--smoke".to_string()];
+        let o = parse_verify(&args).unwrap();
+        assert_eq!(o.seeds, 25);
+        assert!(!o.opts.ilp);
+        assert!(o.single_seed.is_none());
+    }
+
+    #[test]
+    fn verify_parsing_seed_and_budget() {
+        let args: Vec<String> = ["--seed", "42", "--budget", "7", "--repro", "r.txt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_verify(&args).unwrap();
+        assert_eq!(o.single_seed, Some(42));
+        assert_eq!(o.opts.ilp_budget, Duration::from_secs(7));
+        assert_eq!(o.repro, "r.txt");
+    }
+
+    #[test]
+    fn run_parsing_validate_toggle() {
+        let on = parse_run(&["PCR".to_string(), "--validate".to_string()]).unwrap();
+        assert!(on.validate);
+        let off = parse_run(&["PCR".to_string(), "--no-validate".to_string()]).unwrap();
+        assert!(!off.validate);
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod par;
 mod pdw;
 mod stats;
 mod timeline;
+pub mod verify;
 
 pub use config::{CandidatePolicy, PdwConfig, Weights};
 pub use dawo::dawo;

@@ -1,0 +1,405 @@
+//! Differential verification of complete wash plans.
+//!
+//! [`verify_instance`] runs every solver the crate offers — the DAWO
+//! baseline, the greedy PathDriver-Wash pipeline, and (optionally) the
+//! ILP-refined pipeline — on one benchmark instance and pushes each plan
+//! through four independent judges:
+//!
+//! 1. the physical-executability validator ([`pdw_sim::validate`]),
+//! 2. the first-error cleanliness check ([`pdw_contam::verify_clean`]),
+//! 3. the contamination-propagation oracle ([`pdw_sim::propagate`]), which
+//!    replays the schedule cell by cell without consulting the necessity
+//!    analysis the solvers scheduled against,
+//! 4. an objective cross-check: `α·N_wash + β·L_wash + γ·T_assay` is
+//!    recomputed from the raw schedule and must equal the solver's reported
+//!    objective with a delta of exactly 0 (bit-identical `f64`s).
+//!
+//! On top of that the greedy pipeline is re-run at several thread counts
+//! (1/2/8 by default) and the resulting schedules must be bit-identical —
+//! the parallel front end merges in input order, so any divergence is a
+//! determinism bug. The ILP is excluded from this comparison: its
+//! branch-and-bound is wall-clock-budget-bound and documented to vary run
+//! to run.
+//!
+//! [`verify_seed`] extends the same check to the seeded random-instance
+//! family of [`pdw_gen`], and [`shrink_failure`] reduces a failing seed to
+//! the smallest spec that still fails, for a compact repro.
+
+use std::fmt;
+use std::time::Duration;
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_assay::synthetic::SyntheticSpec;
+use pdw_assay::AssayGraph;
+use pdw_biochip::{Chip, CELL_PITCH_MM};
+use pdw_contam::verify_clean;
+use pdw_sched::Schedule;
+use pdw_sim::{propagate, validate, Metrics, OracleReport};
+use pdw_synth::Synthesis;
+
+use crate::config::{PdwConfig, Weights};
+use crate::dawo::dawo;
+use crate::pdw::{pdw, WashResult};
+
+/// Knobs of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Also run the ILP-refined pipeline (budget-bound; slower).
+    pub ilp: bool,
+    /// Wall-clock budget handed to the ILP when enabled.
+    pub ilp_budget: Duration,
+    /// Thread counts whose greedy schedules must be bit-identical.
+    pub threads: Vec<usize>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            ilp: true,
+            ilp_budget: Duration::from_secs(2),
+            threads: vec![1, 2, 8],
+        }
+    }
+}
+
+/// The verdict on one solver's plan for one instance.
+#[derive(Debug, Clone)]
+pub struct PlanCheck {
+    /// Which solver produced the plan (`"dawo"`, `"greedy"`, `"ilp"`).
+    pub solver: &'static str,
+    /// The solver itself failed (internal invariant breach).
+    pub solver_error: Option<String>,
+    /// First physical-executability violation, if any.
+    pub sim_error: Option<String>,
+    /// First cleanliness violation, if any.
+    pub clean_error: Option<String>,
+    /// Full contamination-propagation replay report.
+    pub oracle: OracleReport,
+    /// Objective as reported by the solver (from its own metrics).
+    pub reported_objective: f64,
+    /// Objective recomputed independently from the raw schedule.
+    pub recomputed_objective: f64,
+    /// The solver's metrics equal a fresh [`Metrics::measure`].
+    pub metrics_match: bool,
+}
+
+impl PlanCheck {
+    /// `true` when every judge accepted the plan.
+    pub fn passed(&self) -> bool {
+        self.solver_error.is_none()
+            && self.sim_error.is_none()
+            && self.clean_error.is_none()
+            && self.oracle.is_clean()
+            && self.oracle.ineffective_washes.is_empty()
+            && self.reported_objective == self.recomputed_objective
+            && self.metrics_match
+    }
+
+    /// Human-readable descriptions of everything that went wrong.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(e) = &self.solver_error {
+            out.push(format!("{}: solver failed: {e}", self.solver));
+        }
+        if let Some(e) = &self.sim_error {
+            out.push(format!("{}: invalid schedule: {e}", self.solver));
+        }
+        if let Some(e) = &self.clean_error {
+            out.push(format!("{}: contaminated: {e}", self.solver));
+        }
+        for v in &self.oracle.violations {
+            out.push(format!("{}: oracle: {v}", self.solver));
+        }
+        for w in &self.oracle.ineffective_washes {
+            out.push(format!("{}: oracle: {w}", self.solver));
+        }
+        if self.reported_objective != self.recomputed_objective {
+            out.push(format!(
+                "{}: objective mismatch: reported {:.17} != recomputed {:.17}",
+                self.solver, self.reported_objective, self.recomputed_objective
+            ));
+        }
+        if !self.metrics_match {
+            out.push(format!(
+                "{}: metrics drift from schedule remeasure",
+                self.solver
+            ));
+        }
+        out
+    }
+}
+
+/// The verdict on one benchmark instance across all solvers.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Instance name (benchmark name or `prop-<seed>`).
+    pub name: String,
+    /// Generating seed for random instances (`None` for bundled ones).
+    pub seed: Option<u64>,
+    /// One verdict per solver run.
+    pub plans: Vec<PlanCheck>,
+    /// `Some(description)` when greedy schedules diverged across thread
+    /// counts; `None` when bit-identical.
+    pub thread_mismatch: Option<String>,
+}
+
+impl InstanceReport {
+    /// `true` when every plan passed and thread counts agreed.
+    pub fn passed(&self) -> bool {
+        self.thread_mismatch.is_none() && self.plans.iter().all(PlanCheck::passed)
+    }
+
+    /// Human-readable descriptions of everything that went wrong.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.plans.iter().flat_map(PlanCheck::failures).collect();
+        if let Some(m) = &self.thread_mismatch {
+            out.push(format!("thread identity: {m}"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for InstanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.passed() { "ok" } else { "FAIL" };
+        let solvers: Vec<String> = self
+            .plans
+            .iter()
+            .map(|p| format!("{} {}", p.solver, if p.passed() { "ok" } else { "FAIL" }))
+            .collect();
+        let threads = if self.thread_mismatch.is_none() {
+            "threads ok"
+        } else {
+            "threads FAIL"
+        };
+        write!(
+            f,
+            "{:<14} {:<4} [{}; {}]",
+            self.name,
+            verdict,
+            solvers.join(", "),
+            threads
+        )
+    }
+}
+
+/// Recomputes the paper's objective `α·N_wash + β·L_wash + γ·T_assay`
+/// (Eq. 26) from the raw schedule, mirroring [`Metrics::measure`]'s
+/// summation order so a correct solver reproduces it bit-for-bit.
+pub fn objective_of(schedule: &Schedule, w: &Weights) -> f64 {
+    let n_wash = schedule.tasks().filter(|(_, t)| t.kind().is_wash()).count();
+    let l_wash_mm: f64 = schedule
+        .tasks()
+        .filter(|(_, t)| t.kind().is_wash())
+        .map(|(_, t)| t.path().len() as f64 * CELL_PITCH_MM)
+        .sum();
+    let t_assay = schedule.makespan();
+    w.alpha * n_wash as f64 + w.beta * l_wash_mm + w.gamma * t_assay as f64
+}
+
+/// Judges one solver outcome. `result` is `Err` when the solver itself
+/// refused to produce a plan.
+fn check_plan(
+    solver: &'static str,
+    chip: &Chip,
+    graph: &AssayGraph,
+    weights: &Weights,
+    result: Result<&WashResult, String>,
+) -> PlanCheck {
+    match result {
+        Err(e) => PlanCheck {
+            solver,
+            solver_error: Some(e),
+            sim_error: None,
+            clean_error: None,
+            oracle: OracleReport::default(),
+            reported_objective: f64::NAN,
+            recomputed_objective: f64::NAN,
+            metrics_match: false,
+        },
+        Ok(r) => PlanCheck {
+            solver,
+            solver_error: None,
+            sim_error: validate(chip, graph, &r.schedule)
+                .err()
+                .map(|e| e.to_string()),
+            clean_error: verify_clean(chip, graph, &r.schedule)
+                .err()
+                .map(|e| e.to_string()),
+            oracle: propagate(chip, graph, &r.schedule),
+            reported_objective: r.objective(weights),
+            recomputed_objective: objective_of(&r.schedule, weights),
+            metrics_match: r.metrics == Metrics::measure(graph, &r.schedule),
+        },
+    }
+}
+
+/// Differentially verifies every solver on one instance (see the
+/// [module docs](self)).
+pub fn verify_instance(
+    name: &str,
+    bench: &Benchmark,
+    synthesis: &Synthesis,
+    opts: &VerifyOptions,
+) -> InstanceReport {
+    let weights = Weights::default();
+    let mut plans = Vec::new();
+
+    // DAWO baseline.
+    let d = dawo(bench, synthesis).map_err(|e| e.to_string());
+    plans.push(check_plan(
+        "dawo",
+        &synthesis.chip,
+        &bench.graph,
+        &weights,
+        d.as_ref().map_err(Clone::clone),
+    ));
+
+    // Greedy pipeline at every requested thread count; the first doubles as
+    // the judged greedy plan, the rest must match it bit for bit.
+    let threads = if opts.threads.is_empty() {
+        vec![0]
+    } else {
+        opts.threads.clone()
+    };
+    let mut greedy_runs: Vec<(usize, Result<WashResult, String>)> = Vec::new();
+    for &t in &threads {
+        let config = PdwConfig {
+            ilp: false,
+            threads: t,
+            ..PdwConfig::default()
+        };
+        greedy_runs.push((t, pdw(bench, synthesis, &config).map_err(|e| e.to_string())));
+    }
+    plans.push(check_plan(
+        "greedy",
+        &synthesis.chip,
+        &bench.graph,
+        &weights,
+        greedy_runs[0].1.as_ref().map_err(Clone::clone),
+    ));
+    let mut thread_mismatch = None;
+    if let (t0, Ok(first)) = &greedy_runs[0] {
+        for (t, run) in &greedy_runs[1..] {
+            match run {
+                Ok(r) if r.schedule == first.schedule && r.metrics == first.metrics => {}
+                Ok(_) => {
+                    thread_mismatch = Some(format!(
+                        "greedy schedule at {t} threads differs from {t0} threads"
+                    ));
+                    break;
+                }
+                Err(e) => {
+                    thread_mismatch = Some(format!("greedy failed at {t} threads: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+
+    // ILP-refined pipeline.
+    if opts.ilp {
+        let config = PdwConfig {
+            ilp_budget: opts.ilp_budget,
+            ..PdwConfig::default()
+        };
+        let r = pdw(bench, synthesis, &config).map_err(|e| e.to_string());
+        plans.push(check_plan(
+            "ilp",
+            &synthesis.chip,
+            &bench.graph,
+            &weights,
+            r.as_ref().map_err(Clone::clone),
+        ));
+    }
+
+    InstanceReport {
+        name: name.to_string(),
+        seed: None,
+        plans,
+        thread_mismatch,
+    }
+}
+
+/// Verifies the instance generated from `seed` in the [`pdw_gen`] family.
+///
+/// Returns `None` when the seed's spec is structurally infeasible (skipped,
+/// not failed).
+pub fn verify_seed(seed: u64, opts: &VerifyOptions) -> Option<InstanceReport> {
+    let spec = pdw_gen::spec_from_seed(seed);
+    let (bench, synthesis) = pdw_gen::instance(&spec).ok()?;
+    let mut report = verify_instance(&bench.name, &bench, &synthesis, opts);
+    report.seed = Some(seed);
+    Some(report)
+}
+
+/// `true` when the instance described by `spec` fails verification
+/// (infeasible specs do not fail — they are skipped).
+pub fn spec_fails(spec: &SyntheticSpec, opts: &VerifyOptions) -> bool {
+    match pdw_gen::instance(spec) {
+        Ok((bench, synthesis)) => !verify_instance(&bench.name, &bench, &synthesis, opts).passed(),
+        Err(_) => false,
+    }
+}
+
+/// Shrinks the failing instance of `seed` to the smallest spec that still
+/// fails verification. Returns the shrunk spec and the number of accepted
+/// reduction steps (0 when the original spec is already minimal).
+pub fn shrink_failure(seed: u64, opts: &VerifyOptions) -> (SyntheticSpec, usize) {
+    let spec = pdw_gen::spec_from_seed(seed);
+    pdw_gen::shrink(&spec, |s| spec_fails(s, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    fn quick() -> VerifyOptions {
+        VerifyOptions {
+            ilp: false,
+            threads: vec![1, 2],
+            ..VerifyOptions::default()
+        }
+    }
+
+    #[test]
+    fn demo_passes_differential_verification() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let report = verify_instance("demo", &bench, &s, &quick());
+        assert!(report.passed(), "{:?}", report.failures());
+        assert_eq!(report.plans.len(), 2); // dawo + greedy
+    }
+
+    #[test]
+    fn objective_recompute_is_bit_identical() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let r = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                ilp: false,
+                ..PdwConfig::default()
+            },
+        )
+        .unwrap();
+        let w = Weights::default();
+        assert_eq!(r.objective(&w), objective_of(&r.schedule, &w));
+    }
+
+    #[test]
+    fn a_seeded_instance_verifies_or_skips() {
+        let mut seen = 0;
+        for seed in 0..10 {
+            if let Some(report) = verify_seed(seed, &quick()) {
+                assert!(report.passed(), "seed {seed}: {:?}", report.failures());
+                assert_eq!(report.seed, Some(seed));
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "all ten seeds skipped");
+    }
+}

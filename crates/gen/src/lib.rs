@@ -1,0 +1,214 @@
+//! Seeded random-instance generation and shrinking for verification.
+//!
+//! The differential verification harness (`pdw verify`, the `verify` bench
+//! binary) and the `random_pipeline` property test all need the same thing:
+//! a family of feasible random assay instances, reproducible from a single
+//! `u64` seed, plus a way to *shrink* a failing instance to the smallest
+//! spec that still fails. This crate is that shared module.
+//!
+//! - [`spec_strategy`] — the proptest strategy over [`SyntheticSpec`]s
+//!   (promoted from the `random_pipeline` test so every consumer draws from
+//!   the same distribution);
+//! - [`spec_from_seed`] — the same distribution collapsed onto a single
+//!   seed, for corpus-style iteration (`for seed in 0..n`);
+//! - [`instance`] — spec → generated benchmark → synthesized chip/schedule,
+//!   with structurally infeasible specs reported as [`Skip`] rather than
+//!   errors;
+//! - [`shrink`] — greedy descent over the spec's size knobs. The vendored
+//!   proptest stand-in has no shrinking, so the harness shrinks at the spec
+//!   level instead: ops, extra edges, devices, and grid are reduced one at
+//!   a time while the caller's failure predicate keeps holding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_assay::synthetic::{generate, SyntheticSpec};
+use pdw_synth::{synthesize, SynthError, Synthesis};
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounds of the random-instance family. Kept in one place so the strategy
+/// and the seed-based generator cannot drift apart.
+const OPS: std::ops::RangeInclusive<usize> = 4..=10;
+const EXTRA_EDGES: std::ops::RangeInclusive<usize> = 0..=4;
+const DEVICES: std::ops::RangeInclusive<usize> = 6..=9;
+const GRID: (u16, u16) = (15, 15);
+
+/// Builds the spec for the given size knobs.
+///
+/// `|E| = |O| + mixes + extra inputs + sinks`; the edge count keeps the
+/// instance feasible around the generator's structural family.
+fn spec(ops: usize, extra: usize, devices: usize, seed: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: format!("prop-{seed:x}"),
+        ops,
+        edges: 2 * ops - ops / 2 + extra,
+        devices,
+        seed,
+        grid: GRID,
+    }
+}
+
+/// The proptest strategy over synthetic specs used by the `random_pipeline`
+/// property test.
+pub fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (OPS, EXTRA_EDGES, DEVICES, proptest::any::<u64>())
+        .prop_map(|(ops, extra, devices, seed)| spec(ops, extra, devices, seed))
+}
+
+/// Derives a spec deterministically from a single seed, drawing the size
+/// knobs from the same ranges as [`spec_strategy`].
+pub fn spec_from_seed(seed: u64) -> SyntheticSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = rng.gen_range(OPS);
+    let extra = rng.gen_range(EXTRA_EDGES);
+    let devices = rng.gen_range(DEVICES);
+    spec(ops, extra, devices, seed)
+}
+
+/// Why a spec produced no instance. Skips are expected — heavily chained
+/// assays on a minimal device library can exceed what list scheduling
+/// without result relocation supports — and are not verification failures.
+#[derive(Debug, Clone)]
+pub enum Skip {
+    /// Synthesis deadlocked (`SynthError::Deadlock`): the instance is
+    /// structurally under-provisioned, not wrong.
+    Deadlock(String),
+    /// Any other synthesis infeasibility (e.g. a shrunk grid too small for
+    /// the device library). At the family's default grid this should not
+    /// occur; the `random_pipeline` property test asserts as much.
+    Infeasible(String),
+}
+
+impl std::fmt::Display for Skip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Skip::Deadlock(e) => write!(f, "skipped (synthesis deadlock): {e}"),
+            Skip::Infeasible(e) => write!(f, "skipped (infeasible): {e}"),
+        }
+    }
+}
+
+/// Generates and synthesizes the instance described by `spec`.
+///
+/// # Errors
+///
+/// Returns [`Skip`] for infeasible specs; the call itself never fails.
+pub fn instance(spec: &SyntheticSpec) -> Result<(Benchmark, Synthesis), Skip> {
+    let bench = generate(spec);
+    match synthesize(&bench) {
+        Ok(s) => Ok((bench, s)),
+        Err(e @ SynthError::Deadlock { .. }) => Err(Skip::Deadlock(e.to_string())),
+        Err(e) => Err(Skip::Infeasible(e.to_string())),
+    }
+}
+
+/// Shrinks a failing spec: repeatedly tries to reduce one size knob at a
+/// time (operations, extra edges, devices, grid side), keeping a reduction
+/// only when `fails` still returns `true` for the reduced spec, until no
+/// single reduction reproduces the failure. Returns the smallest failing
+/// spec found and the number of accepted reduction steps.
+///
+/// `fails` should treat skipped instances (see [`instance`]) as *not*
+/// failing. The descent is deterministic, so a shrunk repro is as
+/// reproducible as the original seed.
+pub fn shrink(
+    spec: &SyntheticSpec,
+    fails: impl Fn(&SyntheticSpec) -> bool,
+) -> (SyntheticSpec, usize) {
+    let mut best = spec.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut candidates: Vec<SyntheticSpec> = Vec::new();
+        if best.ops > *OPS.start() {
+            // Keep the edge/op ratio of the family when dropping an op.
+            let ops = best.ops - 1;
+            let base_edges = 2 * ops - ops / 2;
+            let extra = best.edges.saturating_sub(2 * best.ops - best.ops / 2);
+            candidates.push(SyntheticSpec {
+                ops,
+                edges: base_edges + extra,
+                ..best.clone()
+            });
+        }
+        if best.edges > 2 * best.ops - best.ops / 2 {
+            candidates.push(SyntheticSpec {
+                edges: best.edges - 1,
+                ..best.clone()
+            });
+        }
+        if best.devices > *DEVICES.start() {
+            candidates.push(SyntheticSpec {
+                devices: best.devices - 1,
+                ..best.clone()
+            });
+        }
+        if best.grid.0 > 11 && best.grid.1 > 11 {
+            candidates.push(SyntheticSpec {
+                grid: (best.grid.0 - 2, best.grid.1 - 2),
+                ..best.clone()
+            });
+        }
+        let Some(reduced) = candidates.into_iter().find(|c| fails(c)) else {
+            return (best, steps);
+        };
+        best = reduced;
+        steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_specs_are_deterministic_and_in_family() {
+        for seed in 0..50 {
+            let a = spec_from_seed(seed);
+            let b = spec_from_seed(seed);
+            assert_eq!(a, b);
+            assert!(OPS.contains(&a.ops));
+            assert!(DEVICES.contains(&a.devices));
+            assert!(a.edges >= 2 * a.ops - a.ops / 2);
+            assert!(a.edges <= 2 * a.ops - a.ops / 2 + EXTRA_EDGES.end());
+        }
+    }
+
+    #[test]
+    fn most_seeds_synthesize() {
+        let mut ok = 0;
+        for seed in 0..25 {
+            if instance(&spec_from_seed(seed)).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 10, "only {ok}/25 seeds produced instances");
+    }
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        let start = spec_from_seed(1);
+        // "Fails" whenever the instance synthesizes at all: shrinking must
+        // walk down to a spec where no single further reduction works.
+        let fails = |s: &SyntheticSpec| instance(s).is_ok();
+        assert!(fails(&start), "pick a seed that synthesizes");
+        let (small, steps) = shrink(&start, fails);
+        assert!(fails(&small));
+        assert!(steps > 0, "nothing was reduced");
+        assert!(small.ops <= start.ops);
+        // Re-running is deterministic.
+        let (again, steps2) = shrink(&start, fails);
+        assert_eq!(small, again);
+        assert_eq!(steps, steps2);
+    }
+
+    #[test]
+    fn shrink_keeps_failing_spec_when_nothing_reduces() {
+        let start = spec_from_seed(2);
+        let (same, steps) = shrink(&start, |_| false);
+        assert_eq!(same, start);
+        assert_eq!(steps, 0);
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! This crate is the measurement harness of the reproduction: it validates
 //! that a schedule is physically executable on a chip (dependencies, device
-//! exclusivity, path validity, cell/time conflicts, wash adequacy) and
+//! exclusivity, path validity, cell/time conflicts, wash adequacy),
+//! replays contamination propagation cell by cell as an independent
+//! correctness oracle ([`oracle`]), and
 //! computes the metrics reported in the paper's evaluation —
 //! `N_wash`, `L_wash`, `T_delay`, `T_assay` (Table II), per-operation
 //! waiting times (Fig. 4), and total wash time (Fig. 5).
@@ -28,9 +30,11 @@
 #![warn(missing_docs)]
 
 mod metrics;
+pub mod oracle;
 mod stats;
 mod validate;
 
 pub use metrics::Metrics;
+pub use oracle::{propagate, IneffectiveWash, OracleReport, OracleViolation};
 pub use stats::{DeviceUtilization, ScheduleStats, TaskMix};
 pub use validate::{validate, SimError, DISSOLUTION_S};

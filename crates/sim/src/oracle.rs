@@ -1,0 +1,500 @@
+//! Independent contamination-propagation oracle.
+//!
+//! [`propagate`] replays a complete schedule as a cell-level state machine:
+//! every non-wash task deposits residue of its fluid on the interior
+//! (residue-capable) cells of its path when it ends (Eq. 8), every
+//! operation deposits its output fluid on its device footprint when it ends
+//! (Eq. 19), and every *effective* wash dissolves the residue on the
+//! interior cells of its path when it ends (Eqs. 17, 20–21). A wash shorter
+//! than its flush + dissolution time (`flow_duration(len) + DISSOLUTION_S`)
+//! cannot dissolve anything and is replayed as a no-op, recorded in
+//! [`OracleReport::ineffective_washes`].
+//!
+//! Against that evolving state the oracle checks, in time order:
+//!
+//! - **deliveries** (injections and transports) at their start: no interior
+//!   path cell may hold residue of a foreign, non-buffer fluid. Cells of
+//!   the delivery's own source/destination device footprints are exempt —
+//!   fluids meeting inside a device are the intended chemistry.
+//! - **operations** at their start: no footprint cell may hold residue of a
+//!   fluid that is neither buffer nor one of the operation's input fluids.
+//!
+//! Waste-disposal tasks (excess/output removals) are never checked: their
+//! payload is headed off-chip and may cross residue freely (the Type-3
+//! rule, Eq. 10).
+//!
+//! The oracle is deliberately independent of `pdw-contam`: it never looks
+//! at the necessity analysis, its exemption types, or its wash
+//! requirements. It only knows the paper's physical deposition/dissolution
+//! rules, so it can catch a subtly wrong necessity or exemption rule that
+//! ships a cross-contaminated plan. Unlike the first-error validators it
+//! reports *every* violation it finds.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pdw_assay::{AssayGraph, FluidType, OpId};
+use pdw_biochip::{Chip, Coord, DeviceId};
+use pdw_sched::{flow_duration, Schedule, TaskId, TaskKind, Time};
+
+use crate::validate::DISSOLUTION_S;
+
+/// A single contamination incident found by the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OracleViolation {
+    /// A delivery traverses a cell holding foreign residue at its start.
+    DirtyDelivery {
+        /// The contaminated delivery task.
+        task: TaskId,
+        /// The dirty cell.
+        cell: Coord,
+        /// The residue on the cell.
+        residue: FluidType,
+        /// When the residue was deposited.
+        residue_since: Time,
+        /// The fluid being delivered.
+        fluid: FluidType,
+        /// The delivery's start time.
+        time: Time,
+    },
+    /// An operation starts while its device footprint holds residue that is
+    /// neither buffer nor one of the operation's input fluids.
+    DirtyOperation {
+        /// The contaminated operation.
+        op: OpId,
+        /// The dirty footprint cell.
+        cell: Coord,
+        /// The residue on the cell.
+        residue: FluidType,
+        /// When the residue was deposited.
+        residue_since: Time,
+        /// The operation's start time.
+        time: Time,
+    },
+    /// A task references an operation that is not scheduled, so its device
+    /// exemptions cannot be resolved.
+    UnboundOp {
+        /// The referencing task.
+        task: TaskId,
+        /// The unscheduled operation.
+        op: OpId,
+    },
+    /// A scheduled operation does not exist in the assay graph.
+    UnknownOp {
+        /// The out-of-range operation id.
+        op: OpId,
+    },
+    /// A scheduled operation is bound to a device that does not exist on
+    /// the chip.
+    UnknownDevice {
+        /// The operation.
+        op: OpId,
+        /// The out-of-range device id.
+        device: DeviceId,
+    },
+}
+
+impl fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleViolation::DirtyDelivery {
+                task,
+                cell,
+                residue,
+                residue_since,
+                fluid,
+                time,
+            } => write!(
+                f,
+                "delivery {task} of {fluid} at t={time} crosses cell {cell} \
+                 holding residue {residue} (deposited at t={residue_since})"
+            ),
+            OracleViolation::DirtyOperation {
+                op,
+                cell,
+                residue,
+                residue_since,
+                time,
+            } => write!(
+                f,
+                "operation {op} starts at t={time} on footprint cell {cell} \
+                 holding foreign residue {residue} (deposited at t={residue_since})"
+            ),
+            OracleViolation::UnboundOp { task, op } => {
+                write!(f, "task {task} references unscheduled operation {op}")
+            }
+            OracleViolation::UnknownOp { op } => {
+                write!(
+                    f,
+                    "scheduled operation {op} does not exist in the assay graph"
+                )
+            }
+            OracleViolation::UnknownDevice { op, device } => {
+                write!(f, "operation {op} is bound to nonexistent device {device}")
+            }
+        }
+    }
+}
+
+/// A wash too short to dissolve residue (Eq. 17): replayed as a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IneffectiveWash {
+    /// The wash task.
+    pub task: TaskId,
+    /// Required duration (`flow_duration(len) + DISSOLUTION_S`).
+    pub required: Time,
+    /// Actual duration.
+    pub actual: Time,
+}
+
+impl fmt::Display for IneffectiveWash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wash {} lasts {} s but needs {} s to dissolve residue; replayed as a no-op",
+            self.task, self.actual, self.required
+        )
+    }
+}
+
+/// Everything the oracle observed while replaying a schedule.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// All contamination incidents, in replay (time) order.
+    pub violations: Vec<OracleViolation>,
+    /// Washes replayed as no-ops because they are too short (Eq. 17).
+    pub ineffective_washes: Vec<IneffectiveWash>,
+    /// Number of residue depositions replayed.
+    pub deposits: usize,
+    /// Number of cells dissolved clean by effective washes.
+    pub dissolved: usize,
+    /// Number of delivery/operation cleanliness checks performed.
+    pub checks: usize,
+}
+
+impl OracleReport {
+    /// `true` when the replay found no contamination incident.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "oracle: {} violations ({} deposits, {} dissolved, {} checks, {} ineffective washes)",
+            self.violations.len(),
+            self.deposits,
+            self.dissolved,
+            self.checks,
+            self.ineffective_washes.len()
+        )
+    }
+}
+
+/// One timeline entry of the replay. The discriminant order encodes the
+/// tie-break at equal times: residue lands (task/op ends are exclusive) and
+/// washes dissolve before anything starting at that instant is checked.
+enum Event {
+    /// A task or operation finished and left residue behind.
+    Deposit { cells: Vec<Coord>, fluid: FluidType },
+    /// An effective wash finished and dissolved the residue on its path.
+    Dissolve { cells: Vec<Coord> },
+    /// A delivery starts: its interior path cells must be clean.
+    CheckDelivery { task: TaskId },
+    /// An operation starts: its footprint must hold only tolerated fluids.
+    CheckOp { op: OpId, device: DeviceId },
+}
+
+impl Event {
+    fn rank(&self) -> u8 {
+        match self {
+            Event::Deposit { .. } => 0,
+            Event::Dissolve { .. } => 1,
+            Event::CheckDelivery { .. } | Event::CheckOp { .. } => 2,
+        }
+    }
+}
+
+/// Dense per-cell residue state: at most one residue per cell, the most
+/// recent deposit winning (`R_c` with timestamp `t^c_{x,y}`, Eq. 8).
+struct ResidueGrid {
+    width: usize,
+    cells: Vec<Option<(FluidType, Time)>>,
+}
+
+impl ResidueGrid {
+    fn new(chip: &Chip) -> Self {
+        let width = chip.grid().width() as usize;
+        let height = chip.grid().height() as usize;
+        ResidueGrid {
+            width,
+            cells: vec![None; width * height],
+        }
+    }
+
+    fn idx(&self, c: Coord) -> usize {
+        c.y as usize * self.width + c.x as usize
+    }
+
+    fn get(&self, c: Coord) -> Option<(FluidType, Time)> {
+        self.cells[self.idx(c)]
+    }
+
+    fn deposit(&mut self, c: Coord, fluid: FluidType, time: Time) {
+        let i = self.idx(c);
+        self.cells[i] = Some((fluid, time));
+    }
+
+    /// Returns `true` if the cell actually held residue.
+    fn dissolve(&mut self, c: Coord) -> bool {
+        let i = self.idx(c);
+        self.cells[i].take().is_some()
+    }
+}
+
+/// Interior (residue-capable) cells of a path: ports at the ends neither
+/// hold nor receive residue.
+fn interior(chip: &Chip, task: &pdw_sched::Task) -> Vec<Coord> {
+    task.path()
+        .iter()
+        .copied()
+        .filter(|&c| chip.grid().kind(c).can_hold_residue())
+        .collect()
+}
+
+/// Replays `schedule` on `chip` and reports every instant where a later
+/// fluid meets foreign residue (see the [module docs](self)).
+///
+/// The replay is total: malformed references (a delivery feeding an
+/// unscheduled operation, an operation missing from the graph) become
+/// [`OracleViolation`] entries instead of panics, so the oracle can be
+/// pointed at arbitrarily mutated schedules.
+pub fn propagate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> OracleReport {
+    let mut report = OracleReport::default();
+    let op_count = graph.ops().len() as u32;
+    let op_dev: HashMap<OpId, DeviceId> = schedule.ops().iter().map(|s| (s.op, s.device)).collect();
+
+    // Build the timeline. Construction order (tasks in id order, then ops
+    // in schedule order) is deterministic; the sort below is stable.
+    let mut timeline: Vec<(Time, Event)> = Vec::new();
+    for (id, task) in schedule.tasks() {
+        if task.kind().is_wash() {
+            let required = flow_duration(task.path().len()) + DISSOLUTION_S;
+            if task.duration() < required {
+                report.ineffective_washes.push(IneffectiveWash {
+                    task: id,
+                    required,
+                    actual: task.duration(),
+                });
+            } else {
+                timeline.push((
+                    task.end(),
+                    Event::Dissolve {
+                        cells: interior(chip, task),
+                    },
+                ));
+            }
+        } else {
+            timeline.push((
+                task.end(),
+                Event::Deposit {
+                    cells: interior(chip, task),
+                    fluid: task.fluid(),
+                },
+            ));
+            if task.kind().is_delivery() {
+                timeline.push((task.start(), Event::CheckDelivery { task: id }));
+            }
+        }
+    }
+    for sop in schedule.ops() {
+        if sop.op.0 >= op_count {
+            report
+                .violations
+                .push(OracleViolation::UnknownOp { op: sop.op });
+            continue;
+        }
+        if sop.device.0 as usize >= chip.devices().len() {
+            report.violations.push(OracleViolation::UnknownDevice {
+                op: sop.op,
+                device: sop.device,
+            });
+            continue;
+        }
+        timeline.push((
+            sop.end(),
+            Event::Deposit {
+                cells: chip.device(sop.device).footprint().to_vec(),
+                fluid: graph.output_fluid(sop.op),
+            },
+        ));
+        timeline.push((
+            sop.start,
+            Event::CheckOp {
+                op: sop.op,
+                device: sop.device,
+            },
+        ));
+    }
+    timeline.sort_by_key(|(t, e)| (*t, e.rank()));
+
+    let mut residue = ResidueGrid::new(chip);
+    for (time, event) in timeline {
+        match event {
+            Event::Deposit { cells, fluid } => {
+                for c in cells {
+                    residue.deposit(c, fluid, time);
+                    report.deposits += 1;
+                }
+            }
+            Event::Dissolve { cells } => {
+                for c in cells {
+                    if residue.dissolve(c) {
+                        report.dissolved += 1;
+                    }
+                }
+            }
+            Event::CheckDelivery { task: id } => {
+                report.checks += 1;
+                let task = schedule.task(id);
+                let mut exempt: Vec<Coord> = Vec::new();
+                let mut feeds: Vec<OpId> = Vec::new();
+                match *task.kind() {
+                    TaskKind::Injection { op, .. } => feeds.push(op),
+                    TaskKind::Transport { from_op, to_op } => {
+                        feeds.push(from_op);
+                        feeds.push(to_op);
+                    }
+                    _ => {}
+                }
+                for op in feeds {
+                    match op_dev.get(&op) {
+                        Some(&dev) if (dev.0 as usize) < chip.devices().len() => {
+                            exempt.extend(chip.device(dev).footprint());
+                        }
+                        Some(_) => {} // bogus device already reported above
+                        None => report
+                            .violations
+                            .push(OracleViolation::UnboundOp { task: id, op }),
+                    }
+                }
+                for cell in interior(chip, task) {
+                    if exempt.contains(&cell) {
+                        continue;
+                    }
+                    if let Some((r, since)) = residue.get(cell) {
+                        if !r.is_buffer() && r != task.fluid() {
+                            report.violations.push(OracleViolation::DirtyDelivery {
+                                task: id,
+                                cell,
+                                residue: r,
+                                residue_since: since,
+                                fluid: task.fluid(),
+                                time,
+                            });
+                        }
+                    }
+                }
+            }
+            Event::CheckOp { op, device } => {
+                report.checks += 1;
+                let tolerated: Vec<FluidType> = graph
+                    .op(op)
+                    .inputs()
+                    .iter()
+                    .map(|&inp| graph.input_fluid(inp))
+                    .collect();
+                for &cell in chip.device(device).footprint() {
+                    if let Some((r, since)) = residue.get(cell) {
+                        if !r.is_buffer() && !tolerated.contains(&r) {
+                            report.violations.push(OracleViolation::DirtyOperation {
+                                op,
+                                cell,
+                                residue: r,
+                                residue_since: since,
+                                time,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_sched::Task;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn raw_synthesis_schedule_is_dirty() {
+        // Without washes some delivery must cross residue, and the oracle
+        // must see it just like `pdw_contam::verify_clean` does.
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let report = propagate(&s.chip, &bench.graph, &s.schedule);
+        assert!(!report.is_clean());
+        assert!(report.deposits > 0);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn short_wash_is_replayed_as_noop() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut sched = s.schedule.clone();
+        let path = sched.tasks().next().unwrap().1.path().clone();
+        let end = sched.makespan();
+        sched.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path,
+            end,
+            1, // far below flush + dissolution for any real path
+            pdw_assay::FluidType::BUFFER,
+        ));
+        let report = propagate(&s.chip, &bench.graph, &sched);
+        assert_eq!(report.ineffective_washes.len(), 1);
+    }
+
+    #[test]
+    fn unscheduled_op_reference_is_reported_not_panicked() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut sched = pdw_sched::Schedule::new();
+        for t in s.schedule.tasks().map(|(_, t)| t.clone()) {
+            sched.push_task(t); // tasks without any scheduled ops
+        }
+        let report = propagate(&s.chip, &bench.graph, &sched);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::UnboundOp { .. })));
+    }
+
+    #[test]
+    fn out_of_graph_op_is_reported_not_panicked() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut sched = s.schedule.clone();
+        let bogus = OpId(bench.graph.ops().len() as u32 + 7);
+        let dev = sched.ops()[0].device;
+        sched.push_op(pdw_sched::ScheduledOp {
+            op: bogus,
+            device: dev,
+            start: 0,
+            duration: 1,
+        });
+        let report = propagate(&s.chip, &bench.graph, &sched);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::UnknownOp { op } if *op == bogus)));
+    }
+}

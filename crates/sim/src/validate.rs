@@ -79,6 +79,21 @@ pub enum SimError {
     },
     /// An operation appears more than once or not at all.
     OpCountMismatch,
+    /// A task references an operation that is not scheduled.
+    UnboundOp {
+        /// The referencing task.
+        task: TaskId,
+        /// The unscheduled operation.
+        op: OpId,
+    },
+    /// A scheduled operation is bound to a device that does not exist on
+    /// the chip.
+    UnknownDevice {
+        /// The operation.
+        op: OpId,
+        /// The out-of-range device id.
+        device: pdw_biochip::DeviceId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -116,6 +131,12 @@ impl fmt::Display for SimError {
             SimError::OpCountMismatch => {
                 write!(f, "schedule does not execute every operation exactly once")
             }
+            SimError::UnboundOp { task, op } => {
+                write!(f, "task {task} references unscheduled operation {op}")
+            }
+            SimError::UnknownDevice { op, device } => {
+                write!(f, "operation {op} is bound to nonexistent device {device}")
+            }
         }
     }
 }
@@ -148,6 +169,12 @@ pub fn validate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Result<
         let sop = schedule.scheduled_op(id).expect("counted above");
         if sop.duration < graph.op(id).duration() {
             return Err(SimError::OpTooShort { op: id });
+        }
+        if sop.device.0 as usize >= chip.devices().len() {
+            return Err(SimError::UnknownDevice {
+                op: id,
+                device: sop.device,
+            });
         }
     }
 
@@ -184,7 +211,11 @@ pub fn validate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Result<
             _ => None,
         };
         if let Some(op) = feeds {
-            let sop = schedule.scheduled_op(op).expect("scheduled");
+            // Reachable from malformed schedules: the op-count check above
+            // only covers operations of the graph, not arbitrary task refs.
+            let Some(sop) = schedule.scheduled_op(op) else {
+                return Err(SimError::UnboundOp { task: id, op });
+            };
             if task.end() > sop.start {
                 return Err(SimError::LateDelivery { task: id, op });
             }
@@ -336,6 +367,29 @@ mod tests {
         assert!(matches!(
             validate(&s.chip, &bench.graph, &bad),
             Err(SimError::WashTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unbound_task_op() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut bad = s.schedule.clone();
+        let path = bad.tasks().next().unwrap().1.path().clone();
+        let far_future = bad.makespan() + 50;
+        bad.push_task(Task::new(
+            TaskKind::Transport {
+                from_op: OpId(900),
+                to_op: OpId(901),
+            },
+            path,
+            far_future,
+            2,
+            FluidType(3),
+        ));
+        assert!(matches!(
+            validate(&s.chip, &bench.graph, &bad),
+            Err(SimError::UnboundOp { .. })
         ));
     }
 

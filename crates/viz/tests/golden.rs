@@ -1,0 +1,89 @@
+//! Golden-file tests for the ASCII and SVG renderers.
+//!
+//! Rendering output is compared byte-for-byte against committed snapshots
+//! in `tests/golden/`. The demo benchmark synthesizes deterministically, so
+//! any diff is a real rendering change: inspect it, then refresh the
+//! snapshots with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p pdw-viz --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use pdw_assay::benchmarks;
+use pdw_synth::{synthesize, Synthesis};
+
+fn demo() -> (pdw_assay::benchmarks::Benchmark, Synthesis) {
+    let bench = benchmarks::demo();
+    let s = synthesize(&bench).expect("demo synthesizes");
+    (bench, s)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); create it with \
+             UPDATE_GOLDEN=1 cargo test -p pdw-viz --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden snapshot; if the change is \
+         intentional, refresh with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn ascii_gantt_matches_golden() {
+    let (_, s) = demo();
+    assert_golden("demo_gantt.txt", &pdw_viz::ascii::gantt(&s.schedule, 72));
+}
+
+#[test]
+fn svg_chip_matches_golden() {
+    let (_, s) = demo();
+    assert_golden("demo_chip.svg", &pdw_viz::svg::chip(&s.chip, None));
+}
+
+#[test]
+fn svg_chip_with_highlight_matches_golden() {
+    let (_, s) = demo();
+    // Highlight the first task's flow path — stable because synthesis is
+    // deterministic and task ids are assigned in construction order.
+    let (_, first) = s.schedule.tasks().next().expect("demo has tasks");
+    assert_golden(
+        "demo_chip_highlight.svg",
+        &pdw_viz::svg::chip(&s.chip, Some(first.path())),
+    );
+}
+
+#[test]
+fn svg_gantt_matches_golden() {
+    let (_, s) = demo();
+    assert_golden("demo_gantt.svg", &pdw_viz::svg::gantt(&s.chip, &s.schedule));
+}
+
+#[test]
+fn svg_heatmap_matches_golden() {
+    let (_, s) = demo();
+    // A synthetic but deterministic contamination profile: every cell of the
+    // first task's path touched once, its first cell three times.
+    let path = s.schedule.tasks().next().expect("demo has tasks").1.path();
+    let mut counts: Vec<_> = path.iter().map(|&c| (c, 1usize)).collect();
+    counts[0].1 = 3;
+    assert_golden(
+        "demo_heatmap.svg",
+        &pdw_viz::heatmap::contamination(&s.chip, counts),
+    );
+}

@@ -1,0 +1,157 @@
+//! Fault-injection tests for the contamination-propagation oracle.
+//!
+//! The oracle is only worth trusting if it (a) accepts every plan the
+//! optimizers actually produce and (b) notices when a single wash is
+//! sabotaged. Each test here mutates one wash task of a known-good plan —
+//! dropping it, shifting its window past the end of the assay, or
+//! truncating its path to a single cell — and demands a nonempty violation
+//! report.
+
+use std::time::Duration;
+
+use pathdriver_wash::{dawo, pdw, PdwConfig, Weights};
+use pdw_assay::benchmarks;
+use pdw_biochip::FlowPath;
+use pdw_sched::{Schedule, TaskId};
+use pdw_sim::propagate;
+use pdw_synth::synthesize;
+
+fn quick_config() -> PdwConfig {
+    PdwConfig {
+        ilp_budget: Duration::from_secs(2),
+        ..PdwConfig::default()
+    }
+}
+
+fn greedy_config() -> PdwConfig {
+    PdwConfig {
+        ilp: false,
+        ..PdwConfig::default()
+    }
+}
+
+fn wash_ids(schedule: &Schedule) -> Vec<TaskId> {
+    schedule
+        .tasks()
+        .filter(|(_, t)| t.kind().is_wash())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[test]
+fn unmodified_plans_pass_with_zero_violations() {
+    for bench in benchmarks::suite() {
+        let s = synthesize(&bench).unwrap();
+        let plans = [
+            ("dawo", dawo(&bench, &s).unwrap()),
+            ("greedy", pdw(&bench, &s, &greedy_config()).unwrap()),
+            ("ilp", pdw(&bench, &s, &quick_config()).unwrap()),
+        ];
+        for (name, r) in &plans {
+            let report = propagate(&s.chip, &bench.graph, &r.schedule);
+            assert!(
+                report.is_clean(),
+                "{}: {name}: oracle flagged a genuine plan: {:?}",
+                bench.name,
+                report.violations
+            );
+            assert!(
+                report.ineffective_washes.is_empty(),
+                "{}: {name}: plan contains ineffective washes",
+                bench.name
+            );
+            // The reported objective must be reproducible from the raw
+            // schedule with delta exactly 0.
+            let w = Weights::default();
+            let remeasured = pdw_sim::Metrics::measure(&bench.graph, &r.schedule);
+            let recomputed = w.alpha * remeasured.n_wash as f64
+                + w.beta * remeasured.l_wash_mm
+                + w.gamma * remeasured.t_assay as f64;
+            assert_eq!(
+                r.objective(&w),
+                recomputed,
+                "{}: {name}: objective not bit-identical to schedule remeasure",
+                bench.name
+            );
+        }
+    }
+}
+
+/// Applies `mutate` to every wash of every bundled benchmark's greedy plan
+/// and enforces the oracle's fault-detection contract: every mutation is
+/// either *detected* (nonempty violation report) or *provably harmless* —
+/// the mutated plan still passes both the oracle and the independent
+/// `verify_clean`, meaning the wash was genuinely redundant (its cells are
+/// also flushed by another wash's path in time, or overwritten by a
+/// same-fluid deposit before their next use). On each benchmark at least
+/// one wash must be load-bearing: sabotaging it produces violations.
+fn assert_mutation_contract(what: &str, mutate: impl Fn(&mut Schedule, TaskId)) {
+    for bench in benchmarks::suite() {
+        let s = synthesize(&bench).unwrap();
+        let p = pdw(&bench, &s, &greedy_config()).unwrap();
+        let mut detected = 0usize;
+        let washes = wash_ids(&p.schedule);
+        for &id in &washes {
+            let mut mutated = p.schedule.clone();
+            mutate(&mut mutated, id);
+            let report = propagate(&s.chip, &bench.graph, &mutated);
+            if report.is_clean() {
+                pdw_contam::verify_clean(&s.chip, &bench.graph, &mutated).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: {what} of wash {id} dirtied the plan ({e}) \
+                         but the oracle reported nothing",
+                        bench.name
+                    )
+                });
+            } else {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected > 0,
+            "{}: {what} went unnoticed on all {} washes",
+            bench.name,
+            washes.len()
+        );
+    }
+}
+
+#[test]
+fn dropped_wash_is_detected() {
+    assert_mutation_contract("drop", |schedule, id| {
+        schedule.remove_task(id);
+    });
+}
+
+#[test]
+fn shifted_wash_is_detected() {
+    assert_mutation_contract("shift past the horizon", |schedule, id| {
+        let horizon = schedule.makespan() + 10;
+        schedule.task_mut(id).set_start(horizon);
+    });
+}
+
+#[test]
+fn truncated_wash_path_is_detected() {
+    assert_mutation_contract("path truncation", |schedule, id| {
+        // A single-port path flushes nothing: no interior cells remain.
+        let first = *schedule.task(id).path().iter().next().unwrap();
+        schedule
+            .task_mut(id)
+            .set_path(FlowPath::new(vec![first]).unwrap());
+    });
+}
+
+#[test]
+fn oracle_and_validator_disagree_on_nothing_genuine() {
+    // Belt and braces: on genuine plans the first-error validator must also
+    // be happy, so the differential harness can require both to pass.
+    for bench in benchmarks::suite() {
+        let s = synthesize(&bench).unwrap();
+        let p = pdw(&bench, &s, &greedy_config()).unwrap();
+        pdw_sim::validate(&s.chip, &bench.graph, &p.schedule)
+            .unwrap_or_else(|e| panic!("{}: validator rejects genuine plan: {e}", bench.name));
+        pdw_contam::verify_clean(&s.chip, &bench.graph, &p.schedule)
+            .unwrap_or_else(|e| panic!("{}: verify_clean rejects genuine plan: {e}", bench.name));
+    }
+}

@@ -1,28 +1,18 @@
 //! Property test: the full pipeline stays correct on randomly generated
 //! assays, not just the curated suite.
+//!
+//! The instance family lives in [`pdw_gen`] so this test, the `pdw verify`
+//! subcommand, and the corpus `verify` binary all draw from the same
+//! distribution — a failure here is reproducible with
+//! `pdw verify --seed <s>` and shrinkable with [`pdw_gen::shrink`].
 
 use proptest::prelude::*;
 
+use pathdriver_wash::verify::objective_of;
 use pathdriver_wash::{dawo, pdw, PdwConfig, Weights};
-use pdw_assay::synthetic::{generate, SyntheticSpec};
 use pdw_contam::verify_clean;
-use pdw_sim::validate;
-use pdw_synth::synthesize;
-
-fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
-    (4usize..=10, 0usize..=4, 6usize..=9, any::<u64>()).prop_map(|(ops, extra, devices, seed)| {
-        // |E| = |O| + mixes + extra inputs + sinks; keep it feasible around
-        // the generator's structural family.
-        SyntheticSpec {
-            name: format!("prop-{seed:x}"),
-            ops,
-            edges: 2 * ops - ops / 2 + extra,
-            devices,
-            seed,
-            grid: (15, 15),
-        }
-    })
-}
+use pdw_gen::{instance, spec_strategy, Skip};
+use pdw_sim::{propagate, validate};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -32,18 +22,19 @@ proptest! {
     /// never beats on wash count.
     #[test]
     fn pipeline_correct_on_random_assays(spec in spec_strategy()) {
-        let bench = generate(&spec);
-        // Heavily chained assays on a minimal device library can exceed what
-        // list scheduling without result relocation supports (see
-        // `SynthError::Deadlock`); such under-provisioned instances are
-        // rejected rather than counted as failures.
-        let s = match synthesize(&bench) {
-            Ok(s) => s,
-            Err(pdw_synth::SynthError::Deadlock { .. }) => {
+        let (bench, s) = match instance(&spec) {
+            Ok(pair) => pair,
+            // Heavily chained assays on a minimal device library can exceed
+            // what list scheduling without result relocation supports; such
+            // under-provisioned instances are rejected rather than counted
+            // as failures.
+            Err(Skip::Deadlock(_)) => {
                 prop_assume!(false);
                 unreachable!()
             }
-            Err(e) => {
+            // At the family's default 15x15 grid every spec must fit its
+            // device library; anything else is a generator regression.
+            Err(Skip::Infeasible(e)) => {
                 return Err(proptest::test_runner::TestCaseError::fail(format!(
                     "synthesis: {e}"
                 )))
@@ -58,16 +49,21 @@ proptest! {
         validate(&s.chip, &bench.graph, &p.schedule).expect("pdw valid");
         verify_clean(&s.chip, &bench.graph, &d.schedule).expect("dawo clean");
         verify_clean(&s.chip, &bench.graph, &p.schedule).expect("pdw clean");
+        // The independent contamination-propagation oracle must agree.
+        let oracle = propagate(&s.chip, &bench.graph, &p.schedule);
+        prop_assert!(oracle.is_clean(), "oracle: {:?}", oracle.violations);
+        // Reported objectives must be bit-identical to a recompute from the
+        // raw schedule.
+        let w = Weights::default();
+        prop_assert!(p.objective(&w) == objective_of(&p.schedule, &w));
+        prop_assert!(d.objective(&w) == objective_of(&d.schedule, &w));
         // On arbitrary random assays strict per-metric dominance is not
         // guaranteed (PDW's sparser requirement set can split into one more
         // — much shorter — wash than the baseline's contiguous stretch);
         // the paper's objective must still never be worse. Strict
         // per-metric dominance on the curated suite is asserted in
         // `paper_shape.rs`.
-        let w = Weights::default();
-        let d_obj = w.alpha * d.metrics.n_wash as f64
-            + w.beta * d.metrics.l_wash_mm
-            + w.gamma * d.metrics.t_assay as f64;
+        let d_obj = objective_of(&d.schedule, &w);
         prop_assert!(
             p.objective(&w) <= d_obj * 1.05 + 1e-6,
             "pdw objective {} worse than dawo {}",
