@@ -1,5 +1,6 @@
 //! Regenerates Fig. 4: average waiting time of biochemical operations,
-//! DAWO vs PathDriver-Wash, per benchmark.
+//! DAWO vs PathDriver-Wash, per benchmark. Both methods run as planners
+//! over one shared `PlanContext` per benchmark.
 //!
 //! Usage: `cargo run -p pdw-bench --bin fig4 --release`
 

@@ -1,5 +1,6 @@
 //! Regenerates Fig. 5: total wash time, DAWO vs PathDriver-Wash, per
-//! benchmark.
+//! benchmark. Both methods run as planners over one shared `PlanContext`
+//! per benchmark.
 //!
 //! Usage: `cargo run -p pdw-bench --bin fig5 --release`
 

@@ -1,5 +1,7 @@
 //! Regenerates Table II: DAWO vs PathDriver-Wash on the full benchmark
-//! suite, with per-benchmark and average improvements.
+//! suite, with per-benchmark and average improvements. Both methods run as
+//! planners over one shared `PlanContext` per benchmark (see
+//! `pdw_bench::run_benchmark`).
 //!
 //! Usage: `cargo run -p pdw-bench --bin table2 --release`
 //! (`PDW_BUDGET_S=<seconds>` sets the ILP budget; pass `--json <path>` to

@@ -5,7 +5,9 @@
 //! pipeline, and the budget-bound ILP each judged by the simulator
 //! validator, `verify_clean`, the contamination-propagation oracle, an
 //! exact objective recompute, and 1/2/8-thread bit-identity of the greedy
-//! schedule.
+//! schedule. All solvers for an instance run through one shared
+//! [`pathdriver_wash::PlanContext`], so the necessity analyses and routing
+//! state are computed once per instance.
 //!
 //! Usage: `cargo run -p pdw-bench --bin verify --release [-- <seeds> [out]]`
 //!

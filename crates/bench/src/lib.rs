@@ -15,7 +15,9 @@
 
 use std::time::Duration;
 
-use pathdriver_wash::{dawo, pdw, PdwConfig, SolverStats, WashResult};
+use pathdriver_wash::{
+    DawoPlanner, PdwConfig, PdwPlanner, PlanContext, Planner, SolverStats, WashResult,
+};
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
 use pdw_synth::{synthesize, Synthesis};
@@ -75,8 +77,13 @@ pub fn improvement(old: f64, new: f64) -> f64 {
 pub fn run_benchmark(bench: &Benchmark, config: &PdwConfig) -> Row {
     let synthesis: Synthesis = synthesize(bench).expect("synthesis succeeds");
     let base = Metrics::measure(&bench.graph, &synthesis.schedule);
-    let d: WashResult = dawo(bench, &synthesis).expect("dawo succeeds");
-    let p: WashResult = pdw(bench, &synthesis, config).expect("pdw succeeds");
+    // Both methods run against one shared PlanContext: the instance's
+    // necessity analyses and routing state are computed once.
+    let mut ctx = PlanContext::new(bench, &synthesis);
+    let d: WashResult = DawoPlanner.plan(&mut ctx).expect("dawo succeeds");
+    let p: WashResult = PdwPlanner::new(config.clone())
+        .plan(&mut ctx)
+        .expect("pdw succeeds");
     Row {
         name: bench.name.clone(),
         sizes: (bench.op_count(), bench.device_count(), bench.edge_count()),

@@ -58,7 +58,10 @@ pub use device::{Device, DeviceId, DeviceKind};
 pub use error::ChipError;
 pub use grid::{CellKind, Coord, Grid};
 pub use path::{FlowPath, PathError};
-pub use routing::{counters as routing_counters, PortReach, RouteScratch, RoutingCounters};
+pub use routing::{
+    counters as routing_counters, PooledScratch, PortReach, RouteScratch, RoutingCounters,
+    ScratchPool,
+};
 
 /// Physical pitch of one virtual-grid cell, in millimeters.
 ///

@@ -331,6 +331,100 @@ impl Chip {
     }
 }
 
+/// A checkout/return pool of [`RouteScratch`] buffers.
+///
+/// Warm scratches are expensive to throw away: every enumeration fan-out
+/// that builds fresh per-worker scratches re-pays the allocation and the
+/// first-epoch stamping. A pool lets a long-lived caller (a `PlanContext`,
+/// a batch driver's worker thread) keep scratches warm across many routing
+/// bursts — and across *instances*, as long as the grid size matches:
+/// [`checkout`](Self::checkout) hands back a pooled scratch that fits the
+/// chip, or allocates a fresh one when none does. The guard returns the
+/// scratch on drop, so the pool only ever grows to the caller's peak
+/// concurrent demand.
+///
+/// The pool is `Sync`; concurrent workers check scratches out through a
+/// mutex held only for the pop/push, never across a route.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: std::sync::Mutex<Vec<RouteScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; scratches are allocated lazily on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A pool pre-seeded with one scratch sized for `chip`.
+    pub fn for_chip(chip: &Chip) -> Self {
+        let pool = Self::new();
+        pool.put(RouteScratch::for_chip(chip));
+        pool
+    }
+
+    /// Checks out a scratch fitting `chip`'s grid: a pooled one when
+    /// available (keeping its warm epochs), a freshly allocated one
+    /// otherwise. The scratch returns to the pool when the guard drops.
+    pub fn checkout<'p>(&'p self, chip: &Chip) -> PooledScratch<'p> {
+        let mut pool = self.pool.lock().expect("scratch pool poisoned");
+        let scratch = pool
+            .iter()
+            .position(|s| s.fits(chip))
+            .map(|i| pool.swap_remove(i))
+            .unwrap_or_else(|| RouteScratch::for_chip(chip));
+        drop(pool);
+        PooledScratch {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+
+    /// Returns a scratch to the pool (used by the guard's drop; callers may
+    /// also seed the pool with scratches they built themselves).
+    pub fn put(&self, scratch: RouteScratch) {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+
+    /// Number of scratches currently checked in.
+    pub fn available(&self) -> usize {
+        self.pool.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// A [`RouteScratch`] checked out of a [`ScratchPool`]; derefs to the
+/// scratch and returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledScratch<'p> {
+    pool: &'p ScratchPool,
+    scratch: Option<RouteScratch>,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = RouteScratch;
+
+    fn deref(&self) -> &RouteScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut RouteScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            self.pool.put(s);
+        }
+    }
+}
+
 /// Cached unblocked BFS distance fields from every flow and waste port.
 ///
 /// `flow[p][cell]` is the hop distance from flow port `p` to `cell` through
@@ -575,6 +669,53 @@ mod tests {
         }
         assert!(s.visit_epoch >= 1 && s.visit_epoch < UNSET);
         assert!(s.blocked_epoch >= 1 && s.blocked_epoch < UNSET);
+    }
+
+    #[test]
+    fn pool_reuses_fitting_scratches_and_grows_on_demand() {
+        let c = chip();
+        let pool = ScratchPool::for_chip(&c);
+        assert_eq!(pool.available(), 1);
+        {
+            let mut a = pool.checkout(&c);
+            assert_eq!(pool.available(), 0);
+            let _ = c.route_with(&mut a, Coord::new(0, 3), Coord::new(7, 3));
+            // Concurrent demand allocates a second scratch.
+            let _b = pool.checkout(&c);
+            assert_eq!(pool.available(), 0);
+        }
+        // Both guards returned their scratches.
+        assert_eq!(pool.available(), 2);
+        // A warm checkout routes identically to a cold scratch.
+        let mut warm = pool.checkout(&c);
+        warm.load_blocked([]);
+        let via_pool = c
+            .route_with(&mut warm, Coord::new(0, 3), Coord::new(7, 3))
+            .unwrap();
+        let cold = c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap();
+        assert_eq!(via_pool, cold);
+    }
+
+    #[test]
+    fn pool_allocates_fresh_scratch_for_a_different_grid() {
+        let small = chip();
+        let big = ChipBuilder::new(12, 12)
+            .flow_port("in1", Coord::new(0, 5))
+            .unwrap()
+            .waste_port("out1", Coord::new(11, 5))
+            .unwrap()
+            .build()
+            .unwrap();
+        let pool = ScratchPool::for_chip(&small);
+        {
+            let s = pool.checkout(&big);
+            assert!(s.fits(&big));
+            // The small scratch stayed pooled; the big one was fresh.
+            assert_eq!(pool.available(), 1);
+        }
+        assert_eq!(pool.available(), 2);
+        let s = pool.checkout(&small);
+        assert!(s.fits(&small));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use pathdriver_wash::{dawo, pdw, verify, PdwConfig};
+use pathdriver_wash::{verify, DawoPlanner, PdwConfig, PdwPlanner, PlanContext, Planner};
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
 use pdw_synth::{synthesize, Synthesis};
@@ -231,8 +231,15 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         threads: opts.threads,
         ..PdwConfig::default()
     };
-    let d = dawo(bench, &s).map_err(|e| CliError(format!("dawo failed: {e}")))?;
-    let p = pdw(bench, &s, &config).map_err(|e| CliError(format!("pdw failed: {e}")))?;
+    // Both solvers share one PlanContext, so the necessity analysis and
+    // routing state are computed once for the instance.
+    let mut ctx = PlanContext::new(bench, &s);
+    let d = DawoPlanner
+        .plan(&mut ctx)
+        .map_err(|e| CliError(format!("dawo failed: {e}")))?;
+    let p = PdwPlanner::new(config)
+        .plan(&mut ctx)
+        .map_err(|e| CliError(format!("pdw failed: {e}")))?;
 
     if opts.validate {
         for (name, sched) in [("dawo", &d.schedule), ("pdw", &p.schedule)] {

@@ -27,6 +27,21 @@ impl Default for Weights {
     }
 }
 
+impl Weights {
+    /// The paper's objective `α·N_wash + β·L_wash + γ·T_assay` (Eq. 26) for
+    /// a set of measured metrics.
+    ///
+    /// This is the *only* place the objective is encoded: [`WashResult`],
+    /// the ILP-adoption gate, and the differential verifier's independent
+    /// recompute all call it, so any two objective values computed from
+    /// equal metrics are bit-identical `f64`s.
+    ///
+    /// [`WashResult`]: crate::WashResult
+    pub fn objective(&self, m: &pdw_sim::Metrics) -> f64 {
+        self.alpha * m.n_wash as f64 + self.beta * m.l_wash_mm + self.gamma * m.t_assay as f64
+    }
+}
+
 /// How wash-path candidates are picked for each wash operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CandidatePolicy {
@@ -113,6 +128,24 @@ mod tests {
     fn default_weights_match_the_paper() {
         let w = Weights::default();
         assert_eq!((w.alpha, w.beta, w.gamma), (0.3, 0.3, 0.4));
+    }
+
+    #[test]
+    fn objective_weighs_the_three_terms() {
+        let w = Weights {
+            alpha: 1.0,
+            beta: 10.0,
+            gamma: 100.0,
+        };
+        let m = pdw_sim::Metrics {
+            n_wash: 2,
+            l_wash_mm: 3.0,
+            t_assay: 4,
+            total_wash_time: 0,
+            avg_wait: 0.0,
+            buffer_nl: 0.0,
+        };
+        assert_eq!(w.objective(&m), 2.0 + 30.0 + 400.0);
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Shared, reusable per-instance solve state.
+//!
+//! Every planner needs the same expensive prefix before it can schedule a
+//! single wash: the contamination replay + necessity analysis of the base
+//! schedule, the chip's port-reachability fields, and warm routing scratch
+//! buffers. [`PlanContext`] owns that prefix for one `(benchmark,
+//! synthesis)` instance so that running several planners on it — as the
+//! differential verifier and the batch driver do — computes each piece
+//! once:
+//!
+//! - necessity analyses are cached per [`NecessityOptions`] (DAWO's
+//!   reuse-only analysis and PDW's full analysis are distinct entries),
+//! - front-end wash groups (grouping, spot-cluster splitting, merging) are
+//!   cached per [`FrontEndKey`] — the configuration fields that affect the
+//!   groups, deliberately excluding the thread count, which is
+//!   result-invariant; re-solving with a different thread knob (as the
+//!   differential verifier does) clones the groups instead of re-routing
+//!   every candidate,
+//! - the chip's [`PortReach`](pdw_biochip::PortReach) cache is forced warm
+//!   on construction,
+//! - a [`ScratchPool`] keeps BFS scratch buffers warm across planners, and
+//!   across *instances* when the context is rebuilt around a batch worker's
+//!   long-lived pool ([`PlanContext::with_pool`] / [`into_pool`]).
+//!
+//! Everything cached here is a pure function of the instance, so a planner
+//! run against a warm context is bit-identical to a cold one-shot run —
+//! only the wall time changes.
+//!
+//! [`into_pool`]: PlanContext::into_pool
+
+use std::time::Instant;
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_biochip::{Chip, ScratchPool};
+use pdw_contam::{analyze, Analysis, NecessityOptions};
+use pdw_sched::Schedule;
+use pdw_synth::Synthesis;
+
+use crate::config::CandidatePolicy;
+use crate::groups::WashGroup;
+
+/// The configuration fields the front end's wash groups depend on. Thread
+/// counts are deliberately absent: the fan-out is result-invariant, so two
+/// solves differing only in `threads` share one cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontEndKey {
+    /// Necessity options the requirements were derived under.
+    pub necessity: NecessityOptions,
+    /// Candidate-selection policy.
+    pub policy: CandidatePolicy,
+    /// Candidate paths kept per group.
+    pub candidates: usize,
+    /// Whether compatible groups were merged after splitting.
+    pub merged: bool,
+}
+
+/// Reusable solve state for one benchmark instance (see the
+/// [module docs](self)).
+pub struct PlanContext<'a> {
+    bench: &'a Benchmark,
+    synthesis: &'a Synthesis,
+    pool: ScratchPool,
+    /// Necessity analyses keyed by the options they were computed under.
+    analyses: Vec<(NecessityOptions, Analysis)>,
+    /// Front-end group sets keyed by the config fields that shape them.
+    front_ends: Vec<(FrontEndKey, Vec<WashGroup>)>,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Builds a context for one instance with a fresh scratch pool.
+    pub fn new(bench: &'a Benchmark, synthesis: &'a Synthesis) -> Self {
+        Self::with_pool(bench, synthesis, ScratchPool::new())
+    }
+
+    /// Builds a context around an existing scratch pool — the batch driver
+    /// hands each worker's pool from instance to instance so warm scratch
+    /// buffers survive context turnover.
+    pub fn with_pool(bench: &'a Benchmark, synthesis: &'a Synthesis, pool: ScratchPool) -> Self {
+        // Force the chip's port-reachability cache warm so no planner pays
+        // for it mid-stage.
+        let _ = synthesis.chip.port_reach();
+        PlanContext {
+            bench,
+            synthesis,
+            pool,
+            analyses: Vec::new(),
+            front_ends: Vec::new(),
+        }
+    }
+
+    /// The benchmark this context plans for.
+    pub fn bench(&self) -> &'a Benchmark {
+        self.bench
+    }
+
+    /// The synthesized chip + base schedule this context plans against.
+    pub fn synthesis(&self) -> &'a Synthesis {
+        self.synthesis
+    }
+
+    /// The instance's chip.
+    pub fn chip(&self) -> &'a Chip {
+        &self.synthesis.chip
+    }
+
+    /// The instance's wash-free base schedule.
+    pub fn base_schedule(&self) -> &'a Schedule {
+        &self.synthesis.schedule
+    }
+
+    /// The shared routing-scratch pool.
+    pub fn scratch_pool(&self) -> &ScratchPool {
+        &self.pool
+    }
+
+    /// Ensures the necessity analysis for `opts` is computed and cached,
+    /// returning the wall time spent *in this call* in seconds — ≈0 on a
+    /// cache hit, which is exactly what a planner's `necessity_s` stat
+    /// should then report.
+    pub fn ensure_analysis(&mut self, opts: NecessityOptions) -> f64 {
+        if self.analyses.iter().any(|(o, _)| *o == opts) {
+            return 0.0;
+        }
+        let t = Instant::now();
+        let analysis = analyze(
+            &self.synthesis.chip,
+            &self.bench.graph,
+            &self.synthesis.schedule,
+            opts,
+        );
+        self.analyses.push((opts, analysis));
+        t.elapsed().as_secs_f64()
+    }
+
+    /// The cached necessity analysis for `opts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ensure_analysis`](Self::ensure_analysis) has not been
+    /// called for `opts` — planners always ensure before reading.
+    pub fn analysis(&self, opts: NecessityOptions) -> &Analysis {
+        self.analyses
+            .iter()
+            .find(|(o, _)| *o == opts)
+            .map(|(_, a)| a)
+            .expect("analysis not ensured for these options")
+    }
+
+    /// Number of distinct necessity analyses cached so far.
+    pub fn cached_analyses(&self) -> usize {
+        self.analyses.len()
+    }
+
+    /// The cached front-end groups for `key`, if a planner already built
+    /// them on this context.
+    pub fn front_end(&self, key: FrontEndKey) -> Option<&[WashGroup]> {
+        self.front_ends
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, g)| g.as_slice())
+    }
+
+    /// Caches the front-end groups built under `key`. Later planners whose
+    /// configuration maps to the same key clone these instead of re-routing
+    /// every candidate path. No-op if the key is already present.
+    pub fn store_front_end(&mut self, key: FrontEndKey, groups: Vec<WashGroup>) {
+        if self.front_end(key).is_none() {
+            self.front_ends.push((key, groups));
+        }
+    }
+
+    /// Number of distinct front-end group sets cached so far.
+    pub fn cached_front_ends(&self) -> usize {
+        self.front_ends.len()
+    }
+
+    /// Releases the context, handing its scratch pool back for reuse on the
+    /// next instance.
+    pub fn into_pool(self) -> ScratchPool {
+        self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn analyses_are_cached_per_options() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut ctx = PlanContext::new(&bench, &s);
+        assert_eq!(ctx.cached_analyses(), 0);
+        ctx.ensure_analysis(NecessityOptions::full());
+        assert_eq!(ctx.cached_analyses(), 1);
+        // Same options: cache hit, no new entry, zero reported time.
+        assert_eq!(ctx.ensure_analysis(NecessityOptions::full()), 0.0);
+        assert_eq!(ctx.cached_analyses(), 1);
+        // Different options: a distinct entry.
+        ctx.ensure_analysis(NecessityOptions::reuse_only());
+        assert_eq!(ctx.cached_analyses(), 2);
+        // Both stay addressable.
+        let full = ctx.analysis(NecessityOptions::full());
+        let reuse = ctx.analysis(NecessityOptions::reuse_only());
+        assert!(full.requirements.len() <= reuse.requirements.len());
+    }
+
+    #[test]
+    fn cached_analysis_equals_a_cold_one() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut ctx = PlanContext::new(&bench, &s);
+        ctx.ensure_analysis(NecessityOptions::full());
+        let cold = analyze(&s.chip, &bench.graph, &s.schedule, NecessityOptions::full());
+        let cached = ctx.analysis(NecessityOptions::full());
+        assert_eq!(cached.requirements, cold.requirements);
+        assert_eq!(cached.classifications, cold.classifications);
+        assert_eq!(cached.deletable, cold.deletable);
+    }
+
+    #[test]
+    fn front_ends_are_cached_per_key() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut ctx = PlanContext::new(&bench, &s);
+        let key = FrontEndKey {
+            necessity: NecessityOptions::full(),
+            policy: CandidatePolicy::Shortest,
+            candidates: 3,
+            merged: true,
+        };
+        assert!(ctx.front_end(key).is_none());
+        ctx.store_front_end(key, Vec::new());
+        assert!(ctx.front_end(key).is_some());
+        assert_eq!(ctx.cached_front_ends(), 1);
+        // Same key again: no duplicate entry.
+        ctx.store_front_end(key, Vec::new());
+        assert_eq!(ctx.cached_front_ends(), 1);
+        // Any differing field is a distinct entry.
+        let unmerged = FrontEndKey {
+            merged: false,
+            ..key
+        };
+        assert!(ctx.front_end(unmerged).is_none());
+        ctx.store_front_end(unmerged, Vec::new());
+        assert_eq!(ctx.cached_front_ends(), 2);
+    }
+
+    #[test]
+    fn pool_round_trips_through_the_context() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let pool = ScratchPool::for_chip(&s.chip);
+        let ctx = PlanContext::with_pool(&bench, &s, pool);
+        let back = ctx.into_pool();
+        assert_eq!(back.available(), 1);
+    }
+}

@@ -12,20 +12,24 @@
 //!    existing schedule, right-shifting the assay when no interval fits —
 //!    the source of DAWO's delay.
 
-use std::time::Instant;
-
 use pdw_assay::benchmarks::Benchmark;
-use pdw_contam::{analyze, Classification, NecessityOptions};
+use pdw_contam::{Classification, NecessityOptions};
 use pdw_sim::Metrics;
 use pdw_synth::Synthesis;
 
 use crate::config::CandidatePolicy;
+use crate::context::{FrontEndKey, PlanContext};
 use crate::greedy::insert_washes;
-use crate::groups::build_groups;
+use crate::groups::{build_groups_pooled, split_into_spot_clusters_pooled};
 use crate::pdw::{PdwError, SolverReport, WashResult};
-use crate::stats::PipelineStats;
+use crate::stats::StageTimer;
 
 /// Runs the DAWO baseline on a synthesized assay.
+///
+/// This is the one-shot compatibility wrapper around a throwaway
+/// [`PlanContext`]; callers also running other planners on the instance
+/// should share one context via
+/// [`DawoPlanner`](crate::planner::DawoPlanner).
 ///
 /// # Errors
 ///
@@ -33,69 +37,85 @@ use crate::stats::PipelineStats;
 /// returned schedule has passed [`pdw_sim::validate`] and
 /// [`pdw_contam::verify_clean`].
 pub fn dawo(bench: &Benchmark, synthesis: &Synthesis) -> Result<WashResult, PdwError> {
-    let run_start = Instant::now();
-    let counters_start = pdw_biochip::routing_counters();
-    let mut stats = PipelineStats {
-        threads: crate::par::resolve_threads(0),
-        ..PipelineStats::default()
-    };
-    let stage = Instant::now();
-    let analysis = analyze(
-        &synthesis.chip,
-        &bench.graph,
-        &synthesis.schedule,
-        NecessityOptions::reuse_only(),
-    );
-    stats.necessity_s = stage.elapsed().as_secs_f64();
-    let exemptions = (
-        analysis.count(Classification::Type1Unused),
-        analysis.count(Classification::Type2SameFluid),
-        analysis.count(Classification::Type3WasteOnly),
-    );
+    let mut ctx = PlanContext::new(bench, synthesis);
+    run_dawo(&mut ctx)
+}
 
-    let stage = Instant::now();
-    let groups = build_groups(
-        &synthesis.chip,
-        &synthesis.schedule,
-        &analysis.requirements,
-        CandidatePolicy::Nearest,
-        1,
-        0,
+/// The DAWO baseline against a (possibly warm) [`PlanContext`].
+pub(crate) fn run_dawo(ctx: &mut PlanContext<'_>) -> Result<WashResult, PdwError> {
+    let bench = ctx.bench();
+    let synthesis = ctx.synthesis();
+    let mut timer = StageTimer::start(0);
+    timer.stats.necessity_s = ctx.ensure_analysis(NecessityOptions::reuse_only());
+    let exemptions = {
+        let analysis = ctx.analysis(NecessityOptions::reuse_only());
+        (
+            analysis.count(Classification::Type1Unused),
+            analysis.count(Classification::Type2SameFluid),
+            analysis.count(Classification::Type3WasteOnly),
+        )
+    };
+
+    let key = FrontEndKey {
+        necessity: NecessityOptions::reuse_only(),
+        policy: CandidatePolicy::Nearest,
+        candidates: 1,
+        merged: false,
+    };
+    let groups = match ctx.front_end(key) {
+        Some(cached) => timer.stage(|s| &mut s.grouping_s, || cached.to_vec()),
+        None => {
+            let analysis = ctx.analysis(NecessityOptions::reuse_only());
+            let pool = ctx.scratch_pool();
+            let groups = timer.stage(
+                |s| &mut s.grouping_s,
+                || {
+                    let groups = build_groups_pooled(
+                        &synthesis.chip,
+                        &synthesis.schedule,
+                        &analysis.requirements,
+                        CandidatePolicy::Nearest,
+                        1,
+                        0,
+                        pool,
+                    );
+                    // DAWO introduces washes per contaminated spot cluster
+                    // and constructs each path independently — no resource
+                    // sharing across clusters.
+                    split_into_spot_clusters_pooled(
+                        &synthesis.chip,
+                        &synthesis.schedule,
+                        groups,
+                        4,
+                        CandidatePolicy::Nearest,
+                        1,
+                        0,
+                        pool,
+                    )
+                },
+            );
+            ctx.store_front_end(key, groups.clone());
+            groups
+        }
+    };
+    let out = timer.stage(
+        |s| &mut s.greedy_s,
+        || insert_washes(&synthesis.chip, &synthesis.schedule, &groups, false),
     );
-    // DAWO introduces washes per contaminated spot cluster and constructs
-    // each path independently — no resource sharing across clusters.
-    let groups = crate::groups::split_into_spot_clusters(
-        &synthesis.chip,
-        &synthesis.schedule,
-        groups,
-        4,
-        CandidatePolicy::Nearest,
-        1,
-        0,
-    );
-    stats.grouping_s = stage.elapsed().as_secs_f64();
-    let stage = Instant::now();
-    let out = insert_washes(&synthesis.chip, &synthesis.schedule, &groups, false);
-    stats.greedy_s = stage.elapsed().as_secs_f64();
 
     pdw_sim::validate(&synthesis.chip, &bench.graph, &out.schedule).map_err(PdwError::Invalid)?;
     pdw_contam::verify_clean(&synthesis.chip, &bench.graph, &out.schedule)
         .map_err(PdwError::Dirty)?;
     let metrics = Metrics::measure(&bench.graph, &out.schedule);
-    stats.groups = out.groups.len();
-    stats.candidates = out.groups.iter().map(|g| g.candidates.len()).sum();
-    stats.total_s = run_start.elapsed().as_secs_f64();
-    let d = pdw_biochip::routing_counters() - counters_start;
-    stats.route_calls = d.route_calls;
-    stats.bfs_runs = d.bfs_runs;
-    stats.scratch_reuses = d.scratch_reuses;
+    timer.stats.groups = out.groups.len();
+    timer.stats.candidates = out.groups.iter().map(|g| g.candidates.len()).sum();
     Ok(WashResult {
         schedule: out.schedule,
         metrics,
         exemptions,
         integrated: 0,
         solver: SolverReport::greedy(),
-        pipeline: stats,
+        pipeline: timer.seal(),
     })
 }
 

@@ -1,6 +1,6 @@
 //! Wash-target grouping, merging, and candidate-path enumeration.
 
-use pdw_biochip::{CellSet, Chip, Coord, FlowPath, RouteScratch};
+use pdw_biochip::{CellSet, Chip, Coord, FlowPath, RouteScratch, ScratchPool};
 use pdw_contam::{Source, WashRequirement};
 use pdw_sched::{flow_duration, Schedule, TaskKind, Time};
 use pdw_sim::DISSOLUTION_S;
@@ -252,6 +252,22 @@ pub fn build_groups(
     k: usize,
     threads: usize,
 ) -> Vec<WashGroup> {
+    let pool = ScratchPool::new();
+    build_groups_pooled(chip, schedule, requirements, policy, k, threads, &pool)
+}
+
+/// [`build_groups`] drawing worker scratches from a caller-held pool, so a
+/// context-carrying caller reuses warm buffers across calls (and across
+/// instances). Output is identical to [`build_groups`].
+pub(crate) fn build_groups_pooled(
+    chip: &Chip,
+    schedule: &Schedule,
+    requirements: &[WashRequirement],
+    policy: CandidatePolicy,
+    k: usize,
+    threads: usize,
+    pool: &ScratchPool,
+) -> Vec<WashGroup> {
     // One part per source.
     let mut parts: Vec<WashPart> = Vec::new();
     for r in requirements {
@@ -295,8 +311,9 @@ pub fn build_groups(
     let nested = par_map_ctx(
         &parts,
         threads,
-        || RouteScratch::for_chip(chip),
+        || pool.checkout(chip),
         |scratch, _, part| {
+            let scratch: &mut RouteScratch = scratch;
             let mut out: Vec<WashGroup> = Vec::new();
             for piece in coverable_pieces(chip, scratch, schedule, part.clone(), k_eff) {
                 let mut g = WashGroup {
@@ -459,11 +476,29 @@ pub fn split_into_spot_clusters(
     k: usize,
     threads: usize,
 ) -> Vec<WashGroup> {
+    let pool = ScratchPool::new();
+    split_into_spot_clusters_pooled(chip, schedule, groups, gap, policy, k, threads, &pool)
+}
+
+/// [`split_into_spot_clusters`] drawing worker scratches from a caller-held
+/// pool. Output is identical to [`split_into_spot_clusters`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn split_into_spot_clusters_pooled(
+    chip: &Chip,
+    schedule: &Schedule,
+    groups: Vec<WashGroup>,
+    gap: usize,
+    policy: CandidatePolicy,
+    k: usize,
+    threads: usize,
+    pool: &ScratchPool,
+) -> Vec<WashGroup> {
     let nested = par_map_ctx(
         &groups,
         threads,
-        || RouteScratch::for_chip(chip),
+        || pool.checkout(chip),
         |scratch, _, g| {
+            let scratch: &mut RouteScratch = scratch;
             let mut out: Vec<WashGroup> = Vec::new();
             for part in &g.parts {
                 for run in split_runs_gapped(schedule, part, gap) {
@@ -517,11 +552,25 @@ pub fn split_into_spot_clusters(
 pub fn merge_groups(
     chip: &Chip,
     schedule: &Schedule,
-    mut groups: Vec<WashGroup>,
+    groups: Vec<WashGroup>,
     k: usize,
 ) -> Vec<WashGroup> {
+    let pool = ScratchPool::new();
+    merge_groups_pooled(chip, schedule, groups, k, &pool)
+}
+
+/// [`merge_groups`] drawing its scratch from a caller-held pool. Output is
+/// identical to [`merge_groups`].
+pub(crate) fn merge_groups_pooled(
+    chip: &Chip,
+    schedule: &Schedule,
+    mut groups: Vec<WashGroup>,
+    k: usize,
+    pool: &ScratchPool,
+) -> Vec<WashGroup> {
     let timeline = Timeline::new(chip, schedule);
-    let mut scratch = RouteScratch::for_chip(chip);
+    let mut scratch = pool.checkout(chip);
+    let scratch: &mut RouteScratch = &mut scratch;
     let mut merged = true;
     while merged {
         merged = false;
@@ -539,7 +588,7 @@ pub fn merge_groups(
                 }
                 let mut seqs = groups[i].target_seqs();
                 seqs.extend(groups[j].target_seqs());
-                let cands = enumerate_with(chip, &mut scratch, &seqs, k);
+                let cands = enumerate_with(chip, &mut *scratch, &seqs, k);
                 let Some(best) = cands.first() else { continue };
                 if ready + best.duration > deadline {
                     continue;

@@ -3,32 +3,54 @@
 //!
 //! This crate is the top of the reproduction stack: given a bioassay
 //! benchmark and its synthesized chip + schedule (from [`pdw_synth`]), it
-//! computes an optimized execution with wash operations:
+//! computes an optimized execution with wash operations.
 //!
-//! - [`pdw`] — the paper's method: wash-necessity analysis (Types 1–3),
-//!   wash/excess-removal integration (ψ), and ILP-optimized wash paths and
-//!   time windows minimizing `α·N_wash + β·L_wash + γ·T_assay` (Eq. 26);
-//! - [`dawo`] — the delay-aware wash optimization baseline of TC'22 \[10\]:
-//!   per-spot washes with independently BFS-routed paths and sweep-line
-//!   time assignment.
+//! # Engine architecture
 //!
-//! Both return a [`WashResult`] whose schedule is guaranteed physically
-//! valid ([`pdw_sim::validate`]) and contamination-free
+//! Every solve strategy is a [`Planner`] running against a shared
+//! [`PlanContext`]:
+//!
+//! - [`PdwPlanner`] — the paper's method: wash-necessity analysis
+//!   (Types 1–3), wash/excess-removal integration (ψ), and ILP-optimized
+//!   wash paths and time windows minimizing
+//!   `α·N_wash + β·L_wash + γ·T_assay` (Eq. 26);
+//! - [`GreedyPlanner`] — the same pipeline stopped at its deterministic
+//!   greedy warm start (no ILP);
+//! - [`DawoPlanner`] — the delay-aware wash optimization baseline of TC'22
+//!   \[10\]: per-spot washes with independently BFS-routed paths and
+//!   sweep-line time assignment.
+//!
+//! The context owns the instance's expensive common prefix — necessity
+//! analyses, port-reachability fields, warm routing scratch — so running
+//! several planners on one instance computes it once. [`plan_batch`] fans a
+//! corpus of instances across threads with per-worker context reuse;
+//! results are bit-identical to serial one-shot calls at any thread count.
+//! The free functions [`pdw`] and [`dawo`] remain as one-shot wrappers.
+//!
+//! Every planner returns a [`WashResult`] whose schedule is guaranteed
+//! physically valid ([`pdw_sim::validate`]) and contamination-free
 //! ([`pdw_contam::verify_clean`]).
 //!
 //! # Example
 //!
+//! Two planners sharing one context — the necessity analysis and routing
+//! state are computed once, and the results match one-shot calls exactly:
+//!
 //! ```
+//! use pathdriver_wash::{DawoPlanner, PdwConfig, PdwPlanner, PlanContext, Planner};
 //! use pdw_assay::benchmarks;
 //! use pdw_synth::synthesize;
-//! use pathdriver_wash::{dawo, pdw, PdwConfig};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let bench = benchmarks::demo();
 //! let synthesis = synthesize(&bench)?;
-//! let optimized = pdw(&bench, &synthesis, &PdwConfig::default())?;
-//! let baseline = dawo(&bench, &synthesis)?;
+//!
+//! let mut ctx = PlanContext::new(&bench, &synthesis);
+//! let baseline = DawoPlanner.plan(&mut ctx)?;
+//! let optimized = PdwPlanner::new(PdwConfig::default()).plan(&mut ctx)?;
+//!
 //! assert!(optimized.metrics.n_wash <= baseline.metrics.n_wash);
+//! assert_eq!(optimized.schedule, pathdriver_wash::pdw(&bench, &synthesis, &PdwConfig::default())?.schedule);
 //! # Ok(())
 //! # }
 //! ```
@@ -37,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod context;
 mod dawo;
 mod exact_path;
 mod greedy;
@@ -44,11 +67,13 @@ mod groups;
 mod model;
 mod par;
 mod pdw;
+mod planner;
 mod stats;
 mod timeline;
 pub mod verify;
 
 pub use config::{CandidatePolicy, PdwConfig, Weights};
+pub use context::{FrontEndKey, PlanContext};
 pub use dawo::dawo;
 pub use exact_path::exact_wash_path;
 pub use greedy::{insert_washes, insert_washes_protected, GreedyOutcome, Placement};
@@ -58,4 +83,5 @@ pub use groups::{
 };
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
 pub use pdw_ilp::{IncumbentEvent, SolverStats};
+pub use planner::{plan_batch, DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
 pub use stats::PipelineStats;

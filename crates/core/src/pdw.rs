@@ -1,19 +1,20 @@
 //! The PathDriver-Wash pipeline.
 
 use std::fmt;
-use std::time::Instant;
 
 use pdw_assay::benchmarks::Benchmark;
-use pdw_contam::{analyze, verify_clean, Classification, CleanlinessViolation, NecessityOptions};
+use pdw_contam::{verify_clean, Classification, CleanlinessViolation, NecessityOptions};
 use pdw_sched::Schedule;
 use pdw_sim::{validate, Metrics, SimError};
 use pdw_synth::Synthesis;
 
-use crate::config::{CandidatePolicy, PdwConfig, Weights};
+use crate::config::{CandidatePolicy, PdwConfig};
+use crate::context::{FrontEndKey, PlanContext};
 use crate::greedy::insert_washes_protected;
-use crate::groups::{build_groups, merge_groups};
+use crate::groups::{build_groups_pooled, merge_groups_pooled, split_into_spot_clusters_pooled};
 use crate::model::refine_with_ilp;
-use crate::stats::PipelineStats;
+use crate::par::par_map_ctx;
+use crate::stats::{PipelineStats, StageTimer};
 
 /// How the final schedule was obtained.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,16 +56,16 @@ pub struct WashResult {
     pub integrated: usize,
     /// Solver diagnostics.
     pub solver: SolverReport,
-    /// Per-stage wall times and routing-effort counters.
+    /// Per-stage wall times and routing-effort counters. Stages served from
+    /// a warm [`PlanContext`] cache (e.g. `necessity_s` on the second
+    /// planner sharing a context) report the time actually spent, ≈0.
     pub pipeline: PipelineStats,
 }
 
 impl WashResult {
     /// The paper's objective `α·N_wash + β·L_wash + γ·T_assay` (Eq. 26).
-    pub fn objective(&self, w: &Weights) -> f64 {
-        w.alpha * self.metrics.n_wash as f64
-            + w.beta * self.metrics.l_wash_mm
-            + w.gamma * self.metrics.t_assay as f64
+    pub fn objective(&self, w: &crate::config::Weights) -> f64 {
+        w.objective(&self.metrics)
     }
 }
 
@@ -116,6 +117,12 @@ fn finish(
 /// Runs PathDriver-Wash: necessity analysis, wash grouping/merging, greedy
 /// warm start, and ILP refinement of wash paths and time windows.
 ///
+/// This is the one-shot compatibility wrapper: it builds a throwaway
+/// [`PlanContext`] for the instance. Callers solving an instance more than
+/// once — several planners, several configurations — should build one
+/// context and run [`Planner`](crate::Planner)s through it instead, so the
+/// necessity analysis and routing state are computed once.
+///
 /// # Errors
 ///
 /// Returns [`PdwError`] only if an internal invariant is broken — every
@@ -126,74 +133,120 @@ pub fn pdw(
     synthesis: &Synthesis,
     config: &PdwConfig,
 ) -> Result<WashResult, PdwError> {
-    let run_start = Instant::now();
-    let counters_start = pdw_biochip::routing_counters();
-    let mut stats = PipelineStats {
-        threads: crate::par::resolve_threads(config.threads),
-        ..PipelineStats::default()
-    };
+    let mut ctx = PlanContext::new(bench, synthesis);
+    run_pipeline(&mut ctx, config)
+}
+
+/// The PathDriver-Wash pipeline against a (possibly warm) [`PlanContext`].
+/// Backs both [`pdw`] and the `GreedyPlanner`/`PdwPlanner` implementations;
+/// the result is a pure function of `(instance, config)` — context warmth
+/// only changes wall time.
+pub(crate) fn run_pipeline(
+    ctx: &mut PlanContext<'_>,
+    config: &PdwConfig,
+) -> Result<WashResult, PdwError> {
+    let bench = ctx.bench();
+    let synthesis = ctx.synthesis();
+    let mut timer = StageTimer::start(config.threads);
 
     let necessity = if config.necessity_analysis {
         NecessityOptions::full()
     } else {
         NecessityOptions::reuse_only()
     };
-    let stage = Instant::now();
-    let analysis = analyze(
-        &synthesis.chip,
-        &bench.graph,
-        &synthesis.schedule,
-        necessity,
-    );
-    stats.necessity_s = stage.elapsed().as_secs_f64();
-    let exemptions = (
-        analysis.count(Classification::Type1Unused),
-        analysis.count(Classification::Type2SameFluid),
-        analysis.count(Classification::Type3WasteOnly),
-    );
-
-    let stage = Instant::now();
-    let groups = build_groups(
-        &synthesis.chip,
-        &synthesis.schedule,
-        &analysis.requirements,
-        CandidatePolicy::Shortest,
-        config.candidates,
-        config.threads,
-    );
-    // Work at spot-cluster granularity (fine washes schedule concurrently
-    // far more easily), then let merging coarsen only where it pays off.
-    let groups = crate::groups::split_into_spot_clusters(
-        &synthesis.chip,
-        &synthesis.schedule,
-        groups,
-        4,
-        CandidatePolicy::Shortest,
-        config.candidates,
-        config.threads,
-    );
-    stats.grouping_s = stage.elapsed().as_secs_f64();
-    let stage = Instant::now();
-    let mut groups = if config.merging {
-        merge_groups(
-            &synthesis.chip,
-            &synthesis.schedule,
-            groups,
-            config.candidates,
+    timer.stats.necessity_s = ctx.ensure_analysis(necessity);
+    let exemptions = {
+        let analysis = ctx.analysis(necessity);
+        (
+            analysis.count(Classification::Type1Unused),
+            analysis.count(Classification::Type2SameFluid),
+            analysis.count(Classification::Type3WasteOnly),
         )
-    } else {
-        groups
     };
-    stats.merge_s = stage.elapsed().as_secs_f64();
+
+    // The front-end groups are a pure function of the instance and these
+    // config fields (thread counts are result-invariant), so a warm context
+    // serves them as a clone instead of re-routing every candidate path.
+    let key = FrontEndKey {
+        necessity,
+        policy: CandidatePolicy::Shortest,
+        candidates: config.candidates,
+        merged: config.merging,
+    };
+    let mut groups = match ctx.front_end(key) {
+        // Cache hit: the clone is charged to the grouping stage, which then
+        // reports ≈0 — exactly the time actually spent.
+        Some(cached) => timer.stage(|s| &mut s.grouping_s, || cached.to_vec()),
+        None => {
+            let analysis = ctx.analysis(necessity);
+            let pool = ctx.scratch_pool();
+            let groups = timer.stage(
+                |s| &mut s.grouping_s,
+                || {
+                    let groups = build_groups_pooled(
+                        &synthesis.chip,
+                        &synthesis.schedule,
+                        &analysis.requirements,
+                        CandidatePolicy::Shortest,
+                        config.candidates,
+                        config.threads,
+                        pool,
+                    );
+                    // Work at spot-cluster granularity (fine washes schedule
+                    // concurrently far more easily), then let merging coarsen
+                    // only where it pays off.
+                    split_into_spot_clusters_pooled(
+                        &synthesis.chip,
+                        &synthesis.schedule,
+                        groups,
+                        4,
+                        CandidatePolicy::Shortest,
+                        config.candidates,
+                        config.threads,
+                        pool,
+                    )
+                },
+            );
+            let groups = timer.stage(
+                |s| &mut s.merge_s,
+                || {
+                    if config.merging {
+                        merge_groups_pooled(
+                            &synthesis.chip,
+                            &synthesis.schedule,
+                            groups,
+                            config.candidates,
+                            pool,
+                        )
+                    } else {
+                        groups
+                    }
+                },
+            );
+            ctx.store_front_end(key, groups.clone());
+            groups
+        }
+    };
     if config.exact_paths {
-        for g in &mut groups {
-            let warm = g.candidates[0].path.clone();
-            if let Some(exact) = crate::exact_path::exact_wash_path(
-                &synthesis.chip,
-                &g.targets(),
-                Some(&warm),
-                config.ilp_budget,
-            ) {
+        // One budget-bound flow-ILP solve per group, fanned across workers;
+        // each group's refinement is independent and results apply in input
+        // order, so the outcome matches the serial loop.
+        let exacts = par_map_ctx(
+            &groups,
+            config.threads,
+            || (),
+            |(), _, g| {
+                let warm = g.candidates[0].path.clone();
+                crate::exact_path::exact_wash_path(
+                    &synthesis.chip,
+                    &g.targets(),
+                    Some(&warm),
+                    config.ilp_budget,
+                )
+            },
+        );
+        for (g, exact) in groups.iter_mut().zip(exacts) {
+            if let Some(exact) = exact {
                 if exact.path.len() < g.candidates[0].path.len() {
                     g.candidates.insert(0, exact);
                     g.candidates.truncate(config.candidates.max(1));
@@ -205,6 +258,7 @@ pub fn pdw(
     // Only provably-safe removals may be integrated away: deleting a
     // removal that witnesses a Type-2/3 exemption would re-expose residue
     // unless a wash already covers the cell (`Analysis::deletable`).
+    let analysis = ctx.analysis(necessity);
     let protected: std::collections::HashSet<pdw_sched::TaskId> = synthesis
         .schedule
         .tasks()
@@ -212,29 +266,35 @@ pub fn pdw(
         .map(|(id, _)| id)
         .filter(|id| !analysis.deletable.contains(id))
         .collect();
-    let stage = Instant::now();
-    let greedy = insert_washes_protected(
-        &synthesis.chip,
-        &synthesis.schedule,
-        &groups,
-        config.integration,
-        &protected,
+    let greedy = timer.stage(
+        |s| &mut s.greedy_s,
+        || {
+            insert_washes_protected(
+                &synthesis.chip,
+                &synthesis.schedule,
+                &groups,
+                config.integration,
+                &protected,
+            )
+        },
     );
-    stats.greedy_s = stage.elapsed().as_secs_f64();
     let integrated = greedy.integrated.len();
-    stats.groups = greedy.groups.len();
-    stats.candidates = greedy.groups.iter().map(|g| g.candidates.len()).sum();
+    timer.stats.groups = greedy.groups.len();
+    timer.stats.candidates = greedy.groups.iter().map(|g| g.candidates.len()).sum();
 
     if config.ilp {
-        let stage = Instant::now();
-        let refined = refine_with_ilp(
-            &synthesis.chip,
-            &bench.graph,
-            &greedy.groups,
-            &greedy,
-            config,
+        let refined = timer.stage(
+            |s| &mut s.ilp_s,
+            || {
+                refine_with_ilp(
+                    &synthesis.chip,
+                    &bench.graph,
+                    &greedy.groups,
+                    &greedy,
+                    config,
+                )
+            },
         );
-        stats.ilp_s = stage.elapsed().as_secs_f64();
         if let Some(refined) = refined {
             let report = SolverReport {
                 used_ilp: true,
@@ -242,7 +302,6 @@ pub fn pdw(
                 nodes: refined.nodes,
                 stats: Some(refined.stats),
             };
-            let stats = seal_stats(stats, run_start, counters_start);
             // The ILP schedule must independently pass validation; on any
             // breach, fall back to the (always valid) greedy schedule.
             if let Ok(result) = finish(
@@ -252,23 +311,19 @@ pub fn pdw(
                 exemptions,
                 integrated,
                 report,
-                stats,
+                timer.seal(),
             ) {
                 // Only adopt the refinement when it does not regress the
                 // paper's objective (floor-rounding can cost a second).
                 let greedy_metrics = Metrics::measure(&bench.graph, &greedy.schedule);
                 let w = &config.weights;
-                let greedy_obj = w.alpha * greedy_metrics.n_wash as f64
-                    + w.beta * greedy_metrics.l_wash_mm
-                    + w.gamma * greedy_metrics.t_assay as f64;
-                if result.objective(w) <= greedy_obj {
+                if result.objective(w) <= w.objective(&greedy_metrics) {
                     return Ok(result);
                 }
             }
         }
     }
 
-    let stats = seal_stats(stats, run_start, counters_start);
     finish(
         bench,
         synthesis,
@@ -276,23 +331,8 @@ pub fn pdw(
         exemptions,
         integrated,
         SolverReport::greedy(),
-        stats,
+        timer.seal(),
     )
-}
-
-/// Fills the run-wide totals: end-to-end wall time and the routing-counter
-/// deltas accumulated since `counters_start`.
-fn seal_stats(
-    mut stats: PipelineStats,
-    run_start: Instant,
-    counters_start: pdw_biochip::RoutingCounters,
-) -> PipelineStats {
-    stats.total_s = run_start.elapsed().as_secs_f64();
-    let d = pdw_biochip::routing_counters() - counters_start;
-    stats.route_calls = d.route_calls;
-    stats.bfs_runs = d.bfs_runs;
-    stats.scratch_reuses = d.scratch_reuses;
-    stats
 }
 
 #[cfg(test)]
@@ -341,5 +381,30 @@ mod tests {
         )
         .unwrap();
         assert!(!r.solver.used_ilp);
+    }
+
+    #[test]
+    fn exact_paths_refinement_is_fanned_out_deterministically() {
+        // The parallel exact-path refinement must agree with itself across
+        // thread counts (generous budget so the anytime solver converges).
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let run = |threads: usize| {
+            pdw(
+                &bench,
+                &s,
+                &PdwConfig {
+                    ilp: false,
+                    exact_paths: true,
+                    threads,
+                    ..PdwConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let par = run(8);
+        assert_eq!(serial.schedule, par.schedule);
+        assert_eq!(serial.metrics, par.metrics);
     }
 }

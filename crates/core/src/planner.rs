@@ -1,0 +1,247 @@
+//! The planner engine: every optimizer behind one trait, one shared
+//! context, and a batched solve driver.
+//!
+//! The three solve strategies the crate offers — the DAWO baseline, the
+//! greedy PathDriver-Wash pipeline, and the full ILP-refined pipeline — are
+//! [`Planner`]s. A planner does not own its precomputation: it consumes a
+//! [`PlanContext`], so running several planners on one instance (the
+//! differential verifier, an ablation sweep, a baseline-vs-optimized
+//! service endpoint) computes the common prefix — necessity analysis,
+//! port-reachability fields, routing scratch — once.
+//!
+//! [`plan_batch`] scales that to a corpus: instances fan out across worker
+//! threads, each worker carrying its scratch pool from instance to
+//! instance, and results come back in input order. Every planner here is a
+//! pure function of `(instance, config)`, so batch output is bit-identical
+//! to serial one-shot calls at any thread count. (The one caveat is
+//! wall-clock-budget-bound ILP refinement, which is documented to vary run
+//! to run regardless of batching.)
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_biochip::ScratchPool;
+use pdw_synth::Synthesis;
+
+use crate::config::PdwConfig;
+use crate::context::PlanContext;
+use crate::pdw::{PdwError, WashResult};
+
+/// A wash-plan optimizer that solves against a shared [`PlanContext`].
+pub trait Planner: Sync {
+    /// Short identifier for reports (`"dawo"`, `"greedy"`, `"pdw"`).
+    fn name(&self) -> &'static str;
+
+    /// Produces a validated, contamination-free wash plan for the context's
+    /// instance. Warm context caches only change wall time, never the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdwError`] only if an internal invariant is broken.
+    fn plan(&self, ctx: &mut PlanContext<'_>) -> Result<WashResult, PdwError>;
+}
+
+/// The DAWO baseline of TC'22 \[10\]: per-spot washes with independently
+/// BFS-routed paths and sweep-line time assignment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DawoPlanner;
+
+impl Planner for DawoPlanner {
+    fn name(&self) -> &'static str {
+        "dawo"
+    }
+
+    fn plan(&self, ctx: &mut PlanContext<'_>) -> Result<WashResult, PdwError> {
+        crate::dawo::run_dawo(ctx)
+    }
+}
+
+/// The PathDriver-Wash pipeline stopped at its greedy warm start — the ILP
+/// back-end is forced off, making the planner deterministic and fast.
+#[derive(Debug, Clone)]
+pub struct GreedyPlanner {
+    config: PdwConfig,
+}
+
+impl GreedyPlanner {
+    /// A greedy planner with `config`'s front-end knobs; `config.ilp` is
+    /// ignored (forced off).
+    pub fn new(config: PdwConfig) -> Self {
+        GreedyPlanner {
+            config: PdwConfig {
+                ilp: false,
+                ..config
+            },
+        }
+    }
+
+    /// The effective configuration (with the ILP off).
+    pub fn config(&self) -> &PdwConfig {
+        &self.config
+    }
+}
+
+impl Default for GreedyPlanner {
+    fn default() -> Self {
+        Self::new(PdwConfig::default())
+    }
+}
+
+impl Planner for GreedyPlanner {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn plan(&self, ctx: &mut PlanContext<'_>) -> Result<WashResult, PdwError> {
+        crate::pdw::run_pipeline(ctx, &self.config)
+    }
+}
+
+/// The full PathDriver-Wash pipeline: necessity analysis, grouping/merging,
+/// greedy warm start, and ILP refinement per `config`.
+#[derive(Debug, Clone, Default)]
+pub struct PdwPlanner {
+    /// The pipeline configuration (ablation switches, budgets, threads).
+    pub config: PdwConfig,
+}
+
+impl PdwPlanner {
+    /// A planner running the full pipeline under `config`.
+    pub fn new(config: PdwConfig) -> Self {
+        PdwPlanner { config }
+    }
+}
+
+impl Planner for PdwPlanner {
+    fn name(&self) -> &'static str {
+        "pdw"
+    }
+
+    fn plan(&self, ctx: &mut PlanContext<'_>) -> Result<WashResult, PdwError> {
+        crate::pdw::run_pipeline(ctx, &self.config)
+    }
+}
+
+/// Solves a corpus of instances with a set of planners, fanning instances
+/// across `threads` workers (0 = all cores).
+///
+/// Per instance, every planner runs against one shared [`PlanContext`] (the
+/// amortized path); per worker, the routing scratch pool survives from
+/// instance to instance. Results come back as one row per instance, in
+/// input order, with one entry per planner in `planners` order —
+/// bit-identical to calling each planner on a cold context serially, at any
+/// thread count.
+pub fn plan_batch(
+    instances: &[(&Benchmark, &Synthesis)],
+    planners: &[&dyn Planner],
+    threads: usize,
+) -> Vec<Vec<Result<WashResult, PdwError>>> {
+    crate::par::par_map_ctx(
+        instances,
+        threads,
+        ScratchPool::new,
+        |pool, _, &(bench, synthesis)| {
+            let mut ctx = PlanContext::with_pool(bench, synthesis, std::mem::take(pool));
+            let results = planners.iter().map(|p| p.plan(&mut ctx)).collect();
+            *pool = ctx.into_pool();
+            results
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dawo, pdw};
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+
+    #[test]
+    fn planners_share_a_context_without_changing_results() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let config = PdwConfig {
+            ilp: false,
+            ..PdwConfig::default()
+        };
+
+        // Cold one-shot calls.
+        let cold_dawo = dawo(&bench, &s).unwrap();
+        let cold_greedy = pdw(&bench, &s, &config).unwrap();
+
+        // Same planners through one shared context.
+        let mut ctx = PlanContext::new(&bench, &s);
+        let warm_dawo = DawoPlanner.plan(&mut ctx).unwrap();
+        let warm_greedy = GreedyPlanner::new(config.clone()).plan(&mut ctx).unwrap();
+        // Re-running the greedy planner hits every cache; still identical.
+        let warm_greedy2 = GreedyPlanner::new(config).plan(&mut ctx).unwrap();
+
+        assert_eq!(warm_dawo.schedule, cold_dawo.schedule);
+        assert_eq!(warm_dawo.metrics, cold_dawo.metrics);
+        assert_eq!(warm_greedy.schedule, cold_greedy.schedule);
+        assert_eq!(warm_greedy.metrics, cold_greedy.metrics);
+        assert_eq!(warm_greedy2.schedule, cold_greedy.schedule);
+        // Two distinct analyses were cached: reuse-only (DAWO) + full. The
+        // same goes for the front ends (DAWO's nearest-policy groups + the
+        // greedy pipeline's — the re-run was served from the cache).
+        assert_eq!(ctx.cached_analyses(), 2);
+        assert_eq!(ctx.cached_front_ends(), 2);
+    }
+
+    #[test]
+    fn greedy_planner_forces_the_ilp_off() {
+        let p = GreedyPlanner::new(PdwConfig::default());
+        assert!(!p.config().ilp);
+        assert_eq!(p.name(), "greedy");
+        assert_eq!(DawoPlanner.name(), "dawo");
+        assert_eq!(PdwPlanner::default().name(), "pdw");
+    }
+
+    #[test]
+    fn batch_matches_serial_one_shot_calls_at_any_thread_count() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let instances: Vec<(&benchmarks::Benchmark, &pdw_synth::Synthesis)> = vec![(&bench, &s); 3];
+        let greedy = GreedyPlanner::default();
+        let planners: Vec<&dyn Planner> = vec![&DawoPlanner, &greedy];
+
+        let serial = plan_batch(&instances, &planners, 1);
+        let cold_dawo = dawo(&bench, &s).unwrap();
+        let cold_greedy = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                ilp: false,
+                ..PdwConfig::default()
+            },
+        )
+        .unwrap();
+        for threads in [1, 2, 8] {
+            let batch = plan_batch(&instances, &planners, threads);
+            assert_eq!(batch.len(), instances.len());
+            for row in &batch {
+                assert_eq!(row.len(), planners.len());
+                let d = row[0].as_ref().unwrap();
+                let g = row[1].as_ref().unwrap();
+                assert_eq!(d.schedule, cold_dawo.schedule, "dawo at {threads} threads");
+                assert_eq!(
+                    g.schedule, cold_greedy.schedule,
+                    "greedy at {threads} threads"
+                );
+                assert_eq!(g.metrics, cold_greedy.metrics);
+            }
+            // Full cross-check against the serial batch, metrics included.
+            for (a, b) in batch.iter().zip(&serial) {
+                for (x, y) in a.iter().zip(b) {
+                    let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+                    assert_eq!(x.schedule, y.schedule);
+                    assert_eq!(x.metrics, y.metrics);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let planners: Vec<&dyn Planner> = vec![&DawoPlanner];
+        assert!(plan_batch(&[], &planners, 4).is_empty());
+    }
+}

@@ -1,5 +1,8 @@
 //! Per-stage observability of the wash-optimization pipeline.
 
+use std::time::Instant;
+
+use pdw_biochip::RoutingCounters;
 use serde::Serialize;
 
 /// Wall-clock and routing-effort breakdown of one optimizer run.
@@ -45,9 +48,82 @@ impl PipelineStats {
     }
 }
 
+/// Stage-timing harness for an optimizer run.
+///
+/// Replaces the per-planner `Instant::now()` / counter-snapshot boilerplate:
+/// a planner starts a timer, wraps each stage in [`stage`](Self::stage)
+/// naming the stat slot it should charge, and [`seal`](Self::seal)s the
+/// run-wide totals (end-to-end wall time plus the process-wide
+/// routing-counter deltas accumulated since the timer started). `seal`
+/// borrows, so a planner with multiple exits (e.g. ILP adoption vs greedy
+/// fallback) can seal at each.
+pub(crate) struct StageTimer {
+    run_start: Instant,
+    counters_start: RoutingCounters,
+    /// The stats under construction; planners fill the non-timing fields
+    /// (`groups`, `candidates`) directly.
+    pub stats: PipelineStats,
+}
+
+impl StageTimer {
+    /// Starts the run clock and snapshots the routing counters.
+    pub fn start(threads: usize) -> Self {
+        StageTimer {
+            run_start: Instant::now(),
+            counters_start: pdw_biochip::routing_counters(),
+            stats: PipelineStats {
+                threads: crate::par::resolve_threads(threads),
+                ..PipelineStats::default()
+            },
+        }
+    }
+
+    /// Runs `f`, charging its wall time to the stat slot picked by `slot`
+    /// (e.g. `|s| &mut s.grouping_s`). Times accumulate, so a stage split
+    /// across several calls charges one slot correctly.
+    pub fn stage<R>(
+        &mut self,
+        slot: impl FnOnce(&mut PipelineStats) -> &mut f64,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let t = Instant::now();
+        let r = f();
+        *slot(&mut self.stats) += t.elapsed().as_secs_f64();
+        r
+    }
+
+    /// Fills the run-wide totals: end-to-end wall time and routing-counter
+    /// deltas since [`start`](Self::start).
+    pub fn seal(&self) -> PipelineStats {
+        let mut stats = self.stats;
+        stats.total_s = self.run_start.elapsed().as_secs_f64();
+        let d = pdw_biochip::routing_counters() - self.counters_start;
+        stats.route_calls = d.route_calls;
+        stats.bfs_runs = d.bfs_runs;
+        stats.scratch_reuses = d.scratch_reuses;
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_timer_charges_named_slots_and_seals_totals() {
+        let mut timer = StageTimer::start(1);
+        let out = timer.stage(|s| &mut s.grouping_s, || 41 + 1);
+        assert_eq!(out, 42);
+        timer.stage(|s| &mut s.grouping_s, || ());
+        timer.stage(|s| &mut s.greedy_s, || ());
+        let sealed = timer.seal();
+        assert!(sealed.grouping_s >= 0.0 && sealed.greedy_s >= 0.0);
+        assert!(sealed.total_s >= sealed.grouping_s + sealed.greedy_s);
+        assert_eq!(sealed.threads, 1);
+        // Sealing is non-consuming: a second exit point can seal again.
+        let sealed2 = timer.seal();
+        assert!(sealed2.total_s >= sealed.total_s);
+    }
 
     #[test]
     fn front_end_sums_the_non_ilp_stages() {

@@ -1,9 +1,11 @@
 //! Differential verification of complete wash plans.
 //!
-//! [`verify_instance`] runs every solver the crate offers — the DAWO
+//! [`verify_instance`] runs every [`Planner`] the crate offers — the DAWO
 //! baseline, the greedy PathDriver-Wash pipeline, and (optionally) the
-//! ILP-refined pipeline — on one benchmark instance and pushes each plan
-//! through four independent judges:
+//! ILP-refined pipeline — through **one shared [`PlanContext`]** for the
+//! instance (so the necessity analyses and routing state are computed once,
+//! not once per solver run) and pushes each plan through four independent
+//! judges:
 //!
 //! 1. the physical-executability validator ([`pdw_sim::validate`]),
 //! 2. the first-error cleanliness check ([`pdw_contam::verify_clean`]),
@@ -38,8 +40,9 @@ use pdw_sim::{propagate, validate, Metrics, OracleReport};
 use pdw_synth::Synthesis;
 
 use crate::config::{PdwConfig, Weights};
-use crate::dawo::dawo;
-use crate::pdw::{pdw, WashResult};
+use crate::context::PlanContext;
+use crate::pdw::WashResult;
+use crate::planner::{DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
 
 /// Knobs of a verification run.
 #[derive(Debug, Clone)]
@@ -193,8 +196,15 @@ pub fn objective_of(schedule: &Schedule, w: &Weights) -> f64 {
         .filter(|(_, t)| t.kind().is_wash())
         .map(|(_, t)| t.path().len() as f64 * CELL_PITCH_MM)
         .sum();
-    let t_assay = schedule.makespan();
-    w.alpha * n_wash as f64 + w.beta * l_wash_mm + w.gamma * t_assay as f64
+    let remeasured = Metrics {
+        n_wash,
+        l_wash_mm,
+        t_assay: schedule.makespan(),
+        total_wash_time: 0,
+        avg_wait: 0.0,
+        buffer_nl: 0.0,
+    };
+    w.objective(&remeasured)
 }
 
 /// Judges one solver outcome. `result` is `Err` when the solver itself
@@ -245,8 +255,14 @@ pub fn verify_instance(
     let weights = Weights::default();
     let mut plans = Vec::new();
 
+    // One shared context: every planner below reuses its cached necessity
+    // analyses and routing scratch. Planner parity with cold one-shot calls
+    // is itself property-tested (tests/threads.rs), so sharing here does
+    // not weaken the differential check.
+    let mut ctx = PlanContext::new(bench, synthesis);
+
     // DAWO baseline.
-    let d = dawo(bench, synthesis).map_err(|e| e.to_string());
+    let d = DawoPlanner.plan(&mut ctx).map_err(|e| e.to_string());
     plans.push(check_plan(
         "dawo",
         &synthesis.chip,
@@ -264,12 +280,11 @@ pub fn verify_instance(
     };
     let mut greedy_runs: Vec<(usize, Result<WashResult, String>)> = Vec::new();
     for &t in &threads {
-        let config = PdwConfig {
-            ilp: false,
+        let planner = GreedyPlanner::new(PdwConfig {
             threads: t,
             ..PdwConfig::default()
-        };
-        greedy_runs.push((t, pdw(bench, synthesis, &config).map_err(|e| e.to_string())));
+        });
+        greedy_runs.push((t, planner.plan(&mut ctx).map_err(|e| e.to_string())));
     }
     plans.push(check_plan(
         "greedy",
@@ -299,11 +314,11 @@ pub fn verify_instance(
 
     // ILP-refined pipeline.
     if opts.ilp {
-        let config = PdwConfig {
+        let planner = PdwPlanner::new(PdwConfig {
             ilp_budget: opts.ilp_budget,
             ..PdwConfig::default()
-        };
-        let r = pdw(bench, synthesis, &config).map_err(|e| e.to_string());
+        });
+        let r = planner.plan(&mut ctx).map_err(|e| e.to_string());
         plans.push(check_plan(
             "ilp",
             &synthesis.chip,
@@ -353,6 +368,7 @@ pub fn shrink_failure(seed: u64, opts: &VerifyOptions) -> (SyntheticSpec, usize)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pdw::pdw;
     use pdw_assay::benchmarks;
     use pdw_synth::synthesize;
 

@@ -9,7 +9,9 @@
 use proptest::prelude::*;
 
 use pathdriver_wash::verify::objective_of;
-use pathdriver_wash::{dawo, pdw, PdwConfig, Weights};
+use pathdriver_wash::{
+    dawo, pdw, DawoPlanner, GreedyPlanner, PdwConfig, PdwPlanner, PlanContext, Planner, Weights,
+};
 use pdw_contam::verify_clean;
 use pdw_gen::{instance, spec_strategy, Skip};
 use pdw_sim::{propagate, validate};
@@ -70,5 +72,70 @@ proptest! {
             p.objective(&w),
             d_obj
         );
+    }
+
+    /// Planner parity on the same random-instance family: every planner's
+    /// schedule passes the validator, the cleanliness check, and the
+    /// independent contamination-propagation oracle; the full pipeline never
+    /// worsens the greedy objective; and a shared (warm) `PlanContext`
+    /// reproduces cold one-shot calls bit for bit.
+    #[test]
+    fn planners_agree_on_random_assays(spec in spec_strategy()) {
+        let (bench, s) = match instance(&spec) {
+            Ok(pair) => pair,
+            Err(Skip::Deadlock(_)) => {
+                prop_assume!(false);
+                unreachable!()
+            }
+            Err(Skip::Infeasible(e)) => {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "synthesis: {e}"
+                )))
+            }
+        };
+
+        let greedy_config = PdwConfig { ilp: false, ..PdwConfig::default() };
+        // Tiny ILP budget keeps the corpus fast; the adoption gate makes
+        // "never worse than greedy" hold at any budget.
+        let full_config = PdwConfig {
+            ilp_budget: std::time::Duration::from_millis(100),
+            ..PdwConfig::default()
+        };
+        let mut ctx = PlanContext::new(&bench, &s);
+        let d = DawoPlanner.plan(&mut ctx).expect("dawo planner succeeds");
+        let g = GreedyPlanner::new(greedy_config.clone())
+            .plan(&mut ctx)
+            .expect("greedy planner succeeds");
+        let p = PdwPlanner::new(full_config)
+            .plan(&mut ctx)
+            .expect("pdw planner succeeds");
+
+        for (name, r) in [("dawo", &d), ("greedy", &g), ("pdw", &p)] {
+            validate(&s.chip, &bench.graph, &r.schedule)
+                .unwrap_or_else(|e| panic!("{name}: invalid: {e}"));
+            verify_clean(&s.chip, &bench.graph, &r.schedule)
+                .unwrap_or_else(|e| panic!("{name}: dirty: {e}"));
+            let oracle = propagate(&s.chip, &bench.graph, &r.schedule);
+            prop_assert!(oracle.is_clean(), "{}: oracle: {:?}", name, oracle.violations);
+        }
+
+        // The ILP adoption gate guarantees the full pipeline never regresses
+        // the greedy objective, whatever its budget produced.
+        let w = Weights::default();
+        prop_assert!(
+            p.objective(&w) <= g.objective(&w) + 1e-9,
+            "pdw objective {} exceeds greedy {}",
+            p.objective(&w),
+            g.objective(&w)
+        );
+
+        // Context warmth must not leak into results: the deterministic
+        // planners reproduce cold one-shot calls exactly.
+        let cold_d = dawo(&bench, &s).expect("cold dawo succeeds");
+        let cold_g = pdw(&bench, &s, &greedy_config).expect("cold pdw succeeds");
+        prop_assert_eq!(&d.schedule, &cold_d.schedule);
+        prop_assert_eq!(&d.metrics, &cold_d.metrics);
+        prop_assert_eq!(&g.schedule, &cold_g.schedule);
+        prop_assert_eq!(&g.metrics, &cold_g.metrics);
     }
 }

@@ -7,7 +7,8 @@
 //! any thread count.
 
 use pathdriver_wash::{
-    build_groups, pdw, split_into_spot_clusters, CandidatePolicy, PdwConfig, WashGroup,
+    build_groups, dawo, pdw, plan_batch, split_into_spot_clusters, CandidatePolicy, DawoPlanner,
+    GreedyPlanner, PdwConfig, PlanContext, Planner, WashGroup,
 };
 use pdw_assay::benchmarks;
 use pdw_contam::{analyze, NecessityOptions};
@@ -90,6 +91,93 @@ fn placements_and_objective_are_thread_count_invariant() {
                 "{}: schedule differs at {threads} threads",
                 bench.name
             );
+        }
+    }
+}
+
+#[test]
+fn shared_context_results_match_cold_calls_on_every_benchmark() {
+    // Context warmth must never change a plan: running DAWO and the greedy
+    // pipeline (twice) through one PlanContext has to reproduce the cold
+    // one-shot calls bit for bit on every bundled benchmark.
+    let config = PdwConfig {
+        ilp: false,
+        ..PdwConfig::default()
+    };
+    for bench in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
+        let s = synthesize(&bench).expect("benchmark synthesizes");
+        let cold_d = dawo(&bench, &s).expect("dawo runs");
+        let cold_g = pdw(&bench, &s, &config).expect("pdw runs");
+
+        let mut ctx = PlanContext::new(&bench, &s);
+        let warm_d = DawoPlanner.plan(&mut ctx).expect("dawo planner runs");
+        let warm_g = GreedyPlanner::new(config.clone())
+            .plan(&mut ctx)
+            .expect("greedy planner runs");
+        let warm_g2 = GreedyPlanner::new(config.clone())
+            .plan(&mut ctx)
+            .expect("greedy planner re-runs");
+
+        assert_eq!(warm_d.schedule, cold_d.schedule, "{}: dawo", bench.name);
+        assert_eq!(warm_d.metrics, cold_d.metrics, "{}: dawo", bench.name);
+        assert_eq!(warm_g.schedule, cold_g.schedule, "{}: greedy", bench.name);
+        assert_eq!(warm_g.metrics, cold_g.metrics, "{}: greedy", bench.name);
+        assert_eq!(
+            warm_g2.schedule, cold_g.schedule,
+            "{}: greedy on a fully warm context",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn plan_batch_is_thread_count_invariant_across_the_suite() {
+    // The batched driver fans instances across workers with per-worker
+    // context reuse; output must be bit-identical to cold one-shot calls at
+    // every thread count, in input order.
+    let config = PdwConfig {
+        ilp: false,
+        ..PdwConfig::default()
+    };
+    let owned: Vec<_> = benchmarks::suite()
+        .into_iter()
+        .chain([benchmarks::demo()])
+        .map(|b| {
+            let s = synthesize(&b).expect("benchmark synthesizes");
+            (b, s)
+        })
+        .collect();
+    let instances: Vec<(&benchmarks::Benchmark, &pdw_synth::Synthesis)> =
+        owned.iter().map(|(b, s)| (b, s)).collect();
+    let cold: Vec<_> = owned
+        .iter()
+        .map(|(b, s)| {
+            (
+                dawo(b, s).expect("dawo runs"),
+                pdw(b, s, &config).expect("pdw runs"),
+            )
+        })
+        .collect();
+
+    let greedy = GreedyPlanner::new(config);
+    let planners: Vec<&dyn Planner> = vec![&DawoPlanner, &greedy];
+    for threads in [1, 2, 8] {
+        let batch = plan_batch(&instances, &planners, threads);
+        assert_eq!(batch.len(), owned.len());
+        for (i, (row, (cold_d, cold_g))) in batch.iter().zip(&cold).enumerate() {
+            let name = &owned[i].0.name;
+            let d = row[0].as_ref().expect("dawo planner runs");
+            let g = row[1].as_ref().expect("greedy planner runs");
+            assert_eq!(
+                d.schedule, cold_d.schedule,
+                "{name}: dawo at {threads} threads"
+            );
+            assert_eq!(d.metrics, cold_d.metrics, "{name}: dawo metrics");
+            assert_eq!(
+                g.schedule, cold_g.schedule,
+                "{name}: greedy at {threads} threads"
+            );
+            assert_eq!(g.metrics, cold_g.metrics, "{name}: greedy metrics");
         }
     }
 }
