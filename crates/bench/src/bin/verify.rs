@@ -16,11 +16,18 @@
 //! shrunk to the smallest still-failing spec and the file names the exact
 //! `pdw verify --seed <s>` command that reproduces each failure. Exits
 //! nonzero when anything fails.
+//!
+//! After the differential pass, the same seed range is replayed as a
+//! *faulted* corpus: each instance's chip is damaged by seeded fault
+//! injection and the degradation ladder is swept across pipeline deadlines
+//! and thread counts ([`pathdriver_wash::verify::chaos_seed`]).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use pathdriver_wash::verify::{shrink_failure, verify_instance, verify_seed, VerifyOptions};
+use pathdriver_wash::verify::{
+    chaos_seed, shrink_failure, verify_instance, verify_seed, ChaosOptions, VerifyOptions,
+};
 use pdw_assay::benchmarks;
 use pdw_synth::synthesize;
 
@@ -79,6 +86,31 @@ fn main() -> ExitCode {
         }
     }
     println!("({skipped}/{seeds} seeds skipped as infeasible)");
+
+    // Chaos replay: the corpus again, but on fault-injected chips with the
+    // degradation ladder under a deadline/thread sweep. Capped well below
+    // the differential corpus — each chaos seed is budgets x threads solves.
+    let chaos_seeds = seeds.min(25);
+    println!("== faulted corpus ({chaos_seeds} seeds) ==");
+    let copts = ChaosOptions::default();
+    let mut chaos_skipped = 0u64;
+    for seed in 0..chaos_seeds {
+        match chaos_seed(seed, &copts) {
+            None => chaos_skipped += 1,
+            Some(report) => {
+                println!("{report}");
+                if !report.passed() {
+                    for f in &report.failures {
+                        failures.push(format!("chaos seed {seed}: {f}"));
+                    }
+                    failures.push(format!(
+                        "chaos seed {seed}: repro: pdw verify --faults --seed {seed}"
+                    ));
+                }
+            }
+        }
+    }
+    println!("({chaos_skipped}/{chaos_seeds} chaos seeds skipped as infeasible)");
 
     if failures.is_empty() {
         println!("verify: all instances passed");

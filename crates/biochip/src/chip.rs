@@ -8,6 +8,7 @@ use std::sync::OnceLock;
 
 use crate::device::{Device, DeviceId};
 use crate::error::ChipError;
+use crate::fault::FaultSet;
 use crate::grid::{CellKind, Coord, Grid};
 use crate::path::FlowPath;
 use crate::routing::{PortReach, RouteScratch};
@@ -51,6 +52,10 @@ pub struct Chip {
     flow_ports: Vec<Port>,
     waste_ports: Vec<Port>,
     labels: HashMap<String, Coord>,
+    /// Physical faults the chip currently suffers (empty on a pristine
+    /// chip). Part of the chip's identity: routing, path validation, and
+    /// equality all consult it.
+    faults: FaultSet,
     /// Lazily computed port reachability fields (see [`PortReach`]). Not
     /// part of the chip's identity: excluded from equality and
     /// serialization.
@@ -64,21 +69,28 @@ impl PartialEq for Chip {
             && self.flow_ports == other.flow_ports
             && self.waste_ports == other.waste_ports
             && self.labels == other.labels
+            && self.faults == other.faults
     }
 }
 
 // Manual impls (the derive would serialize the `reach` cache): same wire
 // format as the former derive — an object with the persistent fields in
-// declaration order.
+// declaration order. The `faults` field is emitted only when non-empty and
+// tolerated as absent, so pristine chips keep the pre-fault wire format in
+// both directions.
 impl Serialize for Chip {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             ("grid".to_string(), self.grid.to_value()),
             ("devices".to_string(), self.devices.to_value()),
             ("flow_ports".to_string(), self.flow_ports.to_value()),
             ("waste_ports".to_string(), self.waste_ports.to_value()),
             ("labels".to_string(), self.labels.to_value()),
-        ])
+        ];
+        if !self.faults.is_empty() {
+            fields.push(("faults".to_string(), self.faults.to_value()));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -87,12 +99,17 @@ impl Deserialize for Chip {
         let obj = v
             .as_object()
             .ok_or_else(|| serde::Error::custom("expected object for Chip"))?;
+        let faults = match obj.iter().find(|(k, _)| k == "faults") {
+            Some((_, v)) => FaultSet::from_value(v)?,
+            None => FaultSet::default(),
+        };
         Ok(Chip {
             grid: serde::field(obj, "grid")?,
             devices: serde::field(obj, "devices")?,
             flow_ports: serde::field(obj, "flow_ports")?,
             waste_ports: serde::field(obj, "waste_ports")?,
             labels: serde::field(obj, "labels")?,
+            faults,
             reach: OnceLock::new(),
         })
     }
@@ -124,8 +141,63 @@ impl Chip {
             flow_ports,
             waste_ports,
             labels,
+            faults: FaultSet::default(),
             reach: OnceLock::new(),
         }
+    }
+
+    /// A copy of this chip carrying `faults`, replacing any existing fault
+    /// set. The routing caches are rebuilt lazily against the faulted
+    /// topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::BadFault`] when a fault references a
+    /// coordinate outside the grid, a port id the chip does not have, or an
+    /// edge between non-adjacent cells.
+    pub fn with_faults(&self, faults: FaultSet) -> Result<Chip, ChipError> {
+        for &c in faults.blocked_cells() {
+            if !self.grid.contains(c) {
+                return Err(ChipError::BadFault {
+                    reason: format!("blocked cell {c} lies outside the grid"),
+                });
+            }
+        }
+        for id in faults.disabled_flow_ports() {
+            if id.0 as usize >= self.flow_ports.len() {
+                return Err(ChipError::BadFault {
+                    reason: format!("disabled flow port {id} does not exist"),
+                });
+            }
+        }
+        for id in faults.disabled_waste_ports() {
+            if id.0 as usize >= self.waste_ports.len() {
+                return Err(ChipError::BadFault {
+                    reason: format!("disabled waste port {id} does not exist"),
+                });
+            }
+        }
+        for &(a, b) in faults.blocked_edges() {
+            if !self.grid.contains(a) || !self.grid.contains(b) || !a.is_adjacent(b) {
+                return Err(ChipError::BadFault {
+                    reason: format!("blocked edge {a}–{b} does not join adjacent grid cells"),
+                });
+            }
+        }
+        Ok(Chip {
+            grid: self.grid.clone(),
+            devices: self.devices.clone(),
+            flow_ports: self.flow_ports.clone(),
+            waste_ports: self.waste_ports.clone(),
+            labels: self.labels.clone(),
+            faults,
+            reach: OnceLock::new(),
+        })
+    }
+
+    /// The chip's current fault set (empty on a pristine chip).
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
     }
 
     /// The underlying virtual grid.
@@ -147,6 +219,13 @@ impl Chip {
         &self.devices[id.0 as usize]
     }
 
+    /// Looks up a device by id, returning `None` when `id` does not belong
+    /// to this chip — the fallible twin of [`device`](Self::device) for
+    /// callers replaying untrusted or malformed schedules.
+    pub fn try_device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(id.0 as usize)
+    }
+
     /// Coordinates of all flow ports, indexed by [`FlowPortId`].
     pub fn flow_ports(&self) -> impl ExactSizeIterator<Item = Coord> + '_ {
         self.flow_ports.iter().map(|p| p.coord)
@@ -166,6 +245,12 @@ impl Chip {
         self.flow_ports[id.0 as usize].coord
     }
 
+    /// Coordinate of the flow port `id`, or `None` when the chip has no
+    /// such port — the fallible twin of [`flow_port`](Self::flow_port).
+    pub fn try_flow_port(&self, id: FlowPortId) -> Option<Coord> {
+        self.flow_ports.get(id.0 as usize).map(|p| p.coord)
+    }
+
     /// Coordinate of the waste port `id`.
     ///
     /// # Panics
@@ -173,6 +258,12 @@ impl Chip {
     /// Panics if `id` does not belong to this chip.
     pub fn waste_port(&self, id: WastePortId) -> Coord {
         self.waste_ports[id.0 as usize].coord
+    }
+
+    /// Coordinate of the waste port `id`, or `None` when the chip has no
+    /// such port — the fallible twin of [`waste_port`](Self::waste_port).
+    pub fn try_waste_port(&self, id: WastePortId) -> Option<Coord> {
+        self.waste_ports.get(id.0 as usize).map(|p| p.coord)
     }
 
     /// Resolves a port or device label to its anchor coordinate.
@@ -205,13 +296,28 @@ impl Chip {
     /// are `src` and `dst`.
     ///
     /// Ports other than the endpoints are impassable: fluid entering another
-    /// inlet's tubing or a closed outlet is physically meaningless.
+    /// inlet's tubing or a closed outlet is physically meaningless. Faulted
+    /// cells and disabled ports are impassable outright.
     pub(crate) fn passable(&self, c: Coord, src: Coord, dst: Coord) -> bool {
+        if self.faults.cell_blocked(c) {
+            return false;
+        }
         match self.grid.get(c) {
             None | Some(CellKind::Empty) => false,
             Some(CellKind::Channel) | Some(CellKind::Device(_)) => true,
-            Some(CellKind::FlowPort(_)) | Some(CellKind::WastePort(_)) => c == src || c == dst,
+            Some(CellKind::FlowPort(id)) => {
+                (c == src || c == dst) && !self.faults.flow_port_disabled(id)
+            }
+            Some(CellKind::WastePort(id)) => {
+                (c == src || c == dst) && !self.faults.waste_port_disabled(id)
+            }
         }
+    }
+
+    /// Returns `true` if fluid may cross between the adjacent cells `a` and
+    /// `b` — i.e. no stuck-closed valve sits on that edge.
+    pub(crate) fn edge_passable(&self, a: Coord, b: Coord) -> bool {
+        !self.faults.edge_blocked(a, b)
     }
 
     /// BFS shortest path from `from` to `to` over routable cells, avoiding
@@ -265,27 +371,48 @@ impl Chip {
     }
 
     /// Validates that `path` is a complete flow path on this chip: it starts
-    /// at a flow port, ends at a waste port, and every interior cell is a
-    /// channel or device cell (no intermediate port, no empty cell).
+    /// at an enabled flow port, ends at an enabled waste port, every interior
+    /// cell is a channel or device cell (no intermediate port, no empty
+    /// cell), and no cell or edge of the path is faulted.
     ///
     /// # Errors
     ///
-    /// Returns the first [`PathValidationError`] encountered, scanning source,
-    /// sink, then interior cells in order.
+    /// Returns the first [`PathValidationError`] encountered, scanning
+    /// source, sink, interior cells, then faults along the path in order.
     pub fn validate_path(&self, path: &FlowPath) -> Result<(), PathValidationError> {
         let cells = path.cells();
         match self.grid.get(path.source()) {
-            Some(CellKind::FlowPort(_)) => {}
+            Some(CellKind::FlowPort(id)) => {
+                if self.faults.flow_port_disabled(id) {
+                    return Err(PathValidationError::DisabledPort(path.source()));
+                }
+            }
             _ => return Err(PathValidationError::SourceNotFlowPort(path.source())),
         }
         match self.grid.get(path.sink()) {
-            Some(CellKind::WastePort(_)) => {}
+            Some(CellKind::WastePort(id)) => {
+                if self.faults.waste_port_disabled(id) {
+                    return Err(PathValidationError::DisabledPort(path.sink()));
+                }
+            }
             _ => return Err(PathValidationError::SinkNotWastePort(path.sink())),
         }
         for &c in &cells[1..cells.len() - 1] {
             match self.grid.get(c) {
                 Some(CellKind::Channel) | Some(CellKind::Device(_)) => {}
                 _ => return Err(PathValidationError::BadInterior(c)),
+            }
+        }
+        if !self.faults.is_empty() {
+            for &c in cells {
+                if self.faults.cell_blocked(c) {
+                    return Err(PathValidationError::FaultedCell(c));
+                }
+            }
+            for w in cells.windows(2) {
+                if self.faults.edge_blocked(w[0], w[1]) {
+                    return Err(PathValidationError::FaultedEdge(w[0], w[1]));
+                }
             }
         }
         Ok(())
@@ -302,6 +429,12 @@ pub enum PathValidationError {
     SinkNotWastePort(Coord),
     /// An interior cell is empty, off-grid, or a port.
     BadInterior(Coord),
+    /// A cell on the path is blocked by a chip fault.
+    FaultedCell(Coord),
+    /// The path crosses a stuck-closed valve between two adjacent cells.
+    FaultedEdge(Coord, Coord),
+    /// A path endpoint is a disabled port.
+    DisabledPort(Coord),
 }
 
 impl fmt::Display for PathValidationError {
@@ -315,6 +448,15 @@ impl fmt::Display for PathValidationError {
             }
             PathValidationError::BadInterior(c) => {
                 write!(f, "interior cell {c} is not a channel or device cell")
+            }
+            PathValidationError::FaultedCell(c) => {
+                write!(f, "path cell {c} is blocked by a chip fault")
+            }
+            PathValidationError::FaultedEdge(a, b) => {
+                write!(f, "path crosses a stuck-closed valve between {a} and {b}")
+            }
+            PathValidationError::DisabledPort(c) => {
+                write!(f, "path endpoint {c} is a disabled port")
             }
         }
     }
@@ -449,5 +591,139 @@ mod tests {
         let c = chip();
         let p = c.route(Coord::new(0, 3), Coord::new(0, 3), &[]).unwrap();
         assert_eq!(p, vec![Coord::new(0, 3)]);
+    }
+
+    #[test]
+    fn faulted_cell_is_routed_around_or_fails() {
+        let c = chip();
+        let mut faults = crate::FaultSet::new();
+        // The corridor is the only route; clogging it severs the chip.
+        faults.block_cell(Coord::new(2, 3));
+        let f = c.with_faults(faults).unwrap();
+        assert!(f.route(Coord::new(0, 3), Coord::new(7, 3), &[]).is_none());
+        // The pristine chip still routes — `with_faults` did not mutate it.
+        assert!(c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).is_some());
+        assert_ne!(f, c);
+    }
+
+    #[test]
+    fn stuck_valve_blocks_the_edge_but_not_the_cells() {
+        let c = chip();
+        let mut faults = crate::FaultSet::new();
+        faults.block_edge(Coord::new(1, 3), Coord::new(2, 3));
+        let f = c.with_faults(faults).unwrap();
+        // The edge is the only way across; routing fails…
+        assert!(f.route(Coord::new(0, 3), Coord::new(7, 3), &[]).is_none());
+        // …but both endpoint cells remain individually reachable.
+        assert!(f.route(Coord::new(0, 3), Coord::new(1, 3), &[]).is_some());
+        assert!(f.route(Coord::new(2, 3), Coord::new(7, 3), &[]).is_some());
+    }
+
+    #[test]
+    fn disabled_port_rejects_paths_and_routing() {
+        let c = chip();
+        let mut faults = crate::FaultSet::new();
+        faults.disable_flow_port(FlowPortId(0));
+        let f = c.with_faults(faults).unwrap();
+        assert!(f.route(Coord::new(0, 3), Coord::new(7, 3), &[]).is_none());
+        let good =
+            FlowPath::new(c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap()).unwrap();
+        assert_eq!(
+            f.validate_path(&good),
+            Err(PathValidationError::DisabledPort(Coord::new(0, 3)))
+        );
+    }
+
+    #[test]
+    fn validate_path_reports_faulted_cells_and_edges() {
+        let c = chip();
+        let good =
+            FlowPath::new(c.route(Coord::new(0, 3), Coord::new(7, 3), &[]).unwrap()).unwrap();
+
+        let mut cell_fault = crate::FaultSet::new();
+        cell_fault.block_cell(Coord::new(2, 3));
+        let f = c.with_faults(cell_fault).unwrap();
+        assert_eq!(
+            f.validate_path(&good),
+            Err(PathValidationError::FaultedCell(Coord::new(2, 3)))
+        );
+
+        let mut edge_fault = crate::FaultSet::new();
+        edge_fault.block_edge(Coord::new(2, 3), Coord::new(1, 3));
+        let f = c.with_faults(edge_fault).unwrap();
+        assert_eq!(
+            f.validate_path(&good),
+            Err(PathValidationError::FaultedEdge(
+                Coord::new(1, 3),
+                Coord::new(2, 3)
+            ))
+        );
+    }
+
+    #[test]
+    fn with_faults_rejects_nonsense() {
+        let c = chip();
+        let mut oob = crate::FaultSet::new();
+        oob.block_cell(Coord::new(99, 99));
+        assert!(matches!(
+            c.with_faults(oob),
+            Err(ChipError::BadFault { .. })
+        ));
+        let mut bad_port = crate::FaultSet::new();
+        bad_port.disable_flow_port(FlowPortId(9));
+        assert!(matches!(
+            c.with_faults(bad_port),
+            Err(ChipError::BadFault { .. })
+        ));
+        let mut bad_edge = crate::FaultSet::new();
+        bad_edge.block_edge(Coord::new(0, 0), Coord::new(2, 0));
+        assert!(matches!(
+            c.with_faults(bad_edge),
+            Err(ChipError::BadFault { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_chip_serde_roundtrip_keeps_faults() {
+        use serde::{Deserialize, Serialize};
+        let c = chip();
+        // Pristine chips keep the pre-fault wire format: no `faults` key.
+        let v = c.to_value();
+        if let serde::Value::Object(fields) = &v {
+            assert!(fields.iter().all(|(k, _)| k != "faults"));
+        } else {
+            panic!("chip serializes to an object");
+        }
+        assert_eq!(Chip::from_value(&v).unwrap(), c);
+
+        let mut faults = crate::FaultSet::new();
+        faults
+            .block_cell(Coord::new(3, 1))
+            .block_edge(Coord::new(1, 3), Coord::new(2, 3))
+            .disable_flow_port(FlowPortId(0));
+        let f = c.with_faults(faults).unwrap();
+        let back = Chip::from_value(&f.to_value()).unwrap();
+        assert_eq!(back, f);
+        assert!(back.faults().cell_blocked(Coord::new(3, 1)));
+    }
+
+    #[test]
+    fn try_lookups_mirror_the_panicking_accessors() {
+        let c = chip();
+        assert_eq!(
+            c.try_flow_port(FlowPortId(0)),
+            Some(c.flow_port(FlowPortId(0)))
+        );
+        assert_eq!(
+            c.try_waste_port(WastePortId(0)),
+            Some(c.waste_port(WastePortId(0)))
+        );
+        assert_eq!(
+            c.try_device(crate::DeviceId(0)).map(|d| d.label()),
+            Some(c.device(crate::DeviceId(0)).label())
+        );
+        assert_eq!(c.try_flow_port(FlowPortId(7)), None);
+        assert_eq!(c.try_waste_port(WastePortId(7)), None);
+        assert!(c.try_device(crate::DeviceId(42)).is_none());
     }
 }

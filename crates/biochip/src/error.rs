@@ -44,6 +44,12 @@ pub enum ChipError {
         /// The unresolved label.
         label: String,
     },
+    /// A fault set references something the chip does not have (an
+    /// out-of-bounds cell, a nonexistent port, a non-adjacent edge).
+    BadFault {
+        /// What was wrong with the fault set.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ChipError {
@@ -77,6 +83,9 @@ impl fmt::Display for ChipError {
             }
             ChipError::UnknownLabel { label } => {
                 write!(f, "no port or device labeled `{label}`")
+            }
+            ChipError::BadFault { reason } => {
+                write!(f, "invalid fault set: {reason}")
             }
         }
     }

@@ -46,6 +46,7 @@ mod cellset;
 mod chip;
 mod device;
 mod error;
+mod fault;
 mod grid;
 mod path;
 mod routing;
@@ -56,6 +57,7 @@ pub use cellset::CellSet;
 pub use chip::{Chip, FlowPortId, PathValidationError, WastePortId};
 pub use device::{Device, DeviceId, DeviceKind};
 pub use error::ChipError;
+pub use fault::FaultSet;
 pub use grid::{CellKind, Coord, Grid};
 pub use path::{FlowPath, PathError};
 pub use routing::{

@@ -211,7 +211,7 @@ impl RouteScratch {
                 if self.visit[ni] == e || barred(self, ni, n) {
                     continue;
                 }
-                if !chip.passable(n, cur, stop) {
+                if !chip.passable(n, cur, stop) || !chip.edge_passable(c, n) {
                     continue;
                 }
                 self.visit[ni] = e;
@@ -443,9 +443,33 @@ pub struct PortReach {
 
 impl PortReach {
     pub(crate) fn compute(chip: &Chip) -> Self {
+        use crate::chip::{FlowPortId, WastePortId};
         let w = chip.grid().width();
-        let flow: Vec<Vec<u32>> = chip.flow_ports().map(|p| Self::field(chip, p)).collect();
-        let waste: Vec<Vec<u32>> = chip.waste_ports().map(|p| Self::field(chip, p)).collect();
+        // A disabled port reaches nothing: its field is all-unreachable, so
+        // the pruning queries (`flow_reaches`/`washable`) treat it exactly
+        // like a port cut off by blocked channels.
+        let flow: Vec<Vec<u32>> = chip
+            .flow_ports()
+            .enumerate()
+            .map(|(i, p)| {
+                if chip.faults().flow_port_disabled(FlowPortId(i as u32)) {
+                    Self::dead_field(chip)
+                } else {
+                    Self::field(chip, p)
+                }
+            })
+            .collect();
+        let waste: Vec<Vec<u32>> = chip
+            .waste_ports()
+            .enumerate()
+            .map(|(i, p)| {
+                if chip.faults().waste_port_disabled(WastePortId(i as u32)) {
+                    Self::dead_field(chip)
+                } else {
+                    Self::field(chip, p)
+                }
+            })
+            .collect();
         let n = w as usize * chip.grid().height() as usize;
         let min_over = |fields: &[Vec<u32>]| {
             (0..n)
@@ -461,7 +485,14 @@ impl PortReach {
         }
     }
 
-    /// Single-source BFS from `port` over channel/device cells.
+    /// An all-unreachable field (used for disabled ports).
+    fn dead_field(chip: &Chip) -> Vec<u32> {
+        let n = chip.grid().width() as usize * chip.grid().height() as usize;
+        vec![u32::MAX; n]
+    }
+
+    /// Single-source BFS from `port` over channel/device cells, respecting
+    /// the chip's faults (blocked cells and stuck-closed valves).
     fn field(chip: &Chip, port: Coord) -> Vec<u32> {
         let w = chip.grid().width() as usize;
         let h = chip.grid().height() as usize;
@@ -478,10 +509,14 @@ impl PortReach {
                 if dist[ni] != u32::MAX {
                     continue;
                 }
-                // Ports other than the source are impassable.
+                // Ports other than the source are impassable, as are
+                // faulted cells and edges.
                 match chip.grid().kind(n) {
                     CellKind::Channel | CellKind::Device(_) => {}
                     _ => continue,
+                }
+                if chip.faults().cell_blocked(n) || !chip.edge_passable(c, n) {
+                    continue;
                 }
                 dist[ni] = d + 1;
                 queue.push(n);

@@ -20,6 +20,10 @@ usage:
 
 options for `run`:
   --budget <seconds>   ILP wall-clock budget per run (default 5)
+  --pipeline-budget <ms>
+                       wall-clock deadline for the whole pipeline; expired
+                       checkpoints degrade later stages instead of aborting
+                       (default: unlimited)
   --threads <n>        worker threads for candidate enumeration and the ILP
                        solver (default 0 = all cores)
   --no-ilp             greedy placement only
@@ -34,6 +38,11 @@ options for `run`:
 
 options for `verify`:
   --smoke              fast CI profile: bundled suite + 25 seeds, greedy only
+                       (with --faults: 8 chaos seeds)
+  --faults             chaos mode: replay the degradation ladder on seeded
+                       fault-injected chips under a sweep of deadlines and
+                       thread counts; every served plan must be oracle-clean
+                       on the faulted chip and bit-identical across threads
   --seeds <n>          number of seeded random instances (default 10)
   --seed <s>           verify one seed only; shrinks the instance on failure
   --no-ilp             skip the budget-bound ILP pipeline
@@ -121,6 +130,7 @@ fn cmd_show(name: Option<&str>) -> Result<(), CliError> {
 struct RunOptions {
     bench: Benchmark,
     budget: u64,
+    pipeline_budget: Option<Duration>,
     threads: usize,
     ilp: bool,
     validate: bool,
@@ -134,6 +144,7 @@ struct RunOptions {
 fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     let mut bench: Option<Benchmark> = None;
     let mut budget = 5;
+    let mut pipeline_budget = None;
     let mut threads = 0usize;
     let mut ilp = true;
     // Release runs are timing-sensitive; debug runs get the safety net.
@@ -163,6 +174,15 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                 budget = v
                     .parse()
                     .map_err(|_| CliError(format!("bad budget `{v}`")))?;
+            }
+            "--pipeline-budget" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--pipeline-budget needs milliseconds".into()))?;
+                pipeline_budget =
+                    Some(Duration::from_millis(v.parse().map_err(|_| {
+                        CliError(format!("bad pipeline budget `{v}`"))
+                    })?));
             }
             "--threads" => {
                 let v = it
@@ -209,6 +229,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     Ok(RunOptions {
         bench,
         budget,
+        pipeline_budget,
         threads,
         ilp,
         validate,
@@ -228,6 +249,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let config = PdwConfig {
         ilp: opts.ilp,
         ilp_budget: Duration::from_secs(opts.budget),
+        pipeline_budget: opts.pipeline_budget,
         threads: opts.threads,
         ..PdwConfig::default()
     };
@@ -309,6 +331,10 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         "pipeline: {} groups, {} candidate paths, {} route calls ({} BFS legs, {} scratch reuses)",
         ps.groups, ps.candidates, ps.route_calls, ps.bfs_runs, ps.scratch_reuses
     );
+    let events = ps.degradation_events();
+    if !events.is_empty() {
+        println!("pipeline: degraded — {}", events.join("; "));
+    }
     if let Some(st) = &p.solver.stats {
         println!(
             "solver: {} nodes in {:.2}s ({:.0} nodes/s, {} threads), {} pivots, \
@@ -428,28 +454,37 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
 struct VerifyCliOptions {
     seeds: u64,
+    seeds_explicit: bool,
     single_seed: Option<u64>,
+    smoke: bool,
+    faults: bool,
     opts: verify::VerifyOptions,
     repro: String,
 }
 
 fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
     let mut seeds = 10u64;
+    let mut seeds_explicit = false;
     let mut single_seed = None;
+    let mut smoke = false;
+    let mut faults = false;
     let mut opts = verify::VerifyOptions::default();
     let mut repro = "verify-repro.txt".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => {
+                smoke = true;
                 seeds = 25;
                 opts.ilp = false;
             }
+            "--faults" => faults = true,
             "--seeds" => {
                 let v = it.next().ok_or(CliError("--seeds needs a count".into()))?;
                 seeds = v
                     .parse()
                     .map_err(|_| CliError(format!("bad seed count `{v}`")))?;
+                seeds_explicit = true;
             }
             "--seed" => {
                 let v = it.next().ok_or(CliError("--seed needs a value".into()))?;
@@ -474,10 +509,88 @@ fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
     }
     Ok(VerifyCliOptions {
         seeds,
+        seeds_explicit,
         single_seed,
+        smoke,
+        faults,
         opts,
         repro,
     })
+}
+
+/// Chaos mode (`verify --faults`): replay the degradation ladder on seeded
+/// fault-injected chips across a sweep of pipeline deadlines and thread
+/// counts. A seed fails if any solve panics, serves a plan that is not
+/// oracle-clean on the faulted chip, rejects a rung without a typed reason,
+/// or differs bit-for-bit across thread counts.
+fn cmd_chaos(cli: &VerifyCliOptions) -> Result<(), CliError> {
+    let copts = verify::ChaosOptions::default();
+
+    if let Some(seed) = cli.single_seed {
+        return match verify::chaos_seed(seed, &copts) {
+            None => {
+                println!("chaos seed {seed}: skipped (infeasible instance)");
+                Ok(())
+            }
+            Some(report) if report.passed() => {
+                println!("{report}");
+                Ok(())
+            }
+            Some(report) => {
+                println!("{report}");
+                for f in &report.failures {
+                    println!("  {f}");
+                }
+                err(format!("chaos seed {seed} failed"))
+            }
+        };
+    }
+
+    // The chaos sweep is budgets x threads per seed, so the smoke profile
+    // trims the corpus rather than the sweep.
+    let n = if cli.seeds_explicit {
+        cli.seeds
+    } else if cli.smoke {
+        8
+    } else {
+        cli.seeds
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let mut skipped = 0u64;
+    for seed in 0..n {
+        match verify::chaos_seed(seed, &copts) {
+            None => skipped += 1,
+            Some(report) => {
+                println!("{report}");
+                if !report.passed() {
+                    for f in &report.failures {
+                        failures.push(format!("chaos seed {seed}: {f}"));
+                    }
+                    failures.push(format!(
+                        "chaos seed {seed}: repro: pdw verify --faults --seed {seed}"
+                    ));
+                }
+            }
+        }
+    }
+    if skipped > 0 {
+        println!("({skipped}/{n} chaos seeds skipped as infeasible)");
+    }
+
+    if failures.is_empty() {
+        println!("verify --faults: all chaos instances passed");
+        Ok(())
+    } else {
+        let body = failures.join("\n");
+        std::fs::write(&cli.repro, format!("{body}\n"))
+            .map_err(|e| CliError(format!("cannot write {}: {e}", cli.repro)))?;
+        eprintln!("{body}");
+        err(format!(
+            "verify --faults: {} failure(s); details in {}",
+            failures.len(),
+            cli.repro
+        ))
+    }
 }
 
 /// Differential verification: every solver on every bundled benchmark plus a
@@ -486,6 +599,9 @@ fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
 /// an exact objective recompute, and 1/2/8-thread bit-identity.
 fn cmd_verify(args: &[String]) -> Result<(), CliError> {
     let cli = parse_verify(args)?;
+    if cli.faults {
+        return cmd_chaos(&cli);
+    }
     let mut failures: Vec<String> = Vec::new();
 
     // Single-seed repro mode: verify, and shrink on failure.
@@ -646,6 +762,35 @@ mod tests {
         assert_eq!(o.single_seed, Some(42));
         assert_eq!(o.opts.ilp_budget, Duration::from_secs(7));
         assert_eq!(o.repro, "r.txt");
+    }
+
+    #[test]
+    fn verify_parsing_faults_mode() {
+        let o = parse_verify(&["--faults".to_string(), "--smoke".to_string()]).unwrap();
+        assert!(o.faults);
+        assert!(o.smoke);
+        assert!(!o.seeds_explicit);
+        let o = parse_verify(&[
+            "--faults".to_string(),
+            "--seeds".to_string(),
+            "3".to_string(),
+        ])
+        .unwrap();
+        assert!(o.faults);
+        assert!(o.seeds_explicit);
+        assert_eq!(o.seeds, 3);
+    }
+
+    #[test]
+    fn run_parsing_pipeline_budget() {
+        let args: Vec<String> = ["PCR", "--pipeline-budget", "250"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(o.pipeline_budget, Some(Duration::from_millis(250)));
+        let o = parse_run(&["PCR".to_string()]).unwrap();
+        assert_eq!(o.pipeline_budget, None);
     }
 
     #[test]

@@ -88,6 +88,18 @@ pub struct PdwConfig {
     ///
     /// [`exact_wash_path`]: crate::exact_wash_path
     pub exact_paths: bool,
+    /// Wall-clock budget for the *entire* pipeline (`None` = unlimited).
+    ///
+    /// Unlike [`ilp_budget`](Self::ilp_budget), which bounds only the ILP
+    /// back-end, this deadline is threaded through every stage: once it
+    /// expires, candidate enumeration degrades to its cheapest variant
+    /// (one candidate per group, no merging), exact-path refinement is
+    /// skipped, and the ILP is skipped — so the pipeline always returns the
+    /// best plan it finished, instead of overrunning. A zero budget
+    /// deterministically yields the fully degraded pipeline; see
+    /// [`Deadline`](crate::Deadline). Degradations taken are recorded in
+    /// [`PipelineStats`](crate::PipelineStats).
+    pub pipeline_budget: Option<Duration>,
 }
 
 impl Default for PdwConfig {
@@ -102,6 +114,7 @@ impl Default for PdwConfig {
             threads: 0,
             candidates: 3,
             exact_paths: false,
+            pipeline_budget: None,
         }
     }
 }

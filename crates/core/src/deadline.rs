@@ -1,0 +1,111 @@
+//! Pipeline-wide wall-clock deadline.
+//!
+//! The ILP back-end has always had a budget (`PdwConfig::ilp_budget`), but
+//! the stages in front of it — candidate enumeration, per-group exact-path
+//! solves — could overrun freely. A [`Deadline`] is one wall-clock budget
+//! for the *whole* pipeline, created when a solve starts and consulted at
+//! stage checkpoints: an expired deadline makes the remaining stages cut
+//! over to their cheapest variants (fewer candidates, no merging, no exact
+//! paths, no ILP) instead of blowing the budget.
+//!
+//! A `None` budget never expires; a zero budget is expired from the first
+//! checkpoint on, which makes fully-degraded runs deterministic — the
+//! degradation-ladder tests rely on that.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget for an entire planning run. Cheap to copy; all
+/// checkpoints of one run share the same start instant.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// Starts the clock now. `None` means unlimited (never expires).
+    pub fn start(budget: Option<Duration>) -> Self {
+        Deadline {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn unlimited() -> Self {
+        Self::start(None)
+    }
+
+    /// The budget this deadline was created with.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
+    /// Wall time elapsed since the deadline started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// `true` once the elapsed time has reached the budget. A zero budget
+    /// is expired immediately; an unlimited deadline never is.
+    pub fn expired(&self) -> bool {
+        match self.budget {
+            Some(b) => self.start.elapsed() >= b,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry: `None` when unlimited, zero when expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.budget.map(|b| b.saturating_sub(self.start.elapsed()))
+    }
+
+    /// Clamps a stage budget to the time remaining, so no stage can be
+    /// granted more wall clock than the pipeline has left.
+    pub fn clamp(&self, stage_budget: Duration) -> Duration {
+        match self.remaining() {
+            Some(r) => stage_budget.min(r),
+            None => stage_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires_and_never_clamps() {
+        let d = Deadline::unlimited();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.clamp(Duration::from_secs(7)), Duration::from_secs(7));
+    }
+
+    #[test]
+    fn zero_budget_is_expired_immediately() {
+        let d = Deadline::start(Some(Duration::ZERO));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert_eq!(d.clamp(Duration::from_secs(7)), Duration::ZERO);
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired_and_clamps_down() {
+        let d = Deadline::start(Some(Duration::from_secs(3600)));
+        assert!(!d.expired());
+        let r = d.remaining().unwrap();
+        assert!(r > Duration::from_secs(3000));
+        assert_eq!(d.clamp(Duration::from_secs(2)), Duration::from_secs(2));
+        assert!(d.clamp(Duration::from_secs(100_000)) <= Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn elapsed_grows() {
+        let d = Deadline::start(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(d.elapsed() >= Duration::from_millis(2));
+    }
+}

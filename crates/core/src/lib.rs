@@ -61,6 +61,7 @@
 mod config;
 mod context;
 mod dawo;
+mod deadline;
 mod exact_path;
 mod greedy;
 mod groups;
@@ -68,6 +69,7 @@ mod model;
 mod par;
 mod pdw;
 mod planner;
+mod resilient;
 mod stats;
 mod timeline;
 pub mod verify;
@@ -75,6 +77,7 @@ pub mod verify;
 pub use config::{CandidatePolicy, PdwConfig, Weights};
 pub use context::{FrontEndKey, PlanContext};
 pub use dawo::dawo;
+pub use deadline::Deadline;
 pub use exact_path::exact_wash_path;
 pub use greedy::{insert_washes, insert_washes_protected, GreedyOutcome, Placement};
 pub use groups::{
@@ -84,4 +87,8 @@ pub use groups::{
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
 pub use pdw_ilp::{IncumbentEvent, SolverStats};
 pub use planner::{plan_batch, DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
+pub use resilient::{
+    plan_resilient, plan_resilient_batch, plan_resilient_ctx, PlanOutcome, RungAttempt, RungKind,
+    RungRejection,
+};
 pub use stats::PipelineStats;

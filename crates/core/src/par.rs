@@ -7,8 +7,20 @@
 //! callers get bit-identical results at any thread count as long as the
 //! closure itself is a pure function of the item.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
 
 /// Resolves a thread-count knob: `0` means all available cores.
 pub(crate) fn resolve_threads(threads: usize) -> usize {
@@ -67,6 +79,33 @@ where
         .collect()
 }
 
+/// Like [`par_map_ctx`], but a panic while mapping one item becomes that
+/// item's `Err(message)` instead of tearing down the whole map: siblings
+/// keep running, results stay in input order, and the worker's context
+/// survives for the next item (anything the panicking call checked out of
+/// it — e.g. a pooled routing scratch — is returned by `Drop` during
+/// unwinding, so the pool does not leak).
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: a caller must only pass
+/// contexts whose invariants hold across an unwound item, which is true of
+/// the crate's scratch pools.
+pub(crate) fn try_par_map_ctx<T, R, C, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+{
+    par_map_ctx(items, threads, init, |ctx, i, t| {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(ctx, i, t))).map_err(panic_message)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +124,59 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<u32> = par_map_ctx(&[] as &[u32], 8, || (), |(), _, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn one_panicking_item_does_not_poison_its_siblings() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 4] {
+            let out = try_par_map_ctx(
+                &items,
+                threads,
+                || (),
+                |(), _, &x| {
+                    assert!(x != 17, "item 17 exploded");
+                    x * 2
+                },
+            );
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 17 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("item 17 exploded"), "got: {msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_item_leaves_the_worker_context_usable() {
+        // The context tallies successful items; the worker that hit the
+        // panic must keep its context and keep processing.
+        use std::sync::atomic::AtomicUsize;
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        struct Tally(usize);
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                DONE.fetch_add(self.0, Ordering::Relaxed);
+            }
+        }
+        let items: Vec<u32> = (0..30).collect();
+        let out = try_par_map_ctx(
+            &items,
+            2,
+            || Tally(0),
+            |t, _, &x| {
+                assert!(x != 5, "boom");
+                t.0 += 1;
+                x
+            },
+        );
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 29);
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        assert_eq!(DONE.load(Ordering::Relaxed), 29);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use pdw_synth::Synthesis;
 
 use crate::config::{CandidatePolicy, PdwConfig};
 use crate::context::{FrontEndKey, PlanContext};
+use crate::deadline::Deadline;
 use crate::greedy::insert_washes_protected;
 use crate::groups::{build_groups_pooled, merge_groups_pooled, split_into_spot_clusters_pooled};
 use crate::model::refine_with_ilp;
@@ -79,6 +80,10 @@ pub enum PdwError {
     /// The produced schedule still lets a delivery cross residue (internal
     /// invariant breach — please report).
     Dirty(CleanlinessViolation),
+    /// A planner worker panicked while solving this instance. The panic was
+    /// caught and isolated: other instances in the batch (and other rungs of
+    /// a resilient solve) are unaffected.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for PdwError {
@@ -86,6 +91,7 @@ impl fmt::Display for PdwError {
         match self {
             PdwError::Invalid(e) => write!(f, "optimized schedule is invalid: {e}"),
             PdwError::Dirty(v) => write!(f, "optimized schedule is contaminated: {v}"),
+            PdwError::WorkerPanic(msg) => write!(f, "planner worker panicked: {msg}"),
         }
     }
 }
@@ -148,6 +154,7 @@ pub(crate) fn run_pipeline(
     let bench = ctx.bench();
     let synthesis = ctx.synthesis();
     let mut timer = StageTimer::start(config.threads);
+    let deadline = Deadline::start(config.pipeline_budget);
 
     let necessity = if config.necessity_analysis {
         NecessityOptions::full()
@@ -164,14 +171,25 @@ pub(crate) fn run_pipeline(
         )
     };
 
+    // Deadline checkpoint: if the budget is already gone, cut the front end
+    // over to its cheapest variant — one candidate per group, no merging —
+    // so even a zero-budget run returns a (degraded but valid) plan.
+    let degraded = deadline.expired();
+    if degraded {
+        timer.stats.deadline_expired = true;
+        timer.stats.degraded_front_end = true;
+    }
+    let candidates = if degraded { 1 } else { config.candidates };
+    let merging = if degraded { false } else { config.merging };
+
     // The front-end groups are a pure function of the instance and these
     // config fields (thread counts are result-invariant), so a warm context
     // serves them as a clone instead of re-routing every candidate path.
     let key = FrontEndKey {
         necessity,
         policy: CandidatePolicy::Shortest,
-        candidates: config.candidates,
-        merged: config.merging,
+        candidates,
+        merged: merging,
     };
     let mut groups = match ctx.front_end(key) {
         // Cache hit: the clone is charged to the grouping stage, which then
@@ -188,7 +206,7 @@ pub(crate) fn run_pipeline(
                         &synthesis.schedule,
                         &analysis.requirements,
                         CandidatePolicy::Shortest,
-                        config.candidates,
+                        candidates,
                         config.threads,
                         pool,
                     );
@@ -201,7 +219,7 @@ pub(crate) fn run_pipeline(
                         groups,
                         4,
                         CandidatePolicy::Shortest,
-                        config.candidates,
+                        candidates,
                         config.threads,
                         pool,
                     )
@@ -210,12 +228,12 @@ pub(crate) fn run_pipeline(
             let groups = timer.stage(
                 |s| &mut s.merge_s,
                 || {
-                    if config.merging {
+                    if merging {
                         merge_groups_pooled(
                             &synthesis.chip,
                             &synthesis.schedule,
                             groups,
-                            config.candidates,
+                            candidates,
                             pool,
                         )
                     } else {
@@ -228,28 +246,38 @@ pub(crate) fn run_pipeline(
         }
     };
     if config.exact_paths {
-        // One budget-bound flow-ILP solve per group, fanned across workers;
-        // each group's refinement is independent and results apply in input
-        // order, so the outcome matches the serial loop.
-        let exacts = par_map_ctx(
-            &groups,
-            config.threads,
-            || (),
-            |(), _, g| {
-                let warm = g.candidates[0].path.clone();
-                crate::exact_path::exact_wash_path(
-                    &synthesis.chip,
-                    &g.targets(),
-                    Some(&warm),
-                    config.ilp_budget,
-                )
-            },
-        );
-        for (g, exact) in groups.iter_mut().zip(exacts) {
-            if let Some(exact) = exact {
-                if exact.path.len() < g.candidates[0].path.len() {
-                    g.candidates.insert(0, exact);
-                    g.candidates.truncate(config.candidates.max(1));
+        // Deadline checkpoint: exact-path solves are the most expensive
+        // optional stage; an expired deadline drops them outright, and a
+        // live one clamps each solve to the time remaining.
+        if deadline.expired() {
+            timer.stats.deadline_expired = true;
+            timer.stats.exact_paths_skipped = true;
+        } else {
+            let exact_budget = deadline.clamp(config.ilp_budget);
+            // One budget-bound flow-ILP solve per group, fanned across
+            // workers; each group's refinement is independent and results
+            // apply in input order, so the outcome matches the serial loop.
+            let exacts = par_map_ctx(
+                &groups,
+                config.threads,
+                || (),
+                |(), _, g| {
+                    let warm = g.candidates[0].path.clone();
+                    crate::exact_path::exact_wash_path(
+                        &synthesis.chip,
+                        &g.targets(),
+                        Some(&warm),
+                        exact_budget,
+                    )
+                },
+            );
+            timer.stats.exact_path_giveups = exacts.iter().filter(|e| e.is_none()).count();
+            for (g, exact) in groups.iter_mut().zip(exacts) {
+                if let Some(exact) = exact {
+                    if exact.path.len() < g.candidates[0].path.len() {
+                        g.candidates.insert(0, exact);
+                        g.candidates.truncate(candidates.max(1));
+                    }
                 }
             }
         }
@@ -283,44 +311,58 @@ pub(crate) fn run_pipeline(
     timer.stats.candidates = greedy.groups.iter().map(|g| g.candidates.len()).sum();
 
     if config.ilp {
-        let refined = timer.stage(
-            |s| &mut s.ilp_s,
-            || {
-                refine_with_ilp(
-                    &synthesis.chip,
-                    &bench.graph,
-                    &greedy.groups,
-                    &greedy,
-                    config,
-                )
-            },
-        );
-        if let Some(refined) = refined {
-            let report = SolverReport {
-                used_ilp: true,
-                optimal: refined.optimal,
-                nodes: refined.nodes,
-                stats: Some(refined.stats),
+        // Deadline checkpoint: skip the back-end outright once expired;
+        // otherwise clamp its budget to the pipeline time remaining.
+        if deadline.expired() {
+            timer.stats.deadline_expired = true;
+            timer.stats.ilp_skipped = true;
+        } else {
+            let ilp_config = PdwConfig {
+                ilp_budget: deadline.clamp(config.ilp_budget),
+                ..config.clone()
             };
-            // The ILP schedule must independently pass validation; on any
-            // breach, fall back to the (always valid) greedy schedule.
-            if let Ok(result) = finish(
-                bench,
-                synthesis,
-                refined.schedule,
-                exemptions,
-                integrated,
-                report,
-                timer.seal(),
-            ) {
-                // Only adopt the refinement when it does not regress the
-                // paper's objective (floor-rounding can cost a second).
-                let greedy_metrics = Metrics::measure(&bench.graph, &greedy.schedule);
-                let w = &config.weights;
-                if result.objective(w) <= w.objective(&greedy_metrics) {
-                    return Ok(result);
+            let refined = timer.stage(
+                |s| &mut s.ilp_s,
+                || {
+                    refine_with_ilp(
+                        &synthesis.chip,
+                        &bench.graph,
+                        &greedy.groups,
+                        &greedy,
+                        &ilp_config,
+                    )
+                },
+            );
+            if let Some(refined) = refined {
+                timer.stats.ilp_budget_expired = !refined.optimal;
+                let report = SolverReport {
+                    used_ilp: true,
+                    optimal: refined.optimal,
+                    nodes: refined.nodes,
+                    stats: Some(refined.stats),
+                };
+                // The ILP schedule must independently pass validation; on any
+                // breach, fall back to the (always valid) greedy schedule.
+                if let Ok(result) = finish(
+                    bench,
+                    synthesis,
+                    refined.schedule,
+                    exemptions,
+                    integrated,
+                    report,
+                    timer.seal(),
+                ) {
+                    // Only adopt the refinement when it does not regress the
+                    // paper's objective (floor-rounding can cost a second).
+                    let greedy_metrics = Metrics::measure(&bench.graph, &greedy.schedule);
+                    let w = &config.weights;
+                    if result.objective(w) <= w.objective(&greedy_metrics) {
+                        return Ok(result);
+                    }
                 }
             }
+            // Any fall-through means the refinement was not served.
+            timer.stats.ilp_rejected = true;
         }
     }
 
@@ -381,6 +423,68 @@ mod tests {
         )
         .unwrap();
         assert!(!r.solver.used_ilp);
+    }
+
+    #[test]
+    fn zero_pipeline_budget_degrades_deterministically() {
+        // A zero pipeline budget must still return a valid plan — the fully
+        // degraded front end — bit-identically at any thread count, and the
+        // stats must record every degradation taken.
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let run = |threads: usize| {
+            pdw(
+                &bench,
+                &s,
+                &PdwConfig {
+                    exact_paths: true,
+                    threads,
+                    pipeline_budget: Some(std::time::Duration::ZERO),
+                    ..PdwConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        assert!(serial.pipeline.deadline_expired);
+        assert!(serial.pipeline.degraded_front_end);
+        assert!(serial.pipeline.exact_paths_skipped);
+        assert!(serial.pipeline.ilp_skipped);
+        assert!(!serial.solver.used_ilp);
+        assert!(!serial.pipeline.degradation_events().is_empty());
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(par.schedule, serial.schedule, "threads={threads}");
+            assert_eq!(par.metrics, serial.metrics);
+        }
+    }
+
+    #[test]
+    fn unlimited_pipeline_budget_changes_nothing() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let base = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                ilp: false,
+                ..PdwConfig::default()
+            },
+        )
+        .unwrap();
+        let budgeted = pdw(
+            &bench,
+            &s,
+            &PdwConfig {
+                ilp: false,
+                pipeline_budget: Some(std::time::Duration::from_secs(3600)),
+                ..PdwConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.schedule, budgeted.schedule);
+        assert!(!budgeted.pipeline.deadline_expired);
+        assert!(budgeted.pipeline.degradation_events().is_empty());
     }
 
     #[test]

@@ -129,22 +129,39 @@ impl Planner for PdwPlanner {
 /// input order, with one entry per planner in `planners` order —
 /// bit-identical to calling each planner on a cold context serially, at any
 /// thread count.
+///
+/// A panic while solving one instance is caught and isolated: that
+/// instance's row reports [`PdwError::WorkerPanic`] for every planner,
+/// sibling instances are unaffected, and the worker keeps draining the
+/// batch (its scratch pool restarts cold — the context holding the warm
+/// scratches is dropped by the unwind, which returns every checked-out
+/// scratch, so nothing leaks).
 pub fn plan_batch(
     instances: &[(&Benchmark, &Synthesis)],
     planners: &[&dyn Planner],
     threads: usize,
 ) -> Vec<Vec<Result<WashResult, PdwError>>> {
-    crate::par::par_map_ctx(
+    crate::par::try_par_map_ctx(
         instances,
         threads,
         ScratchPool::new,
         |pool, _, &(bench, synthesis)| {
             let mut ctx = PlanContext::with_pool(bench, synthesis, std::mem::take(pool));
-            let results = planners.iter().map(|p| p.plan(&mut ctx)).collect();
+            let results: Vec<Result<WashResult, PdwError>> =
+                planners.iter().map(|p| p.plan(&mut ctx)).collect();
             *pool = ctx.into_pool();
             results
         },
     )
+    .into_iter()
+    .map(|row| match row {
+        Ok(results) => results,
+        Err(msg) => planners
+            .iter()
+            .map(|_| Err(PdwError::WorkerPanic(msg.clone())))
+            .collect(),
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -243,5 +260,50 @@ mod tests {
     fn empty_batch_is_fine() {
         let planners: Vec<&dyn Planner> = vec![&DawoPlanner];
         assert!(plan_batch(&[], &planners, 4).is_empty());
+    }
+
+    /// A planner that panics on every instance whose grid width matches its
+    /// trigger — used to prove batch-level panic isolation.
+    struct PanickyPlanner;
+
+    impl Planner for PanickyPlanner {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+
+        fn plan(&self, ctx: &mut PlanContext<'_>) -> Result<WashResult, PdwError> {
+            // Touch the context (checking a scratch out of the pool) before
+            // panicking, so the unwind exercises the pool-return path.
+            let _ = ctx.synthesis().chip.port_reach();
+            panic!("planner blew up on {}", ctx.bench().name);
+        }
+    }
+
+    #[test]
+    fn panicking_instance_is_isolated_and_reported() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let instances: Vec<(&benchmarks::Benchmark, &pdw_synth::Synthesis)> = vec![(&bench, &s); 4];
+        let planners: Vec<&dyn Planner> = vec![&PanickyPlanner, &DawoPlanner];
+        for threads in [1, 4] {
+            let batch = plan_batch(&instances, &planners, threads);
+            assert_eq!(batch.len(), 4);
+            for row in &batch {
+                // The panicking planner poisons its whole instance row…
+                assert_eq!(row.len(), 2);
+                for r in row {
+                    match r {
+                        Err(PdwError::WorkerPanic(msg)) => {
+                            assert!(msg.contains("planner blew up"), "got: {msg}");
+                        }
+                        other => panic!("expected WorkerPanic, got {other:?}"),
+                    }
+                }
+            }
+        }
+        // …but sibling batches without the panicky planner still solve.
+        let good: Vec<&dyn Planner> = vec![&DawoPlanner];
+        let ok = plan_batch(&instances, &good, 4);
+        assert!(ok.iter().all(|row| row[0].is_ok()));
     }
 }

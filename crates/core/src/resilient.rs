@@ -1,0 +1,409 @@
+//! The graceful-degradation ladder: PDW → greedy → DAWO.
+//!
+//! [`plan_resilient`] is the fault-tolerant entry point of the planner
+//! engine. It walks a ladder of planners from strongest to cheapest — the
+//! full ILP-refined PathDriver-Wash pipeline, its greedy warm start, the
+//! DAWO baseline — under one shared [`Deadline`] and one shared
+//! [`PlanContext`], and serves the first rung whose plan survives
+//! *independent* fault-aware re-verification:
+//!
+//! - [`pdw_sim::validate`] — physical executability, including the chip's
+//!   [`FaultSet`](pdw_biochip::FaultSet): a path through a clogged cell, a
+//!   stuck valve, or a disabled port is invalid;
+//! - [`pdw_sim::propagate`] — the contamination-propagation oracle, which
+//!   likewise reports fault crossings.
+//!
+//! Every rung is wrapped in `catch_unwind`, so a planner panic (e.g. an
+//! internal assertion tripped by a heavily damaged chip) is converted into
+//! a typed [`RungRejection::Panicked`] and the ladder moves on. A rung that
+//! would start after the deadline has expired is skipped with
+//! [`RungRejection::DeadlineExpired`] — except the cheap rungs, which run
+//! with a fully-degraded (zero-remaining) budget so that even a zero
+//! deadline still serves a plan when one exists. The returned
+//! [`PlanOutcome`] records, for every rung attempted, whether it served or
+//! why it was rejected, plus its wall time.
+//!
+//! Determinism: for budgets `None` and `Some(0)` (and any budget that has
+//! certainly expired by the first checkpoint), the outcome's schedule is a
+//! pure function of `(instance, config)` — bit-identical at any thread
+//! count. Intermediate budgets race wall clock by design.
+
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::time::Instant;
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_synth::Synthesis;
+
+use crate::config::PdwConfig;
+use crate::context::PlanContext;
+use crate::deadline::Deadline;
+use crate::pdw::WashResult;
+use crate::planner::{DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
+
+/// A rung of the degradation ladder, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RungKind {
+    /// The full PathDriver-Wash pipeline (ILP refinement per the config).
+    Pdw,
+    /// The pipeline stopped at its greedy warm start (no ILP).
+    Greedy,
+    /// The DAWO baseline: per-spot washes, independent BFS paths.
+    Dawo,
+}
+
+impl fmt::Display for RungKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RungKind::Pdw => "pdw",
+            RungKind::Greedy => "greedy",
+            RungKind::Dawo => "dawo",
+        })
+    }
+}
+
+/// Why a rung of the ladder did not serve.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum RungRejection {
+    /// The pipeline deadline had expired before the rung could start.
+    DeadlineExpired,
+    /// The rung's planner returned an error (e.g. it could not produce a
+    /// valid plan on the faulted chip).
+    PlannerError(String),
+    /// The rung produced a plan, but independent fault-aware validation
+    /// rejected it.
+    InvalidPlan(String),
+    /// The rung produced a plan, but the contamination-propagation oracle
+    /// found violations on it.
+    ContaminatedPlan(String),
+    /// The rung panicked; the panic was caught and isolated.
+    Panicked(String),
+}
+
+impl fmt::Display for RungRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RungRejection::DeadlineExpired => write!(f, "deadline expired before the rung started"),
+            RungRejection::PlannerError(e) => write!(f, "planner error: {e}"),
+            RungRejection::InvalidPlan(e) => write!(f, "plan failed fault-aware validation: {e}"),
+            RungRejection::ContaminatedPlan(e) => write!(f, "plan failed the oracle: {e}"),
+            RungRejection::Panicked(e) => write!(f, "planner panicked: {e}"),
+        }
+    }
+}
+
+/// One attempted rung of the ladder.
+#[derive(Debug, Clone)]
+pub struct RungAttempt {
+    /// Which rung was attempted.
+    pub rung: RungKind,
+    /// `None` when this rung's plan was served; otherwise why it wasn't.
+    pub rejection: Option<RungRejection>,
+    /// Wall time spent on this rung, seconds (0 for skipped rungs).
+    pub wall_s: f64,
+}
+
+/// The outcome of a resilient solve: which rung (if any) served, and the
+/// full audit trail of attempts.
+#[derive(Debug)]
+pub struct PlanOutcome {
+    /// The served plan, already validated and oracle-clean on the (possibly
+    /// faulted) chip. `None` when every rung was rejected.
+    pub served: Option<WashResult>,
+    /// The rung that served, when one did.
+    pub rung: Option<RungKind>,
+    /// Every rung attempted, strongest first, each with its disposition.
+    pub attempts: Vec<RungAttempt>,
+}
+
+impl PlanOutcome {
+    /// `true` when some rung served a plan.
+    pub fn is_served(&self) -> bool {
+        self.served.is_some()
+    }
+
+    /// The rejection recorded for `rung`, if that rung was attempted and
+    /// rejected.
+    pub fn rejection_of(&self, rung: RungKind) -> Option<&RungRejection> {
+        self.attempts
+            .iter()
+            .find(|a| a.rung == rung)
+            .and_then(|a| a.rejection.as_ref())
+    }
+}
+
+impl fmt::Display for PlanOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rung {
+            Some(r) => write!(
+                f,
+                "served by `{r}` after {} attempt(s)",
+                self.attempts.len()
+            ),
+            None => write!(f, "no rung served ({} attempts)", self.attempts.len()),
+        }
+    }
+}
+
+/// Runs one rung: the planner under `catch_unwind`, then independent
+/// fault-aware re-verification of whatever it produced.
+fn attempt_rung(
+    planner: &dyn Planner,
+    ctx: &mut PlanContext<'_>,
+) -> (Option<WashResult>, Option<RungRejection>, f64) {
+    let t = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| planner.plan(ctx)));
+    let wall_s = t.elapsed().as_secs_f64();
+    let result = match outcome {
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            return (None, Some(RungRejection::Panicked(msg)), wall_s);
+        }
+        Ok(Err(e)) => {
+            return (
+                None,
+                Some(RungRejection::PlannerError(e.to_string())),
+                wall_s,
+            )
+        }
+        Ok(Ok(result)) => result,
+    };
+    // Independent acceptance gate: the planner's own checks already ran,
+    // but the ladder re-verifies with the fault-aware validator and the
+    // contamination oracle before serving — a rung may only serve a plan
+    // that is executable and clean on the chip *as damaged*.
+    let chip = &ctx.synthesis().chip;
+    let graph = &ctx.bench().graph;
+    if let Err(e) = pdw_sim::validate(chip, graph, &result.schedule) {
+        return (
+            None,
+            Some(RungRejection::InvalidPlan(e.to_string())),
+            wall_s,
+        );
+    }
+    let oracle = pdw_sim::propagate(chip, graph, &result.schedule);
+    if !oracle.is_clean() {
+        let first = oracle
+            .violations
+            .first()
+            .map(|v| v.to_string())
+            .unwrap_or_default();
+        return (
+            None,
+            Some(RungRejection::ContaminatedPlan(format!(
+                "{} violation(s); first: {first}",
+                oracle.violations.len()
+            ))),
+            wall_s,
+        );
+    }
+    (Some(result), None, wall_s)
+}
+
+/// Solves the context's instance with the degradation ladder (see the
+/// [module docs](self)). `config` configures the strongest rung; the
+/// ladder derives the cheaper rungs from it. Never panics.
+pub fn plan_resilient_ctx(ctx: &mut PlanContext<'_>, config: &PdwConfig) -> PlanOutcome {
+    let deadline = Deadline::start(config.pipeline_budget);
+    let mut attempts: Vec<RungAttempt> = Vec::new();
+
+    // Rung 1: the full pipeline. Skipped outright once the deadline is
+    // gone — its value over the greedy rung is exactly the expensive
+    // stages the deadline no longer affords.
+    if deadline.expired() {
+        attempts.push(RungAttempt {
+            rung: RungKind::Pdw,
+            rejection: Some(RungRejection::DeadlineExpired),
+            wall_s: 0.0,
+        });
+    } else {
+        let planner = PdwPlanner::new(PdwConfig {
+            pipeline_budget: deadline.remaining(),
+            ..config.clone()
+        });
+        let (served, rejection, wall_s) = attempt_rung(&planner, ctx);
+        attempts.push(RungAttempt {
+            rung: RungKind::Pdw,
+            rejection,
+            wall_s,
+        });
+        if let Some(result) = served {
+            return PlanOutcome {
+                served: Some(result),
+                rung: Some(RungKind::Pdw),
+                attempts,
+            };
+        }
+    }
+
+    // Rung 2: the greedy warm start. Runs even on an expired deadline —
+    // with zero remaining budget its front end degrades to the cheapest
+    // variant, which is precisely the wanted behavior.
+    let planner = GreedyPlanner::new(PdwConfig {
+        exact_paths: false,
+        pipeline_budget: deadline.remaining(),
+        ..config.clone()
+    });
+    let (served, rejection, wall_s) = attempt_rung(&planner, ctx);
+    attempts.push(RungAttempt {
+        rung: RungKind::Greedy,
+        rejection,
+        wall_s,
+    });
+    if let Some(result) = served {
+        return PlanOutcome {
+            served: Some(result),
+            rung: Some(RungKind::Greedy),
+            attempts,
+        };
+    }
+
+    // Rung 3: the DAWO baseline — no budget knobs, cheapest construction.
+    let (served, rejection, wall_s) = attempt_rung(&DawoPlanner, ctx);
+    attempts.push(RungAttempt {
+        rung: RungKind::Dawo,
+        rejection,
+        wall_s,
+    });
+    let rung = served.as_ref().map(|_| RungKind::Dawo);
+    PlanOutcome {
+        served,
+        rung,
+        attempts,
+    }
+}
+
+/// One-shot wrapper for [`plan_resilient_ctx`]: builds a throwaway
+/// [`PlanContext`] for the instance. Never panics.
+pub fn plan_resilient(bench: &Benchmark, synthesis: &Synthesis, config: &PdwConfig) -> PlanOutcome {
+    let mut ctx = PlanContext::new(bench, synthesis);
+    plan_resilient_ctx(&mut ctx, config)
+}
+
+/// Solves a corpus of instances resiliently, fanning across `threads`
+/// workers (0 = all cores) with per-worker scratch-pool reuse, mirroring
+/// [`plan_batch`](crate::plan_batch). One [`PlanOutcome`] per instance, in
+/// input order. Never panics: per-rung panics become typed rejections, and
+/// a panic escaping the ladder machinery itself is isolated per instance
+/// as an all-rungs-[`Panicked`](RungRejection::Panicked) outcome.
+pub fn plan_resilient_batch(
+    instances: &[(&Benchmark, &Synthesis)],
+    config: &PdwConfig,
+    threads: usize,
+) -> Vec<PlanOutcome> {
+    crate::par::try_par_map_ctx(
+        instances,
+        threads,
+        pdw_biochip::ScratchPool::new,
+        |pool, _, &(bench, synthesis)| {
+            let mut ctx = PlanContext::with_pool(bench, synthesis, std::mem::take(pool));
+            let outcome = plan_resilient_ctx(&mut ctx, config);
+            *pool = ctx.into_pool();
+            outcome
+        },
+    )
+    .into_iter()
+    .map(|row| {
+        row.unwrap_or_else(|msg| PlanOutcome {
+            served: None,
+            rung: None,
+            attempts: [RungKind::Pdw, RungKind::Greedy, RungKind::Dawo]
+                .into_iter()
+                .map(|rung| RungAttempt {
+                    rung,
+                    rejection: Some(RungRejection::Panicked(msg.clone())),
+                    wall_s: 0.0,
+                })
+                .collect(),
+        })
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_synth::synthesize;
+    use std::time::Duration;
+
+    #[test]
+    fn pristine_instance_is_served_by_the_top_rung() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let config = PdwConfig {
+            ilp: false,
+            ..PdwConfig::default()
+        };
+        let outcome = plan_resilient(&bench, &s, &config);
+        assert_eq!(outcome.rung, Some(RungKind::Pdw));
+        assert_eq!(outcome.attempts.len(), 1);
+        assert!(outcome.attempts[0].rejection.is_none());
+        assert!(outcome.is_served());
+    }
+
+    #[test]
+    fn zero_budget_serves_a_degraded_rung_deterministically() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let run = |threads: usize| {
+            plan_resilient(
+                &bench,
+                &s,
+                &PdwConfig {
+                    threads,
+                    pipeline_budget: Some(Duration::ZERO),
+                    ..PdwConfig::default()
+                },
+            )
+        };
+        let serial = run(1);
+        // The top rung must be skipped with a typed deadline rejection…
+        assert!(matches!(
+            serial.rejection_of(RungKind::Pdw),
+            Some(RungRejection::DeadlineExpired)
+        ));
+        // …and a cheaper rung must still serve.
+        assert!(serial.is_served());
+        assert_ne!(serial.rung, Some(RungKind::Pdw));
+        let served = serial.served.as_ref().unwrap();
+        assert!(served.pipeline.deadline_expired || serial.rung == Some(RungKind::Dawo));
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(par.rung, serial.rung);
+            let p = par.served.as_ref().unwrap();
+            assert_eq!(p.schedule, served.schedule, "threads={threads}");
+            assert_eq!(p.metrics, served.metrics);
+        }
+    }
+
+    #[test]
+    fn batch_outcomes_match_one_shot_calls() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let config = PdwConfig {
+            ilp: false,
+            ..PdwConfig::default()
+        };
+        let one = plan_resilient(&bench, &s, &config);
+        let instances: Vec<(&benchmarks::Benchmark, &pdw_synth::Synthesis)> = vec![(&bench, &s); 3];
+        for threads in [1, 4] {
+            let batch = plan_resilient_batch(&instances, &config, threads);
+            assert_eq!(batch.len(), 3);
+            for outcome in &batch {
+                assert_eq!(outcome.rung, one.rung);
+                assert_eq!(
+                    outcome.served.as_ref().unwrap().schedule,
+                    one.served.as_ref().unwrap().schedule
+                );
+            }
+        }
+    }
+}

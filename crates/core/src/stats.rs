@@ -38,6 +38,28 @@ pub struct PipelineStats {
     pub groups: usize,
     /// Candidate wash paths enumerated across those groups.
     pub candidates: usize,
+    /// The pipeline deadline was observed expired at some checkpoint.
+    pub deadline_expired: bool,
+    /// The front end was cut over to its cheapest variant (one candidate
+    /// per group, no merging) because the deadline expired before
+    /// enumeration.
+    pub degraded_front_end: bool,
+    /// Exact-path refinement was requested but skipped because the deadline
+    /// had expired.
+    pub exact_paths_skipped: bool,
+    /// Wash groups whose exact-path solve gave up (no path within its
+    /// budget); the enumerated candidates were kept instead.
+    pub exact_path_giveups: usize,
+    /// ILP refinement was requested but skipped because the deadline had
+    /// expired.
+    pub ilp_skipped: bool,
+    /// The ILP ran out of its (possibly deadline-clamped) budget before
+    /// proving optimality.
+    pub ilp_budget_expired: bool,
+    /// The ILP ran but its refinement was rejected (invalid, or an
+    /// objective regression, or no refinement found) and the greedy
+    /// schedule was served instead.
+    pub ilp_rejected: bool,
 }
 
 impl PipelineStats {
@@ -45,6 +67,35 @@ impl PipelineStats {
     /// grouping, merging, and greedy insertion.
     pub fn front_end_s(&self) -> f64 {
         self.grouping_s + self.merge_s + self.greedy_s
+    }
+
+    /// Human-readable degradation/fallback events recorded during the run,
+    /// in pipeline order. Empty when the run completed every requested
+    /// stage at full strength.
+    pub fn degradation_events(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.deadline_expired {
+            out.push("pipeline deadline expired");
+        }
+        if self.degraded_front_end {
+            out.push("front end degraded (1 candidate/group, no merging)");
+        }
+        if self.exact_paths_skipped {
+            out.push("exact-path refinement skipped");
+        }
+        if self.exact_path_giveups > 0 {
+            out.push("exact-path solver gave up on some groups");
+        }
+        if self.ilp_skipped {
+            out.push("ILP refinement skipped");
+        }
+        if self.ilp_budget_expired {
+            out.push("ILP budget expired before optimality");
+        }
+        if self.ilp_rejected {
+            out.push("ILP refinement rejected; greedy schedule served");
+        }
+        out
     }
 }
 

@@ -26,8 +26,20 @@
 //! [`verify_seed`] extends the same check to the seeded random-instance
 //! family of [`pdw_gen`], and [`shrink_failure`] reduces a failing seed to
 //! the smallest spec that still fails, for a compact repro.
+//!
+//! # Chaos verification
+//!
+//! [`chaos_seed`] is the fault-tolerance counterpart: it replays the seeded
+//! instance family with seeded chip damage ([`pdw_gen::inject_faults`])
+//! under a sweep of pipeline deadlines (including zero), driving
+//! [`plan_resilient`](crate::plan_resilient) and asserting the ladder's
+//! contract — never a panic, every served plan fault-aware-valid and
+//! oracle-clean on the damaged chip, every non-served rung carrying a typed
+//! rejection, and bit-identical outcomes across thread counts at the
+//! deterministic deadline points.
 
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::time::Duration;
 
 use pdw_assay::benchmarks::Benchmark;
@@ -43,6 +55,7 @@ use crate::config::{PdwConfig, Weights};
 use crate::context::PlanContext;
 use crate::pdw::WashResult;
 use crate::planner::{DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
+use crate::resilient::plan_resilient;
 
 /// Knobs of a verification run.
 #[derive(Debug, Clone)]
@@ -336,6 +349,186 @@ pub fn verify_instance(
     }
 }
 
+/// Knobs of a chaos (faults × deadlines) verification run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Pipeline-deadline points swept per faulted instance (`None` =
+    /// unlimited). The default covers zero (fully degraded), one
+    /// nanosecond (expired by the first checkpoint), and unlimited.
+    pub budgets: Vec<Option<Duration>>,
+    /// Thread counts whose outcomes must be bit-identical at every swept
+    /// deadline point. The sweep keeps the ILP off, so all its rungs are
+    /// deterministic.
+    pub threads: Vec<usize>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            budgets: vec![Some(Duration::ZERO), Some(Duration::from_nanos(1)), None],
+            threads: vec![1, 8],
+        }
+    }
+}
+
+/// The verdict of a chaos run on one faulted instance.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Instance name.
+    pub name: String,
+    /// Generating seed for random instances (`None` for bundled ones).
+    pub seed: Option<u64>,
+    /// Human-readable summary of the injected damage.
+    pub faults: String,
+    /// Resilient solves performed (budget points × thread counts).
+    pub solves: usize,
+    /// Solves that served a plan.
+    pub served: usize,
+    /// Everything that violated the ladder's contract.
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// `true` when the ladder's contract held at every swept point.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<4} [{}; {}/{} served]",
+            self.name,
+            if self.passed() { "ok" } else { "FAIL" },
+            self.faults,
+            self.served,
+            self.solves
+        )
+    }
+}
+
+/// Sweeps [`plan_resilient`](crate::plan_resilient) over deadline points ×
+/// thread counts on one (already faulted) instance, checking the ladder's
+/// contract (see the [module docs](self)). `synthesis` should carry the
+/// injected [`FaultSet`](pdw_biochip::FaultSet); a pristine chip is also
+/// legal and simply checks the ladder under deadlines alone.
+pub fn chaos_instance(
+    name: &str,
+    bench: &Benchmark,
+    synthesis: &Synthesis,
+    opts: &ChaosOptions,
+) -> ChaosReport {
+    let mut failures: Vec<String> = Vec::new();
+    let mut solves = 0usize;
+    let mut served = 0usize;
+    let threads = if opts.threads.is_empty() {
+        vec![1]
+    } else {
+        opts.threads.clone()
+    };
+    for budget in &opts.budgets {
+        // Baseline outcome of the first thread count at this deadline
+        // point; the others must match it bit for bit.
+        let mut baseline: Option<crate::resilient::PlanOutcome> = None;
+        for &t in &threads {
+            let config = PdwConfig {
+                ilp: false,
+                threads: t,
+                pipeline_budget: *budget,
+                ..PdwConfig::default()
+            };
+            let point = format!("budget {budget:?}, {t} threads");
+            // The ladder promises to never panic; hold it to that.
+            let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                plan_resilient(bench, synthesis, &config)
+            })) {
+                Ok(o) => o,
+                Err(_) => {
+                    failures.push(format!("{point}: plan_resilient panicked"));
+                    continue;
+                }
+            };
+            solves += 1;
+
+            // Every non-served rung must carry a typed rejection.
+            for a in &outcome.attempts {
+                let served_here = outcome.rung == Some(a.rung) && a.rejection.is_none();
+                if !served_here && a.rejection.is_none() {
+                    failures.push(format!("{point}: rung {} has no typed rejection", a.rung));
+                }
+            }
+            if !outcome.is_served() && outcome.attempts.len() < 3 {
+                failures.push(format!(
+                    "{point}: nothing served after only {} attempts",
+                    outcome.attempts.len()
+                ));
+            }
+
+            // A served plan must hold up under independent fault-aware
+            // re-verification on the damaged chip.
+            if let Some(r) = &outcome.served {
+                served += 1;
+                if let Err(e) = validate(&synthesis.chip, &bench.graph, &r.schedule) {
+                    failures.push(format!("{point}: served plan invalid: {e}"));
+                }
+                let oracle = propagate(&synthesis.chip, &bench.graph, &r.schedule);
+                if !oracle.is_clean() {
+                    failures.push(format!(
+                        "{point}: served plan dirty: {} oracle violation(s)",
+                        oracle.violations.len()
+                    ));
+                }
+            }
+
+            // Outcome identity across thread counts.
+            match &baseline {
+                None => baseline = Some(outcome),
+                Some(base) => {
+                    if outcome.rung != base.rung {
+                        failures.push(format!(
+                            "{point}: served rung {:?} differs from baseline {:?}",
+                            outcome.rung, base.rung
+                        ));
+                    } else {
+                        match (&base.served, &outcome.served) {
+                            (Some(a), Some(b))
+                                if a.schedule != b.schedule || a.metrics != b.metrics =>
+                            {
+                                failures
+                                    .push(format!("{point}: served plan differs from baseline"));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ChaosReport {
+        name: name.to_string(),
+        seed: None,
+        faults: synthesis.chip.faults().to_string(),
+        solves,
+        served,
+        failures,
+    }
+}
+
+/// Chaos-verifies the seeded instance of the [`pdw_gen`] family with its
+/// seeded fault injection applied ([`pdw_gen::faulted_instance`]).
+///
+/// Returns `None` when the seed's spec is structurally infeasible (skipped,
+/// not failed).
+pub fn chaos_seed(seed: u64, opts: &ChaosOptions) -> Option<ChaosReport> {
+    let spec = pdw_gen::spec_from_seed(seed);
+    let (bench, synthesis) = pdw_gen::faulted_instance(&spec).ok()?;
+    let mut report = chaos_instance(&bench.name, &bench, &synthesis, opts);
+    report.seed = Some(seed);
+    Some(report)
+}
+
 /// Verifies the instance generated from `seed` in the [`pdw_gen`] family.
 ///
 /// Returns `None` when the seed's spec is structurally infeasible (skipped,
@@ -404,6 +597,29 @@ mod tests {
         .unwrap();
         let w = Weights::default();
         assert_eq!(r.objective(&w), objective_of(&r.schedule, &w));
+    }
+
+    #[test]
+    fn chaos_on_the_pristine_demo_passes() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let report = chaos_instance("demo", &bench, &s, &ChaosOptions::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.served > 0);
+        assert_eq!(report.solves, 6); // 3 budgets × 2 thread counts
+    }
+
+    #[test]
+    fn a_chaos_seed_passes_or_skips() {
+        let mut seen = 0;
+        for seed in 0..6 {
+            if let Some(report) = chaos_seed(seed, &ChaosOptions::default()) {
+                assert!(report.passed(), "seed {seed}: {:?}", report.failures);
+                assert_eq!(report.seed, Some(seed));
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "all chaos seeds skipped");
     }
 
     #[test]

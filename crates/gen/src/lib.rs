@@ -22,8 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashSet;
+
 use pdw_assay::benchmarks::Benchmark;
 use pdw_assay::synthetic::{generate, SyntheticSpec};
+use pdw_biochip::{CellKind, Coord, FaultSet};
 use pdw_synth::{synthesize, SynthError, Synthesis};
 use proptest::Strategy;
 use rand::rngs::StdRng;
@@ -103,6 +106,142 @@ pub fn instance(spec: &SyntheticSpec) -> Result<(Benchmark, Synthesis), Skip> {
         Err(e @ SynthError::Deadlock { .. }) => Err(Skip::Deadlock(e.to_string())),
         Err(e) => Err(Skip::Infeasible(e.to_string())),
     }
+}
+
+/// Canonical form of an undirected edge for the used-edge set.
+fn edge_key(a: Coord, b: Coord) -> (Coord, Coord) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Derives a seeded [`FaultSet`] for a synthesized instance and applies it,
+/// returning the same schedule on the now-faulted chip.
+///
+/// Faults are sampled only from the parts of the chip the *base* (wash-free)
+/// schedule does not use — cells and valve edges no task path or device
+/// footprint touches, and ports no path terminates at (always leaving at
+/// least one inlet and one outlet enabled). The base schedule therefore
+/// stays physically valid on the faulted chip by construction; what changes
+/// is the *routing slack* the wash planners have to work with, which is
+/// exactly what chaos testing wants to squeeze.
+///
+/// The sampling is a pure function of `(synthesis, seed)`, so faulted
+/// corpora are as reproducible as the pristine ones.
+pub fn inject_faults(synthesis: &Synthesis, seed: u64) -> Synthesis {
+    let chip = &synthesis.chip;
+    let grid = chip.grid();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7fa0_17ed_c0ff_ee00);
+
+    // Everything the base schedule relies on.
+    let mut used_cells: HashSet<Coord> = HashSet::new();
+    let mut used_edges: HashSet<(Coord, Coord)> = HashSet::new();
+    let mut used_endpoints: HashSet<Coord> = HashSet::new();
+    for (_, task) in synthesis.schedule.tasks() {
+        let cells = task.path().cells();
+        used_cells.extend(cells.iter().copied());
+        used_edges.extend(cells.windows(2).map(|w| edge_key(w[0], w[1])));
+        used_endpoints.insert(task.path().source());
+        used_endpoints.insert(task.path().sink());
+    }
+    for dev in chip.devices() {
+        used_cells.extend(dev.footprint().iter().copied());
+    }
+
+    // Candidate pools, in deterministic row-major order.
+    let mut spare_cells: Vec<Coord> = Vec::new();
+    let mut spare_edges: Vec<(Coord, Coord)> = Vec::new();
+    for c in grid.coords() {
+        if matches!(grid.kind(c), CellKind::Channel) && !used_cells.contains(&c) {
+            spare_cells.push(c);
+        }
+        for n in grid.neighbors(c) {
+            let key = edge_key(c, n);
+            if key != (c, n) {
+                continue; // visit each undirected edge once
+            }
+            if grid.kind(c).is_routable()
+                && grid.kind(n).is_routable()
+                && !used_edges.contains(&key)
+            {
+                spare_edges.push(key);
+            }
+        }
+    }
+    let spare_flow: Vec<_> = chip
+        .flow_ports()
+        .enumerate()
+        .filter(|(_, c)| !used_endpoints.contains(c))
+        .map(|(i, _)| pdw_biochip::FlowPortId(i as u32))
+        .collect();
+    let spare_waste: Vec<_> = chip
+        .waste_ports()
+        .enumerate()
+        .filter(|(_, c)| !used_endpoints.contains(c))
+        .map(|(i, _)| pdw_biochip::WastePortId(i as u32))
+        .collect();
+
+    let mut faults = FaultSet::new();
+    let pick = |pool_len: usize, max: usize, rng: &mut StdRng| -> Vec<usize> {
+        let want = rng.gen_range(0..=max.min(pool_len));
+        let mut idx: Vec<usize> = (0..pool_len).collect();
+        let mut out = Vec::with_capacity(want);
+        for _ in 0..want {
+            out.push(idx.remove(rng.gen_range(0..idx.len())));
+        }
+        out
+    };
+    for i in pick(spare_cells.len(), 3, &mut rng) {
+        faults.block_cell(spare_cells[i]);
+    }
+    for i in pick(spare_edges.len(), 3, &mut rng) {
+        faults.block_edge(spare_edges[i].0, spare_edges[i].1);
+    }
+    // Keep at least one inlet and one outlet enabled: only ever disable
+    // ports that are spare, and never all of them.
+    let flow_cap = spare_flow
+        .len()
+        .min(chip.flow_ports().len().saturating_sub(1));
+    for i in pick(spare_flow.len().min(flow_cap), 1, &mut rng) {
+        faults.disable_flow_port(spare_flow[i]);
+    }
+    let waste_cap = spare_waste
+        .len()
+        .min(chip.waste_ports().len().saturating_sub(1));
+    for i in pick(spare_waste.len().min(waste_cap), 1, &mut rng) {
+        faults.disable_waste_port(spare_waste[i]);
+    }
+
+    let faulted = chip
+        .with_faults(faults)
+        .expect("faults sampled from the chip's own cells/ports are valid");
+    debug_assert!(
+        synthesis
+            .schedule
+            .tasks()
+            .all(|(_, t)| faulted.validate_path(t.path()).is_ok()),
+        "fault injection must not invalidate the base schedule"
+    );
+    Synthesis {
+        chip: faulted,
+        schedule: synthesis.schedule.clone(),
+        binding: synthesis.binding.clone(),
+        reagent_ports: synthesis.reagent_ports.clone(),
+    }
+}
+
+/// [`instance`] composed with [`inject_faults`]: the seeded instance with
+/// seeded damage applied to its chip.
+///
+/// # Errors
+///
+/// Returns [`Skip`] for infeasible specs, exactly like [`instance`].
+pub fn faulted_instance(spec: &SyntheticSpec) -> Result<(Benchmark, Synthesis), Skip> {
+    let (bench, s) = instance(spec)?;
+    let faulted = inject_faults(&s, spec.seed);
+    Ok((bench, faulted))
 }
 
 /// Shrinks a failing spec: repeatedly tries to reduce one size knob at a
@@ -185,6 +324,43 @@ mod tests {
             }
         }
         assert!(ok > 10, "only {ok}/25 seeds produced instances");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_preserves_the_base_schedule() {
+        let mut damaged = 0;
+        for seed in 0..20 {
+            let Ok((_, s)) = instance(&spec_from_seed(seed)) else {
+                continue;
+            };
+            let a = inject_faults(&s, seed);
+            let b = inject_faults(&s, seed);
+            assert_eq!(
+                a.chip.faults(),
+                b.chip.faults(),
+                "seed {seed} not deterministic"
+            );
+            // The base schedule must remain valid on the damaged chip.
+            for (_, t) in s.schedule.tasks() {
+                a.chip
+                    .validate_path(t.path())
+                    .unwrap_or_else(|e| panic!("seed {seed}: base schedule broken: {e}"));
+            }
+            if !a.chip.faults().is_empty() {
+                damaged += 1;
+            }
+        }
+        assert!(damaged > 5, "only {damaged} seeds produced any damage");
+    }
+
+    #[test]
+    fn different_fault_seeds_produce_different_damage() {
+        let (_, s) = instance(&spec_from_seed(0)).expect("seed 0 synthesizes");
+        let sets: Vec<_> = (0..8)
+            .map(|fs| inject_faults(&s, fs).chip.faults().clone())
+            .collect();
+        let distinct: HashSet<_> = sets.iter().map(|f| format!("{f:?}")).collect();
+        assert!(distinct.len() > 1, "all fault seeds collapsed to one set");
     }
 
     #[test]

@@ -93,6 +93,18 @@ pub enum OracleViolation {
         /// The out-of-range device id.
         device: DeviceId,
     },
+    /// A task's path crosses a chip fault — a clogged cell, a stuck-closed
+    /// valve, or a disabled endpoint port. On the faulted chip no pump can
+    /// actually drive fluid along that path, so the plan is unexecutable.
+    FaultedPath {
+        /// The offending task.
+        task: TaskId,
+        /// A cell on the fault (the clogged cell, one valve endpoint, or
+        /// the disabled port).
+        cell: Coord,
+        /// What kind of fault the path crosses.
+        detail: String,
+    },
 }
 
 impl fmt::Display for OracleViolation {
@@ -132,6 +144,9 @@ impl fmt::Display for OracleViolation {
             }
             OracleViolation::UnknownDevice { op, device } => {
                 write!(f, "operation {op} is bound to nonexistent device {device}")
+            }
+            OracleViolation::FaultedPath { task, cell, detail } => {
+                write!(f, "task {task} crosses a chip fault at {cell}: {detail}")
             }
         }
     }
@@ -256,13 +271,61 @@ impl ResidueGrid {
 }
 
 /// Interior (residue-capable) cells of a path: ports at the ends neither
-/// hold nor receive residue.
+/// hold nor receive residue. Out-of-grid cells (possible in arbitrarily
+/// mutated schedules) are skipped rather than panicked on.
 fn interior(chip: &Chip, task: &pdw_sched::Task) -> Vec<Coord> {
     task.path()
         .iter()
         .copied()
-        .filter(|&c| chip.grid().kind(c).can_hold_residue())
+        .filter(|&c| chip.grid().get(c).is_some_and(|k| k.can_hold_residue()))
         .collect()
+}
+
+/// Reports every chip fault a task's path crosses: clogged cells, stuck
+/// valves between consecutive cells, and disabled endpoint ports.
+fn fault_violations(
+    chip: &Chip,
+    id: TaskId,
+    task: &pdw_sched::Task,
+    out: &mut Vec<OracleViolation>,
+) {
+    let faults = chip.faults();
+    if faults.is_empty() {
+        return;
+    }
+    let cells = task.path().cells();
+    for &c in cells {
+        if faults.cell_blocked(c) {
+            out.push(OracleViolation::FaultedPath {
+                task: id,
+                cell: c,
+                detail: "cell is clogged".into(),
+            });
+        }
+    }
+    for w in cells.windows(2) {
+        if faults.edge_blocked(w[0], w[1]) {
+            out.push(OracleViolation::FaultedPath {
+                task: id,
+                cell: w[0],
+                detail: format!("valve to {} is stuck closed", w[1]),
+            });
+        }
+    }
+    for &end in [cells.first(), cells.last()].into_iter().flatten() {
+        let disabled = match chip.grid().get(end) {
+            Some(pdw_biochip::CellKind::FlowPort(p)) => faults.flow_port_disabled(p),
+            Some(pdw_biochip::CellKind::WastePort(p)) => faults.waste_port_disabled(p),
+            _ => false,
+        };
+        if disabled {
+            out.push(OracleViolation::FaultedPath {
+                task: id,
+                cell: end,
+                detail: "endpoint port is disabled".into(),
+            });
+        }
+    }
 }
 
 /// Replays `schedule` on `chip` and reports every instant where a later
@@ -281,6 +344,7 @@ pub fn propagate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Oracle
     // in schedule order) is deterministic; the sort below is stable.
     let mut timeline: Vec<(Time, Event)> = Vec::new();
     for (id, task) in schedule.tasks() {
+        fault_violations(chip, id, task, &mut report.violations);
         if task.kind().is_wash() {
             let required = flow_duration(task.path().len()) + DISSOLUTION_S;
             if task.duration() < required {
@@ -317,17 +381,17 @@ pub fn propagate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Oracle
                 .push(OracleViolation::UnknownOp { op: sop.op });
             continue;
         }
-        if sop.device.0 as usize >= chip.devices().len() {
+        let Some(device) = chip.try_device(sop.device) else {
             report.violations.push(OracleViolation::UnknownDevice {
                 op: sop.op,
                 device: sop.device,
             });
             continue;
-        }
+        };
         timeline.push((
             sop.end(),
             Event::Deposit {
-                cells: chip.device(sop.device).footprint().to_vec(),
+                cells: device.footprint().to_vec(),
                 fluid: graph.output_fluid(sop.op),
             },
         ));
@@ -372,10 +436,12 @@ pub fn propagate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Oracle
                 }
                 for op in feeds {
                     match op_dev.get(&op) {
-                        Some(&dev) if (dev.0 as usize) < chip.devices().len() => {
-                            exempt.extend(chip.device(dev).footprint());
+                        // A bogus device was already reported above.
+                        Some(&dev) => {
+                            if let Some(d) = chip.try_device(dev) {
+                                exempt.extend(d.footprint());
+                            }
                         }
-                        Some(_) => {} // bogus device already reported above
                         None => report
                             .violations
                             .push(OracleViolation::UnboundOp { task: id, op }),
@@ -407,7 +473,10 @@ pub fn propagate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Oracle
                     .iter()
                     .map(|&inp| graph.input_fluid(inp))
                     .collect();
-                for &cell in chip.device(device).footprint() {
+                let Some(dev) = chip.try_device(device) else {
+                    continue; // bogus device already reported above
+                };
+                for &cell in dev.footprint() {
                     if let Some((r, since)) = residue.get(cell) {
                         if !r.is_buffer() && !tolerated.contains(&r) {
                             report.violations.push(OracleViolation::DirtyOperation {
@@ -476,6 +545,52 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, OracleViolation::UnboundOp { .. })));
+    }
+
+    #[test]
+    fn schedule_crossing_a_fault_is_flagged() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        // The pristine schedule has violations only of the contamination
+        // kind; fault the chip under a cell some task actually traverses
+        // and the oracle must additionally flag every crossing.
+        let cell = s.schedule.tasks().next().unwrap().1.path().cells()[1];
+        let mut faults = pdw_biochip::FaultSet::new();
+        faults.block_cell(cell);
+        let faulted = s.chip.with_faults(faults).unwrap();
+        let report = propagate(&faulted, &bench.graph, &s.schedule);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::FaultedPath { cell: c, .. } if *c == cell)));
+        // The pristine chip reports no fault crossings at all.
+        let clean = propagate(&s.chip, &bench.graph, &s.schedule);
+        assert!(!clean
+            .violations
+            .iter()
+            .any(|v| matches!(v, OracleViolation::FaultedPath { .. })));
+    }
+
+    #[test]
+    fn out_of_grid_path_cell_is_skipped_not_panicked() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let mut sched = s.schedule.clone();
+        // A path entirely outside the grid: FlowPath only checks adjacency,
+        // so mutated/corrupted schedules can carry such cells.
+        let w = s.chip.grid().width();
+        let cells = vec![Coord::new(w, 0), Coord::new(w, 1), Coord::new(w, 2)];
+        let path = pdw_biochip::FlowPath::new(cells).unwrap();
+        let end = sched.makespan() + 10;
+        sched.push_task(Task::new(
+            TaskKind::Wash { targets: vec![] },
+            path,
+            end,
+            100,
+            pdw_assay::FluidType::BUFFER,
+        ));
+        // Must not panic even though every cell lies outside the grid.
+        let _ = propagate(&s.chip, &bench.graph, &sched);
     }
 
     #[test]

@@ -170,7 +170,7 @@ pub fn validate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Result<
         if sop.duration < graph.op(id).duration() {
             return Err(SimError::OpTooShort { op: id });
         }
-        if sop.device.0 as usize >= chip.devices().len() {
+        if chip.try_device(sop.device).is_none() {
             return Err(SimError::UnknownDevice {
                 op: id,
                 device: sop.device,
@@ -282,7 +282,15 @@ pub fn validate(chip: &Chip, graph: &AssayGraph, schedule: &Schedule) -> Result<
                 _ => {}
             }
         }
-        let foot = chip.device(sop.device).footprint();
+        // The op-count pass above rejected unknown devices, so this lookup
+        // cannot fail; `try_device` keeps the validator total regardless.
+        let Some(dev) = chip.try_device(sop.device) else {
+            return Err(SimError::UnknownDevice {
+                op: sop.op,
+                device: sop.device,
+            });
+        };
+        let foot = dev.footprint();
         for (id, task) in schedule.tasks() {
             if related.contains(&id) {
                 continue;
@@ -391,6 +399,21 @@ mod tests {
             validate(&s.chip, &bench.graph, &bad),
             Err(SimError::UnboundOp { .. })
         ));
+    }
+
+    #[test]
+    fn faulted_chip_turns_valid_schedule_into_bad_path() {
+        // A schedule planned on the pristine chip crosses the fault; the
+        // validator must report it as an invalid path, not execute it.
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        validate(&s.chip, &bench.graph, &s.schedule).unwrap();
+        let cell = s.schedule.tasks().next().unwrap().1.path().cells()[1];
+        let mut faults = pdw_biochip::FaultSet::new();
+        faults.block_cell(cell);
+        let faulted = s.chip.with_faults(faults).unwrap();
+        let err = validate(&faulted, &bench.graph, &s.schedule).unwrap_err();
+        assert!(matches!(err, SimError::BadPath { .. }), "got {err:?}");
     }
 
     #[test]
