@@ -195,6 +195,18 @@ impl Chip {
         })
     }
 
+    /// The labeled flow-port entries (for intra-crate views that must
+    /// preserve port identity, e.g. [`partition`](crate::partition)).
+    pub(crate) fn flow_port_entries(&self) -> &[Port] {
+        &self.flow_ports
+    }
+
+    /// The labeled waste-port entries (see
+    /// [`flow_port_entries`](Self::flow_port_entries)).
+    pub(crate) fn waste_port_entries(&self) -> &[Port] {
+        &self.waste_ports
+    }
+
     /// The chip's current fault set (empty on a pristine chip).
     pub fn faults(&self) -> &FaultSet {
         &self.faults

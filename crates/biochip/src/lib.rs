@@ -48,6 +48,7 @@ mod device;
 mod error;
 mod fault;
 mod grid;
+pub mod partition;
 mod path;
 mod routing;
 pub mod text;
@@ -59,6 +60,10 @@ pub use device::{Device, DeviceId, DeviceKind};
 pub use error::ChipError;
 pub use fault::FaultSet;
 pub use grid::{CellKind, Coord, Grid};
+pub use partition::{
+    cut_at, partition, partition_with_traffic, span_view, traffic_profile, CutInterface, Partition,
+    PartitionError, Region,
+};
 pub use path::{FlowPath, PathError};
 pub use routing::{
     counters as routing_counters, PooledScratch, PortReach, RouteScratch, RoutingCounters,

@@ -3,7 +3,9 @@
 use std::fmt;
 use std::time::Duration;
 
-use pathdriver_wash::{verify, DawoPlanner, PdwConfig, PdwPlanner, PlanContext, Planner};
+use pathdriver_wash::{
+    plan_partitioned, verify, DawoPlanner, PdwConfig, PdwPlanner, PlanContext, Planner,
+};
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
 use pdw_synth::{synthesize, Synthesis};
@@ -26,6 +28,10 @@ options for `run`:
                        (default: unlimited)
   --threads <n>        worker threads for candidate enumeration and the ILP
                        solver (default 0 = all cores)
+  --partitions <k>     cut the chip into k regions along low-traffic columns,
+                       plan them in parallel, and stitch at the seams
+                       (default 1 = whole-chip planning; clamped to the
+                       number of viable cuts)
   --no-ilp             greedy placement only
   --validate           re-check results with the simulator validator and the
                        contamination-propagation oracle (default in debug
@@ -45,6 +51,9 @@ options for `verify`:
                        on the faulted chip and bit-identical across threads
   --seeds <n>          number of seeded random instances (default 10)
   --seed <s>           verify one seed only; shrinks the instance on failure
+  --partitions <list>  with --faults: comma-separated partition counts to
+                       sweep (default 1; counts > 1 drive the partitioned
+                       planner under the same chaos contract)
   --no-ilp             skip the budget-bound ILP pipeline
   --budget <seconds>   ILP wall-clock budget per instance (default 2)
   --repro <file>       failure report target (default verify-repro.txt)";
@@ -132,6 +141,7 @@ struct RunOptions {
     budget: u64,
     pipeline_budget: Option<Duration>,
     threads: usize,
+    partitions: usize,
     ilp: bool,
     validate: bool,
     json: Option<String>,
@@ -146,6 +156,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     let mut budget = 5;
     let mut pipeline_budget = None;
     let mut threads = 0usize;
+    let mut partitions = 1usize;
     let mut ilp = true;
     // Release runs are timing-sensitive; debug runs get the safety net.
     let mut validate = cfg!(debug_assertions);
@@ -192,6 +203,17 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                     .parse()
                     .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
             }
+            "--partitions" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--partitions needs a count".into()))?;
+                partitions = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad partition count `{v}`")))?;
+                if partitions == 0 {
+                    return err("--partitions needs at least 1");
+                }
+            }
             "--no-ilp" => ilp = false,
             "--validate" => validate = true,
             "--no-validate" => validate = false,
@@ -231,6 +253,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
         budget,
         pipeline_budget,
         threads,
+        partitions,
         ilp,
         validate,
         json,
@@ -259,9 +282,24 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let d = DawoPlanner
         .plan(&mut ctx)
         .map_err(|e| CliError(format!("dawo failed: {e}")))?;
-    let p = PdwPlanner::new(config)
-        .plan(&mut ctx)
-        .map_err(|e| CliError(format!("pdw failed: {e}")))?;
+    let p = if opts.partitions > 1 {
+        let outcome = plan_partitioned(bench, &s, &config, opts.partitions);
+        let rungs: Vec<String> = outcome
+            .attempts
+            .iter()
+            .map(|a| a.rung.to_string())
+            .collect();
+        outcome.served.ok_or_else(|| {
+            CliError(format!(
+                "partitioned planner served no plan (rungs tried: {})",
+                rungs.join(", ")
+            ))
+        })?
+    } else {
+        PdwPlanner::new(config)
+            .plan(&mut ctx)
+            .map_err(|e| CliError(format!("pdw failed: {e}")))?
+    };
 
     if opts.validate {
         for (name, sched) in [("dawo", &d.schedule), ("pdw", &p.schedule)] {
@@ -331,6 +369,12 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         "pipeline: {} groups, {} candidate paths, {} route calls ({} BFS legs, {} scratch reuses)",
         ps.groups, ps.candidates, ps.route_calls, ps.bfs_runs, ps.scratch_reuses
     );
+    if ps.partition_regions > 0 {
+        println!(
+            "pipeline: partitioned into {} region(s) ({} skipped, {} refused), {} seam group(s)",
+            ps.partition_regions, ps.regions_skipped, ps.regions_refused, ps.seam_groups
+        );
+    }
     let events = ps.degradation_events();
     if !events.is_empty() {
         println!("pipeline: degraded — {}", events.join("; "));
@@ -458,6 +502,7 @@ struct VerifyCliOptions {
     single_seed: Option<u64>,
     smoke: bool,
     faults: bool,
+    partitions: Vec<usize>,
     opts: verify::VerifyOptions,
     repro: String,
 }
@@ -468,6 +513,7 @@ fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
     let mut single_seed = None;
     let mut smoke = false;
     let mut faults = false;
+    let mut partitions = vec![1usize];
     let mut opts = verify::VerifyOptions::default();
     let mut repro = "verify-repro.txt".to_string();
     let mut it = args.iter();
@@ -479,6 +525,24 @@ fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
                 opts.ilp = false;
             }
             "--faults" => faults = true,
+            "--partitions" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--partitions needs a comma-separated list".into()))?;
+                partitions = v
+                    .split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&k| k >= 1)
+                            .ok_or_else(|| CliError(format!("bad partition count `{p}`")))
+                    })
+                    .collect::<Result<Vec<usize>, CliError>>()?;
+                if partitions.is_empty() {
+                    return err("--partitions needs at least one count");
+                }
+            }
             "--seeds" => {
                 let v = it.next().ok_or(CliError("--seeds needs a count".into()))?;
                 seeds = v
@@ -513,6 +577,7 @@ fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
         single_seed,
         smoke,
         faults,
+        partitions,
         opts,
         repro,
     })
@@ -524,7 +589,10 @@ fn parse_verify(args: &[String]) -> Result<VerifyCliOptions, CliError> {
 /// oracle-clean on the faulted chip, rejects a rung without a typed reason,
 /// or differs bit-for-bit across thread counts.
 fn cmd_chaos(cli: &VerifyCliOptions) -> Result<(), CliError> {
-    let copts = verify::ChaosOptions::default();
+    let copts = verify::ChaosOptions {
+        partitions: cli.partitions.clone(),
+        ..verify::ChaosOptions::default()
+    };
 
     if let Some(seed) = cli.single_seed {
         return match verify::chaos_seed(seed, &copts) {
@@ -779,6 +847,49 @@ mod tests {
         assert!(o.faults);
         assert!(o.seeds_explicit);
         assert_eq!(o.seeds, 3);
+    }
+
+    #[test]
+    fn verify_parsing_partitions_sweep() {
+        let o = parse_verify(&[
+            "--faults".to_string(),
+            "--partitions".to_string(),
+            "1,2,4".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(o.partitions, vec![1, 2, 4]);
+        let o = parse_verify(&["--faults".to_string()]).unwrap();
+        assert_eq!(o.partitions, vec![1]);
+        assert!(parse_verify(&[
+            "--faults".to_string(),
+            "--partitions".to_string(),
+            "1,0".to_string()
+        ])
+        .is_err());
+        assert!(parse_verify(&[
+            "--faults".to_string(),
+            "--partitions".to_string(),
+            "two".to_string()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn run_parsing_partitions() {
+        let args: Vec<String> = ["PCR", "--partitions", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(o.partitions, 4);
+        let o = parse_run(&["PCR".to_string()]).unwrap();
+        assert_eq!(o.partitions, 1);
+        assert!(parse_run(&[
+            "PCR".to_string(),
+            "--partitions".to_string(),
+            "0".to_string()
+        ])
+        .is_err());
     }
 
     #[test]

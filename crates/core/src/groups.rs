@@ -617,6 +617,73 @@ pub(crate) fn merge_groups_pooled(
     groups
 }
 
+/// [`merge_groups_pooled`] restricted to pairs whose current best candidate
+/// paths share at least one cell. The partitioned pipeline's cross-bucket
+/// cleanup pass: in-bucket merging already consolidated whatever shares a
+/// span view, and across buckets a profitable merge all but requires the
+/// two washes to traverse common channels — disjoint best paths would make
+/// the combined path longer than the separate ones. The mask-intersection
+/// gate skips the expensive combined enumeration for exactly those pairs,
+/// keeping this pass far below the full merge's quadratic enumeration cost.
+pub(crate) fn merge_groups_overlapping_pooled(
+    chip: &Chip,
+    schedule: &Schedule,
+    mut groups: Vec<WashGroup>,
+    k: usize,
+    pool: &ScratchPool,
+) -> Vec<WashGroup> {
+    let timeline = Timeline::new(chip, schedule);
+    let mut scratch = pool.checkout(chip);
+    let scratch: &mut RouteScratch = &mut scratch;
+    let mut merged = true;
+    while merged {
+        merged = false;
+        'pairs: for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if groups[i].parts.len() + groups[j].parts.len() > 6 {
+                    continue; // keep waypoint ordering tractable
+                }
+                let (pi, pj) = (&groups[i].candidates[0].path, &groups[j].candidates[0].path);
+                if !pi.mask().intersects(pj.mask()) {
+                    continue; // disjoint paths: a merge cannot shorten L_wash
+                }
+                let (ri, di) = window(schedule, &groups[i]);
+                let (rj, dj) = window(schedule, &groups[j]);
+                let ready = ri.max(rj);
+                let deadline = di.min(dj);
+                if ready >= deadline {
+                    continue;
+                }
+                let mut seqs = groups[i].target_seqs();
+                seqs.extend(groups[j].target_seqs());
+                let cands = enumerate_with(chip, &mut *scratch, &seqs, k);
+                let Some(best) = cands.first() else { continue };
+                if ready + best.duration > deadline {
+                    continue;
+                }
+                let sep_len =
+                    groups[i].candidates[0].path.len() + groups[j].candidates[0].path.len();
+                if best.path.len() > sep_len {
+                    continue;
+                }
+                if timeline
+                    .earliest_fit(best.path.mask(), ready, best.duration, Some(deadline))
+                    .is_none()
+                {
+                    continue;
+                }
+                let gj = groups.remove(j);
+                let gi = &mut groups[i];
+                gi.parts.extend(gj.parts);
+                gi.candidates = cands;
+                merged = true;
+                break 'pairs;
+            }
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,6 +67,7 @@ mod greedy;
 mod groups;
 mod model;
 mod par;
+mod partition;
 mod pdw;
 mod planner;
 mod resilient;
@@ -84,6 +85,7 @@ pub use groups::{
     build_groups, enumerate_candidates, merge_groups, split_into_spot_clusters, Candidate,
     WashGroup, WashPart,
 };
+pub use partition::{plan_partitioned, plan_partitioned_ctx, PartitionedPlanner};
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
 pub use pdw_ilp::{IncumbentEvent, SolverStats};
 pub use planner::{plan_batch, DawoPlanner, GreedyPlanner, PdwPlanner, Planner};

@@ -84,6 +84,9 @@ pub enum PdwError {
     /// caught and isolated: other instances in the batch (and other rungs of
     /// a resilient solve) are unaffected.
     WorkerPanic(String),
+    /// The chip could not be partitioned as requested (e.g. a cut would
+    /// sever a device footprint, or zero regions were asked for).
+    Partition(String),
 }
 
 impl fmt::Display for PdwError {
@@ -92,13 +95,14 @@ impl fmt::Display for PdwError {
             PdwError::Invalid(e) => write!(f, "optimized schedule is invalid: {e}"),
             PdwError::Dirty(v) => write!(f, "optimized schedule is contaminated: {v}"),
             PdwError::WorkerPanic(msg) => write!(f, "planner worker panicked: {msg}"),
+            PdwError::Partition(msg) => write!(f, "chip partitioning failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PdwError {}
 
-fn finish(
+pub(crate) fn finish(
     bench: &Benchmark,
     synthesis: &Synthesis,
     schedule: Schedule,

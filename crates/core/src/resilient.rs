@@ -44,6 +44,10 @@ use crate::planner::{DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
 /// A rung of the degradation ladder, strongest first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RungKind {
+    /// The partitioned planner: regions planned in parallel, stitched at
+    /// the seams (only attempted by
+    /// [`plan_partitioned`](crate::plan_partitioned) with ≥ 2 regions).
+    Partitioned,
     /// The full PathDriver-Wash pipeline (ILP refinement per the config).
     Pdw,
     /// The pipeline stopped at its greedy warm start (no ILP).
@@ -55,6 +59,7 @@ pub enum RungKind {
 impl fmt::Display for RungKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            RungKind::Partitioned => "partitioned",
             RungKind::Pdw => "pdw",
             RungKind::Greedy => "greedy",
             RungKind::Dawo => "dawo",
@@ -148,7 +153,7 @@ impl fmt::Display for PlanOutcome {
 
 /// Runs one rung: the planner under `catch_unwind`, then independent
 /// fault-aware re-verification of whatever it produced.
-fn attempt_rung(
+pub(crate) fn attempt_rung(
     planner: &dyn Planner,
     ctx: &mut PlanContext<'_>,
 ) -> (Option<WashResult>, Option<RungRejection>, f64) {

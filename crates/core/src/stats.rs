@@ -60,6 +60,21 @@ pub struct PipelineStats {
     /// objective regression, or no refinement found) and the greedy
     /// schedule was served instead.
     pub ilp_rejected: bool,
+    /// Regions the chip was cut into (0 when planning was unpartitioned).
+    pub partition_regions: usize,
+    /// Regions skipped entirely because no wash necessity fell inside them.
+    pub regions_skipped: usize,
+    /// Span buckets whose front end panicked (e.g. a cluster-split bridge
+    /// cell beyond their view); their requirements were replanned on the
+    /// whole chip as seam work.
+    pub regions_refused: usize,
+    /// Wash groups whose chosen path crosses a cut interface — planned on a
+    /// multi-band span view or on the whole chip, and coordinated by the
+    /// seam ILP.
+    pub seam_groups: usize,
+    /// Fewer viable cuts existed than requested regions; the partition was
+    /// clamped.
+    pub partition_clamped: bool,
 }
 
 impl PipelineStats {
@@ -94,6 +109,12 @@ impl PipelineStats {
         }
         if self.ilp_rejected {
             out.push("ILP refinement rejected; greedy schedule served");
+        }
+        if self.partition_clamped {
+            out.push("partition clamped (fewer viable cuts than requested regions)");
+        }
+        if self.regions_refused > 0 {
+            out.push("some regions refused their front end; replanned as seam work");
         }
         out
     }

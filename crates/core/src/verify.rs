@@ -360,6 +360,12 @@ pub struct ChaosOptions {
     /// deadline point. The sweep keeps the ILP off, so all its rungs are
     /// deterministic.
     pub threads: Vec<usize>,
+    /// Partition counts swept per deadline point. `1` (the default) drives
+    /// [`plan_resilient`](crate::plan_resilient) exactly as before; larger
+    /// counts drive [`plan_partitioned`](crate::plan_partitioned) and hold
+    /// the stitched plan to the same fault-aware-validate + oracle
+    /// contract.
+    pub partitions: Vec<usize>,
 }
 
 impl Default for ChaosOptions {
@@ -367,6 +373,7 @@ impl Default for ChaosOptions {
         ChaosOptions {
             budgets: vec![Some(Duration::ZERO), Some(Duration::from_nanos(1)), None],
             threads: vec![1, 8],
+            partitions: vec![1],
         }
     }
 }
@@ -428,78 +435,91 @@ pub fn chaos_instance(
     } else {
         opts.threads.clone()
     };
+    let partitions = if opts.partitions.is_empty() {
+        vec![1]
+    } else {
+        opts.partitions.clone()
+    };
     for budget in &opts.budgets {
-        // Baseline outcome of the first thread count at this deadline
-        // point; the others must match it bit for bit.
-        let mut baseline: Option<crate::resilient::PlanOutcome> = None;
-        for &t in &threads {
-            let config = PdwConfig {
-                ilp: false,
-                threads: t,
-                pipeline_budget: *budget,
-                ..PdwConfig::default()
-            };
-            let point = format!("budget {budget:?}, {t} threads");
-            // The ladder promises to never panic; hold it to that.
-            let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                plan_resilient(bench, synthesis, &config)
-            })) {
-                Ok(o) => o,
-                Err(_) => {
-                    failures.push(format!("{point}: plan_resilient panicked"));
-                    continue;
-                }
-            };
-            solves += 1;
+        for &k in &partitions {
+            // Baseline outcome of the first thread count at this
+            // (deadline, partition-count) point; the others must match it
+            // bit for bit.
+            let mut baseline: Option<crate::resilient::PlanOutcome> = None;
+            for &t in &threads {
+                let config = PdwConfig {
+                    ilp: false,
+                    threads: t,
+                    pipeline_budget: *budget,
+                    ..PdwConfig::default()
+                };
+                let point = format!("budget {budget:?}, {t} threads, {k} partitions");
+                // Both ladders promise to never panic; hold them to that.
+                let outcome = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if k <= 1 {
+                        plan_resilient(bench, synthesis, &config)
+                    } else {
+                        crate::partition::plan_partitioned(bench, synthesis, &config, k)
+                    }
+                })) {
+                    Ok(o) => o,
+                    Err(_) => {
+                        failures.push(format!("{point}: planner panicked"));
+                        continue;
+                    }
+                };
+                solves += 1;
 
-            // Every non-served rung must carry a typed rejection.
-            for a in &outcome.attempts {
-                let served_here = outcome.rung == Some(a.rung) && a.rejection.is_none();
-                if !served_here && a.rejection.is_none() {
-                    failures.push(format!("{point}: rung {} has no typed rejection", a.rung));
+                // Every non-served rung must carry a typed rejection.
+                for a in &outcome.attempts {
+                    let served_here = outcome.rung == Some(a.rung) && a.rejection.is_none();
+                    if !served_here && a.rejection.is_none() {
+                        failures.push(format!("{point}: rung {} has no typed rejection", a.rung));
+                    }
                 }
-            }
-            if !outcome.is_served() && outcome.attempts.len() < 3 {
-                failures.push(format!(
-                    "{point}: nothing served after only {} attempts",
-                    outcome.attempts.len()
-                ));
-            }
-
-            // A served plan must hold up under independent fault-aware
-            // re-verification on the damaged chip.
-            if let Some(r) = &outcome.served {
-                served += 1;
-                if let Err(e) = validate(&synthesis.chip, &bench.graph, &r.schedule) {
-                    failures.push(format!("{point}: served plan invalid: {e}"));
-                }
-                let oracle = propagate(&synthesis.chip, &bench.graph, &r.schedule);
-                if !oracle.is_clean() {
+                if !outcome.is_served() && outcome.attempts.len() < 3 {
                     failures.push(format!(
-                        "{point}: served plan dirty: {} oracle violation(s)",
-                        oracle.violations.len()
+                        "{point}: nothing served after only {} attempts",
+                        outcome.attempts.len()
                     ));
                 }
-            }
 
-            // Outcome identity across thread counts.
-            match &baseline {
-                None => baseline = Some(outcome),
-                Some(base) => {
-                    if outcome.rung != base.rung {
+                // A served plan must hold up under independent fault-aware
+                // re-verification on the damaged chip.
+                if let Some(r) = &outcome.served {
+                    served += 1;
+                    if let Err(e) = validate(&synthesis.chip, &bench.graph, &r.schedule) {
+                        failures.push(format!("{point}: served plan invalid: {e}"));
+                    }
+                    let oracle = propagate(&synthesis.chip, &bench.graph, &r.schedule);
+                    if !oracle.is_clean() {
                         failures.push(format!(
-                            "{point}: served rung {:?} differs from baseline {:?}",
-                            outcome.rung, base.rung
+                            "{point}: served plan dirty: {} oracle violation(s)",
+                            oracle.violations.len()
                         ));
-                    } else {
-                        match (&base.served, &outcome.served) {
-                            (Some(a), Some(b))
-                                if a.schedule != b.schedule || a.metrics != b.metrics =>
-                            {
-                                failures
-                                    .push(format!("{point}: served plan differs from baseline"));
+                    }
+                }
+
+                // Outcome identity across thread counts.
+                match &baseline {
+                    None => baseline = Some(outcome),
+                    Some(base) => {
+                        if outcome.rung != base.rung {
+                            failures.push(format!(
+                                "{point}: served rung {:?} differs from baseline {:?}",
+                                outcome.rung, base.rung
+                            ));
+                        } else {
+                            match (&base.served, &outcome.served) {
+                                (Some(a), Some(b))
+                                    if a.schedule != b.schedule || a.metrics != b.metrics =>
+                                {
+                                    failures.push(format!(
+                                        "{point}: served plan differs from baseline"
+                                    ));
+                                }
+                                _ => {}
                             }
-                            _ => {}
                         }
                     }
                 }
@@ -607,6 +627,21 @@ mod tests {
         assert!(report.passed(), "{:?}", report.failures);
         assert!(report.served > 0);
         assert_eq!(report.solves, 6); // 3 budgets × 2 thread counts
+    }
+
+    #[test]
+    fn chaos_partition_sweep_on_the_demo_passes() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let opts = ChaosOptions {
+            budgets: vec![None],
+            threads: vec![1, 2],
+            partitions: vec![1, 2, 4],
+        };
+        let report = chaos_instance("demo", &bench, &s, &opts);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.served > 0);
+        assert_eq!(report.solves, 6); // 1 budget × 3 partition counts × 2 threads
     }
 
     #[test]

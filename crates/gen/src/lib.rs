@@ -27,7 +27,9 @@ use std::collections::HashSet;
 use pdw_assay::benchmarks::Benchmark;
 use pdw_assay::synthetic::{generate, SyntheticSpec};
 use pdw_biochip::{CellKind, Coord, FaultSet};
-use pdw_synth::{synthesize, SynthError, Synthesis};
+use pdw_synth::{
+    build_chip_banded, device_slots, synthesize, synthesize_on, SynthError, Synthesis,
+};
 use proptest::Strategy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,6 +104,55 @@ impl std::fmt::Display for Skip {
 pub fn instance(spec: &SyntheticSpec) -> Result<(Benchmark, Synthesis), Skip> {
     let bench = generate(spec);
     match synthesize(&bench) {
+        Ok(s) => Ok((bench, s)),
+        Err(e @ SynthError::Deadlock { .. }) => Err(Skip::Deadlock(e.to_string())),
+        Err(e) => Err(Skip::Infeasible(e.to_string())),
+    }
+}
+
+/// Number of vertical port bands [`mega_instance`] lays out for a grid of
+/// `width` columns — one flow and one waste port per band, so a
+/// [`partition`](pdw_biochip::partition) cut leaves every region able to
+/// wash on its own.
+pub fn mega_bands(width: u16) -> u16 {
+    (width / 16).clamp(2, 16)
+}
+
+/// The spec of a seeded `mega`-family instance: a `side × side` grid
+/// (sides up to 1000 cells) running an `ops`-operation assay (up to
+/// thousand-op). The device library scales with the assay and is clamped to
+/// what the grid can hold; the edge count follows the same structural
+/// family as [`spec_from_seed`].
+pub fn mega_spec(side: u16, ops: usize, seed: u64) -> SyntheticSpec {
+    let side = side.max(15);
+    let capacity = device_slots(side, side).len();
+    let devices = (ops * 3 / 4).clamp(6, capacity.max(6));
+    SyntheticSpec {
+        name: format!("mega-{side}x{side}-{ops}op-{seed:x}"),
+        ops,
+        edges: 2 * ops - ops / 2,
+        devices,
+        seed,
+        grid: (side, side),
+    }
+}
+
+/// Generates and synthesizes a `mega` instance on its *banded* chip
+/// ([`build_chip_banded`]): one flow/waste port pair per vertical band
+/// ([`mega_bands`]), devices spread across the whole grid instead of packed
+/// top-first. This is the instance family of the partitioned-planning
+/// benchmarks (`bench_partition`).
+///
+/// # Errors
+///
+/// Returns [`Skip`] for infeasible specs, exactly like [`instance`].
+pub fn mega_instance(spec: &SyntheticSpec) -> Result<(Benchmark, Synthesis), Skip> {
+    let bench = generate(spec);
+    let chip = match build_chip_banded(&bench, mega_bands(spec.grid.0)) {
+        Ok(c) => c,
+        Err(e) => return Err(Skip::Infeasible(e.to_string())),
+    };
+    match synthesize_on(&bench, chip) {
         Ok(s) => Ok((bench, s)),
         Err(e @ SynthError::Deadlock { .. }) => Err(Skip::Deadlock(e.to_string())),
         Err(e) => Err(Skip::Infeasible(e.to_string())),
@@ -361,6 +412,28 @@ mod tests {
             .collect();
         let distinct: HashSet<_> = sets.iter().map(|f| format!("{f:?}")).collect();
         assert!(distinct.len() > 1, "all fault seeds collapsed to one set");
+    }
+
+    #[test]
+    fn mega_instances_synthesize_deterministically_on_banded_chips() {
+        let spec = mega_spec(61, 12, 3);
+        assert_eq!(spec.grid, (61, 61));
+        let (bench, s) = mega_instance(&spec).expect("mega seed 3 synthesizes");
+        assert_eq!(bench.devices.len(), spec.devices);
+        // One port pair per band.
+        let bands = mega_bands(61) as usize;
+        assert_eq!(s.chip.flow_ports().len(), bands);
+        assert_eq!(s.chip.waste_ports().len(), bands);
+        // Deterministic re-generation.
+        let (_, s2) = mega_instance(&spec).unwrap();
+        assert_eq!(s.chip.grid(), s2.chip.grid());
+        assert_eq!(s.schedule, s2.schedule);
+        // Fault injection composes with the mega family and keeps the base
+        // schedule valid on the damaged chip.
+        let faulted = inject_faults(&s, spec.seed);
+        for (_, t) in faulted.schedule.tasks() {
+            faulted.chip.validate_path(t.path()).unwrap();
+        }
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn build_chip(bench: &Benchmark) -> Result<Chip, SynthError> {
         });
     }
 
-    let mut builder = ChipBuilder::new(width, height);
+    let builder = ChipBuilder::new(width, height);
 
     // Ports: even coordinates so the adjacent mesh cell is a channel.
     // Inlets and outlets are interleaved around the perimeter (as in the
@@ -90,21 +90,93 @@ pub fn build_chip(bench: &Benchmark) -> Result<Chip, SynthError> {
         Coord::new(width - 1, third(height, 2)),
         Coord::new(third(width, 1), height - 1),
     ];
+    let builder = builder_with_ports(builder, &flow_ports, &waste_ports)?;
+    let anchors: Vec<Coord> = slots.into_iter().take(bench.devices.len()).collect();
+    assemble(bench, builder, &flow_ports, &waste_ports, &anchors)
+}
+
+/// Builds a *banded* chip for a benchmark: one flow port on the north edge
+/// and one waste port on the south edge per vertical band, with devices
+/// spread evenly over the whole slot grid instead of packed top-first.
+///
+/// This is the layout of the `mega` instance family: every column band of
+/// the chip owns a complete port pair, so a vertical
+/// [`partition`](pdw_biochip::partition) cut leaves each region able to
+/// route complete `[flow port → … → waste port]` wash paths on its own.
+/// `bands` is clamped to what the grid width can carry.
+///
+/// # Errors
+///
+/// Returns [`SynthError::GridTooSmall`] if the library does not fit, or a
+/// wrapped [`ChipError`](pdw_biochip::ChipError) on placement conflicts.
+pub fn build_chip_banded(bench: &Benchmark, bands: u16) -> Result<Chip, SynthError> {
+    let (width, height) = bench.grid;
+    let slots = device_slots(width, height);
+    if bench.devices.len() > slots.len() {
+        return Err(SynthError::GridTooSmall {
+            devices: bench.devices.len(),
+            capacity: slots.len(),
+        });
+    }
+
+    let builder = ChipBuilder::new(width, height);
+
+    // One port pair per band, at the band's center column (even, so the
+    // mesh cell inside the edge is a channel). Band centers sit ≥ 6 cells
+    // apart after clamping, so the columns never collide.
+    let bands = bands.clamp(1, (width / 6).max(1));
+    let even = |v: u16| v & !1;
+    let mut flow_ports = Vec::new();
+    let mut waste_ports = Vec::new();
+    for b in 0..bands {
+        let center = (width as u32 * (2 * b as u32 + 1) / (2 * bands as u32)) as u16;
+        let cx = even(center).clamp(2, even(width - 3));
+        flow_ports.push(Coord::new(cx, 0));
+        waste_ports.push(Coord::new(cx, height - 1));
+    }
+
+    // Devices: stride over the full slot list so every band gets its share
+    // (the top-first packing of [`build_chip`] would strand lower bands
+    // device-free on large grids).
+    let n = bench.devices.len();
+    let anchors: Vec<Coord> = (0..n).map(|i| slots[i * slots.len() / n.max(1)]).collect();
+    let builder = builder_with_ports(builder, &flow_ports, &waste_ports)?;
+    assemble(bench, builder, &flow_ports, &waste_ports, &anchors)
+}
+
+/// Adds the given ports to the builder (labels `in1…`, `out1…`).
+fn builder_with_ports(
+    mut builder: ChipBuilder,
+    flow_ports: &[Coord],
+    waste_ports: &[Coord],
+) -> Result<ChipBuilder, SynthError> {
     for (i, &c) in flow_ports.iter().enumerate() {
         builder = builder.flow_port(&format!("in{}", i + 1), c)?;
     }
     for (i, &c) in waste_ports.iter().enumerate() {
         builder = builder.waste_port(&format!("out{}", i + 1), c)?;
     }
+    Ok(builder)
+}
 
-    // Devices: 3-cell horizontal footprints on the precomputed slots.
+/// Places the devices on `anchors`, etches the corridor mesh, and builds.
+fn assemble(
+    bench: &Benchmark,
+    mut builder: ChipBuilder,
+    flow_ports: &[Coord],
+    waste_ports: &[Coord],
+    anchors: &[Coord],
+) -> Result<Chip, SynthError> {
+    let (width, height) = bench.grid;
+
+    // Devices: 3-cell horizontal footprints on the chosen anchors.
     let mut claimed: std::collections::HashSet<Coord> = flow_ports
         .iter()
         .chain(waste_ports.iter())
         .copied()
         .collect();
     let mut kind_counts = std::collections::HashMap::new();
-    for (&op_kind, &anchor) in bench.devices.iter().zip(&slots) {
+    for (&op_kind, &anchor) in bench.devices.iter().zip(anchors) {
         let kind = device_kind_for(op_kind);
         let n = kind_counts.entry(kind).or_insert(0u32);
         *n += 1;
@@ -216,6 +288,43 @@ mod tests {
                 assert!(g.kind(c).is_routable(), "cell {c} should be routable");
             }
         }
+    }
+
+    #[test]
+    fn banded_chip_gives_every_band_a_port_pair_and_devices() {
+        let mut bench = benchmarks::demo();
+        bench.grid = (41, 21);
+        let bands = 4u16;
+        let chip = build_chip_banded(&bench, bands).unwrap();
+        assert_eq!(chip.flow_ports().len(), bands as usize);
+        assert_eq!(chip.waste_ports().len(), bands as usize);
+        let band_of = |c: Coord| (c.x as u32 * bands as u32 / 41) as u16;
+        // One flow port on the north edge and one waste port on the south
+        // edge per band.
+        for b in 0..bands {
+            assert_eq!(chip.flow_ports().filter(|&c| band_of(c) == b).count(), 1);
+            assert_eq!(chip.waste_ports().filter(|&c| band_of(c) == b).count(), 1);
+        }
+        // Devices spread: the strided assignment must not pack all five
+        // into the top band of rows.
+        let rows: std::collections::HashSet<u16> =
+            chip.devices().iter().map(|d| d.footprint()[0].y).collect();
+        assert!(rows.len() > 1, "devices all landed on one row");
+        // Complete port-to-port paths still exist everywhere.
+        for fp in chip.flow_ports() {
+            for wp in chip.waste_ports() {
+                assert!(chip.route(fp, wp, &[]).is_some(), "no route {fp} -> {wp}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_band_count_is_clamped_to_the_grid() {
+        let mut bench = benchmarks::demo();
+        bench.grid = (15, 15);
+        let chip = build_chip_banded(&bench, 64).unwrap();
+        assert!(chip.flow_ports().len() <= 2);
+        assert_eq!(chip.flow_ports().len(), chip.waste_ports().len());
     }
 
     #[test]

@@ -41,7 +41,7 @@ mod reservations;
 pub mod schedule;
 
 pub use error::SynthError;
-pub use layout::{build_chip, device_kind_for, device_slots};
+pub use layout::{build_chip, build_chip_banded, device_kind_for, device_slots};
 pub use schedule::{
     blocked_footprints, excess_cells, flow_duration, route_flush, route_task, route_task_from,
     synthesize_on, Synthesis, CELLS_PER_SECOND, EXCESS_SPAN,

@@ -7,8 +7,9 @@
 //! any thread count.
 
 use pathdriver_wash::{
-    build_groups, dawo, pdw, plan_batch, split_into_spot_clusters, CandidatePolicy, DawoPlanner,
-    GreedyPlanner, PdwConfig, PlanContext, Planner, WashGroup,
+    build_groups, dawo, pdw, plan_batch, plan_partitioned, plan_resilient,
+    split_into_spot_clusters, CandidatePolicy, DawoPlanner, GreedyPlanner, PdwConfig, PlanContext,
+    Planner, WashGroup,
 };
 use pdw_assay::benchmarks;
 use pdw_contam::{analyze, NecessityOptions};
@@ -178,6 +179,44 @@ fn plan_batch_is_thread_count_invariant_across_the_suite() {
                 "{name}: greedy at {threads} threads"
             );
             assert_eq!(g.metrics, cold_g.metrics, "{name}: greedy metrics");
+        }
+    }
+}
+
+#[test]
+fn partitioned_k1_is_bit_identical_to_plan_resilient_at_any_thread_count() {
+    // `plan_partitioned(.., 1)` must delegate verbatim to the unpartitioned
+    // ladder: same rung, same schedule, same metrics — at every thread
+    // count, on every bundled benchmark.
+    for bench in benchmarks::suite().into_iter().chain([benchmarks::demo()]) {
+        let s = synthesize(&bench).expect("benchmark synthesizes");
+        for threads in [1, 2, 8] {
+            let config = PdwConfig {
+                ilp: false,
+                threads,
+                ..PdwConfig::default()
+            };
+            let base = plan_resilient(&bench, &s, &config);
+            let part = plan_partitioned(&bench, &s, &config, 1);
+            assert_eq!(
+                part.rung, base.rung,
+                "{}: rung differs at {threads} threads",
+                bench.name
+            );
+            let (b, p) = (
+                base.served.as_ref().expect("resilient serves"),
+                part.served.as_ref().expect("partitioned k=1 serves"),
+            );
+            assert_eq!(
+                p.schedule, b.schedule,
+                "{}: schedule differs at {threads} threads",
+                bench.name
+            );
+            assert_eq!(
+                p.metrics, b.metrics,
+                "{}: metrics differ at {threads} threads",
+                bench.name
+            );
         }
     }
 }
