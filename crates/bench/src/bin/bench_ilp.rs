@@ -200,7 +200,5 @@ fn main() {
         synthetic: synthetic_reports,
         table2,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out, json).expect("write baseline json");
-    println!("wrote {out}");
+    pdw_bench::models::write_report(&out, &report);
 }

@@ -188,7 +188,5 @@ fn main() {
         speedup_1t,
         objective_gap,
     };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(out_path, json).expect("write partition report");
-    println!("wrote {out_path}");
+    pdw_bench::models::write_report(out_path, &report);
 }

@@ -325,9 +325,7 @@ fn batch_mode(smoke: bool, out_path: &str) {
         println!("batch smoke run ok");
         return;
     }
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(out_path, json).expect("write batch report");
-    println!("wrote {out_path}");
+    pdw_bench::models::write_report(out_path, &report);
 }
 
 fn main() {
@@ -392,7 +390,5 @@ fn main() {
         rows.push(row);
     }
 
-    let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
-    std::fs::write(out_path, json).expect("write benchmark report");
-    println!("wrote {out_path}");
+    pdw_bench::models::write_report(out_path, &rows);
 }

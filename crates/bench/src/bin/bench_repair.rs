@@ -1,0 +1,334 @@
+//! Incremental-repair benchmark: `RepairSession::repair` vs a cold
+//! `plan_resilient`-style solve of the mutated instance, across the bundled
+//! benchmark corpus.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_repair [--smoke] [--out FILE] [--miss N] [--hit N]
+//! ```
+//!
+//! Every benchmark is planned once through a [`RepairSession`], then hit
+//! with two families of single-fault deltas:
+//!
+//! - **miss** deltas block spare channel cells far away from the served
+//!   plan — the delta's footprint intersects no cached analysis, no cached
+//!   candidate path, and no path of the plan, so repair re-verifies the
+//!   cached plan and serves it without replanning (the fast path);
+//! - **hit** deltas block a cell on one of the plan's own wash paths —
+//!   repair must invalidate the crossing caches and replan the suffix warm.
+//!
+//! Each repair is timed against a cold solve of the *same* mutated
+//! instance, rebuilt from the pristine chip so the cold side honestly pays
+//! the port-reachability BFS the warm side carries forward. Every repaired
+//! plan must be bit-identical to its cold solve.
+//!
+//! `--smoke` is the CI regression gate: it asserts the median fast-path
+//! speedup stays ≥ 10x and writes `BENCH_repair_smoke.json`; the full run
+//! writes `BENCH_repair.json`.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use pathdriver_wash::{
+    plan_partitioned, PdwConfig, PlanDelta, PlanOutcome, RepairSession, Weights,
+};
+use pdw_assay::benchmarks::{self, Benchmark};
+use pdw_biochip::{CellKind, Coord, FaultDelta};
+use pdw_sched::Schedule;
+use pdw_synth::{synthesize, Synthesis};
+use serde::Serialize;
+
+/// One timed repair-vs-cold measurement.
+#[derive(Debug, Serialize)]
+struct Point {
+    benchmark: String,
+    /// `"miss"` (fast-path candidate) or `"hit"` (forced replan).
+    kind: &'static str,
+    delta: String,
+    repair_s: f64,
+    cold_s: f64,
+    speedup: f64,
+    /// The repair served the cached plan without replanning.
+    cache_served: bool,
+    /// Repaired plan bit-identical to the cold solve.
+    identical: bool,
+    prefix_frozen: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    benchmarks: usize,
+    points: Vec<Point>,
+    /// Median cold/repair speedup over fast-path (cache-served) repairs —
+    /// the headline and the `--smoke` gate (≥ 10x).
+    fastpath_speedup_median: f64,
+    /// Median speedup over repairs that replanned warm.
+    replan_speedup_median: f64,
+    /// Every repaired plan matched its cold solve bit for bit.
+    all_identical: bool,
+}
+
+/// Cells the base (wash-free) schedule and device footprints rely on.
+fn base_used(s: &Synthesis) -> HashSet<Coord> {
+    let mut used: HashSet<Coord> = HashSet::new();
+    for (_, t) in s.schedule.tasks() {
+        used.extend(t.path().cells().iter().copied());
+    }
+    for d in s.chip.devices() {
+        used.extend(d.footprint().iter().copied());
+    }
+    used
+}
+
+/// Spare channel cells ranked farthest-first from the served plan's paths:
+/// blocking one is always base-schedule-safe and very likely to miss every
+/// cached candidate path too (the fast-path family).
+fn far_spare_cells(s: &Synthesis, plan: &Schedule, n: usize) -> Vec<Coord> {
+    let grid = s.chip.grid();
+    let faults = s.chip.faults();
+    let mut plan_cells: Vec<Coord> = Vec::new();
+    for (_, t) in plan.tasks() {
+        plan_cells.extend(t.path().cells().iter().copied());
+    }
+    let used = base_used(s);
+    let mut spares: Vec<(i64, Coord)> = grid
+        .coords()
+        .filter(|&c| {
+            matches!(grid.kind(c), CellKind::Channel)
+                && !used.contains(&c)
+                && !faults.cell_blocked(c)
+                && !plan_cells.contains(&c)
+        })
+        .map(|c| {
+            let d = plan_cells
+                .iter()
+                .map(|p| {
+                    (i64::from(p.x) - i64::from(c.x)).abs()
+                        + (i64::from(p.y) - i64::from(c.y)).abs()
+                })
+                .min()
+                .unwrap_or(i64::MAX);
+            (d, c)
+        })
+        .collect();
+    spares.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    spares.into_iter().take(n).map(|(_, c)| c).collect()
+}
+
+/// A channel cell on one of the plan's wash paths that the base schedule
+/// does not use: blocking it keeps the instance valid but forces a replan.
+fn wash_hit_cell(s: &Synthesis, plan: &Schedule) -> Option<Coord> {
+    let grid = s.chip.grid();
+    let faults = s.chip.faults();
+    let used = base_used(s);
+    plan.tasks()
+        .filter(|(_, t)| t.kind().is_wash())
+        .flat_map(|(_, t)| t.path().cells().iter().copied())
+        .find(|&c| {
+            matches!(grid.kind(c), CellKind::Channel)
+                && !used.contains(&c)
+                && !faults.cell_blocked(c)
+        })
+}
+
+/// Cold-solves the session's current (mutated) instance from scratch: the
+/// chip is rebuilt from the pristine one so the lazy port-reachability
+/// cache starts cold, exactly as a from-scratch consumer would pay it.
+fn cold_solve(
+    bench: &Benchmark,
+    pristine: &Synthesis,
+    mutated: &Synthesis,
+    config: &PdwConfig,
+) -> (PlanOutcome, f64) {
+    let chip = pristine
+        .chip
+        .with_faults(mutated.chip.faults().clone())
+        .expect("session faults are valid");
+    let s = Synthesis {
+        chip,
+        schedule: mutated.schedule.clone(),
+        binding: mutated.binding.clone(),
+        reagent_ports: mutated.reagent_ports.clone(),
+    };
+    let t = Instant::now();
+    let outcome = plan_partitioned(bench, &s, config, 1);
+    (outcome, t.elapsed().as_secs_f64())
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad {flag} `{v}`"))
+            })
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if smoke {
+            "BENCH_repair_smoke.json"
+        } else {
+            "BENCH_repair.json"
+        });
+    let miss_n = arg("--miss").unwrap_or(3);
+    let hit_n = arg("--hit").unwrap_or(2);
+
+    let config = PdwConfig {
+        ilp: false,
+        threads: 1,
+        ..PdwConfig::default()
+    };
+    let corpus: Vec<Benchmark> = benchmarks::suite()
+        .into_iter()
+        .chain([benchmarks::demo()])
+        .collect();
+    let n_benchmarks = corpus.len();
+
+    let mut points: Vec<Point> = Vec::new();
+    for bench in corpus {
+        let pristine = synthesize(&bench).expect("bundled benchmark synthesizes");
+        let mut session = RepairSession::new(bench.clone(), pristine.clone(), config.clone());
+        let first = session.plan();
+        let plan = first
+            .served
+            .as_ref()
+            .expect("bundled benchmark serves a plan")
+            .schedule
+            .clone();
+
+        // Deltas to apply, in order: far-away misses, then on-path hits.
+        let mut deltas: Vec<(&'static str, Coord)> = far_spare_cells(&pristine, &plan, miss_n)
+            .into_iter()
+            .map(|c| ("miss", c))
+            .collect();
+
+        let mut step = 0usize;
+        while step < deltas.len() + hit_n {
+            let (kind, cell) = if step < deltas.len() {
+                deltas[step]
+            } else {
+                // Hits are drawn against the *current* plan, which changed
+                // after each replanning repair.
+                let current = session
+                    .last()
+                    .and_then(|o| o.served.as_ref())
+                    .expect("session keeps serving")
+                    .schedule
+                    .clone();
+                match wash_hit_cell(session.synthesis(), &current) {
+                    Some(c) => ("hit", c),
+                    None => break,
+                }
+            };
+            let delta = PlanDelta::Fault(FaultDelta::BlockCell(cell));
+            let t = Instant::now();
+            let outcome = session.repair(&delta);
+            let repair_s = t.elapsed().as_secs_f64();
+            let served = outcome
+                .served
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: repair served nothing ({delta})", bench.name));
+
+            let (cold, cold_s) = cold_solve(&bench, &pristine, session.synthesis(), &config);
+            let identical = cold
+                .served
+                .as_ref()
+                .is_some_and(|c| c.schedule == served.schedule && c.metrics == served.metrics)
+                && cold.rung == outcome.rung;
+            let speedup = cold_s / repair_s.max(1e-9);
+            println!(
+                "{:<14} {:<4} {:<22} repair {:>9.6}s cold {:>9.6}s ({:>6.1}x) {}{}",
+                bench.name,
+                kind,
+                delta.to_string(),
+                repair_s,
+                cold_s,
+                speedup,
+                if identical { "ok" } else { "DIFFERS" },
+                if served.pipeline.repair_cache_served {
+                    " [cache-served]"
+                } else {
+                    ""
+                },
+            );
+            points.push(Point {
+                benchmark: bench.name.clone(),
+                kind,
+                delta: delta.to_string(),
+                repair_s,
+                cold_s,
+                speedup,
+                cache_served: served.pipeline.repair_cache_served,
+                identical,
+                prefix_frozen: served.pipeline.repair_prefix_frozen,
+            });
+            // Objective parity is implied by metrics equality, but keep the
+            // weights in the loop so a metrics change cannot silently skew.
+            let _ = served.objective(&Weights::default());
+            step += 1;
+        }
+        // Hits consumed the miss list length; nothing left to free.
+        drop(deltas.drain(..));
+    }
+
+    let fastpath: Vec<f64> = points
+        .iter()
+        .filter(|p| p.cache_served)
+        .map(|p| p.speedup)
+        .collect();
+    let replan: Vec<f64> = points
+        .iter()
+        .filter(|p| !p.cache_served)
+        .map(|p| p.speedup)
+        .collect();
+    let all_identical = points.iter().all(|p| p.identical);
+    let report = Report {
+        benchmarks: n_benchmarks,
+        fastpath_speedup_median: median(fastpath.clone()),
+        replan_speedup_median: median(replan),
+        all_identical,
+        points,
+    };
+    println!(
+        "fast path: {} repair(s), median speedup {:.1}x; warm replans median {:.1}x; identical: {}",
+        fastpath.len(),
+        report.fastpath_speedup_median,
+        report.replan_speedup_median,
+        report.all_identical,
+    );
+
+    if smoke {
+        assert!(
+            all_identical,
+            "a repaired plan diverged from its cold solve"
+        );
+        assert!(
+            !fastpath.is_empty(),
+            "no repair took the fast path; miss-family deltas all collided"
+        );
+        assert!(
+            report.fastpath_speedup_median >= 10.0,
+            "fast-path median speedup {:.2}x below the 10x gate",
+            report.fastpath_speedup_median
+        );
+        println!("smoke regression gate ok (fast path ≥ 10x, plans identical)");
+    }
+
+    pdw_bench::models::write_report(out_path, &report);
+}

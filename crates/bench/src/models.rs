@@ -8,6 +8,19 @@
 
 use pdw_ilp::{Model, Relation};
 
+/// Serializes `report` as pretty JSON to `path` and announces the write —
+/// the shared tail of every `bench_*` binary (`BENCH_*.json` artifacts).
+///
+/// # Panics
+///
+/// Panics if the report fails to serialize or the file cannot be written;
+/// the harness treats either as a benchmarking bug.
+pub fn write_report<T: serde::Serialize>(path: &str, report: &T) {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(path, json).expect("write benchmark report");
+    println!("wrote {path}");
+}
+
 /// A chain of difference constraints (retiming skeleton).
 pub fn difference_chain(n: usize) -> Model {
     let mut m = Model::new("chain");

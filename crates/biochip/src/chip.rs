@@ -382,6 +382,15 @@ impl Chip {
         self.reach.get_or_init(|| PortReach::compute(self))
     }
 
+    /// Pre-populates the lazy reachability cache, e.g. with fields carried
+    /// forward from a pre-delta chip via [`PortReach::carry_forward`]. A
+    /// no-op if [`port_reach`](Self::port_reach) already ran. The seeded
+    /// fields must equal what `PortReach::compute` would produce for this
+    /// chip — `carry_forward` guarantees exactly that.
+    pub fn seed_reach(&self, reach: PortReach) {
+        let _ = self.reach.set(reach);
+    }
+
     /// Validates that `path` is a complete flow path on this chip: it starts
     /// at an enabled flow port, ends at an enabled waste port, every interior
     /// cell is a channel or device cell (no intermediate port, no empty

@@ -111,6 +111,54 @@ impl FaultSet {
         self
     }
 
+    /// Clears a clog at `cell` (a repaired channel). Idempotent; returns
+    /// `true` if the cell was actually blocked.
+    pub fn unblock_cell(&mut self, cell: Coord) -> bool {
+        match self.blocked_cells.binary_search(&cell) {
+            Ok(i) => {
+                self.blocked_cells.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-enables the flow port `id`. Idempotent; returns `true` if the
+    /// port was actually disabled.
+    pub fn enable_flow_port(&mut self, id: FlowPortId) -> bool {
+        match self.disabled_flow.binary_search(&id.0) {
+            Ok(i) => {
+                self.disabled_flow.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Re-enables the waste port `id`. Idempotent; returns `true` if the
+    /// port was actually disabled.
+    pub fn enable_waste_port(&mut self, id: WastePortId) -> bool {
+        match self.disabled_waste.binary_search(&id.0) {
+            Ok(i) => {
+                self.disabled_waste.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Releases the stuck valve between `a` and `b` (either endpoint
+    /// order). Idempotent; returns `true` if the edge was actually blocked.
+    pub fn unblock_edge(&mut self, a: Coord, b: Coord) -> bool {
+        match self.blocked_edges.binary_search(&edge_key(a, b)) {
+            Ok(i) => {
+                self.blocked_edges.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// `true` if `cell` is clogged.
     #[inline]
     pub fn cell_blocked(&self, cell: Coord) -> bool {
@@ -154,6 +202,122 @@ impl FaultSet {
     /// The disabled waste-port ids.
     pub fn disabled_waste_ports(&self) -> impl ExactSizeIterator<Item = WastePortId> + '_ {
         self.disabled_waste.iter().map(|&i| WastePortId(i))
+    }
+}
+
+/// A single fault-set edit: one fault appearing (damage) or disappearing
+/// (a field repair).
+///
+/// Deltas drive incremental replanning: the planner engine maps a delta to
+/// the grid cells it can possibly affect ([`FaultDelta::footprint_cells`])
+/// and invalidates only the cached state that footprint touches. Deltas
+/// that *add* faults only shrink reachability, so caches whose stored
+/// artifacts avoid the footprint survive verbatim; deltas that *remove*
+/// faults can expand reachability anywhere ([`FaultDelta::expands_reach`])
+/// and force a broader flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDelta {
+    /// A channel/device cell clogs.
+    BlockCell(Coord),
+    /// A clogged cell is cleared.
+    UnblockCell(Coord),
+    /// The valve between two adjacent cells sticks closed.
+    BlockEdge(Coord, Coord),
+    /// A stuck valve is released.
+    UnblockEdge(Coord, Coord),
+    /// An inlet detaches.
+    DisableFlowPort(FlowPortId),
+    /// An inlet is reconnected.
+    EnableFlowPort(FlowPortId),
+    /// An outlet detaches.
+    DisableWastePort(WastePortId),
+    /// An outlet is reconnected.
+    EnableWastePort(WastePortId),
+}
+
+impl FaultDelta {
+    /// Applies the delta to `faults`. Returns `false` when the delta is a
+    /// no-op (blocking an already-blocked cell, clearing a fault that was
+    /// never recorded, …), in which case `faults` is unchanged.
+    pub fn apply(&self, faults: &mut FaultSet) -> bool {
+        match *self {
+            FaultDelta::BlockCell(c) => {
+                if faults.cell_blocked(c) {
+                    false
+                } else {
+                    faults.block_cell(c);
+                    true
+                }
+            }
+            FaultDelta::UnblockCell(c) => faults.unblock_cell(c),
+            FaultDelta::BlockEdge(a, b) => {
+                if faults.edge_blocked(a, b) {
+                    false
+                } else {
+                    faults.block_edge(a, b);
+                    true
+                }
+            }
+            FaultDelta::UnblockEdge(a, b) => faults.unblock_edge(a, b),
+            FaultDelta::DisableFlowPort(id) => {
+                if faults.flow_port_disabled(id) {
+                    false
+                } else {
+                    faults.disable_flow_port(id);
+                    true
+                }
+            }
+            FaultDelta::EnableFlowPort(id) => faults.enable_flow_port(id),
+            FaultDelta::DisableWastePort(id) => {
+                if faults.waste_port_disabled(id) {
+                    false
+                } else {
+                    faults.disable_waste_port(id);
+                    true
+                }
+            }
+            FaultDelta::EnableWastePort(id) => faults.enable_waste_port(id),
+        }
+    }
+
+    /// `true` when the delta removes a fault and can therefore *expand*
+    /// reachability. Fault additions only ever shrink it.
+    pub fn expands_reach(&self) -> bool {
+        matches!(
+            self,
+            FaultDelta::UnblockCell(_)
+                | FaultDelta::UnblockEdge(..)
+                | FaultDelta::EnableFlowPort(_)
+                | FaultDelta::EnableWastePort(_)
+        )
+    }
+
+    /// The grid cells the delta directly touches: the blocked/cleared cell,
+    /// both endpoints of an edge, or nothing for a port delta (the port
+    /// coordinate lives outside the routable grid; callers resolve it via
+    /// the chip's port table).
+    pub fn cells(&self) -> impl Iterator<Item = Coord> + '_ {
+        let (a, b) = match *self {
+            FaultDelta::BlockCell(c) | FaultDelta::UnblockCell(c) => (Some(c), None),
+            FaultDelta::BlockEdge(a, b) | FaultDelta::UnblockEdge(a, b) => (Some(a), Some(b)),
+            _ => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl fmt::Display for FaultDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultDelta::BlockCell(c) => write!(f, "block cell {c}"),
+            FaultDelta::UnblockCell(c) => write!(f, "unblock cell {c}"),
+            FaultDelta::BlockEdge(a, b) => write!(f, "block edge {a}-{b}"),
+            FaultDelta::UnblockEdge(a, b) => write!(f, "unblock edge {a}-{b}"),
+            FaultDelta::DisableFlowPort(id) => write!(f, "disable inlet {}", id.0),
+            FaultDelta::EnableFlowPort(id) => write!(f, "enable inlet {}", id.0),
+            FaultDelta::DisableWastePort(id) => write!(f, "disable outlet {}", id.0),
+            FaultDelta::EnableWastePort(id) => write!(f, "enable outlet {}", id.0),
+        }
     }
 }
 
@@ -214,6 +378,69 @@ mod tests {
         assert!(f.flow_port_disabled(FlowPortId(2)));
         assert!(!f.flow_port_disabled(FlowPortId(0)));
         assert!(f.waste_port_disabled(WastePortId(1)));
+    }
+
+    #[test]
+    fn removals_undo_inserts_and_report_whether_anything_changed() {
+        let mut f = FaultSet::new();
+        f.block_cell(Coord::new(1, 1))
+            .block_edge(Coord::new(0, 0), Coord::new(0, 1))
+            .disable_flow_port(FlowPortId(2))
+            .disable_waste_port(WastePortId(1));
+        assert!(f.unblock_cell(Coord::new(1, 1)));
+        assert!(!f.unblock_cell(Coord::new(1, 1)));
+        assert!(f.unblock_edge(Coord::new(0, 1), Coord::new(0, 0)));
+        assert!(!f.unblock_edge(Coord::new(0, 0), Coord::new(0, 1)));
+        assert!(f.enable_flow_port(FlowPortId(2)));
+        assert!(!f.enable_flow_port(FlowPortId(0)));
+        assert!(f.enable_waste_port(WastePortId(1)));
+        assert!(!f.enable_waste_port(WastePortId(1)));
+        assert!(f.is_empty());
+        assert_eq!(f, FaultSet::new());
+    }
+
+    #[test]
+    fn deltas_apply_and_invert() {
+        let deltas = [
+            FaultDelta::BlockCell(Coord::new(2, 2)),
+            FaultDelta::BlockEdge(Coord::new(3, 3), Coord::new(3, 4)),
+            FaultDelta::DisableFlowPort(FlowPortId(0)),
+            FaultDelta::DisableWastePort(WastePortId(3)),
+        ];
+        let inverses = [
+            FaultDelta::UnblockCell(Coord::new(2, 2)),
+            FaultDelta::UnblockEdge(Coord::new(3, 4), Coord::new(3, 3)),
+            FaultDelta::EnableFlowPort(FlowPortId(0)),
+            FaultDelta::EnableWastePort(WastePortId(3)),
+        ];
+        let mut f = FaultSet::new();
+        for d in &deltas {
+            assert!(!d.expands_reach());
+            assert!(d.apply(&mut f), "{d} should change an empty set");
+            assert!(!d.apply(&mut f), "{d} applied twice must be a no-op");
+        }
+        assert_eq!(f.len(), 4);
+        for d in &inverses {
+            assert!(d.expands_reach());
+            assert!(d.apply(&mut f), "{d} should clear a recorded fault");
+            assert!(!d.apply(&mut f), "{d} applied twice must be a no-op");
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn delta_cells_cover_cell_and_edge_variants_only() {
+        let c = Coord::new(5, 6);
+        let cells: Vec<_> = FaultDelta::BlockCell(c).cells().collect();
+        assert_eq!(cells, vec![c]);
+        let cells: Vec<_> = FaultDelta::UnblockEdge(Coord::new(1, 0), Coord::new(2, 0))
+            .cells()
+            .collect();
+        assert_eq!(cells, vec![Coord::new(1, 0), Coord::new(2, 0)]);
+        assert_eq!(
+            FaultDelta::DisableFlowPort(FlowPortId(1)).cells().count(),
+            0
+        );
     }
 
     #[test]

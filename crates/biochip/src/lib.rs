@@ -58,7 +58,7 @@ pub use cellset::CellSet;
 pub use chip::{Chip, FlowPortId, PathValidationError, WastePortId};
 pub use device::{Device, DeviceId, DeviceKind};
 pub use error::ChipError;
-pub use fault::FaultSet;
+pub use fault::{FaultDelta, FaultSet};
 pub use grid::{CellKind, Coord, Grid};
 pub use partition::{
     cut_at, partition, partition_with_traffic, span_view, traffic_profile, CutInterface, Partition,

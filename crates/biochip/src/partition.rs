@@ -537,6 +537,44 @@ mod tests {
     }
 
     #[test]
+    fn traffic_overlay_moves_cuts_off_high_traffic_columns() {
+        let chip = chip();
+        let base = partition(&chip, 2).unwrap();
+        let c0 = base.interfaces()[0].column;
+
+        // An empty overlay is exactly the structural profile.
+        let same = partition_with_traffic(&chip, 2, &[]).unwrap();
+        assert_eq!(same.interfaces()[0].column, c0);
+
+        // Pile observed crossings onto the structurally-chosen boundary
+        // (index b-1 scores the cut between columns b-1 and b; shorter
+        // overlays zero-extend). The cut must move to another viable,
+        // min-width-respecting column.
+        let mut extra = vec![0.0; c0 as usize];
+        extra[c0 as usize - 1] = 1e6;
+        let moved = partition_with_traffic(&chip, 2, &extra).unwrap();
+        let c1 = moved.interfaces()[0].column;
+        assert_ne!(c1, c0, "cut stayed on the high-traffic column");
+        assert!(check_cut(&chip, c1).is_ok());
+        for r in moved.regions() {
+            assert!(r.width() >= MIN_REGION_WIDTH);
+        }
+
+        // Load the new column too: the pick keeps dodging hot columns.
+        let mut extra2 = vec![0.0; c0.max(c1) as usize];
+        extra2[c0 as usize - 1] = 1e6;
+        extra2[c1 as usize - 1] = 1e6;
+        let moved2 = partition_with_traffic(&chip, 2, &extra2).unwrap();
+        let c2 = moved2.interfaces()[0].column;
+        assert!(c2 != c0 && c2 != c1, "cut landed back on a hot column");
+
+        // A uniform overlay shifts every boundary equally and changes
+        // nothing (ties still resolve to the left).
+        let uniform = partition_with_traffic(&chip, 2, &[7.5; 19]).unwrap();
+        assert_eq!(uniform.interfaces()[0].column, c0);
+    }
+
+    #[test]
     fn zero_regions_is_rejected() {
         assert!(matches!(
             partition(&chip(), 0),

@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::chip::Chip;
+use crate::fault::FaultDelta;
 use crate::grid::{CellKind, Coord};
 
 /// Monotone counters over all routing activity in the process.
@@ -432,14 +433,42 @@ impl Drop for PooledScratch<'_> {
 /// `u32::MAX` means unreachable. `flow_any`/`waste_any` are the minima over
 /// all ports. Blocking cells can only shrink reachability, so these fields
 /// soundly prune routing queries that cannot possibly succeed.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A `PortReach` also carries an epoch-stamped generation counter: every
+/// [`carry_forward`](Self::carry_forward) bumps `generation` and stamps the
+/// per-port fields it actually re-ran BFS for, so callers can observe how
+/// much of the cache survived a fault delta. `PartialEq` compares only the
+/// distance fields — generation bookkeeping is observability metadata, and
+/// a carried-forward reach must compare equal to a cold
+/// [`compute`](Self::compute) for the same chip.
+#[derive(Debug, Clone)]
 pub struct PortReach {
     flow: Vec<Vec<u32>>,
     waste: Vec<Vec<u32>>,
     flow_any: Vec<u32>,
     waste_any: Vec<u32>,
     width: u16,
+    /// Bumped on every carry-forward; `GEN_UNSET` is a reserved sentinel.
+    generation: u32,
+    /// `flow_stamps[p] == generation` iff `flow[p]` was re-run by the
+    /// latest carry-forward (all zeros after a cold compute).
+    flow_stamps: Vec<u32>,
+    waste_stamps: Vec<u32>,
 }
+
+impl PartialEq for PortReach {
+    fn eq(&self, other: &Self) -> bool {
+        self.flow == other.flow
+            && self.waste == other.waste
+            && self.flow_any == other.flow_any
+            && self.waste_any == other.waste_any
+            && self.width == other.width
+    }
+}
+
+/// Reserved generation value; the counter skips it on wraparound, mirroring
+/// [`RouteScratch`]'s epoch discipline.
+const GEN_UNSET: u32 = u32::MAX;
 
 impl PortReach {
     pub(crate) fn compute(chip: &Chip) -> Self {
@@ -476,13 +505,158 @@ impl PortReach {
                 .map(|i| fields.iter().map(|f| f[i]).min().unwrap_or(u32::MAX))
                 .collect()
         };
+        let flow_stamps = vec![0; flow.len()];
+        let waste_stamps = vec![0; waste.len()];
         PortReach {
             flow_any: min_over(&flow),
             waste_any: min_over(&waste),
             flow,
             waste,
             width: w,
+            generation: 0,
+            flow_stamps,
+            waste_stamps,
         }
+    }
+
+    /// Carries these fields forward across a single fault `delta`, re-running
+    /// BFS only for the per-port fields the delta can possibly change.
+    /// `chip` is the *mutated* chip (same grid and port table as the chip
+    /// these fields were computed for, fault set differing by `delta`).
+    ///
+    /// The per-field decision rules are exact graph arguments, not
+    /// heuristics, so the result is bit-identical to a cold
+    /// [`compute`](Self::compute) on `chip`:
+    ///
+    /// - blocking cell `c` changes a field only if `c` was reachable in it;
+    /// - unblocking `c` changes a field only if some grid neighbor of `c`
+    ///   (including the source port itself) was reachable;
+    /// - blocking edge `(a, b)` matters only if both endpoints were
+    ///   reachable (BFS can never cross into an unreachable endpoint);
+    /// - unblocking `(a, b)` matters only if either endpoint was reachable;
+    /// - port deltas touch exactly that port's own field (port cells are
+    ///   impassable to every other source, so no other field can change).
+    ///
+    /// Fields the rules exclude are carried verbatim; the generation
+    /// counter is bumped and recomputed fields are stamped with it.
+    pub fn carry_forward(&self, chip: &Chip, delta: &FaultDelta) -> PortReach {
+        use crate::chip::{FlowPortId, WastePortId};
+        debug_assert_eq!(self.width, chip.grid().width());
+        let mut generation = self.generation.wrapping_add(1);
+        let mut flow_stamps = self.flow_stamps.clone();
+        let mut waste_stamps = self.waste_stamps.clone();
+        if generation == GEN_UNSET {
+            // Wraparound: restart stamp history so stale stamps can never
+            // collide with the new generation (same discipline as
+            // `RouteScratch::bump`).
+            flow_stamps.fill(0);
+            waste_stamps.fill(0);
+            generation = 1;
+        }
+        let cells_touch = |old: &[u32]| -> bool {
+            match *delta {
+                FaultDelta::BlockCell(c) => self.at(old, c) != u32::MAX,
+                FaultDelta::UnblockCell(c) => chip
+                    .grid()
+                    .neighbors(c)
+                    .any(|n| self.at(old, n) != u32::MAX),
+                FaultDelta::BlockEdge(a, b) => {
+                    self.at(old, a) != u32::MAX && self.at(old, b) != u32::MAX
+                }
+                FaultDelta::UnblockEdge(a, b) => {
+                    self.at(old, a) != u32::MAX || self.at(old, b) != u32::MAX
+                }
+                _ => false,
+            }
+        };
+        let flow: Vec<Vec<u32>> = chip
+            .flow_ports()
+            .enumerate()
+            .map(|(i, p)| {
+                let recompute = match *delta {
+                    FaultDelta::DisableFlowPort(id) | FaultDelta::EnableFlowPort(id) => {
+                        id.0 == i as u32
+                    }
+                    FaultDelta::DisableWastePort(_) | FaultDelta::EnableWastePort(_) => false,
+                    _ => cells_touch(&self.flow[i]),
+                };
+                if recompute {
+                    flow_stamps[i] = generation;
+                    if chip.faults().flow_port_disabled(FlowPortId(i as u32)) {
+                        Self::dead_field(chip)
+                    } else {
+                        Self::field(chip, p)
+                    }
+                } else {
+                    self.flow[i].clone()
+                }
+            })
+            .collect();
+        let waste: Vec<Vec<u32>> = chip
+            .waste_ports()
+            .enumerate()
+            .map(|(i, p)| {
+                let recompute = match *delta {
+                    FaultDelta::DisableWastePort(id) | FaultDelta::EnableWastePort(id) => {
+                        id.0 == i as u32
+                    }
+                    FaultDelta::DisableFlowPort(_) | FaultDelta::EnableFlowPort(_) => false,
+                    _ => cells_touch(&self.waste[i]),
+                };
+                if recompute {
+                    waste_stamps[i] = generation;
+                    if chip.faults().waste_port_disabled(WastePortId(i as u32)) {
+                        Self::dead_field(chip)
+                    } else {
+                        Self::field(chip, p)
+                    }
+                } else {
+                    self.waste[i].clone()
+                }
+            })
+            .collect();
+        let n = self.width as usize * chip.grid().height() as usize;
+        let min_over = |fields: &[Vec<u32>]| {
+            (0..n)
+                .map(|i| fields.iter().map(|f| f[i]).min().unwrap_or(u32::MAX))
+                .collect()
+        };
+        PortReach {
+            flow_any: min_over(&flow),
+            waste_any: min_over(&waste),
+            flow,
+            waste,
+            width: self.width,
+            generation,
+            flow_stamps,
+            waste_stamps,
+        }
+    }
+
+    /// The carry-forward generation (0 after a cold compute).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Per-port fields re-run by the latest carry-forward (0 after a cold
+    /// compute: everything was computed, nothing *re*-computed).
+    pub fn recomputed_fields(&self) -> usize {
+        if self.generation == 0 {
+            return 0;
+        }
+        let g = self.generation;
+        self.flow_stamps.iter().filter(|&&s| s == g).count()
+            + self.waste_stamps.iter().filter(|&&s| s == g).count()
+    }
+
+    /// Per-port fields carried verbatim by the latest carry-forward.
+    pub fn carried_fields(&self) -> usize {
+        self.flow_stamps.len() + self.waste_stamps.len() - self.recomputed_fields()
+    }
+
+    #[cfg(test)]
+    fn set_generation(&mut self, g: u32) {
+        self.generation = g;
     }
 
     /// An all-unreachable field (used for disabled ports).
@@ -555,6 +729,7 @@ mod tests {
     use super::*;
     use crate::builder::ChipBuilder;
     use crate::device::DeviceKind;
+    use crate::fault::FaultSet;
 
     fn chip() -> Chip {
         ChipBuilder::new(8, 8)
@@ -704,6 +879,129 @@ mod tests {
         }
         assert!(s.visit_epoch >= 1 && s.visit_epoch < UNSET);
         assert!(s.blocked_epoch >= 1 && s.blocked_epoch < UNSET);
+    }
+
+    #[test]
+    fn carry_forward_matches_cold_compute_for_every_delta_kind() {
+        use crate::chip::{FlowPortId, WastePortId};
+        let base = chip();
+        // Chain every delta kind through cumulative fault sets; at each
+        // step the carried-forward fields must be bit-identical to a cold
+        // compute on the mutated chip.
+        let deltas = [
+            FaultDelta::BlockCell(Coord::new(2, 3)),
+            FaultDelta::BlockEdge(Coord::new(3, 2), Coord::new(3, 1)),
+            FaultDelta::DisableFlowPort(FlowPortId(0)),
+            FaultDelta::EnableFlowPort(FlowPortId(0)),
+            FaultDelta::DisableWastePort(WastePortId(0)),
+            FaultDelta::EnableWastePort(WastePortId(0)),
+            FaultDelta::UnblockCell(Coord::new(2, 3)),
+            FaultDelta::UnblockEdge(Coord::new(3, 1), Coord::new(3, 2)),
+        ];
+        let mut faults = FaultSet::new();
+        let mut cur = base.with_faults(faults.clone()).unwrap();
+        let mut reach = cur.port_reach().clone();
+        for (step, d) in deltas.iter().enumerate() {
+            assert!(d.apply(&mut faults), "step {step}: {d} must change the set");
+            let mutated = base.with_faults(faults.clone()).unwrap();
+            let carried = reach.carry_forward(&mutated, d);
+            assert_eq!(
+                carried,
+                PortReach::compute(&mutated),
+                "step {step} ({d}): carried fields diverge from cold compute"
+            );
+            assert_eq!(carried.generation(), step as u32 + 1);
+            cur = mutated;
+            reach = carried;
+        }
+        // The final chain is fault-free again and matches the pristine chip.
+        assert!(cur.faults().is_empty());
+        assert_eq!(reach, *base.port_reach());
+    }
+
+    #[test]
+    fn carry_forward_skips_fields_the_delta_cannot_touch() {
+        // A corridor plus an isolated channel island at (6, 6): deltas on
+        // the island are invisible to every port field.
+        let base = ChipBuilder::new(8, 8)
+            .flow_port("in1", Coord::new(0, 3))
+            .unwrap()
+            .waste_port("out1", Coord::new(7, 3))
+            .unwrap()
+            .channel(Coord::new(1, 3))
+            .unwrap()
+            .channel(Coord::new(2, 3))
+            .unwrap()
+            .channel(Coord::new(3, 3))
+            .unwrap()
+            .channel(Coord::new(4, 3))
+            .unwrap()
+            .channel(Coord::new(5, 3))
+            .unwrap()
+            .channel(Coord::new(6, 3))
+            .unwrap()
+            .channel(Coord::new(6, 6))
+            .unwrap()
+            .build()
+            .unwrap();
+        let reach = base.port_reach().clone();
+
+        let d = FaultDelta::BlockCell(Coord::new(6, 6));
+        let mut faults = FaultSet::new();
+        d.apply(&mut faults);
+        let mutated = base.with_faults(faults).unwrap();
+        let carried = reach.carry_forward(&mutated, &d);
+        assert_eq!(carried, PortReach::compute(&mutated));
+        assert_eq!(carried.recomputed_fields(), 0, "island block is invisible");
+        assert_eq!(carried.carried_fields(), 2);
+
+        // A waste-port delta re-runs exactly that port's field.
+        use crate::chip::WastePortId;
+        let d = FaultDelta::DisableWastePort(WastePortId(0));
+        let mut faults = FaultSet::new();
+        d.apply(&mut faults);
+        let mutated = base.with_faults(faults).unwrap();
+        let carried = reach.carry_forward(&mutated, &d);
+        assert_eq!(carried, PortReach::compute(&mutated));
+        assert_eq!(carried.recomputed_fields(), 1);
+        assert_eq!(carried.carried_fields(), 1);
+
+        // Blocking a corridor cell re-runs both fields.
+        let d = FaultDelta::BlockCell(Coord::new(4, 3));
+        let mut faults = FaultSet::new();
+        d.apply(&mut faults);
+        let mutated = base.with_faults(faults).unwrap();
+        let carried = reach.carry_forward(&mutated, &d);
+        assert_eq!(carried, PortReach::compute(&mutated));
+        assert_eq!(carried.recomputed_fields(), 2);
+    }
+
+    #[test]
+    fn reach_generation_wraparound_resets_stamps() {
+        let base = chip();
+        let mut reach = base.port_reach().clone();
+        // Park the generation one bump away from the sentinel and fill the
+        // stamps with 1 — the value that aliases the post-wrap generation.
+        // If carry_forward failed to clear them, a fully-carried step would
+        // falsely report every field as freshly recomputed.
+        reach.set_generation(GEN_UNSET - 1);
+        reach.flow_stamps.fill(1);
+        reach.waste_stamps.fill(1);
+        let d = FaultDelta::BlockCell(Coord::new(0, 0)); // empty cell: invisible
+        let mut faults = FaultSet::new();
+        d.apply(&mut faults);
+        let mutated = base.with_faults(faults).unwrap();
+        let carried = reach.carry_forward(&mutated, &d);
+        assert_eq!(carried.generation(), 1, "counter skips the sentinel");
+        assert_eq!(carried.recomputed_fields(), 0, "stale stamps were cleared");
+        assert_eq!(carried.carried_fields(), 2);
+        assert_eq!(carried, PortReach::compute(&mutated));
+        // The next bump proceeds normally from the post-wrap epoch.
+        let d = FaultDelta::UnblockCell(Coord::new(0, 0));
+        let pristine = base.with_faults(FaultSet::new()).unwrap();
+        let next = carried.carry_forward(&pristine, &d);
+        assert_eq!(next.generation(), 2);
+        assert_eq!(next, PortReach::compute(&pristine));
     }
 
     #[test]

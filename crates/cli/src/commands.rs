@@ -17,6 +17,9 @@ usage:
   pdw show <benchmark>             print chip layout and ASCII schedule
   pdw run  <benchmark> [options]   run DAWO vs PathDriver-Wash
   pdw run  --assay <file> [opts]   run a custom assay (JSON Benchmark)
+  pdw repair <benchmark> [options] plan once, then apply seeded chip-fault
+                                   deltas and repair incrementally, diffing
+                                   each repair against a cold solve
   pdw verify [options]             differentially verify every solver
   pdw export <benchmark> <file>    write a benchmark as JSON (edit & re-run)
 
@@ -41,6 +44,14 @@ options for `run`:
   --valves             also print control-layer (valve) statistics
   --stats              also print device utilization and parallelism
   --heatmap <file>     write an SVG contamination heatmap of the base schedule
+
+options for `repair`:
+  --steps <n>          seeded fault deltas to apply and repair (default 3)
+  --seed <s>           delta-sampling seed (default 0)
+  --delay <seconds>    also delay the first scheduled op by this much as a
+                       final delta (default: off)
+  --threads <n>, --partitions <k>, --pipeline-budget <ms>  as for `run`
+                       (the repair ladder always runs without the ILP)
 
 options for `verify`:
   --smoke              fast CI profile: bundled suite + 25 seeds, greedy only
@@ -93,6 +104,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("list") => cmd_list(),
         Some("show") => cmd_show(args.get(1).map(String::as_str)),
         Some("run") => cmd_run(&args[1..]),
+        Some("repair") => cmd_repair(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("help") | None => {
@@ -264,6 +276,231 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     })
 }
 
+/// Prints every ladder attempt with its wall time — served rungs and typed
+/// rejections alike.
+fn print_ladder(outcome: &pathdriver_wash::PlanOutcome) {
+    for a in &outcome.attempts {
+        match &a.rejection {
+            None if outcome.rung == Some(a.rung) => {
+                println!("ladder: {} served in {:.3}s", a.rung, a.wall_s);
+            }
+            None => println!("ladder: {} in {:.3}s", a.rung, a.wall_s),
+            Some(r) => println!("ladder: {} rejected in {:.3}s: {r}", a.rung, a.wall_s),
+        }
+    }
+}
+
+/// Prints the incremental-repair counters when the result came from a
+/// [`RepairSession`](pathdriver_wash::RepairSession) repair.
+fn print_repair_stats(ps: &pathdriver_wash::PipelineStats) {
+    if ps.repairs == 0 {
+        return;
+    }
+    println!(
+        "repair #{}: analyses {} invalidated / {} kept, front ends {} invalidated / {} kept, \
+         reach fields {} recomputed / {} carried",
+        ps.repairs,
+        ps.repair_invalidated_analyses,
+        ps.repair_kept_analyses,
+        ps.repair_invalidated_front_ends,
+        ps.repair_kept_front_ends,
+        ps.repair_reach_recomputed,
+        ps.repair_reach_carried,
+    );
+    println!(
+        "repair #{}: {} prefix task(s) certified frozen{}",
+        ps.repairs,
+        ps.repair_prefix_frozen,
+        if ps.repair_cache_served {
+            "; cached plan re-served (no replan)"
+        } else {
+            ""
+        }
+    );
+}
+
+struct RepairOptions {
+    bench: Benchmark,
+    steps: u64,
+    seed: u64,
+    delay: Option<u32>,
+    threads: usize,
+    partitions: usize,
+    pipeline_budget: Option<Duration>,
+}
+
+fn parse_repair(args: &[String]) -> Result<RepairOptions, CliError> {
+    let mut bench: Option<Benchmark> = None;
+    let mut steps = 3u64;
+    let mut seed = 0u64;
+    let mut delay = None;
+    let mut threads = 0usize;
+    let mut partitions = 1usize;
+    let mut pipeline_budget = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--steps" => {
+                let v = it.next().ok_or(CliError("--steps needs a count".into()))?;
+                steps = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad step count `{v}`")))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or(CliError("--seed needs a value".into()))?;
+                seed = v.parse().map_err(|_| CliError(format!("bad seed `{v}`")))?;
+            }
+            "--delay" => {
+                let v = it.next().ok_or(CliError("--delay needs seconds".into()))?;
+                delay = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad delay `{v}`")))?,
+                );
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--threads needs a count".into()))?;
+                threads = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad thread count `{v}`")))?;
+            }
+            "--partitions" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--partitions needs a count".into()))?;
+                partitions = v
+                    .parse()
+                    .map_err(|_| CliError(format!("bad partition count `{v}`")))?;
+                if partitions == 0 {
+                    return err("--partitions needs at least 1");
+                }
+            }
+            "--pipeline-budget" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--pipeline-budget needs milliseconds".into()))?;
+                pipeline_budget =
+                    Some(Duration::from_millis(v.parse().map_err(|_| {
+                        CliError(format!("bad pipeline budget `{v}`"))
+                    })?));
+            }
+            name if bench.is_none() && !name.starts_with('-') => {
+                bench =
+                    Some(builtin(name).ok_or_else(|| CliError(format!("no benchmark `{name}`")))?);
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    let bench = bench.ok_or(CliError("`repair` needs a benchmark name".into()))?;
+    Ok(RepairOptions {
+        bench,
+        steps,
+        seed,
+        delay,
+        threads,
+        partitions,
+        pipeline_budget,
+    })
+}
+
+/// `pdw repair`: plan a benchmark once, then apply seeded chip-fault deltas
+/// one by one, repairing incrementally and diffing every repaired plan
+/// against a cold solve of the mutated instance. The repair ladder runs
+/// without the ILP so cold and warm solves are deterministic and the diff
+/// is meaningful bit for bit.
+fn cmd_repair(args: &[String]) -> Result<(), CliError> {
+    use pathdriver_wash::{PlanDelta, RepairSession};
+    use std::time::Instant;
+
+    let opts = parse_repair(args)?;
+    let bench = opts.bench;
+    let s: Synthesis =
+        synthesize(&bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    let config = PdwConfig {
+        ilp: false,
+        threads: opts.threads,
+        pipeline_budget: opts.pipeline_budget,
+        ..PdwConfig::default()
+    };
+    let mut session = RepairSession::new(bench.clone(), s, config).with_partitions(opts.partitions);
+
+    let t = Instant::now();
+    let first = session.plan();
+    let cold_s = t.elapsed().as_secs_f64();
+    print_ladder(&first);
+    let Some(initial) = &first.served else {
+        return err("initial plan served nothing");
+    };
+    println!(
+        "{}: initial plan in {:.3}s ({} washes, makespan {}s)",
+        bench.name,
+        cold_s,
+        initial.metrics.n_wash,
+        initial.schedule.makespan()
+    );
+
+    // Deltas are drawn against the *evolving* chip, so a long run mixes
+    // damage with healing of earlier damage.
+    let total = opts.steps + u64::from(opts.delay.is_some());
+    let mut applied = 0u64;
+    for step in 0..total {
+        let delta = if step < opts.steps {
+            match pdw_gen::fault_delta(session.synthesis(), opts.seed ^ step) {
+                Some(fd) => PlanDelta::Fault(fd),
+                None => {
+                    println!("step {step}: chip offers nothing left to mutate; stopping");
+                    break;
+                }
+            }
+        } else {
+            let Some(op) = session.synthesis().schedule.ops().first() else {
+                break;
+            };
+            PlanDelta::DelayOp {
+                op: op.op,
+                delay: opts.delay.expect("delay step only exists with --delay"),
+            }
+        };
+        let delta = &delta;
+        let t = Instant::now();
+        let outcome = session.repair(delta);
+        let repair_s = t.elapsed().as_secs_f64();
+        print_ladder(&outcome);
+        let Some(repaired) = &outcome.served else {
+            return err(format!("step {step} ({delta}): repair served nothing"));
+        };
+
+        let t = Instant::now();
+        let cold = session.cold_reference();
+        let cold_s = t.elapsed().as_secs_f64();
+        let matches = match &cold.served {
+            Some(c) => c.schedule == repaired.schedule && c.metrics == repaired.metrics,
+            None => false,
+        };
+        println!(
+            "step {step}: {delta} — repaired in {:.4}s vs cold {:.4}s ({:.1}x), plan {}",
+            repair_s,
+            cold_s,
+            cold_s / repair_s.max(1e-9),
+            if matches {
+                "bit-identical to cold solve"
+            } else {
+                "DIFFERS from cold solve"
+            }
+        );
+        print_repair_stats(&repaired.pipeline);
+        if !matches {
+            return err(format!(
+                "step {step} ({delta}): repaired plan differs from a cold solve"
+            ));
+        }
+        applied += 1;
+    }
+    println!("repair: {applied} delta(s) applied, all repaired plans matched cold solves");
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_run(args)?;
     let bench = &opts.bench;
@@ -284,10 +521,12 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError(format!("dawo failed: {e}")))?;
     let p = if opts.partitions > 1 {
         let outcome = plan_partitioned(bench, &s, &config, opts.partitions);
+        // Every rung reports its wall time, the Partitioned one included.
+        print_ladder(&outcome);
         let rungs: Vec<String> = outcome
             .attempts
             .iter()
-            .map(|a| a.rung.to_string())
+            .map(|a| format!("{} {:.3}s", a.rung, a.wall_s))
             .collect();
         outcome.served.ok_or_else(|| {
             CliError(format!(
@@ -375,6 +614,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
             ps.partition_regions, ps.regions_skipped, ps.regions_refused, ps.seam_groups
         );
     }
+    print_repair_stats(ps);
     let events = ps.degradation_events();
     if !events.is_empty() {
         println!("pipeline: degraded — {}", events.join("; "));
@@ -910,6 +1150,43 @@ mod tests {
         assert!(on.validate);
         let off = parse_run(&["PCR".to_string(), "--no-validate".to_string()]).unwrap();
         assert!(!off.validate);
+    }
+
+    #[test]
+    fn repair_parsing_defaults_and_full_option_set() {
+        let o = parse_repair(&["PCR".to_string()]).unwrap();
+        assert_eq!(o.bench.name, "PCR");
+        assert_eq!(o.steps, 3);
+        assert_eq!(o.seed, 0);
+        assert_eq!(o.delay, None);
+        assert_eq!(o.partitions, 1);
+        let args: Vec<String> = [
+            "demo",
+            "--steps",
+            "5",
+            "--seed",
+            "9",
+            "--delay",
+            "4",
+            "--threads",
+            "2",
+            "--partitions",
+            "3",
+            "--pipeline-budget",
+            "100",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_repair(&args).unwrap();
+        assert_eq!(o.steps, 5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.delay, Some(4));
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.partitions, 3);
+        assert_eq!(o.pipeline_budget, Some(Duration::from_millis(100)));
+        assert!(parse_repair(&["demo".to_string(), "--wat".to_string()]).is_err());
+        assert!(parse_repair(&[]).is_err());
     }
 
     #[test]

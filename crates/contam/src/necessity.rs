@@ -121,6 +121,19 @@ impl Analysis {
     pub fn count(&self, c: Classification) -> usize {
         self.classifications.iter().filter(|&&x| x == c).count()
     }
+
+    /// `true` when any cell this analysis reasoned about — a contamination
+    /// event's cell or a requirement's wash target — lies inside `mask`.
+    ///
+    /// Incremental replanning uses this as its invalidation test: a fault
+    /// delta whose footprint misses every analyzed cell cannot change what
+    /// the analysis would report (the analysis replays the *schedule*, not
+    /// the routing graph, so faults reach it only through the cells the
+    /// schedule touches), and the cached entry is carried forward.
+    pub fn touches(&self, mask: &CellSet) -> bool {
+        self.events.iter().any(|e| mask.contains(e.cell))
+            || self.requirements.iter().any(|r| mask.contains(r.cell))
+    }
 }
 
 /// A future consumption of a cell.
@@ -343,6 +356,27 @@ mod tests {
                 r
             );
         }
+    }
+
+    #[test]
+    fn touches_reflects_analyzed_cells_only() {
+        let a = demo_analysis(NecessityOptions::full());
+        assert!(!a.touches(&CellSet::new()), "empty mask touches nothing");
+        let event_cell = a.events[0].cell;
+        assert!(a.touches(&CellSet::from_cells(&[event_cell])));
+        // A cell no event or requirement mentions is invisible to the
+        // analysis.
+        let cells: std::collections::HashSet<Coord> = a
+            .events
+            .iter()
+            .map(|e| e.cell)
+            .chain(a.requirements.iter().map(|r| r.cell))
+            .collect();
+        let unused = (0..u16::MAX)
+            .map(|i| Coord::new(i % 251, i / 251))
+            .find(|c| !cells.contains(c))
+            .unwrap();
+        assert!(!a.touches(&CellSet::from_cells(&[unused])));
     }
 
     #[test]

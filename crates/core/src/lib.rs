@@ -70,13 +70,14 @@ mod par;
 mod partition;
 mod pdw;
 mod planner;
+mod repair;
 mod resilient;
 mod stats;
 mod timeline;
 pub mod verify;
 
 pub use config::{CandidatePolicy, PdwConfig, Weights};
-pub use context::{FrontEndKey, PlanContext};
+pub use context::{ContextParts, FrontEndKey, PlanContext, RequirementOverrides};
 pub use dawo::dawo;
 pub use deadline::Deadline;
 pub use exact_path::exact_wash_path;
@@ -89,6 +90,7 @@ pub use partition::{plan_partitioned, plan_partitioned_ctx, PartitionedPlanner};
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
 pub use pdw_ilp::{IncumbentEvent, SolverStats};
 pub use planner::{plan_batch, DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
+pub use repair::{PlanDelta, RepairSession};
 pub use resilient::{
     plan_resilient, plan_resilient_batch, plan_resilient_ctx, PlanOutcome, RungAttempt, RungKind,
     RungRejection,

@@ -111,7 +111,7 @@ pub struct RungAttempt {
 
 /// The outcome of a resilient solve: which rung (if any) served, and the
 /// full audit trail of attempts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PlanOutcome {
     /// The served plan, already validated and oracle-clean on the (possibly
     /// faulted) chip. `None` when every rung was rejected.

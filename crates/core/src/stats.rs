@@ -75,6 +75,31 @@ pub struct PipelineStats {
     /// Fewer viable cuts existed than requested regions; the partition was
     /// clamped.
     pub partition_clamped: bool,
+    /// This result was produced by [`RepairSession::repair`]
+    /// (0 = a cold/initial solve).
+    ///
+    /// [`RepairSession::repair`]: crate::RepairSession::repair
+    pub repairs: usize,
+    /// Cached necessity analyses dropped by the repair's delta footprint.
+    pub repair_invalidated_analyses: usize,
+    /// Cached necessity analyses that survived the repair untouched.
+    pub repair_kept_analyses: usize,
+    /// Cached front-end group sets dropped by the repair's delta footprint.
+    pub repair_invalidated_front_ends: usize,
+    /// Cached front-end group sets that survived the repair untouched.
+    pub repair_kept_front_ends: usize,
+    /// Per-port reachability fields the repair re-ran BFS for.
+    pub repair_reach_recomputed: usize,
+    /// Per-port reachability fields carried forward verbatim.
+    pub repair_reach_carried: usize,
+    /// Tasks of the pre-delta plan certified frozen: they start before the
+    /// delta's first affected event time and reappear bit-identically in
+    /// the repaired plan.
+    pub repair_prefix_frozen: usize,
+    /// The repair served the cached plan directly (re-verified on the
+    /// mutated chip, no replan): the delta's footprint missed every cache
+    /// entry and every path of the plan.
+    pub repair_cache_served: bool,
 }
 
 impl PipelineStats {

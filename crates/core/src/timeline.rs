@@ -202,6 +202,17 @@ pub(crate) fn shift_from(schedule: &mut Schedule, pivot: Time, delay: Time) {
     }
 }
 
+/// Counts tasks of `old` starting strictly before `t` that reappear
+/// bit-identically (same kind, path, timing, fluid) in `new` — the repair
+/// engine's certification that the schedule prefix up to the delta's first
+/// affected event time was frozen across a replan.
+pub(crate) fn frozen_prefix_len(old: &Schedule, new: &Schedule, t: Time) -> usize {
+    old.tasks()
+        .filter(|(_, task)| task.start() < t)
+        .filter(|(_, task)| new.tasks().any(|(_, n)| n == *task))
+        .count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +233,30 @@ mod tests {
         // Without a deadline, a fit exists after everything ends.
         let fit = tl.earliest_fit(&cells, 0, 1, None);
         assert!(fit.is_some());
+    }
+
+    #[test]
+    fn frozen_prefix_counts_identical_early_tasks() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let total = s.schedule.tasks().count();
+        assert_eq!(
+            frozen_prefix_len(&s.schedule, &s.schedule, Time::MAX),
+            total
+        );
+        assert_eq!(frozen_prefix_len(&s.schedule, &s.schedule, 0), 0);
+        // Shifting the tail leaves exactly the strict prefix certified.
+        let pivot = s.schedule.tasks().map(|(_, t)| t.start()).max().unwrap();
+        let mut moved = s.schedule.clone();
+        shift_from(&mut moved, pivot, 7);
+        let expect = s
+            .schedule
+            .tasks()
+            .filter(|(_, t)| t.start() < pivot)
+            .count();
+        assert!(expect < total);
+        assert_eq!(frozen_prefix_len(&s.schedule, &moved, pivot), expect);
+        assert_eq!(frozen_prefix_len(&s.schedule, &moved, Time::MAX), expect);
     }
 
     #[test]

@@ -536,6 +536,189 @@ pub fn chaos_instance(
     }
 }
 
+/// Sweeps [`RepairSession::repair`](crate::RepairSession::repair) over the
+/// same (deadline × partition × thread) grid as [`chaos_instance`],
+/// differentially checking incremental replanning: after every applied
+/// delta the repaired outcome must be **bit-identical** to a cold solve of
+/// the mutated instance (same served schedule, metrics, and rung), the
+/// served plan must re-verify fault-aware on the mutated chip, nothing may
+/// panic, and outcomes must agree across thread counts.
+///
+/// Each point replays the same seeded delta sequence: three chip-fault
+/// deltas drawn by [`pdw_gen::fault_delta`] (damage on a pristine chip,
+/// a damage/healing mix on a faulted one), then one operation delay. The
+/// draws are pure functions of the evolving `(synthesis, seed)`, so every
+/// thread count sees the same sequence as long as the repairs agree —
+/// which is exactly what the sweep asserts.
+pub fn chaos_repair_instance(
+    name: &str,
+    bench: &Benchmark,
+    synthesis: &Synthesis,
+    opts: &ChaosOptions,
+) -> ChaosReport {
+    use crate::repair::{PlanDelta, RepairSession};
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut solves = 0usize;
+    let mut served = 0usize;
+    let threads = if opts.threads.is_empty() {
+        vec![1]
+    } else {
+        opts.threads.clone()
+    };
+    let partitions = if opts.partitions.is_empty() {
+        vec![1]
+    } else {
+        opts.partitions.clone()
+    };
+    for budget in &opts.budgets {
+        for &k in &partitions {
+            // Per-step outcomes of the first thread count at this point;
+            // the other thread counts must reproduce them bit for bit.
+            let mut baseline: Option<Vec<crate::resilient::PlanOutcome>> = None;
+            for &t in &threads {
+                let config = PdwConfig {
+                    ilp: false,
+                    threads: t,
+                    pipeline_budget: *budget,
+                    ..PdwConfig::default()
+                };
+                let point = format!("budget {budget:?}, {t} threads, {k} partitions");
+                let mut session =
+                    RepairSession::new(bench.clone(), synthesis.clone(), config).with_partitions(k);
+                if std::panic::catch_unwind(AssertUnwindSafe(|| session.plan())).is_err() {
+                    failures.push(format!("{point}: initial plan panicked"));
+                    continue;
+                }
+
+                // The seeded delta sequence: three fault deltas, one delay.
+                let mut steps: Vec<crate::resilient::PlanOutcome> = Vec::new();
+                for step in 0u64..4 {
+                    let delta = if step < 3 {
+                        match pdw_gen::fault_delta(session.synthesis(), 0xC0DE ^ step) {
+                            Some(fd) => PlanDelta::Fault(fd),
+                            None => break,
+                        }
+                    } else {
+                        match session.synthesis().schedule.ops().first() {
+                            Some(op) => PlanDelta::DelayOp {
+                                op: op.op,
+                                delay: 5,
+                            },
+                            None => break,
+                        }
+                    };
+                    let outcome =
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| session.repair(&delta)))
+                        {
+                            Ok(o) => o,
+                            Err(_) => {
+                                failures.push(format!("{point}, step {step}: repair panicked"));
+                                break;
+                            }
+                        };
+                    solves += 1;
+
+                    // Serving contract on the mutated chip.
+                    if let Some(r) = &outcome.served {
+                        served += 1;
+                        let chip = &session.synthesis().chip;
+                        if let Err(e) = validate(chip, &bench.graph, &r.schedule) {
+                            failures.push(format!("{point}, step {step} ({delta}): invalid: {e}"));
+                        }
+                        let oracle = propagate(chip, &bench.graph, &r.schedule);
+                        if !oracle.is_clean() {
+                            failures.push(format!(
+                                "{point}, step {step} ({delta}): dirty: {} violation(s)",
+                                oracle.violations.len()
+                            ));
+                        }
+                    }
+
+                    // The incremental-replanning contract: repaired ≡ cold.
+                    let cold = session.cold_reference();
+                    if outcome.rung != cold.rung {
+                        failures.push(format!(
+                            "{point}, step {step} ({delta}): repaired rung {:?} != cold {:?}",
+                            outcome.rung, cold.rung
+                        ));
+                    }
+                    match (&outcome.served, &cold.served) {
+                        (Some(a), Some(b)) => {
+                            if a.schedule != b.schedule || a.metrics != b.metrics {
+                                failures.push(format!(
+                                    "{point}, step {step} ({delta}): repaired plan differs \
+                                     from a cold solve of the mutated instance"
+                                ));
+                            }
+                        }
+                        (Some(_), None) | (None, Some(_)) => {
+                            failures.push(format!(
+                                "{point}, step {step} ({delta}): repaired served-ness \
+                                 differs from cold"
+                            ));
+                        }
+                        (None, None) => {}
+                    }
+                    steps.push(outcome);
+                }
+
+                // Outcome identity across thread counts, step by step.
+                match &baseline {
+                    None => baseline = Some(steps),
+                    Some(base) => {
+                        if base.len() != steps.len() {
+                            failures.push(format!(
+                                "{point}: {} repair steps vs baseline {}",
+                                steps.len(),
+                                base.len()
+                            ));
+                        }
+                        for (i, (a, b)) in base.iter().zip(&steps).enumerate() {
+                            let agree = a.rung == b.rung
+                                && match (&a.served, &b.served) {
+                                    (Some(x), Some(y)) => {
+                                        x.schedule == y.schedule && x.metrics == y.metrics
+                                    }
+                                    (None, None) => true,
+                                    _ => false,
+                                };
+                            if !agree {
+                                failures.push(format!(
+                                    "{point}, step {i}: repaired outcome differs from baseline \
+                                     thread count"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ChaosReport {
+        name: name.to_string(),
+        seed: None,
+        faults: synthesis.chip.faults().to_string(),
+        solves,
+        served,
+        failures,
+    }
+}
+
+/// Chaos-verifies incremental repair on the seeded faulted instance of the
+/// [`pdw_gen`] family ([`pdw_gen::faulted_instance`], so the delta sequence
+/// mixes damage and healing).
+///
+/// Returns `None` when the seed's spec is structurally infeasible (skipped,
+/// not failed).
+pub fn chaos_repair_seed(seed: u64, opts: &ChaosOptions) -> Option<ChaosReport> {
+    let spec = pdw_gen::spec_from_seed(seed);
+    let (bench, synthesis) = pdw_gen::faulted_instance(&spec).ok()?;
+    let mut report = chaos_repair_instance(&bench.name, &bench, &synthesis, opts);
+    report.seed = Some(seed);
+    Some(report)
+}
+
 /// Chaos-verifies the seeded instance of the [`pdw_gen`] family with its
 /// seeded fault injection applied ([`pdw_gen::faulted_instance`]).
 ///
@@ -642,6 +825,38 @@ mod tests {
         assert!(report.passed(), "{:?}", report.failures);
         assert!(report.served > 0);
         assert_eq!(report.solves, 6); // 1 budget × 3 partition counts × 2 threads
+    }
+
+    #[test]
+    fn chaos_repair_on_the_demo_passes() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let opts = ChaosOptions {
+            budgets: vec![None],
+            threads: vec![1, 2],
+            partitions: vec![1],
+        };
+        let report = chaos_repair_instance("demo", &bench, &s, &opts);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.served > 0);
+        assert!(report.solves >= 4, "expected ≥4 repair steps per point");
+    }
+
+    #[test]
+    fn a_chaos_repair_seed_passes_or_skips() {
+        let opts = ChaosOptions {
+            budgets: vec![None],
+            threads: vec![1],
+            partitions: vec![1],
+        };
+        let mut seen = 0;
+        for seed in 0..4 {
+            if let Some(report) = chaos_repair_seed(seed, &opts) {
+                assert!(report.passed(), "seed {seed}: {:?}", report.failures);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "all chaos repair seeds skipped");
     }
 
     #[test]

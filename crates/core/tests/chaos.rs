@@ -1,0 +1,66 @@
+//! Chaos sweeps of the fault-tolerant ladder and incremental repair.
+//!
+//! The unit tests inside `verify.rs` keep single points fast; this
+//! integration suite drives the full acceptance grid — pipeline budgets ×
+//! thread counts × partition counts — and holds every repaired plan to the
+//! differential contract: bit-identical to a cold solve of the mutated
+//! instance, fault-aware valid, oracle-clean, and panic-free.
+
+use std::time::Duration;
+
+use pathdriver_wash::verify::{
+    chaos_instance, chaos_repair_instance, chaos_repair_seed, ChaosOptions,
+};
+use pdw_assay::benchmarks;
+use pdw_synth::synthesize;
+
+fn full_grid() -> ChaosOptions {
+    ChaosOptions {
+        budgets: vec![Some(Duration::ZERO), Some(Duration::from_nanos(1)), None],
+        threads: vec![1, 8],
+        partitions: vec![1, 2],
+    }
+}
+
+#[test]
+fn repair_matches_cold_solves_across_the_full_chaos_grid() {
+    let bench = benchmarks::demo();
+    let s = synthesize(&bench).unwrap();
+    let report = chaos_repair_instance("demo", &bench, &s, &full_grid());
+    assert!(report.passed(), "{:#?}", report.failures);
+    assert!(report.served > 0, "no repair ever served a plan");
+    // 3 budgets × 2 partition counts × 2 thread counts, up to 4 steps each.
+    assert!(
+        report.solves >= 12,
+        "grid under-swept: only {} repair solves",
+        report.solves
+    );
+}
+
+#[test]
+fn repair_chaos_holds_on_seeded_faulted_instances() {
+    let opts = ChaosOptions {
+        budgets: vec![None],
+        threads: vec![1, 2],
+        partitions: vec![1],
+    };
+    let mut seen = 0;
+    for seed in 0..6 {
+        if let Some(report) = chaos_repair_seed(seed, &opts) {
+            assert!(report.passed(), "seed {seed}: {:#?}", report.failures);
+            seen += 1;
+        }
+    }
+    assert!(seen > 1, "only {seen}/6 repair chaos seeds ran");
+}
+
+#[test]
+fn ladder_chaos_still_holds_beside_repair() {
+    // Guard the pre-repair contract on the same grid: the ladder itself
+    // stays panic-free, typed, and thread-identical.
+    let bench = benchmarks::demo();
+    let s = synthesize(&bench).unwrap();
+    let report = chaos_instance("demo", &bench, &s, &full_grid());
+    assert!(report.passed(), "{:#?}", report.failures);
+    assert!(report.served > 0);
+}

@@ -26,7 +26,7 @@ use std::collections::HashSet;
 
 use pdw_assay::benchmarks::Benchmark;
 use pdw_assay::synthetic::{generate, SyntheticSpec};
-use pdw_biochip::{CellKind, Coord, FaultSet};
+use pdw_biochip::{CellKind, Coord, FaultDelta, FaultSet, FlowPortId, WastePortId};
 use pdw_synth::{
     build_chip_banded, device_slots, synthesize, synthesize_on, SynthError, Synthesis,
 };
@@ -168,23 +168,20 @@ fn edge_key(a: Coord, b: Coord) -> (Coord, Coord) {
     }
 }
 
-/// Derives a seeded [`FaultSet`] for a synthesized instance and applies it,
-/// returning the same schedule on the now-faulted chip.
-///
-/// Faults are sampled only from the parts of the chip the *base* (wash-free)
-/// schedule does not use — cells and valve edges no task path or device
-/// footprint touches, and ports no path terminates at (always leaving at
-/// least one inlet and one outlet enabled). The base schedule therefore
-/// stays physically valid on the faulted chip by construction; what changes
-/// is the *routing slack* the wash planners have to work with, which is
-/// exactly what chaos testing wants to squeeze.
-///
-/// The sampling is a pure function of `(synthesis, seed)`, so faulted
-/// corpora are as reproducible as the pristine ones.
-pub fn inject_faults(synthesis: &Synthesis, seed: u64) -> Synthesis {
+/// The chip elements the base schedule does *not* rely on: safe targets for
+/// fault injection. Pools are in deterministic row-major / port-index order
+/// and exclude anything already faulted.
+struct SparePools {
+    cells: Vec<Coord>,
+    edges: Vec<(Coord, Coord)>,
+    flow: Vec<FlowPortId>,
+    waste: Vec<WastePortId>,
+}
+
+fn spare_pools(synthesis: &Synthesis) -> SparePools {
     let chip = &synthesis.chip;
     let grid = chip.grid();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7fa0_17ed_c0ff_ee00);
+    let faults = chip.faults();
 
     // Everything the base schedule relies on.
     let mut used_cells: HashSet<Coord> = HashSet::new();
@@ -201,12 +198,14 @@ pub fn inject_faults(synthesis: &Synthesis, seed: u64) -> Synthesis {
         used_cells.extend(dev.footprint().iter().copied());
     }
 
-    // Candidate pools, in deterministic row-major order.
-    let mut spare_cells: Vec<Coord> = Vec::new();
-    let mut spare_edges: Vec<(Coord, Coord)> = Vec::new();
+    let mut cells: Vec<Coord> = Vec::new();
+    let mut edges: Vec<(Coord, Coord)> = Vec::new();
     for c in grid.coords() {
-        if matches!(grid.kind(c), CellKind::Channel) && !used_cells.contains(&c) {
-            spare_cells.push(c);
+        if matches!(grid.kind(c), CellKind::Channel)
+            && !used_cells.contains(&c)
+            && !faults.cell_blocked(c)
+        {
+            cells.push(c);
         }
         for n in grid.neighbors(c) {
             let key = edge_key(c, n);
@@ -216,23 +215,57 @@ pub fn inject_faults(synthesis: &Synthesis, seed: u64) -> Synthesis {
             if grid.kind(c).is_routable()
                 && grid.kind(n).is_routable()
                 && !used_edges.contains(&key)
+                && !faults.edge_blocked(key.0, key.1)
             {
-                spare_edges.push(key);
+                edges.push(key);
             }
         }
     }
-    let spare_flow: Vec<_> = chip
+    let flow: Vec<_> = chip
         .flow_ports()
         .enumerate()
         .filter(|(_, c)| !used_endpoints.contains(c))
-        .map(|(i, _)| pdw_biochip::FlowPortId(i as u32))
+        .map(|(i, _)| FlowPortId(i as u32))
+        .filter(|id| !faults.flow_port_disabled(*id))
         .collect();
-    let spare_waste: Vec<_> = chip
+    let waste: Vec<_> = chip
         .waste_ports()
         .enumerate()
         .filter(|(_, c)| !used_endpoints.contains(c))
-        .map(|(i, _)| pdw_biochip::WastePortId(i as u32))
+        .map(|(i, _)| WastePortId(i as u32))
+        .filter(|id| !faults.waste_port_disabled(*id))
         .collect();
+    SparePools {
+        cells,
+        edges,
+        flow,
+        waste,
+    }
+}
+
+/// Derives a seeded [`FaultSet`] for a synthesized instance and applies it,
+/// returning the same schedule on the now-faulted chip.
+///
+/// Faults are sampled only from the parts of the chip the *base* (wash-free)
+/// schedule does not use — cells and valve edges no task path or device
+/// footprint touches, and ports no path terminates at (always leaving at
+/// least one inlet and one outlet enabled). The base schedule therefore
+/// stays physically valid on the faulted chip by construction; what changes
+/// is the *routing slack* the wash planners have to work with, which is
+/// exactly what chaos testing wants to squeeze.
+///
+/// The sampling is a pure function of `(synthesis, seed)`, so faulted
+/// corpora are as reproducible as the pristine ones.
+pub fn inject_faults(synthesis: &Synthesis, seed: u64) -> Synthesis {
+    let chip = &synthesis.chip;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7fa0_17ed_c0ff_ee00);
+
+    let SparePools {
+        cells: spare_cells,
+        edges: spare_edges,
+        flow: spare_flow,
+        waste: spare_waste,
+    } = spare_pools(synthesis);
 
     let mut faults = FaultSet::new();
     let pick = |pool_len: usize, max: usize, rng: &mut StdRng| -> Vec<usize> {
@@ -293,6 +326,81 @@ pub fn faulted_instance(spec: &SyntheticSpec) -> Result<(Benchmark, Synthesis), 
     let (bench, s) = instance(spec)?;
     let faulted = inject_faults(&s, spec.seed);
     Ok((bench, faulted))
+}
+
+/// Derives one seeded [`FaultDelta`] for a synthesized instance — the unit
+/// of chaos for incremental-replanning tests (`RepairSession::repair`).
+///
+/// Damage deltas (`Block*`/`Disable*`) are sampled from the same spare
+/// pools as [`inject_faults`] — chip elements the base schedule does not
+/// use — so applying the delta always keeps the base schedule physically
+/// valid. Healing deltas (`Unblock*`/`Enable*`) are sampled from the faults
+/// the chip *currently* carries, so on a [`faulted_instance`] a seed sweep
+/// exercises both directions. Port disables keep at least one inlet and one
+/// outlet enabled.
+///
+/// Returns `None` only when the chip offers nothing to mutate (no spare
+/// elements and no present faults). The sampling is a pure function of
+/// `(synthesis, seed)`.
+pub fn fault_delta(synthesis: &Synthesis, seed: u64) -> Option<FaultDelta> {
+    let chip = &synthesis.chip;
+    let faults = chip.faults();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0de1_7a5e_eded_0001);
+
+    let pools = spare_pools(synthesis);
+    // One representative per applicable delta kind, drawn in fixed order so
+    // the sampling stays deterministic.
+    let mut options: Vec<FaultDelta> = Vec::new();
+    if !pools.cells.is_empty() {
+        options.push(FaultDelta::BlockCell(
+            pools.cells[rng.gen_range(0..pools.cells.len())],
+        ));
+    }
+    if !pools.edges.is_empty() {
+        let (a, b) = pools.edges[rng.gen_range(0..pools.edges.len())];
+        options.push(FaultDelta::BlockEdge(a, b));
+    }
+    // Keep at least one inlet and one outlet enabled.
+    let enabled_flow = chip.flow_ports().len() - faults.disabled_flow_ports().len();
+    if !pools.flow.is_empty() && enabled_flow >= 2 {
+        options.push(FaultDelta::DisableFlowPort(
+            pools.flow[rng.gen_range(0..pools.flow.len())],
+        ));
+    }
+    let enabled_waste = chip.waste_ports().len() - faults.disabled_waste_ports().len();
+    if !pools.waste.is_empty() && enabled_waste >= 2 {
+        options.push(FaultDelta::DisableWastePort(
+            pools.waste[rng.gen_range(0..pools.waste.len())],
+        ));
+    }
+    // Healing deltas from whatever the chip currently suffers.
+    let blocked = faults.blocked_cells();
+    if !blocked.is_empty() {
+        options.push(FaultDelta::UnblockCell(
+            blocked[rng.gen_range(0..blocked.len())],
+        ));
+    }
+    let blocked_edges = faults.blocked_edges();
+    if !blocked_edges.is_empty() {
+        let (a, b) = blocked_edges[rng.gen_range(0..blocked_edges.len())];
+        options.push(FaultDelta::UnblockEdge(a, b));
+    }
+    let disabled_flow: Vec<_> = faults.disabled_flow_ports().collect();
+    if !disabled_flow.is_empty() {
+        options.push(FaultDelta::EnableFlowPort(
+            disabled_flow[rng.gen_range(0..disabled_flow.len())],
+        ));
+    }
+    let disabled_waste: Vec<_> = faults.disabled_waste_ports().collect();
+    if !disabled_waste.is_empty() {
+        options.push(FaultDelta::EnableWastePort(
+            disabled_waste[rng.gen_range(0..disabled_waste.len())],
+        ));
+    }
+    if options.is_empty() {
+        return None;
+    }
+    Some(options[rng.gen_range(0..options.len())])
 }
 
 /// Shrinks a failing spec: repeatedly tries to reduce one size knob at a
@@ -434,6 +542,54 @@ mod tests {
         for (_, t) in faulted.schedule.tasks() {
             faulted.chip.validate_path(t.path()).unwrap();
         }
+    }
+
+    #[test]
+    fn fault_deltas_are_deterministic_varied_and_schedule_preserving() {
+        let (_, s) = instance(&spec_from_seed(0)).expect("seed 0 synthesizes");
+        let mut kinds: HashSet<String> = HashSet::new();
+        for seed in 0..20 {
+            let a = fault_delta(&s, seed).expect("pristine demo-family chip has spares");
+            let b = fault_delta(&s, seed).unwrap();
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            kinds.insert(format!("{a}"));
+            // A damage delta must keep the base schedule valid.
+            let mut faults = s.chip.faults().clone();
+            assert!(a.apply(&mut faults), "sampled delta must change the chip");
+            let mutated = s.chip.with_faults(faults).unwrap();
+            for (_, t) in s.schedule.tasks() {
+                mutated
+                    .validate_path(t.path())
+                    .unwrap_or_else(|e| panic!("seed {seed}: base schedule broken: {e}"));
+            }
+        }
+        assert!(kinds.len() > 3, "delta seeds collapsed: {kinds:?}");
+    }
+
+    #[test]
+    fn fault_deltas_on_damaged_chips_include_healing() {
+        // A faulted instance carries damage, so the sampler must sometimes
+        // pick a healing (Unblock*/Enable*) delta.
+        for seed in 0..20 {
+            let Ok((_, s)) = faulted_instance(&spec_from_seed(seed)) else {
+                continue;
+            };
+            if s.chip.faults().is_empty() {
+                continue;
+            }
+            let healed = (0..30).filter_map(|ds| fault_delta(&s, ds)).any(|d| {
+                matches!(
+                    d,
+                    FaultDelta::UnblockCell(_)
+                        | FaultDelta::UnblockEdge(_, _)
+                        | FaultDelta::EnableFlowPort(_)
+                        | FaultDelta::EnableWastePort(_)
+                )
+            });
+            assert!(healed, "seed {seed}: no healing delta in 30 draws");
+            return;
+        }
+        panic!("no faulted instance found in 20 seeds");
     }
 
     #[test]
