@@ -1,0 +1,233 @@
+//! Plan-server load benchmark: open-loop throughput and latency of
+//! [`pdw_serve::PlanServer`] under the seeded
+//! [`request_stream`](pdw_gen::request_stream), at two or more load
+//! levels.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_serve [--smoke] [--out FILE] [--requests N] [--workers N]
+//! ```
+//!
+//! The instance pool is the bundled corpus (suite + demo). Each load level
+//! replays the same seeded stream paced at a different mean inter-arrival
+//! gap, then:
+//!
+//! - every served **solve** is oracle-verified (`pdw_sim::validate` +
+//!   `propagate`) and bit-compared to a cold `plan_resilient` of its
+//!   instance;
+//! - every repair session's terminal plan is re-verified against the
+//!   session's mutated chip;
+//! - p50/p99 queue-to-completion latency and plans/sec are recorded per
+//!   level, plus the memo-hit vs cold-solve service-time medians.
+//!
+//! `--smoke` is the CI regression gate: it asserts every plan verified,
+//! every solve bit-identical to cold, and the memo-hit p50 service time at
+//! least 10x faster than a cold solve at every level, then writes
+//! `BENCH_serve_smoke.json`; the full run writes `BENCH_serve.json`.
+
+use std::sync::Arc;
+
+use pathdriver_wash::plan_resilient;
+use pdw_assay::benchmarks;
+use pdw_gen::{request_stream, StreamOptions};
+use pdw_serve::{
+    materialize, run_open_loop, Instance, LoadReport, PlanServer, ServeConfig, Submission,
+};
+use pdw_synth::synthesize;
+use serde::Serialize;
+
+/// One load level's outcome.
+#[derive(Debug, Serialize)]
+struct Level {
+    label: &'static str,
+    mean_gap_us: u64,
+    report: LoadReport,
+    /// Every served solve passed independent validation + the oracle.
+    all_verified: bool,
+    /// Every served solve was bit-identical to a cold solve.
+    all_identical: bool,
+    /// Repair sessions whose terminal plan re-verified on the mutated chip.
+    sessions_verified: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pool: usize,
+    requests: usize,
+    workers: usize,
+    levels: Vec<Level>,
+    /// Minimum memo-hit speedup across levels — the `--smoke` gate (≥ 10x).
+    memo_hit_speedup_min: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let arg = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| {
+                v.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad {flag} `{v}`"))
+            })
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(if smoke {
+            "BENCH_serve_smoke.json"
+        } else {
+            "BENCH_serve.json"
+        });
+    let requests = arg("--requests").unwrap_or(if smoke { 150 } else { 500 });
+    let workers = arg("--workers").unwrap_or(if smoke { 2 } else { 4 });
+
+    // The pool: every bundled benchmark, synthesized once.
+    let pool: Vec<Arc<Instance>> = benchmarks::suite()
+        .into_iter()
+        .chain([benchmarks::demo()])
+        .map(|bench| {
+            let synthesis = synthesize(&bench).expect("bundled benchmark synthesizes");
+            Arc::new(Instance::new(bench, synthesis))
+        })
+        .collect();
+    let cfg = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    // Cold references, one per pool instance — the bit-identity baseline
+    // (and the cold-side cost every memo hit avoids).
+    let cold: Vec<_> = pool
+        .iter()
+        .map(|i| {
+            plan_resilient(i.bench(), i.synthesis(), &cfg.planner)
+                .served
+                .expect("bundled corpus serves")
+        })
+        .collect();
+
+    let levels_spec: &[(&'static str, u64)] = if smoke {
+        &[("light", 1_000), ("heavy", 100)]
+    } else {
+        &[("light", 2_000), ("medium", 500), ("heavy", 100)]
+    };
+
+    let mut levels: Vec<Level> = Vec::new();
+    for &(label, mean_gap_us) in levels_spec {
+        let events = request_stream(&StreamOptions {
+            seed: 7,
+            requests,
+            pool: pool.len(),
+            mean_gap_us,
+            reuse: 0.7,
+            delta_ratio: 0.1,
+        });
+        let timed = materialize(&events, &pool, None);
+        let server = PlanServer::start(cfg.clone());
+        let run = run_open_loop(&server, &timed, true);
+
+        let mut all_verified = true;
+        let mut all_identical = true;
+        for (i, row) in run.rows.iter().enumerate() {
+            let served = match row {
+                Submission::Done {
+                    response: Ok(s), ..
+                } => s,
+                Submission::Done {
+                    response: Err(e), ..
+                } => {
+                    panic!("request {i} failed: {e}")
+                }
+                Submission::Shed(r) => panic!("request {i} shed: {r}"),
+            };
+            if served.repaired {
+                continue;
+            }
+            let instance = &pool[events[i].pool_index];
+            let plan = &served.plan.result;
+            if plan.schedule != cold[events[i].pool_index].schedule {
+                all_identical = false;
+            }
+            let chip = &instance.synthesis().chip;
+            let graph = &instance.bench().graph;
+            if pdw_sim::validate(chip, graph, &plan.schedule).is_err()
+                || !pdw_sim::propagate(chip, graph, &plan.schedule).is_clean()
+            {
+                all_verified = false;
+            }
+        }
+        let mut sessions_verified = 0usize;
+        for instance in &pool {
+            if let Some((synthesis, Some(last))) = server.repair_state(instance) {
+                let graph = &instance.bench().graph;
+                assert!(
+                    pdw_sim::validate(&synthesis.chip, graph, &last.schedule).is_ok()
+                        && pdw_sim::propagate(&synthesis.chip, graph, &last.schedule).is_clean(),
+                    "terminal repair plan must verify on the mutated chip"
+                );
+                sessions_verified += 1;
+            }
+        }
+        let report = run.report;
+        println!(
+            "{label:<7} gap {mean_gap_us:>5}us: {}/{} served, p50 {:.3}ms p99 {:.3}ms, \
+             {:.0} plans/s, memo {}x ({} hits), verified={} identical={}",
+            report.served,
+            report.requests,
+            report.p50_ms,
+            report.p99_ms,
+            report.plans_per_sec,
+            report.memo_hit_speedup.round(),
+            report.memo_hits,
+            all_verified,
+            all_identical,
+        );
+        levels.push(Level {
+            label,
+            mean_gap_us,
+            report,
+            all_verified,
+            all_identical,
+            sessions_verified,
+        });
+        server.shutdown();
+    }
+
+    let memo_hit_speedup_min = levels
+        .iter()
+        .map(|l| l.report.memo_hit_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let report = Report {
+        pool: pool.len(),
+        requests,
+        workers,
+        levels,
+        memo_hit_speedup_min,
+    };
+
+    if smoke {
+        assert!(
+            report.levels.iter().all(|l| l.all_verified),
+            "a served plan failed oracle re-verification"
+        );
+        assert!(
+            report.levels.iter().all(|l| l.all_identical),
+            "a served solve diverged from its cold reference"
+        );
+        assert!(
+            report.levels.iter().all(|l| l.report.memo_hits > 0),
+            "no memo hits under a reuse-heavy stream"
+        );
+        assert!(
+            memo_hit_speedup_min >= 10.0,
+            "memo-hit speedup {memo_hit_speedup_min:.1}x below the 10x gate"
+        );
+        println!("smoke regression gate ok (memo hit ≥ 10x cold, all plans verified)");
+    }
+
+    pdw_bench::models::write_report(out_path, &report);
+}

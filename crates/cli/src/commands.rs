@@ -20,6 +20,9 @@ usage:
   pdw repair <benchmark> [options] plan once, then apply seeded chip-fault
                                    deltas and repair incrementally, diffing
                                    each repair against a cold solve
+  pdw serve [options]              start an in-process plan server and replay
+                                   a seeded open-loop request stream at it,
+                                   reporting latency and cache behavior
   pdw verify [options]             differentially verify every solver
   pdw export <benchmark> <file>    write a benchmark as JSON (edit & re-run)
 
@@ -52,6 +55,22 @@ options for `repair`:
                        final delta (default: off)
   --threads <n>, --partitions <k>, --pipeline-budget <ms>  as for `run`
                        (the repair ladder always runs without the ILP)
+
+options for `serve`:
+  --requests <n>       stream length (default 200)
+  --pool <k>           distinct instances: the demo chip plus k-1 seeded
+                       fault-injected variants (default 4)
+  --workers <n>        server worker threads (default 2)
+  --seed <s>           stream seed (default 0)
+  --gap-us <us>        mean inter-arrival gap, microseconds (default 500;
+                       arrivals are paced open-loop against wall time)
+  --reuse <pct>        percent of requests re-targeting a touched instance
+                       (default 70)
+  --deltas <pct>       percent of re-targeting requests that are repair
+                       deltas (default 15)
+  --deadline-ms <ms>   per-request deadline budget (default: none)
+  --shed-budget <c>    admission cost budget (default: unlimited)
+  --json <file>        write the load report as JSON
 
 options for `verify`:
   --smoke              fast CI profile: bundled suite + 25 seeds, greedy only
@@ -105,6 +124,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("show") => cmd_show(args.get(1).map(String::as_str)),
         Some("run") => cmd_run(&args[1..]),
         Some("repair") => cmd_repair(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("help") | None => {
@@ -498,6 +518,122 @@ fn cmd_repair(args: &[String]) -> Result<(), CliError> {
         applied += 1;
     }
     println!("repair: {applied} delta(s) applied, all repaired plans matched cold solves");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use pdw_serve::{materialize, run_open_loop, Instance, PlanServer, ServeConfig};
+    use std::sync::Arc;
+
+    let mut requests = 200usize;
+    let mut pool_size = 4usize;
+    let mut workers = 2usize;
+    let mut seed = 0u64;
+    let mut gap_us = 500u64;
+    let mut reuse_pct = 70u64;
+    let mut deltas_pct = 15u64;
+    let mut deadline_ms: Option<u64> = None;
+    let mut shed_budget = u64::MAX;
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<u64, CliError> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| CliError(format!("{name} needs a number")))
+        };
+        match arg.as_str() {
+            "--requests" => requests = num("--requests")? as usize,
+            "--pool" => pool_size = (num("--pool")? as usize).max(1),
+            "--workers" => workers = (num("--workers")? as usize).max(1),
+            "--seed" => seed = num("--seed")?,
+            "--gap-us" => gap_us = num("--gap-us")?.max(1),
+            "--reuse" => reuse_pct = num("--reuse")?.min(100),
+            "--deltas" => deltas_pct = num("--deltas")?.min(100),
+            "--deadline-ms" => deadline_ms = Some(num("--deadline-ms")?),
+            "--shed-budget" => shed_budget = num("--shed-budget")?,
+            "--json" => {
+                json = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or(CliError("--json needs a file".into()))?,
+                )
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+
+    // The pool: the demo instance plus seeded fault-injected variants, so
+    // the stream exercises distinct chip hashes through the context LRU.
+    let bench = benchmarks::demo();
+    let base = synthesize(&bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    let mut pool = vec![Arc::new(Instance::new(bench.clone(), base.clone()))];
+    let mut fault_seed = seed;
+    while pool.len() < pool_size {
+        fault_seed += 1;
+        let variant = pdw_gen::inject_faults(&base, fault_seed);
+        let instance = Instance::new(bench.clone(), variant);
+        if pool
+            .iter()
+            .all(|p: &Arc<Instance>| p.chip_hash() != instance.chip_hash())
+        {
+            pool.push(Arc::new(instance));
+        }
+    }
+
+    let events = pdw_gen::request_stream(&pdw_gen::StreamOptions {
+        seed,
+        requests,
+        pool: pool.len(),
+        mean_gap_us: gap_us,
+        reuse: reuse_pct as f64 / 100.0,
+        delta_ratio: deltas_pct as f64 / 100.0,
+    });
+    let timed = materialize(&events, &pool, deadline_ms.map(Duration::from_millis));
+
+    println!(
+        "serve: {} requests over {} instance(s), {} worker(s), mean gap {}us",
+        requests,
+        pool.len(),
+        workers,
+        gap_us
+    );
+    let server = PlanServer::start(ServeConfig {
+        workers,
+        queue_cost_budget: shed_budget,
+        ..ServeConfig::default()
+    });
+    let run = run_open_loop(&server, &timed, true);
+    server.shutdown();
+
+    let r = &run.report;
+    println!(
+        "  served {}/{} ({} shed, {} errors) in {:.3}s — {:.0} plans/s",
+        r.served, r.requests, r.shed, r.errors, r.wall_s, r.plans_per_sec
+    );
+    println!("  latency p50 {:.3}ms  p99 {:.3}ms", r.p50_ms, r.p99_ms);
+    println!(
+        "  memo hits {} ({:.3}ms p50) vs cold solves ({:.3}ms p50): {:.1}x",
+        r.memo_hits, r.hit_service_p50_ms, r.cold_service_p50_ms, r.memo_hit_speedup
+    );
+    let stats = server.stats();
+    println!(
+        "  caches: {} solves, {} repairs, LRU {} warm / {} pool / {} miss / {} evicted",
+        stats.solves,
+        stats.repairs,
+        stats.lru_warm_hits,
+        stats.lru_pool_hits,
+        stats.lru_misses,
+        stats.lru_evictions
+    );
+    if let Some(path) = json {
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(r).expect("serializable"),
+        )
+        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        println!("  report written to {path}");
+    }
     Ok(())
 }
 

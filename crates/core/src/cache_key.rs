@@ -1,0 +1,218 @@
+//! Canonical cache keys for long-running planning services.
+//!
+//! A plan server ([`pdw-serve`]) memoizes verified plans and keeps warm
+//! [`PlanContext`](crate::PlanContext) state across requests. Both caches
+//! need *canonical* keys: two requests naming the same instance must map to
+//! the same key regardless of how their in-memory objects were built, and
+//! two chips differing in any identity-bearing detail (grid, devices,
+//! ports, labels, **faults**) must map to different keys.
+//!
+//! The keys here are 64-bit FNV-1a hashes over the instance's canonical
+//! serde serialization. The vendored serde sorts `HashMap` keys when
+//! serializing, so the byte stream — and therefore the hash — is a pure
+//! function of the value, stable across processes and thread counts.
+//! (These are cache keys, not cryptographic digests: collisions are
+//! astronomically unlikely at service scale but not adversarially hard.)
+//!
+//! [`pdw-serve`]: https://example.com/pathdriver-wash
+
+use pdw_assay::benchmarks::Benchmark;
+use pdw_biochip::Chip;
+use pdw_synth::Synthesis;
+
+use crate::config::PdwConfig;
+
+/// Incremental 64-bit FNV-1a hasher — tiny, dependency-free, and stable
+/// across platforms (unlike `DefaultHasher`, which is randomly keyed per
+/// process).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Hashes a value through its canonical serde serialization.
+fn hash_serialized<T: serde::Serialize + ?Sized>(hasher: &mut Fnv64, value: &T) {
+    let json = serde_json::to_string(value).expect("in-memory values always serialize");
+    hasher.write(json.as_bytes());
+}
+
+/// Canonical hash of a chip's full identity: grid, devices, ports, labels,
+/// and the [`FaultSet`](pdw_biochip::FaultSet) it currently carries. Two
+/// chips differing only in faults hash differently — a warm context built
+/// for a damaged chip must never be served for its pristine twin.
+pub fn chip_hash(chip: &Chip) -> u64 {
+    let mut h = Fnv64::new();
+    hash_serialized(&mut h, chip);
+    h.finish()
+}
+
+/// Canonical hash of a full planning instance: the benchmark (assay graph +
+/// device library) and the synthesis (chip, base schedule, binding, reagent
+/// ports). This is the memo-cache key of a plan server — every cached plan
+/// is a pure function of this hash plus the planner configuration
+/// ([`config_fingerprint`]).
+pub fn instance_hash(bench: &Benchmark, synthesis: &Synthesis) -> u64 {
+    let mut h = Fnv64::new();
+    hash_serialized(&mut h, bench);
+    hash_serialized(&mut h, &synthesis.chip);
+    hash_serialized(&mut h, &synthesis.schedule);
+    hash_serialized(&mut h, &synthesis.binding);
+    hash_serialized(&mut h, &synthesis.reagent_ports);
+    h.finish()
+}
+
+/// Fingerprint of the configuration fields that shape a plan's *result*.
+///
+/// `threads` is deliberately excluded — every planner is documented
+/// thread-count-invariant, so two solves differing only in the thread knob
+/// must share one memo entry. Budgets are included: a deadline-degraded
+/// plan is a different result family than an unbounded one.
+pub fn config_fingerprint(config: &PdwConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(config.weights.alpha.to_bits());
+    h.write_u64(config.weights.beta.to_bits());
+    h.write_u64(config.weights.gamma.to_bits());
+    h.write_u64(u64::from(config.necessity_analysis));
+    h.write_u64(u64::from(config.integration));
+    h.write_u64(u64::from(config.merging));
+    h.write_u64(u64::from(config.ilp));
+    h.write_u64(config.ilp_budget.as_nanos() as u64);
+    h.write_u64(config.candidates as u64);
+    h.write_u64(u64::from(config.exact_paths));
+    match config.pipeline_budget {
+        None => h.write_u64(u64::MAX),
+        Some(b) => {
+            h.write_u64(1);
+            h.write_u64(b.as_nanos() as u64);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdw_assay::benchmarks;
+    use pdw_biochip::FaultSet;
+    use pdw_synth::synthesize;
+    use std::time::Duration;
+
+    #[test]
+    fn hashes_are_deterministic_across_rebuilds() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let again = synthesize(&benchmarks::demo()).unwrap();
+        assert_eq!(chip_hash(&s.chip), chip_hash(&again.chip));
+        assert_eq!(
+            instance_hash(&bench, &s),
+            instance_hash(&benchmarks::demo(), &again)
+        );
+    }
+
+    #[test]
+    fn faults_change_the_chip_hash() {
+        let bench = benchmarks::demo();
+        let s = synthesize(&bench).unwrap();
+        let pristine = chip_hash(&s.chip);
+        // Block some spare channel cell: the chip's identity changed.
+        let grid = s.chip.grid();
+        let spare = grid
+            .coords()
+            .find(|&c| {
+                matches!(grid.kind(c), pdw_biochip::CellKind::Channel)
+                    && s.chip.devices().iter().all(|d| !d.footprint().contains(&c))
+                    && s.schedule
+                        .tasks()
+                        .all(|(_, t)| !t.path().cells().contains(&c))
+            })
+            .expect("demo chip has a spare cell");
+        let mut faults = FaultSet::new();
+        faults.block_cell(spare);
+        let damaged = s.chip.with_faults(faults).unwrap();
+        assert_ne!(pristine, chip_hash(&damaged));
+        // And the instance hash follows the chip.
+        let mutated = pdw_synth::Synthesis {
+            chip: damaged,
+            schedule: s.schedule.clone(),
+            binding: s.binding.clone(),
+            reagent_ports: s.reagent_ports.clone(),
+        };
+        assert_ne!(instance_hash(&bench, &s), instance_hash(&bench, &mutated));
+    }
+
+    #[test]
+    fn different_benchmarks_hash_differently() {
+        let demo = benchmarks::demo();
+        let ds = synthesize(&demo).unwrap();
+        let other = &benchmarks::suite()[0];
+        let os = synthesize(other).unwrap();
+        assert_ne!(instance_hash(&demo, &ds), instance_hash(other, &os));
+    }
+
+    #[test]
+    fn config_fingerprint_ignores_threads_but_not_results() {
+        let base = PdwConfig::default();
+        let threaded = PdwConfig {
+            threads: 8,
+            ..base.clone()
+        };
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&threaded));
+        let no_ilp = PdwConfig {
+            ilp: false,
+            ..base.clone()
+        };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&no_ilp));
+        let bounded = PdwConfig {
+            pipeline_budget: Some(Duration::from_millis(5)),
+            ..base.clone()
+        };
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&bounded));
+        let zero = PdwConfig {
+            pipeline_budget: Some(Duration::ZERO),
+            ..base
+        };
+        assert_ne!(config_fingerprint(&bounded), config_fingerprint(&zero));
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write(b"ab");
+        let mut b = Fnv64::new();
+        b.write(b"ba");
+        assert_ne!(a.finish(), b.finish());
+        assert_eq!(Fnv64::default().finish(), Fnv64::new().finish());
+    }
+}

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache_key;
 mod config;
 mod context;
 mod dawo;
@@ -76,6 +77,7 @@ mod stats;
 mod timeline;
 pub mod verify;
 
+pub use cache_key::{chip_hash, config_fingerprint, instance_hash};
 pub use config::{CandidatePolicy, PdwConfig, Weights};
 pub use context::{ContextParts, FrontEndKey, PlanContext, RequirementOverrides};
 pub use dawo::dawo;

@@ -403,6 +403,126 @@ pub fn fault_delta(synthesis: &Synthesis, seed: u64) -> Option<FaultDelta> {
     Some(options[rng.gen_range(0..options.len())])
 }
 
+/// Options of the seeded open-loop request stream ([`request_stream`]).
+///
+/// The defaults describe a light, memo-friendly load: ~8 distinct
+/// instances, 60% chip reuse, 15% repair deltas, 2 ms mean inter-arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOptions {
+    /// Stream seed; the whole stream is a pure function of the options.
+    pub seed: u64,
+    /// Number of request events to emit.
+    pub requests: usize,
+    /// Size of the instance pool indices are drawn from.
+    pub pool: usize,
+    /// Mean inter-arrival gap in microseconds (exponential draws).
+    pub mean_gap_us: u64,
+    /// Probability in `[0, 1]` that a request re-targets an instance the
+    /// stream has already touched (a memo/context-cache hit opportunity)
+    /// instead of a fresh pool entry.
+    pub reuse: f64,
+    /// Probability in `[0, 1]` that a request against an already-touched
+    /// instance is a *repair delta* rather than a plain solve.
+    pub delta_ratio: f64,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            seed: 0,
+            requests: 100,
+            pool: 8,
+            mean_gap_us: 2_000,
+            reuse: 0.6,
+            delta_ratio: 0.15,
+        }
+    }
+}
+
+/// What one open-loop request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEventKind {
+    /// Plan the instance from scratch (or serve it from the memo cache).
+    Solve,
+    /// Apply a seeded [`fault_delta`] against the instance's repair session
+    /// (`delta_seed` is the sampling seed).
+    Repair {
+        /// Seed for [`fault_delta`] sampling at materialization time.
+        delta_seed: u64,
+    },
+}
+
+/// One event of the open-loop request stream: at `at_us` microseconds after
+/// stream start, issue `kind` against pool instance `pool_index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// Arrival time, microseconds since stream start (strictly increasing).
+    pub at_us: u64,
+    /// Which pool instance the request targets.
+    pub pool_index: usize,
+    /// Solve or repair.
+    pub kind: StreamEventKind,
+}
+
+/// A `[0, 1)` fraction from the generator's next 64 bits.
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates a seeded open-loop request stream (see [`StreamOptions`]).
+///
+/// Inter-arrival gaps are exponential with mean `mean_gap_us` (clamped to
+/// `[1, 20 × mean]` so a single draw cannot stall the stream); arrival
+/// times are strictly increasing. The first event always targets a fresh
+/// pool entry; later events re-target an already-touched instance with
+/// probability `reuse` (and, among those, become repair deltas with
+/// probability `delta_ratio`), otherwise they touch the next fresh entry
+/// until the pool is exhausted. The stream is a pure function of the
+/// options — the serve tests and `bench_serve` replay identical traffic.
+pub fn request_stream(opts: &StreamOptions) -> Vec<StreamEvent> {
+    assert!(opts.pool > 0, "request_stream needs a non-empty pool");
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5e4e_57a7_ea00_0001);
+    let mut events = Vec::with_capacity(opts.requests);
+    let mut touched: Vec<usize> = Vec::new();
+    let mut at_us: u64 = 0;
+    for _ in 0..opts.requests {
+        let mean = opts.mean_gap_us.max(1) as f64;
+        let gap = (-(1.0 - unit(&mut rng)).ln() * mean) as u64;
+        at_us = at_us.saturating_add(gap.clamp(1, opts.mean_gap_us.max(1) * 20));
+
+        let reuse_now = !touched.is_empty() && unit(&mut rng) < opts.reuse;
+        let (pool_index, kind) = if reuse_now {
+            let idx = touched[rng.gen_range(0..touched.len())];
+            let kind = if unit(&mut rng) < opts.delta_ratio {
+                StreamEventKind::Repair {
+                    delta_seed: rng.next_u64(),
+                }
+            } else {
+                StreamEventKind::Solve
+            };
+            (idx, kind)
+        } else {
+            // Next untouched pool entry, wrapping to uniform once the pool
+            // is saturated.
+            let idx = if touched.len() < opts.pool {
+                touched.len()
+            } else {
+                rng.gen_range(0..opts.pool)
+            };
+            (idx, StreamEventKind::Solve)
+        };
+        if !touched.contains(&pool_index) {
+            touched.push(pool_index);
+        }
+        events.push(StreamEvent {
+            at_us,
+            pool_index,
+            kind,
+        });
+    }
+    events
+}
+
 /// Shrinks a failing spec: repeatedly tries to reduce one size knob at a
 /// time (operations, extra edges, devices, grid side), keeping a reduction
 /// only when `fails` still returns `true` for the reduced spec, until no
@@ -607,6 +727,74 @@ mod tests {
         let (again, steps2) = shrink(&start, fails);
         assert_eq!(small, again);
         assert_eq!(steps, steps2);
+    }
+
+    #[test]
+    fn request_streams_are_deterministic_and_monotone() {
+        let opts = StreamOptions::default();
+        let a = request_stream(&opts);
+        let b = request_stream(&opts);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), opts.requests);
+        for w in a.windows(2) {
+            assert!(w[0].at_us < w[1].at_us, "arrival times strictly increase");
+        }
+        assert!(a.iter().all(|e| e.pool_index < opts.pool));
+        // A different seed produces different traffic.
+        let c = request_stream(&StreamOptions {
+            seed: 1,
+            ..opts.clone()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reuse_ratio_shapes_the_distinct_instance_count() {
+        let base = StreamOptions {
+            requests: 60,
+            pool: 60,
+            ..StreamOptions::default()
+        };
+        let distinct = |reuse: f64| {
+            let evs = request_stream(&StreamOptions {
+                reuse,
+                ..base.clone()
+            });
+            evs.iter()
+                .map(|e| e.pool_index)
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        // Full reuse collapses onto one instance; zero reuse walks the pool.
+        assert_eq!(distinct(1.0), 1);
+        assert_eq!(distinct(0.0), base.pool);
+        let mid = distinct(0.6);
+        assert!(mid > 1 && mid < base.pool, "got {mid}");
+    }
+
+    #[test]
+    fn delta_events_only_target_touched_instances() {
+        let evs = request_stream(&StreamOptions {
+            requests: 300,
+            delta_ratio: 0.5,
+            ..StreamOptions::default()
+        });
+        let mut touched: HashSet<usize> = HashSet::new();
+        let mut deltas = 0;
+        for e in &evs {
+            if let StreamEventKind::Repair { .. } = e.kind {
+                assert!(
+                    touched.contains(&e.pool_index),
+                    "repair before any solve of instance {}",
+                    e.pool_index
+                );
+                deltas += 1;
+            }
+            touched.insert(e.pool_index);
+        }
+        assert!(deltas > 10, "only {deltas} repair events in 300");
+        // The first event is always a fresh solve.
+        assert_eq!(evs[0].kind, StreamEventKind::Solve);
     }
 
     #[test]

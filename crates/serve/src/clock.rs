@@ -1,0 +1,102 @@
+//! Injectable time for a testable event loop.
+//!
+//! Every *decision* the server makes about time — queue-wait accounting,
+//! deadline expiry, memo-waiter give-up — reads a [`Clock`]. Production
+//! uses [`WallClock`]; the deterministic tests use [`ManualClock`], whose
+//! time only moves when the test calls [`advance`](ManualClock::advance).
+//! (Pure *measurements*, like per-request service wall time reported in
+//! benches, still read `Instant` directly — they never feed back into
+//! control flow.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source: `now()` is the duration since the clock's
+/// epoch. Implementations must be cheap and callable from any thread.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotonic wall time since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// A test clock that only moves when told to. Cloning shares the
+/// underlying counter, so a test can hold one handle while the server
+/// holds another.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute time since its epoch.
+    pub fn set(&self, d: Duration) {
+        self.nanos.store(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let clock = ManualClock::new();
+        let handle = clock.clone();
+        assert_eq!(clock.now(), Duration::ZERO);
+        handle.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        clock.set(Duration::from_secs(1));
+        assert_eq!(handle.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}
