@@ -6,7 +6,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_serve [--smoke] [--out FILE] [--requests N] [--workers N]
+//! bench_serve [--smoke] [--out FILE] [--requests N] [--workers N] [--memo-path FILE]
 //! ```
 //!
 //! The instance pool is the bundled corpus (suite + demo). Each load level
@@ -25,6 +25,13 @@
 //! every solve bit-identical to cold, and the memo-hit p50 service time at
 //! least 10x faster than a cold solve at every level, then writes
 //! `BENCH_serve_smoke.json`; the full run writes `BENCH_serve.json`.
+//!
+//! Both runs finish with a **warm-restart phase**: a server with a
+//! persistent memo store (`--memo-path`, default a scratch file) takes a
+//! solve-only stream cold, shuts down, and a *restarted* server on the
+//! same file takes the identical stream — every request must then be
+//! served from the persisted, certificate-re-verified artifacts with zero
+//! fresh solves, bit-identical to the cold run's plans.
 
 use std::sync::Arc;
 
@@ -51,6 +58,29 @@ struct Level {
     sessions_verified: usize,
 }
 
+/// The warm-restart phase: the same solve-only stream against a cold
+/// persistent store and against a *restarted* server on that store.
+#[derive(Debug, Serialize)]
+struct Restart {
+    /// Requests in each of the two runs.
+    requests: usize,
+    /// Fresh solves in the cold run (populates the store).
+    cold_solves: u64,
+    /// Artifacts persisted by the cold run.
+    persisted: u64,
+    /// Fresh solves after restart — must be 0.
+    warm_solves: u64,
+    /// Requests served from persisted artifacts after their verification
+    /// certificate re-verified against the live instance.
+    warm_persist_hits: u64,
+    /// Persisted artifacts rejected at serve time — must be 0.
+    warm_persist_rejected: u64,
+    /// Every warm plan bit-identical to its cold-run counterpart.
+    all_identical: bool,
+    cold_p50_ms: f64,
+    warm_p50_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     pool: usize,
@@ -59,6 +89,7 @@ struct Report {
     levels: Vec<Level>,
     /// Minimum memo-hit speedup across levels — the `--smoke` gate (≥ 10x).
     memo_hit_speedup_min: f64,
+    restart: Restart,
 }
 
 fn main() {
@@ -201,12 +232,95 @@ fn main() {
         .iter()
         .map(|l| l.report.memo_hit_speedup)
         .fold(f64::INFINITY, f64::min);
+
+    // ---- Warm-restart phase -------------------------------------------
+    // A solve-only stream against a fresh persistent store, then the
+    // *identical* stream against a restarted server on the same file.
+    let explicit_memo_path = args
+        .iter()
+        .position(|a| a == "--memo-path")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let memo_path = explicit_memo_path.clone().unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("pdw-bench-memo-{}.log", std::process::id()))
+            .display()
+            .to_string()
+    });
+    let _ = std::fs::remove_file(&memo_path);
+    let restart_requests = requests.min(120);
+    let events = request_stream(&StreamOptions {
+        seed: 11,
+        requests: restart_requests,
+        pool: pool.len(),
+        mean_gap_us: 300,
+        reuse: 0.5,
+        delta_ratio: 0.0,
+    });
+    let timed = materialize(&events, &pool, None);
+    let restart_cfg = ServeConfig {
+        workers,
+        memo_path: Some(std::path::PathBuf::from(&memo_path)),
+        ..ServeConfig::default()
+    };
+    let pass = |label: &str| {
+        let server = PlanServer::start(restart_cfg.clone());
+        let run = run_open_loop(&server, &timed, true);
+        let schedules: Vec<_> = run
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| match row {
+                Submission::Done {
+                    response: Ok(s), ..
+                } => s.plan.result.schedule.clone(),
+                Submission::Done {
+                    response: Err(e), ..
+                } => panic!("restart {label} request {i} failed: {e}"),
+                Submission::Shed(r) => panic!("restart {label} request {i} shed: {r}"),
+            })
+            .collect();
+        let stats = server.stats();
+        server.shutdown();
+        (schedules, stats, run.report.p50_ms)
+    };
+    let (cold_plans, cold_stats, cold_p50_ms) = pass("cold");
+    let (warm_plans, warm_stats, warm_p50_ms) = pass("warm");
+    let all_identical = cold_plans == warm_plans;
+    let restart = Restart {
+        requests: restart_requests,
+        cold_solves: cold_stats.solves,
+        persisted: cold_stats.persist_entries,
+        warm_solves: warm_stats.solves,
+        warm_persist_hits: warm_stats.persist_hits,
+        warm_persist_rejected: warm_stats.persist_rejected,
+        all_identical,
+        cold_p50_ms,
+        warm_p50_ms,
+    };
+    println!(
+        "restart: cold {} solves -> {} persisted; warm {} solves, {} persist hits \
+         ({} rejected), identical={}, p50 {:.3}ms -> {:.3}ms",
+        restart.cold_solves,
+        restart.persisted,
+        restart.warm_solves,
+        restart.warm_persist_hits,
+        restart.warm_persist_rejected,
+        restart.all_identical,
+        restart.cold_p50_ms,
+        restart.warm_p50_ms,
+    );
+    if explicit_memo_path.is_none() {
+        let _ = std::fs::remove_file(&memo_path);
+    }
+
     let report = Report {
         pool: pool.len(),
         requests,
         workers,
         levels,
         memo_hit_speedup_min,
+        restart,
     };
 
     if smoke {
@@ -226,7 +340,24 @@ fn main() {
             memo_hit_speedup_min >= 10.0,
             "memo-hit speedup {memo_hit_speedup_min:.1}x below the 10x gate"
         );
-        println!("smoke regression gate ok (memo hit ≥ 10x cold, all plans verified)");
+        let restart = &report.restart;
+        assert_eq!(restart.warm_solves, 0, "the restarted server re-solved");
+        assert!(
+            restart.warm_persist_hits > 0,
+            "no request was served from the persistent store after restart"
+        );
+        assert_eq!(
+            restart.warm_persist_rejected, 0,
+            "a persisted artifact failed certificate re-verification"
+        );
+        assert!(
+            restart.all_identical,
+            "a restarted plan diverged from its cold-run counterpart"
+        );
+        println!(
+            "smoke regression gate ok (memo hit ≥ 10x cold, all plans verified, \
+             warm restart solve-free)"
+        );
     }
 
     pdw_bench::models::write_report(out_path, &report);

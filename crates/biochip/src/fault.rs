@@ -215,7 +215,7 @@ impl FaultSet {
 /// artifacts avoid the footprint survive verbatim; deltas that *remove*
 /// faults can expand reachability anywhere ([`FaultDelta::expands_reach`])
 /// and force a broader flush.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultDelta {
     /// A channel/device cell clogs.
     BlockCell(Coord),

@@ -4,7 +4,8 @@ use std::fmt;
 use std::time::Duration;
 
 use pathdriver_wash::{
-    plan_partitioned, verify, DawoPlanner, PdwConfig, PdwPlanner, PlanContext, Planner,
+    plan_partitioned, plan_partitioned_with, verify, DawoPlanner, PdwConfig, PdwPlanner,
+    PlanContext, Planner, RegionExecutor, SubprocessExecutor,
 };
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
@@ -24,6 +25,11 @@ usage:
                                    a seeded open-loop request stream at it,
                                    reporting latency and cache behavior
   pdw verify [options]             differentially verify every solver
+  pdw worker                       run as a region/solve worker: read framed
+                                   codec requests on stdin, write framed
+                                   plan artifacts on stdout (spawned by the
+                                   subprocess region executor; not intended
+                                   for interactive use)
   pdw export <benchmark> <file>    write a benchmark as JSON (edit & re-run)
 
 options for `run`:
@@ -38,6 +44,11 @@ options for `run`:
                        plan them in parallel, and stitch at the seams
                        (default 1 = whole-chip planning; clamped to the
                        number of viable cuts)
+  --subprocess <n>     with --partitions: plan region front ends in n
+                       out-of-process `pdw worker` children instead of
+                       in-process threads (0 = all cores); plans are
+                       bit-identical, and a killed or corrupted worker
+                       degrades to in-process replanning of its jobs
   --no-ilp             greedy placement only
   --validate           re-check results with the simulator validator and the
                        contamination-propagation oracle (default in debug
@@ -70,6 +81,10 @@ options for `serve`:
                        deltas (default 15)
   --deadline-ms <ms>   per-request deadline budget (default: none)
   --shed-budget <c>    admission cost budget (default: unlimited)
+  --memo-path <file>   persistent memo store: an append-only log of certified
+                       plan artifacts, compacted on open; entries survive
+                       restarts and are served only after their verification
+                       certificate re-verifies against the request
   --json <file>        write the load report as JSON
 
 options for `verify`:
@@ -126,6 +141,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("repair") => cmd_repair(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("worker") => cmd_worker(),
         Some("export") => cmd_export(&args[1..]),
         Some("help") | None => {
             println!("{USAGE}");
@@ -174,6 +190,7 @@ struct RunOptions {
     pipeline_budget: Option<Duration>,
     threads: usize,
     partitions: usize,
+    subprocess: Option<usize>,
     ilp: bool,
     validate: bool,
     json: Option<String>,
@@ -189,6 +206,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     let mut pipeline_budget = None;
     let mut threads = 0usize;
     let mut partitions = 1usize;
+    let mut subprocess: Option<usize> = None;
     let mut ilp = true;
     // Release runs are timing-sensitive; debug runs get the safety net.
     let mut validate = cfg!(debug_assertions);
@@ -246,6 +264,15 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                     return err("--partitions needs at least 1");
                 }
             }
+            "--subprocess" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError("--subprocess needs a worker count".into()))?;
+                subprocess = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("bad worker count `{v}`")))?,
+                );
+            }
             "--no-ilp" => ilp = false,
             "--validate" => validate = true,
             "--no-validate" => validate = false,
@@ -286,6 +313,7 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
         pipeline_budget,
         threads,
         partitions,
+        subprocess,
         ilp,
         validate,
         json,
@@ -521,6 +549,16 @@ fn cmd_repair(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Region/solve worker mode: a framed request/response loop over
+/// stdin/stdout, spawned by [`pathdriver_wash::SubprocessExecutor`]. Runs
+/// until stdin reaches EOF; a malformed frame is a fatal protocol error.
+fn cmd_worker() -> Result<(), CliError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    pathdriver_wash::run_worker(&mut stdin.lock(), &mut stdout.lock())
+        .map_err(|e| CliError(format!("worker protocol error: {e}")))
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     use pdw_serve::{materialize, run_open_loop, Instance, PlanServer, ServeConfig};
     use std::sync::Arc;
@@ -534,6 +572,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut deltas_pct = 15u64;
     let mut deadline_ms: Option<u64> = None;
     let mut shed_budget = u64::MAX;
+    let mut memo_path: Option<std::path::PathBuf> = None;
     let mut json: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -552,6 +591,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--deltas" => deltas_pct = num("--deltas")?.min(100),
             "--deadline-ms" => deadline_ms = Some(num("--deadline-ms")?),
             "--shed-budget" => shed_budget = num("--shed-budget")?,
+            "--memo-path" => {
+                memo_path = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or(CliError("--memo-path needs a file".into()))?,
+                )
+            }
             "--json" => {
                 json = Some(
                     it.next()
@@ -601,6 +647,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let server = PlanServer::start(ServeConfig {
         workers,
         queue_cost_budget: shed_budget,
+        memo_path,
         ..ServeConfig::default()
     });
     let run = run_open_loop(&server, &timed, true);
@@ -626,6 +673,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         stats.lru_misses,
         stats.lru_evictions
     );
+    if stats.persist_entries > 0 || stats.persist_hits > 0 || stats.persist_rejected > 0 {
+        println!(
+            "  persistent memo: {} entries, {} hits, {} rejected",
+            stats.persist_entries, stats.persist_hits, stats.persist_rejected
+        );
+    }
     if let Some(path) = json {
         std::fs::write(
             &path,
@@ -656,7 +709,24 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .plan(&mut ctx)
         .map_err(|e| CliError(format!("dawo failed: {e}")))?;
     let p = if opts.partitions > 1 {
-        let outcome = plan_partitioned(bench, &s, &config, opts.partitions);
+        let outcome = match opts.subprocess {
+            Some(workers) => {
+                let exe = std::env::current_exe()
+                    .map_err(|e| CliError(format!("cannot locate pdw binary: {e}")))?;
+                let executor = SubprocessExecutor::new(
+                    vec![exe.display().to_string(), "worker".into()],
+                    workers,
+                );
+                let outcome = plan_partitioned_with(bench, &s, &config, opts.partitions, &executor);
+                let (jobs, fallbacks) = executor.subprocess_counters();
+                println!("subprocess: {jobs} region job(s) remote, {fallbacks} fallback(s)");
+                for event in executor.events() {
+                    println!("  {event:?}");
+                }
+                outcome
+            }
+            None => plan_partitioned(bench, &s, &config, opts.partitions),
+        };
         // Every rung reports its wall time, the Partitioned one included.
         print_ladder(&outcome);
         let rungs: Vec<String> = outcome

@@ -1,0 +1,143 @@
+//! End-to-end tests of out-of-process region planning through the real
+//! `pdw worker` binary (`CARGO_BIN_EXE_pdw`): subprocess plans must be
+//! bit-identical to in-process plans on the mega family, and a chaos
+//! sweep — workers killed or corrupting their replies mid-plan — must
+//! degrade to in-process replanning with typed events, never a wrong or
+//! missing plan.
+
+use pathdriver_wash::{
+    plan_partitioned, plan_partitioned_with, ExecutorEvent, PdwConfig, RegionExecutor,
+    SubprocessExecutor,
+};
+use pdw_synth::Synthesis;
+
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_pdw").to_string(), "worker".to_string()]
+}
+
+/// A worker argv with `PDW_WORKER_CHAOS` injected via `env(1)`, so chaos
+/// stays scoped to the children of one executor instead of mutating this
+/// (multi-threaded) test process's environment.
+fn chaotic_worker_cmd(chaos: &str) -> Vec<String> {
+    vec![
+        "env".to_string(),
+        format!("PDW_WORKER_CHAOS={chaos}"),
+        env!("CARGO_BIN_EXE_pdw").to_string(),
+        "worker".to_string(),
+    ]
+}
+
+fn config() -> PdwConfig {
+    PdwConfig {
+        ilp: false,
+        ..PdwConfig::default()
+    }
+}
+
+/// Mega-family instances: pristine and fault-injected, several seeds.
+fn mega_pool() -> Vec<(pdw_assay::benchmarks::Benchmark, Synthesis, String)> {
+    let mut pool = Vec::new();
+    for seed in [1u64, 2] {
+        let spec = pdw_gen::mega_spec(65, 12, seed);
+        let (bench, pristine) = pdw_gen::mega_instance(&spec).expect("mega instance synthesizes");
+        let faulted = pdw_gen::inject_faults(&pristine, seed);
+        pool.push((bench.clone(), pristine, format!("mega seed {seed}")));
+        pool.push((bench, faulted, format!("mega seed {seed} faulted")));
+    }
+    pool
+}
+
+/// Asserts a subprocess outcome is bit-identical to the in-process
+/// reference: same rung, same schedule, same metrics.
+fn assert_bit_identical(
+    label: &str,
+    reference: &pathdriver_wash::PlanOutcome,
+    subject: &pathdriver_wash::PlanOutcome,
+) {
+    assert_eq!(subject.rung, reference.rung, "{label}: rung differs");
+    let (r, s) = (
+        reference.served.as_ref().expect("reference serves"),
+        subject.served.as_ref().expect("subject serves"),
+    );
+    assert_eq!(s.schedule, r.schedule, "{label}: schedule differs");
+    assert_eq!(s.metrics, r.metrics, "{label}: metrics differ");
+}
+
+#[test]
+fn subprocess_plans_are_bit_identical_on_the_mega_family() {
+    for (bench, s, label) in mega_pool() {
+        let cfg = config();
+        let reference = plan_partitioned(&bench, &s, &cfg, 4);
+        let executor = SubprocessExecutor::new(worker_cmd(), 2);
+        let subject = plan_partitioned_with(&bench, &s, &cfg, 4, &executor);
+        assert_bit_identical(&label, &reference, &subject);
+
+        let (remote, fallbacks) = executor.subprocess_counters();
+        assert!(remote > 0, "{label}: no job went to a worker");
+        assert_eq!(fallbacks, 0, "{label}: healthy workers never fall back");
+        assert!(executor.events().is_empty(), "{label}: no transport events");
+        let stats = &subject.served.as_ref().unwrap().pipeline;
+        assert_eq!(stats.subprocess_jobs, remote);
+        assert_eq!(stats.subprocess_fallbacks, 0);
+    }
+}
+
+#[test]
+fn killed_workers_degrade_to_in_process_with_typed_events() {
+    chaos_sweep("die:1", "killed");
+}
+
+#[test]
+fn corrupting_workers_degrade_to_in_process_with_typed_events() {
+    chaos_sweep("corrupt:1", "corrupting");
+}
+
+/// The chaos contract: every worker dies (or corrupts its reply) on its
+/// first request, so every region job must fall back to the in-process
+/// front end — and the final plan must still be bit-identical to a run
+/// with no subprocess at all.
+fn chaos_sweep(chaos: &str, what: &str) {
+    let (bench, pristine, _) = mega_pool().swap_remove(0);
+    let s = pristine;
+    let cfg = config();
+    let reference = plan_partitioned(&bench, &s, &cfg, 4);
+
+    let executor = SubprocessExecutor::new(chaotic_worker_cmd(chaos), 2);
+    let subject = plan_partitioned_with(&bench, &s, &cfg, 4, &executor);
+    assert_bit_identical(&format!("{what} workers"), &reference, &subject);
+
+    let (remote, fallbacks) = executor.subprocess_counters();
+    assert_eq!(remote, 0, "{what}: no first-request chaos job succeeds");
+    assert!(fallbacks > 0, "{what}: every job must fall back");
+    let events = executor.events();
+    let failed = events
+        .iter()
+        .filter(|e| matches!(e, ExecutorEvent::WorkerFailed { .. }))
+        .count();
+    assert_eq!(failed, fallbacks, "{what}: one typed event per fallback");
+    // A lane that gets a second job respawns its dead worker first.
+    if fallbacks > 2 {
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ExecutorEvent::WorkerRespawned { .. })),
+            "{what}: respawn after failure is recorded"
+        );
+    }
+
+    // The degradation is visible in the served plan's stats and events.
+    let stats = &subject.served.as_ref().unwrap().pipeline;
+    assert_eq!(stats.subprocess_jobs, 0);
+    assert_eq!(stats.subprocess_fallbacks, fallbacks);
+    assert!(stats
+        .degradation_events()
+        .contains(&"some region workers failed; jobs replanned in-process"));
+
+    // And the served plan still passes the independent oracle.
+    let served = subject.served.as_ref().unwrap();
+    pdw_sim::validate(&s.chip, &bench.graph, &served.schedule).expect("chaos plan validates");
+    assert!(
+        pdw_sim::propagate(&s.chip, &bench.graph, &served.schedule).is_clean(),
+        "{what}: chaos plan is oracle-clean"
+    );
+}

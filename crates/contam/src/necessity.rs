@@ -9,7 +9,7 @@ use pdw_sched::{Schedule, TaskId, TaskKind, Time};
 use crate::state::{interior_cells, op_devices, replay, ContamEvent};
 
 /// What deposited a residue or consumes a cell next.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Source {
     /// A fluidic task.
     Task(TaskId),
@@ -77,7 +77,7 @@ impl NecessityOptions {
 }
 
 /// A cell that must be washed within a time window.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WashRequirement {
     /// The cell to wash.
     pub cell: Coord,

@@ -57,7 +57,7 @@ pub enum CandidatePolicy {
 ///
 /// The default matches the paper's setup; the ablation switches isolate the
 /// three techniques of Section III.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PdwConfig {
     /// Objective weights (Eq. 26).
     pub weights: Weights,

@@ -10,7 +10,7 @@ use crate::par::par_map_ctx;
 use crate::timeline::Timeline;
 
 /// A candidate wash path for a group.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Candidate {
     /// The complete `[flow port → targets → waste port]` path.
     pub path: FlowPath,
@@ -29,7 +29,7 @@ impl Candidate {
 
 /// The targets contributed by one contaminating source: its dirty cells in
 /// source-path order, with each cell's own reuse deadlines.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WashPart {
     /// Dirty cells, ordered along the contaminating flow path.
     pub seq: Vec<Coord>,
@@ -62,7 +62,7 @@ impl WashPart {
 
 /// A wash operation under construction: one or more parts plus candidate
 /// paths covering all their cells.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WashGroup {
     /// The contamination sources this wash serves.
     pub parts: Vec<WashPart>,

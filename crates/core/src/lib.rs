@@ -58,7 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod cache_key;
+pub mod codec;
 mod config;
 mod context;
 mod dawo;
@@ -76,8 +76,12 @@ mod resilient;
 mod stats;
 mod timeline;
 pub mod verify;
+pub mod worker;
 
-pub use cache_key::{chip_hash, config_fingerprint, instance_hash};
+pub use codec::{
+    chip_hash, config_fingerprint, instance_hash, memo_key, CodecError, PlanArtifact,
+    VerificationCertificate, SCHEMA_VERSION,
+};
 pub use config::{CandidatePolicy, PdwConfig, Weights};
 pub use context::{ContextParts, FrontEndKey, PlanContext, RequirementOverrides};
 pub use dawo::dawo;
@@ -88,7 +92,11 @@ pub use groups::{
     build_groups, enumerate_candidates, merge_groups, split_into_spot_clusters, Candidate,
     WashGroup, WashPart,
 };
-pub use partition::{plan_partitioned, plan_partitioned_ctx, PartitionedPlanner};
+pub use partition::{
+    plan_partitioned, plan_partitioned_ctx, plan_partitioned_ctx_with, plan_partitioned_with,
+    ExecutorEvent, InProcessExecutor, PartitionedPlanner, RegionExecutor, RegionJob,
+    SubprocessExecutor,
+};
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
 pub use pdw_ilp::{IncumbentEvent, SolverStats};
 pub use planner::{plan_batch, DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
@@ -98,3 +106,4 @@ pub use resilient::{
     RungRejection,
 };
 pub use stats::PipelineStats;
+pub use worker::{run_worker, RegionRequest, SolveRequest, WorkerRequest, WorkerResponse};

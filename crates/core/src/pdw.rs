@@ -18,7 +18,7 @@ use crate::par::par_map_ctx;
 use crate::stats::{PipelineStats, StageTimer};
 
 /// How the final schedule was obtained.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SolverReport {
     /// Whether the ILP produced the returned schedule (`false` = greedy).
     pub used_ilp: bool,
@@ -44,7 +44,7 @@ impl SolverReport {
 }
 
 /// The outcome of a wash optimization run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct WashResult {
     /// The optimized, validated, contamination-free schedule.
     pub schedule: Schedule,

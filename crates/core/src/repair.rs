@@ -59,7 +59,7 @@ use crate::timeline::frozen_prefix_len;
 /// throw away. Applying a delta that changes nothing (blocking an
 /// already-blocked cell, a zero delay, waiving an already-waived cell) is a
 /// no-op: the cached plan is re-served without replanning.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum PlanDelta {
     /// A chip fault appears or is repaired in the field.
     Fault(FaultDelta),

@@ -42,7 +42,7 @@ use crate::pdw::WashResult;
 use crate::planner::{DawoPlanner, GreedyPlanner, PdwPlanner, Planner};
 
 /// A rung of the degradation ladder, strongest first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum RungKind {
     /// The partitioned planner: regions planned in parallel, stitched at
     /// the seams (only attempted by

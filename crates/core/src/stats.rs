@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use pdw_biochip::RoutingCounters;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Wall-clock and routing-effort breakdown of one optimizer run.
 ///
@@ -12,7 +12,7 @@ use serde::Serialize;
 /// split) → merging → greedy insertion → ILP refinement. Routing counters
 /// are process-wide deltas taken over the run, so they include every BFS the
 /// stages triggered.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Front-end worker threads used (after resolving 0 = all cores).
     pub threads: usize,
@@ -75,6 +75,13 @@ pub struct PipelineStats {
     /// Fewer viable cuts existed than requested regions; the partition was
     /// clamped.
     pub partition_clamped: bool,
+    /// Region jobs answered by an out-of-process `pdw worker`
+    /// (0 when planning ran in-process).
+    pub subprocess_jobs: usize,
+    /// Region jobs that fell back to in-process planning after a worker
+    /// transport failure (death, pipe loss, corrupt frame). The plan is
+    /// unaffected — only where it was computed changed.
+    pub subprocess_fallbacks: usize,
     /// This result was produced by [`RepairSession::repair`]
     /// (0 = a cold/initial solve).
     ///
@@ -140,6 +147,9 @@ impl PipelineStats {
         }
         if self.regions_refused > 0 {
             out.push("some regions refused their front end; replanned as seam work");
+        }
+        if self.subprocess_fallbacks > 0 {
+            out.push("some region workers failed; jobs replanned in-process");
         }
         out
     }

@@ -76,7 +76,7 @@ pub enum SolveStatus {
 }
 
 /// A point on the incumbent-improvement timeline.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IncumbentEvent {
     /// Seconds since the solve started.
     pub at_s: f64,
@@ -86,7 +86,7 @@ pub struct IncumbentEvent {
 
 /// Observability counters for one MILP solve: where the time went and how
 /// hard the search had to work. Serialized into benchmark reports.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SolverStats {
     /// Branch-and-bound nodes processed (LP relaxations solved).
     pub nodes: u64,

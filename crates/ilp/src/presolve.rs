@@ -31,7 +31,7 @@ pub enum Presolved {
 }
 
 /// What presolve accomplished, for the solver's observability report.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PresolveStats {
     /// Constraint rows eliminated (singletons absorbed, empty rows dropped).
     pub rows_removed: u64,

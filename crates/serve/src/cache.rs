@@ -3,8 +3,9 @@
 //!
 //! # Memo cache (single-flight)
 //!
-//! Keyed by `instance_hash ^ config_fingerprint` (see
-//! [`pathdriver_wash::cache_key`]). The classic hazard is the *stampede*:
+//! Keyed by the versioned [`pathdriver_wash::memo_key`] over
+//! `(instance_hash, config_fingerprint)`. The classic hazard is the
+//! *stampede*:
 //! N requests for the same uncached instance arrive together and N workers
 //! all pay for the same expensive solve. [`MemoCache::claim`] prevents it
 //! with an in-flight marker: the first claimant becomes the **leader**

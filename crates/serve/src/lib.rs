@@ -37,6 +37,7 @@ pub mod cache;
 pub mod clock;
 pub mod harness;
 mod server;
+pub mod store;
 
 pub use cache::ServedPlan;
 pub use clock::{Clock, ManualClock, WallClock};
@@ -45,3 +46,4 @@ pub use server::{
     Hook, HookPoint, Instance, PlanServer, Rejected, Response, ServeConfig, ServeError,
     ServeRequest, ServeStats, Served, Ticket,
 };
+pub use store::{FileMemoStore, InMemoryMemoStore, MemoStore, StoreLoadReport};

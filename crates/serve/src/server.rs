@@ -12,10 +12,17 @@
 //! 1. **deadline check** — a request whose budget expired while queued
 //!    returns a typed [`ServeError::DeadlineExpired`] without touching the
 //!    planner, and without poisoning the rest of its batch;
-//! 2. **memo cache** — solves are keyed by
-//!    `instance_hash ^ config_fingerprint` with single-flight
+//! 2. **memo cache** — solves are keyed by the versioned
+//!    [`memo_key`]`(instance_hash, config_fingerprint)` with single-flight
 //!    deduplication ([`MemoCache`]): one oracle-checked solve is served to
-//!    every concurrent waiter;
+//!    every concurrent waiter. With a [`memo_path`](ServeConfig::memo_path)
+//!    configured, a second, persistent tier sits underneath: memo leaders
+//!    consult the [`MemoStore`] of [`PlanArtifact`]s before solving, and a
+//!    stored artifact is served **only** after its verification
+//!    certificate re-verifies against the requester's instance
+//!    ([`PlanArtifact::verify`]) — then promoted into the in-memory memo.
+//!    Fresh non-degraded solves are certified and written back, so the
+//!    store survives restarts;
 //! 3. **the ladder** — cache misses run
 //!    [`plan_resilient_ctx`] under the request's remaining budget mapped
 //!    onto `pipeline_budget`, so a tight deadline degrades the solve
@@ -49,14 +56,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pathdriver_wash::{
-    chip_hash, config_fingerprint, instance_hash, plan_resilient_ctx, ContextParts, PdwConfig,
-    PlanContext, PlanDelta, PlanOutcome, RepairSession, RungRejection,
+    chip_hash, config_fingerprint, instance_hash, memo_key, plan_resilient_ctx, ContextParts,
+    PdwConfig, PlanArtifact, PlanContext, PlanDelta, PlanOutcome, RepairSession, RungRejection,
 };
 use pdw_assay::benchmarks::Benchmark;
 use pdw_synth::Synthesis;
 
 use crate::cache::{ContextCheckout, ContextLru, MemoCache, MemoClaim, ServedPlan};
 use crate::clock::{Clock, WallClock};
+use crate::store::{FileMemoStore, MemoStore};
 
 /// A planning instance as the server sees it: the benchmark + synthesis
 /// with both canonical hashes and the admission-control cost precomputed.
@@ -309,6 +317,11 @@ pub struct ServeConfig {
     pub planner: PdwConfig,
     /// Deadline applied to requests submitted without an explicit budget.
     pub default_budget: Option<Duration>,
+    /// Path of the persistent memo store (`None` = memory-only memo). The
+    /// file is an append-only log of certified [`PlanArtifact`] frames,
+    /// compacted on open; entries survive restarts and are served only
+    /// after certificate re-verification.
+    pub memo_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -324,6 +337,7 @@ impl Default for ServeConfig {
                 ..PdwConfig::default()
             },
             default_budget: None,
+            memo_path: None,
         }
     }
 }
@@ -359,6 +373,15 @@ pub struct ServeStats {
     pub lru_misses: u64,
     /// Context-LRU entries evicted over capacity.
     pub lru_evictions: u64,
+    /// Solves served from the persistent memo store after their
+    /// certificate re-verified against the requester's instance.
+    pub persist_hits: u64,
+    /// Persisted artifacts rejected at serve time (certificate failed
+    /// re-verification, or fingerprint mismatch); a fresh solve replaced
+    /// them.
+    pub persist_rejected: u64,
+    /// Live entries in the persistent memo store (0 without one).
+    pub persist_entries: u64,
 }
 
 #[derive(Default)]
@@ -373,6 +396,8 @@ struct Counters {
     deadline_expired: AtomicU64,
     unservable: AtomicU64,
     rejected_deltas: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_rejected: AtomicU64,
 }
 
 struct QueuedRequest {
@@ -399,6 +424,7 @@ struct Inner {
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     memo: MemoCache,
+    store: Option<Arc<dyn MemoStore>>,
     contexts: Mutex<ContextLru>,
     sessions: Mutex<HashMap<u64, Arc<Mutex<RepairSession>>>>,
     next_id: AtomicU64,
@@ -419,7 +445,27 @@ impl PlanServer {
 
     /// Starts the server with an injected clock and optional chaos hook —
     /// the deterministic-test entry point.
+    ///
+    /// # Panics
+    /// Panics when [`ServeConfig::memo_path`] is set but the store file
+    /// cannot be opened or created.
     pub fn start_with(cfg: ServeConfig, clock: Arc<dyn Clock>, hook: Option<Hook>) -> Self {
+        let store: Option<Arc<dyn MemoStore>> = cfg.memo_path.as_ref().map(|path| {
+            let (store, _report) = FileMemoStore::open(path).expect("open persistent memo store");
+            Arc::new(store) as Arc<dyn MemoStore>
+        });
+        Self::start_with_store(cfg, clock, hook, store)
+    }
+
+    /// Starts the server with an explicit persistent memo store (or
+    /// `None`), ignoring [`ServeConfig::memo_path`] — the injection point
+    /// for custom [`MemoStore`] implementations.
+    pub fn start_with_store(
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        hook: Option<Hook>,
+        store: Option<Arc<dyn MemoStore>>,
+    ) -> Self {
         let workers = cfg.workers.max(1);
         let inner = Arc::new(Inner {
             config_fp: config_fingerprint(&cfg.planner),
@@ -427,6 +473,7 @@ impl PlanServer {
             cfg,
             clock,
             hook,
+            store,
             queue: Mutex::new(QueueState {
                 deque: VecDeque::new(),
                 queued_cost: 0,
@@ -544,6 +591,9 @@ impl PlanServer {
             lru_pool_hits: l.pool_hits,
             lru_misses: l.misses,
             lru_evictions: l.evictions,
+            persist_hits: c.persist_hits.load(Ordering::Relaxed),
+            persist_rejected: c.persist_rejected.load(Ordering::Relaxed),
+            persist_entries: self.inner.store.as_ref().map_or(0, |s| s.len() as u64),
         }
     }
 
@@ -555,7 +605,7 @@ impl PlanServer {
         &self,
         instance: &Instance,
     ) -> Option<(Synthesis, Option<pathdriver_wash::WashResult>)> {
-        let key = instance.instance_hash ^ self.inner.config_fp;
+        let key = memo_key(instance.instance_hash, self.inner.config_fp);
         let session = self.inner.sessions.lock().unwrap().get(&key).cloned()?;
         let s = session.lock().unwrap();
         Some((
@@ -664,7 +714,7 @@ impl Inner {
 
     fn solve(&self, req: &QueuedRequest, instance: &Arc<Instance>) -> Response {
         let t = Instant::now();
-        let key = instance.instance_hash ^ self.config_fp;
+        let key = memo_key(instance.instance_hash, self.config_fp);
         let clock = &self.clock;
         let give_up = || req.deadline_at.is_some_and(|d| clock.now() >= d);
         let lead = match self.memo.claim(key, give_up) {
@@ -693,6 +743,39 @@ impl Inner {
         // panic from here on drops the guard, which un-claims the key.
         if let Some(hook) = &self.hook {
             hook(HookPoint::Solve, req.id);
+        }
+        // Persistent tier: a stored artifact is served only after its
+        // certificate re-verifies against *this* requester's concrete
+        // instance — a stale, corrupt, or mismatched artifact is rejected
+        // and replaced by the fresh solve below.
+        if let Some(store) = &self.store {
+            if let Some(artifact) = store.get(key) {
+                let matches = artifact.instance_hash == instance.instance_hash
+                    && artifact.config_fingerprint == self.config_fp
+                    && artifact
+                        .verify(&instance.bench, &instance.synthesis)
+                        .is_ok();
+                if matches {
+                    self.counters.persist_hits.fetch_add(1, Ordering::Relaxed);
+                    let plan = Arc::new(ServedPlan {
+                        result: artifact.result,
+                        rung: artifact.rung,
+                    });
+                    // Promote into the in-memory memo: later requests hit
+                    // without touching the store again.
+                    lead.fulfill(Arc::clone(&plan));
+                    return Ok(Served {
+                        plan,
+                        memo_hit: true,
+                        repaired: false,
+                        degraded: false,
+                        service_s: t.elapsed().as_secs_f64(),
+                    });
+                }
+                self.counters
+                    .persist_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         let checkout = self
             .contexts
@@ -739,14 +822,28 @@ impl Inner {
                 // "degraded"; a budget baked into the server config is
                 // part of the memo key and memoizes normally.
                 let degraded = tightened && deadline_marked;
-                let plan = Arc::new(ServedPlan {
-                    result,
-                    rung: outcome.rung.expect("served implies a rung"),
-                });
+                let rung = outcome.rung.expect("served implies a rung");
+                // Certify-and-persist mirrors memoization: degraded plans
+                // are served to their requester but never durable.
+                let artifact = match (&self.store, degraded) {
+                    (Some(_), false) => Some(PlanArtifact::certified(
+                        instance.instance_hash,
+                        self.config_fp,
+                        rung,
+                        &instance.bench,
+                        &instance.synthesis,
+                        result.clone(),
+                    )),
+                    _ => None,
+                };
+                let plan = Arc::new(ServedPlan { result, rung });
                 if degraded {
                     lead.abandon();
                 } else {
                     lead.fulfill(Arc::clone(&plan));
+                    if let (Some(store), Some(artifact)) = (&self.store, artifact) {
+                        store.put(key, &artifact);
+                    }
                 }
                 Ok(Served {
                     plan,
@@ -766,7 +863,7 @@ impl Inner {
 
     fn repair(&self, req: &QueuedRequest, instance: &Arc<Instance>, delta: &PlanDelta) -> Response {
         let t = Instant::now();
-        let key = instance.instance_hash ^ self.config_fp;
+        let key = memo_key(instance.instance_hash, self.config_fp);
         let session = {
             let mut sessions = self.sessions.lock().unwrap();
             Arc::clone(sessions.entry(key).or_insert_with(|| {

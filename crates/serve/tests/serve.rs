@@ -384,3 +384,65 @@ fn soak_1k_requests_with_injected_panics() {
         assert!(after.memo_hit, "pool[0] is memoized by now");
     }
 }
+
+#[test]
+fn warm_restart_serves_persisted_artifacts() {
+    let path =
+        std::env::temp_dir().join(format!("pdw-memo-{}-warm-restart.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let instance = demo_instance();
+    let cfg = ServeConfig {
+        memo_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Cold server: one fresh solve, persisted on the way out.
+    let first = {
+        let server = PlanServer::start(cfg.clone());
+        let served = server
+            .submit(solve(&instance))
+            .expect("admitted")
+            .wait()
+            .expect("served");
+        assert!(!served.memo_hit && !served.degraded);
+        let stats = server.stats();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.persist_hits, 0);
+        assert_eq!(stats.persist_entries, 1, "the solve was persisted");
+        server.shutdown();
+        served
+    };
+
+    // Restarted server, same path: the memo cache is empty, so the request
+    // becomes a memo leader — and is fulfilled from the persistent store
+    // after its certificate re-verifies, with no fresh solve.
+    let server = PlanServer::start(cfg);
+    let served = server
+        .submit(solve(&instance))
+        .expect("admitted")
+        .wait()
+        .expect("served");
+    assert!(served.memo_hit, "persisted artifact counts as a memo hit");
+    assert_eq!(
+        served.plan.result.schedule, first.plan.result.schedule,
+        "the restarted server serves the identical persisted plan"
+    );
+    assert_eq!(served.plan.rung, first.plan.rung);
+    assert_verified(instance.bench(), instance.synthesis(), &served.plan.result);
+
+    // Subsequent requests hit the promoted in-memory memo, not the store.
+    let again = server
+        .submit(solve(&instance))
+        .expect("admitted")
+        .wait()
+        .expect("served");
+    assert!(again.memo_hit);
+
+    let stats = server.stats();
+    assert_eq!(stats.solves, 0, "the restart never re-solved");
+    assert_eq!(stats.persist_hits, 1, "exactly one store round trip");
+    assert_eq!(stats.persist_rejected, 0);
+    assert_eq!(stats.persist_entries, 1);
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -20,7 +20,7 @@ use crate::reservations::{ResId, Reservations};
 pub const EXCESS_SPAN: usize = 1;
 
 /// The output of the synthesis flow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Synthesis {
     /// The chip architecture the schedule runs on.
     pub chip: Chip,

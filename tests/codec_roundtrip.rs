@@ -1,0 +1,272 @@
+//! Property tests of the canonical binary codec: every payload the system
+//! frames — instances, fault-injected synstates, repair deltas, mega
+//! sub-chip views, plan artifacts — must survive an encode/decode round
+//! trip bit-exactly, and every way a frame can be damaged must surface as
+//! a *typed* [`CodecError`], never a wrong value.
+//!
+//! "Bit-exactly" is asserted on the canonical bytes themselves:
+//! `canonical_bytes(decode(encode(x))) == canonical_bytes(x)` is the
+//! codec's fixed-point property and needs no `PartialEq` on the domain
+//! types (where one exists, direct equality is asserted too).
+
+use proptest::prelude::*;
+
+use pathdriver_wash::codec::{
+    canonical_bytes, check_frame, decode_frame, encode_frame, read_frame, FrameType,
+};
+use pathdriver_wash::{
+    chip_hash, config_fingerprint, instance_hash, plan_resilient, CodecError, PdwConfig,
+    PlanArtifact, PlanDelta, Weights,
+};
+use pdw_assay::OpId;
+use pdw_biochip::Chip;
+use pdw_gen::{instance, spec_strategy, Skip};
+use pdw_synth::Synthesis;
+
+/// Round-trips `value` through a frame of type `ty` and asserts the
+/// decoded value re-encodes to the identical canonical bytes.
+fn assert_fixed_point<T>(ty: FrameType, value: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize,
+{
+    let frame = encode_frame(ty, value);
+    let decoded: T = decode_frame(ty, &frame).expect("frame decodes");
+    assert_eq!(
+        canonical_bytes(&decoded),
+        canonical_bytes(value),
+        "decode(encode(x)) drifted from x"
+    );
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Generated instances (benchmark + synthesis), their wash
+    /// requirements, and their fault-injected variants all round-trip
+    /// bit-exactly, and the decoded instance hashes identically.
+    #[test]
+    fn generated_instances_round_trip(spec in spec_strategy()) {
+        let (bench, s) = match instance(&spec) {
+            Ok(pair) => pair,
+            Err(Skip::Deadlock(_)) => {
+                prop_assume!(false);
+                unreachable!()
+            }
+            Err(Skip::Infeasible(e)) => {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "synthesis: {e}"
+                )))
+            }
+        };
+
+        let decoded: Synthesis = assert_fixed_point(FrameType::Instance, &s);
+        prop_assert_eq!(
+            instance_hash(&bench, &decoded),
+            instance_hash(&bench, &s),
+            "decoded synthesis hashes differently"
+        );
+        prop_assert_eq!(chip_hash(&decoded.chip), chip_hash(&s.chip));
+
+        // The analyzed wash-requirement set (the worker protocol's job
+        // payload) round-trips as well.
+        let analysis = pdw_contam::analyze(
+            &s.chip,
+            &bench.graph,
+            &s.schedule,
+            pdw_contam::NecessityOptions::full(),
+        );
+        assert_fixed_point(FrameType::Instance, &analysis.requirements);
+
+        // Fault injection mutates the chip; the faulted synthesis must
+        // round-trip with its fault set intact (distinct chip hash).
+        let faulted = pdw_gen::inject_faults(&s, 7);
+        let decoded_faulted: Synthesis = assert_fixed_point(FrameType::Instance, &faulted);
+        prop_assert_eq!(chip_hash(&decoded_faulted.chip), chip_hash(&faulted.chip));
+    }
+
+    /// Every mega sub-chip view — a region carved from a partitioned
+    /// mega grid, band faults applied — round-trips bit-exactly.
+    #[test]
+    fn mega_sub_chip_views_round_trip(seed in 0u64..4) {
+        let spec = pdw_gen::mega_spec(65, 12, seed);
+        let (_, pristine) = pdw_gen::mega_instance(&spec).expect("mega instance synthesizes");
+        let s = pdw_gen::inject_faults(&pristine, seed);
+        let part = pdw_biochip::partition(&s.chip, 4).expect("mega grid partitions");
+        prop_assert!(part.regions().len() > 1);
+        for region in part.regions() {
+            let decoded: Chip = assert_fixed_point(FrameType::Chip, region.chip());
+            prop_assert_eq!(chip_hash(&decoded), chip_hash(region.chip()));
+        }
+    }
+}
+
+#[test]
+fn every_plan_delta_variant_round_trips_equal() {
+    let bench = pdw_assay::benchmarks::demo();
+    let s = pdw_synth::synthesize(&bench).expect("demo synthesizes");
+    let analysis = pdw_contam::analyze(
+        &s.chip,
+        &bench.graph,
+        &s.schedule,
+        pdw_contam::NecessityOptions::full(),
+    );
+    let requirement = analysis.requirements.first().expect("demo needs washes");
+    let fault = (1..32)
+        .find_map(|seed| pdw_gen::fault_delta(&s, seed))
+        .expect("some seed yields a fault delta");
+    let deltas = [
+        PlanDelta::Fault(fault),
+        PlanDelta::DelayOp {
+            op: OpId(3),
+            delay: 17,
+        },
+        PlanDelta::AddRequirement(requirement.clone()),
+        PlanDelta::DropRequirement {
+            cell: requirement.cell,
+        },
+    ];
+    for delta in &deltas {
+        let decoded: PlanDelta = assert_fixed_point(FrameType::Delta, delta);
+        assert_eq!(&decoded, delta, "PlanDelta implements PartialEq; use it");
+    }
+}
+
+#[test]
+fn certified_artifacts_round_trip_and_still_verify() {
+    let bench = pdw_assay::benchmarks::demo();
+    let s = pdw_synth::synthesize(&bench).expect("demo synthesizes");
+    let config = PdwConfig {
+        ilp: false,
+        ..PdwConfig::default()
+    };
+    let outcome = plan_resilient(&bench, &s, &config);
+    let result = outcome.served.expect("demo solves");
+    let rung = outcome.rung.expect("a rung served");
+    let artifact = PlanArtifact::certified(
+        instance_hash(&bench, &s),
+        config_fingerprint(&config),
+        rung,
+        &bench,
+        &s,
+        result,
+    );
+    let decoded = PlanArtifact::decode(&artifact.encode()).expect("artifact decodes");
+    assert_eq!(
+        canonical_bytes(&decoded),
+        canonical_bytes(&artifact),
+        "artifact round trip drifted"
+    );
+    decoded
+        .verify(&bench, &s)
+        .expect("decoded artifact re-verifies against the live instance");
+}
+
+/// A frame for damage tests: small, deterministic, cheap to build.
+fn sample_frame() -> Vec<u8> {
+    encode_frame(FrameType::Config, &PdwConfig::default())
+}
+
+#[test]
+fn truncation_at_every_length_is_a_typed_error() {
+    let frame = sample_frame();
+    // Every proper prefix must fail closed with Truncated — never panic,
+    // never decode to a value.
+    for cut in 0..frame.len() {
+        match check_frame(&frame[..cut]) {
+            Err(CodecError::Truncated { needed, have }) => {
+                assert_eq!(have, cut);
+                assert!(needed > cut, "cut {cut}: needed {needed} not past cut");
+            }
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_payload_is_a_digest_mismatch() {
+    let mut frame = sample_frame();
+    let mid = frame.len() / 2;
+    frame[mid] ^= 0x40;
+    assert!(
+        matches!(check_frame(&frame), Err(CodecError::DigestMismatch { .. })),
+        "a flipped payload byte must fail the digest"
+    );
+}
+
+#[test]
+fn corrupted_digest_trailer_is_a_digest_mismatch() {
+    let mut frame = sample_frame();
+    let last = frame.len() - 1;
+    frame[last] ^= 0x01;
+    assert!(matches!(
+        check_frame(&frame),
+        Err(CodecError::DigestMismatch { .. })
+    ));
+}
+
+#[test]
+fn foreign_magic_and_version_skew_are_typed() {
+    let mut frame = sample_frame();
+    frame[0] = b'X';
+    assert!(matches!(
+        check_frame(&frame),
+        Err(CodecError::BadMagic { .. })
+    ));
+
+    let mut frame = sample_frame();
+    frame[4] = frame[4].wrapping_add(1);
+    match check_frame(&frame) {
+        Err(CodecError::VersionSkew { found, expected }) => {
+            assert_eq!(found, expected.wrapping_add(1));
+        }
+        other => panic!("expected VersionSkew, got {other:?}"),
+    }
+}
+
+#[test]
+fn mislabelled_frame_type_is_typed() {
+    let frame = sample_frame();
+    match decode_frame::<PdwConfig>(FrameType::Chip, &frame) {
+        Err(CodecError::UnexpectedFrameType { found, expected }) => {
+            assert_eq!(found, FrameType::Config as u8);
+            assert_eq!(expected, FrameType::Chip as u8);
+        }
+        other => panic!("expected UnexpectedFrameType, got {other:?}"),
+    }
+}
+
+#[test]
+fn stream_ending_mid_frame_is_truncated_not_eof() {
+    let frame = sample_frame();
+    // Clean EOF at a frame boundary: None.
+    let mut cursor = std::io::Cursor::new(frame.clone());
+    let read = read_frame(&mut cursor).expect("whole frame reads");
+    assert_eq!(read.as_deref(), Some(frame.as_slice()));
+    assert!(matches!(read_frame(&mut cursor), Ok(None)), "clean EOF");
+
+    // EOF mid-header and mid-payload: Truncated with honest counts.
+    for cut in [3, frame.len() - 5] {
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        match read_frame(&mut cursor) {
+            Err(CodecError::Truncated { have, .. }) => assert_eq!(have, cut),
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn canonical_bytes_are_insensitive_to_weight_noise_only_when_equal() {
+    // The fingerprint is a function of the config *values*: a changed
+    // weight must change the canonical bytes (no accidental lossiness).
+    let base = PdwConfig::default();
+    let tweaked = PdwConfig {
+        weights: Weights {
+            alpha: base.weights.alpha + 1.0,
+            ..base.weights
+        },
+        ..base.clone()
+    };
+    assert_ne!(canonical_bytes(&base), canonical_bytes(&tweaked));
+    assert_ne!(config_fingerprint(&base), config_fingerprint(&tweaked));
+}
