@@ -34,12 +34,14 @@
 //! fresh solves, bit-identical to the cold run's plans.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use pathdriver_wash::plan_resilient;
+use pathdriver_wash::{plan_resilient, NetAddr, NetListener};
 use pdw_assay::benchmarks;
 use pdw_gen::{request_stream, StreamOptions};
 use pdw_serve::{
-    materialize, run_open_loop, Instance, LoadReport, PlanServer, ServeConfig, Submission,
+    materialize, run_open_loop, run_socket_load, ChaosSpec, ClientConfig, Instance, LoadReport,
+    NetConfig, PlanServer, ServeConfig, ServeRequest, SocketJob, SocketServer, Submission,
 };
 use pdw_synth::synthesize;
 use serde::Serialize;
@@ -81,6 +83,37 @@ struct Restart {
     warm_p50_ms: f64,
 }
 
+/// One chaos-proxy fault mode's outcome in the socket phase.
+#[derive(Debug, Serialize)]
+struct ChaosOutcome {
+    spec: String,
+    requests: usize,
+    served: usize,
+    transport_errors: usize,
+    serve_errors: usize,
+    retries: u64,
+}
+
+/// The socket phase: the same traffic through `SocketServer`/`PlanClient`
+/// over loopback TCP versus straight into the in-process `PlanServer`,
+/// plus the chaos-proxy sweep.
+#[derive(Debug, Serialize)]
+struct SocketPhase {
+    requests: usize,
+    clients: usize,
+    served: usize,
+    retries: u64,
+    /// End-to-end latency over the socket (codec + syscalls + transit).
+    socket_p50_ms: f64,
+    socket_p99_ms: f64,
+    /// The same requests submitted in-process (no wire).
+    inproc_p50_ms: f64,
+    inproc_p99_ms: f64,
+    /// What the loopback hop costs at the median, ms.
+    loopback_overhead_p50_ms: f64,
+    chaos: Vec<ChaosOutcome>,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     pool: usize,
@@ -90,11 +123,175 @@ struct Report {
     /// Minimum memo-hit speedup across levels — the `--smoke` gate (≥ 10x).
     memo_hit_speedup_min: f64,
     restart: Restart,
+    /// Present under `--socket`.
+    socket: Option<SocketPhase>,
+}
+
+/// Runs the socket phase; a chaos-sweep failure writes `net-chaos-repro.txt`
+/// (the failing spec + every typed error line) before panicking, so CI can
+/// upload the repro.
+fn socket_phase(workers: usize, requests: usize, smoke: bool) -> SocketPhase {
+    let cfg = ServeConfig {
+        workers,
+        ..ServeConfig::default()
+    };
+    // A small pool keeps per-request wire payloads representative without
+    // dominating the run with synthesis transfer.
+    let bench = benchmarks::demo();
+    let base = synthesize(&bench).expect("demo synthesizes");
+    let mut pool = vec![(bench.clone(), base.clone())];
+    let mut seed = 0u64;
+    while pool.len() < 4 {
+        seed += 1;
+        let variant = pdw_gen::inject_faults(&base, seed);
+        let hash = |s: &pdw_synth::Synthesis| Instance::new(bench.clone(), s.clone()).chip_hash();
+        if pool.iter().all(|(_, s)| hash(s) != hash(&variant)) {
+            pool.push((bench.clone(), variant));
+        }
+    }
+    let jobs: Vec<SocketJob> = (0..requests)
+        .map(|i| SocketJob {
+            at_us: 0,
+            pool_index: (i * 7 + 3) % pool.len(),
+            budget: None,
+        })
+        .collect();
+    let clients = 4usize;
+    let client_cfg = ClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(50),
+        ..ClientConfig::default()
+    };
+
+    // Socket side: a listening server on loopback TCP.
+    let plan = Arc::new(PlanServer::start(cfg.clone()));
+    let listener =
+        NetListener::bind(&NetAddr::parse("127.0.0.1:0").expect("addr")).expect("bind loopback");
+    let sock = SocketServer::start(Arc::clone(&plan), listener, NetConfig::default());
+    let report = run_socket_load(
+        &sock.local_addr(),
+        &pool,
+        &cfg.planner,
+        &jobs,
+        clients,
+        client_cfg,
+        false,
+    );
+    assert_eq!(
+        report.served + report.transport_errors + report.serve_errors,
+        report.requests,
+        "socket phase: an untyped outcome"
+    );
+    sock.drain();
+    plan.shutdown();
+
+    // In-process side: the identical requests without the wire.
+    let plan = PlanServer::start(cfg.clone());
+    let instances: Vec<Arc<Instance>> = pool
+        .iter()
+        .map(|(b, s)| Arc::new(Instance::new(b.clone(), s.clone())))
+        .collect();
+    let mut inproc_ms: Vec<f64> = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        let t = Instant::now();
+        let ticket = plan
+            .submit(ServeRequest::Solve {
+                instance: Arc::clone(&instances[job.pool_index % instances.len()]),
+            })
+            .expect("admitted");
+        ticket.wait().expect("served");
+        inproc_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    plan.shutdown();
+    let inproc_p50_ms = pdw_serve::harness::percentile(&mut inproc_ms, 0.50);
+    let inproc_p99_ms = pdw_serve::harness::percentile(&mut inproc_ms, 0.99);
+
+    // Chaos sweep: every fault mode against the first proxied connection;
+    // with retries on, nothing may be lost and nothing may be untyped.
+    let chaos_requests = if smoke { 6 } else { 12 };
+    let chaos_jobs: Vec<SocketJob> = (0..chaos_requests)
+        .map(|i| SocketJob {
+            at_us: 0,
+            pool_index: i % pool.len(),
+            budget: None,
+        })
+        .collect();
+    let mut chaos = Vec::new();
+    for spec in ChaosSpec::all_modes(1) {
+        let plan = Arc::new(PlanServer::start(cfg.clone()));
+        let listener = NetListener::bind(&NetAddr::parse("127.0.0.1:0").expect("addr"))
+            .expect("bind loopback");
+        let sock = SocketServer::start(Arc::clone(&plan), listener, NetConfig::default());
+        let mut proxy = pdw_serve::ChaosProxy::start(sock.local_addr(), Some(spec));
+        let r = run_socket_load(
+            &proxy.local_addr(),
+            &pool,
+            &cfg.planner,
+            &chaos_jobs,
+            2,
+            client_cfg,
+            false,
+        );
+        proxy.stop();
+        sock.shutdown();
+        plan.shutdown();
+        let outcome = ChaosOutcome {
+            spec: spec.to_string(),
+            requests: r.requests,
+            served: r.served,
+            transport_errors: r.transport_errors,
+            serve_errors: r.serve_errors,
+            retries: r.retries,
+        };
+        if r.served != r.requests {
+            let repro = format!(
+                "chaos sweep failure\nspec: {spec}\nserved {}/{} (transport {}, serve {}, retries {})\nerrors:\n{}\n",
+                r.served,
+                r.requests,
+                r.transport_errors,
+                r.serve_errors,
+                r.retries,
+                r.errors.join("\n"),
+            );
+            std::fs::write("net-chaos-repro.txt", &repro).expect("write chaos repro");
+            panic!("chaos sweep lost requests under {spec}; repro in net-chaos-repro.txt");
+        }
+        chaos.push(outcome);
+    }
+
+    let phase = SocketPhase {
+        requests,
+        clients,
+        served: report.served,
+        retries: report.retries,
+        socket_p50_ms: report.p50_ms,
+        socket_p99_ms: report.p99_ms,
+        inproc_p50_ms,
+        inproc_p99_ms,
+        loopback_overhead_p50_ms: report.p50_ms - inproc_p50_ms,
+        chaos,
+    };
+    println!(
+        "socket : {}/{} served over loopback, p50 {:.3}ms p99 {:.3}ms \
+         (in-process p50 {:.3}ms p99 {:.3}ms, overhead {:.3}ms), {} retries, chaos sweep {} modes clean",
+        phase.served,
+        phase.requests,
+        phase.socket_p50_ms,
+        phase.socket_p99_ms,
+        phase.inproc_p50_ms,
+        phase.inproc_p99_ms,
+        phase.loopback_overhead_p50_ms,
+        phase.retries,
+        phase.chaos.len(),
+    );
+    phase
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let with_socket = args.iter().any(|a| a == "--socket");
     let arg = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -314,6 +511,8 @@ fn main() {
         let _ = std::fs::remove_file(&memo_path);
     }
 
+    let socket = with_socket.then(|| socket_phase(workers, if smoke { 100 } else { 300 }, smoke));
+
     let report = Report {
         pool: pool.len(),
         requests,
@@ -321,7 +520,19 @@ fn main() {
         levels,
         memo_hit_speedup_min,
         restart,
+        socket,
     };
+
+    if let (true, Some(s)) = (smoke, report.socket.as_ref()) {
+        assert_eq!(
+            s.served, s.requests,
+            "socket smoke: a loopback request was lost"
+        );
+        assert!(
+            s.chaos.iter().all(|c| c.served == c.requests),
+            "socket smoke: the chaos sweep lost requests"
+        );
+    }
 
     if smoke {
         assert!(

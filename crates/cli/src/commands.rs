@@ -4,8 +4,9 @@ use std::fmt;
 use std::time::Duration;
 
 use pathdriver_wash::{
-    plan_partitioned, plan_partitioned_with, verify, DawoPlanner, PdwConfig, PdwPlanner,
-    PlanContext, Planner, RegionExecutor, SubprocessExecutor,
+    plan_partitioned, plan_partitioned_with, verify, DawoPlanner, NetAddr, NetListener, PdwConfig,
+    PdwPlanner, PlanContext, Planner, RegionExecutor, SocketExecutor, SubprocessExecutor,
+    SCHEMA_VERSION,
 };
 use pdw_assay::benchmarks::{self, Benchmark};
 use pdw_sim::Metrics;
@@ -24,12 +25,20 @@ usage:
   pdw serve [options]              start an in-process plan server and replay
                                    a seeded open-loop request stream at it,
                                    reporting latency and cache behavior
+  pdw serve --listen <addr>        expose the plan server on a socket (addr:
+                                   host:port or unix:PATH) speaking the framed
+                                   wire protocol; runs until drained
+  pdw serve --drain <addr>         ask a listening server to drain gracefully
+                                   (stop accepting, finish in-flight work)
   pdw verify [options]             differentially verify every solver
   pdw worker                       run as a region/solve worker: read framed
                                    codec requests on stdin, write framed
                                    plan artifacts on stdout (spawned by the
                                    subprocess region executor; not intended
                                    for interactive use)
+  pdw worker --listen <addr>       serve the same framed worker protocol over
+                                   a socket, one connection per executor lane
+                                   (dialed by `pdw run --socket-workers`)
   pdw export <benchmark> <file>    write a benchmark as JSON (edit & re-run)
 
 options for `run`:
@@ -49,6 +58,16 @@ options for `run`:
                        in-process threads (0 = all cores); plans are
                        bit-identical, and a killed or corrupted worker
                        degrades to in-process replanning of its jobs
+  --socket-workers <a,b,..>
+                       with --partitions: plan region front ends on remote
+                       `pdw worker --listen` peers (one lane per address);
+                       same bit-identity and in-process-fallback contract
+                       as --subprocess, with reconnect-with-backoff
+  --connect <addr>     client mode: send the solve to a `pdw serve --listen`
+                       endpoint instead of planning locally; the served
+                       artifact is certificate-verified before printing.
+                       Uses the server's default planner config; retries
+                       retryable transport faults with backoff
   --no-ilp             greedy placement only
   --validate           re-check results with the simulator validator and the
                        contamination-propagation oracle (default in debug
@@ -86,6 +105,8 @@ options for `serve`:
                        restarts and are served only after their verification
                        certificate re-verifies against the request
   --json <file>        write the load report as JSON
+  (--listen mode accepts --workers, --shed-budget, --memo-path, and
+   --idle-ms <ms>, the per-connection idle eviction timeout)
 
 options for `verify`:
   --smoke              fast CI profile: bundled suite + 25 seeds, greedy only
@@ -141,7 +162,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("repair") => cmd_repair(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
-        Some("worker") => cmd_worker(),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("help") | None => {
             println!("{USAGE}");
@@ -191,6 +212,8 @@ struct RunOptions {
     threads: usize,
     partitions: usize,
     subprocess: Option<usize>,
+    socket_workers: Option<String>,
+    connect: Option<String>,
     ilp: bool,
     validate: bool,
     json: Option<String>,
@@ -207,6 +230,8 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
     let mut threads = 0usize;
     let mut partitions = 1usize;
     let mut subprocess: Option<usize> = None;
+    let mut socket_workers: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut ilp = true;
     // Release runs are timing-sensitive; debug runs get the safety net.
     let mut validate = cfg!(debug_assertions);
@@ -273,6 +298,22 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
                         .map_err(|_| CliError(format!("bad worker count `{v}`")))?,
                 );
             }
+            "--socket-workers" => {
+                socket_workers = Some(
+                    it.next()
+                        .ok_or(CliError(
+                            "--socket-workers needs a comma-separated address list".into(),
+                        ))?
+                        .clone(),
+                )
+            }
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .ok_or(CliError("--connect needs an address".into()))?
+                        .clone(),
+                )
+            }
             "--no-ilp" => ilp = false,
             "--validate" => validate = true,
             "--no-validate" => validate = false,
@@ -314,6 +355,8 @@ fn parse_run(args: &[String]) -> Result<RunOptions, CliError> {
         threads,
         partitions,
         subprocess,
+        socket_workers,
+        connect,
         ilp,
         validate,
         json,
@@ -549,19 +592,176 @@ fn cmd_repair(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Region/solve worker mode: a framed request/response loop over
-/// stdin/stdout, spawned by [`pathdriver_wash::SubprocessExecutor`]. Runs
-/// until stdin reaches EOF; a malformed frame is a fatal protocol error.
-fn cmd_worker() -> Result<(), CliError> {
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    pathdriver_wash::run_worker(&mut stdin.lock(), &mut stdout.lock())
-        .map_err(|e| CliError(format!("worker protocol error: {e}")))
+/// Region/solve worker mode: a framed request/response loop, spawned by
+/// [`pathdriver_wash::SubprocessExecutor`] (stdin/stdout) or dialed by
+/// [`SocketExecutor`] (`--listen`). The protocol is identical — only the
+/// byte stream differs. Over stdin the loop runs until EOF; over a socket
+/// each accepted connection gets its own loop until the peer hangs up.
+fn cmd_worker(args: &[String]) -> Result<(), CliError> {
+    let mut listen: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or(CliError("--listen needs an address".into()))?
+                        .clone(),
+                )
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    let Some(listen) = listen else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return pathdriver_wash::run_worker(&mut stdin.lock(), &mut stdout.lock())
+            .map_err(|e| CliError(format!("worker protocol error: {e}")));
+    };
+    let addr = NetAddr::parse(&listen).map_err(CliError)?;
+    let listener = NetListener::bind(&addr).map_err(|e| CliError(e.to_string()))?;
+    // Stderr, not stdout: stdout stays a clean protocol channel by habit.
+    eprintln!("pdw worker: listening on {}", listener.local_addr());
+    loop {
+        let stream = listener
+            .accept()
+            .map_err(|e| CliError(format!("accept failed: {e}")))?;
+        std::thread::spawn(move || {
+            let mut reader = stream;
+            let Ok(mut writer) = reader.try_clone() else {
+                return;
+            };
+            // A torn connection ends this loop; the listener keeps going —
+            // the dialing executor reconnects under its respawn policy.
+            if let Err(e) = pathdriver_wash::run_worker(&mut reader, &mut writer) {
+                eprintln!("pdw worker: connection ended: {e}");
+            }
+        });
+    }
+}
+
+/// `pdw serve --listen`: put a [`pdw_serve::PlanServer`] on a socket and
+/// serve framed solve requests until a client sends the admin `Drain`
+/// frame, then finish in-flight work and exit cleanly.
+fn cmd_serve_listen(args: &[String]) -> Result<(), CliError> {
+    use pdw_serve::{NetConfig, PlanServer, ServeConfig, SocketServer};
+    use std::sync::Arc;
+
+    let mut listen: Option<String> = None;
+    let mut workers = 2usize;
+    let mut shed_budget = u64::MAX;
+    let mut memo_path: Option<std::path::PathBuf> = None;
+    let mut idle_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or(CliError("--listen needs an address".into()))?
+                        .clone(),
+                )
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError("--workers needs a number".into()))?
+            }
+            "--shed-budget" => {
+                shed_budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError("--shed-budget needs a number".into()))?
+            }
+            "--memo-path" => {
+                memo_path = Some(
+                    it.next()
+                        .map(std::path::PathBuf::from)
+                        .ok_or(CliError("--memo-path needs a file".into()))?,
+                )
+            }
+            "--idle-ms" => {
+                idle_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(CliError("--idle-ms needs milliseconds".into()))?,
+                )
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    let listen = listen.ok_or(CliError("--listen needs an address".into()))?;
+    let addr = NetAddr::parse(&listen).map_err(CliError)?;
+    let listener = NetListener::bind(&addr).map_err(|e| CliError(e.to_string()))?;
+
+    let server = Arc::new(PlanServer::start(ServeConfig {
+        workers: workers.max(1),
+        queue_cost_budget: shed_budget,
+        memo_path,
+        ..ServeConfig::default()
+    }));
+    let mut net_cfg = NetConfig::default();
+    if let Some(ms) = idle_ms {
+        net_cfg.idle_timeout = Duration::from_millis(ms.max(1));
+    }
+    let sock = SocketServer::start(Arc::clone(&server), listener, net_cfg);
+    println!(
+        "pdw serve: listening on {} (codec v{}, {} planner worker(s)) — \
+         stop with `pdw serve --drain {}`",
+        sock.local_addr(),
+        SCHEMA_VERSION,
+        workers.max(1),
+        sock.local_addr()
+    );
+    // The accept loop owns the work; this thread just waits for the drain
+    // frame to land and the last in-flight solve to finish.
+    while !(sock.is_draining() && sock.in_flight() == 0) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    sock.drain();
+    let ns = sock.stats();
+    println!(
+        "pdw serve: drained — {} connection(s) accepted, {} solve(s), {} ping(s), \
+         {} bad request(s), {} idle-evicted, {} refused during drain",
+        ns.accepted, ns.solves, ns.pings, ns.bad_requests, ns.idle_evicted, ns.drain_refused
+    );
+    let stats = server.stats();
+    println!(
+        "pdw serve: planner did {} solve(s), {} memo hit(s), {} repair(s)",
+        stats.solves, stats.memo_hits, stats.repairs
+    );
+    server.shutdown();
+    Ok(())
+}
+
+/// `pdw serve --drain ADDR`: ask a listening server to drain and exit.
+fn cmd_serve_drain(args: &[String]) -> Result<(), CliError> {
+    use pdw_serve::{ClientConfig, PlanClient};
+    let addr = args
+        .iter()
+        .position(|a| a == "--drain")
+        .and_then(|i| args.get(i + 1))
+        .ok_or(CliError("--drain needs an address".into()))?;
+    let addr = NetAddr::parse(addr).map_err(CliError)?;
+    let mut client = PlanClient::new(addr, ClientConfig::default());
+    let in_flight = client
+        .drain()
+        .map_err(|e| CliError(format!("drain failed: {e}")))?;
+    println!("drain acknowledged; {in_flight} request(s) still in flight");
+    Ok(())
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     use pdw_serve::{materialize, run_open_loop, Instance, PlanServer, ServeConfig};
     use std::sync::Arc;
+
+    if args.iter().any(|a| a == "--listen") {
+        return cmd_serve_listen(args);
+    }
+    if args.iter().any(|a| a == "--drain") {
+        return cmd_serve_drain(args);
+    }
 
     let mut requests = 200usize;
     let mut pool_size = 4usize;
@@ -690,8 +890,45 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pdw run --connect`: ship the instance to a `pdw serve --listen` server
+/// and print the served, certificate-verified plan. The request carries the
+/// server's own planner configuration (clients of a listening server always
+/// plan under [`pdw_serve::ServeConfig::default`] — the server rejects any
+/// other fingerprint as a typed `BadRequest`).
+fn cmd_run_connect(opts: &RunOptions, addr: &str) -> Result<(), CliError> {
+    use pdw_serve::{ClientConfig, PlanClient};
+    let bench = &opts.bench;
+    let s: Synthesis = synthesize(bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
+    let addr = NetAddr::parse(addr).map_err(CliError)?;
+    let mut client = PlanClient::new(addr, ClientConfig::default());
+    let config = pdw_serve::ServeConfig::default().planner;
+    let remote = client
+        .solve(bench, &s, &config, opts.pipeline_budget)
+        .map_err(|e| CliError(format!("remote solve failed: {e}")))?;
+    let result = &remote.artifact.result;
+    println!(
+        "remote plan for {} via {}: rung {}, {} wash(es), makespan {} s",
+        bench.name,
+        client
+            .rtt()
+            .map(|r| format!("socket (rtt {:.2}ms)", r.as_secs_f64() * 1e3))
+            .unwrap_or_else(|| "socket".into()),
+        remote.artifact.rung,
+        result.metrics.n_wash,
+        result.metrics.t_assay
+    );
+    println!(
+        "  memo hit: {}, degraded: {}, retries: {} — certificate verified",
+        remote.memo_hit, remote.degraded, remote.retries
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let opts = parse_run(args)?;
+    if let Some(addr) = opts.connect.clone() {
+        return cmd_run_connect(&opts, &addr);
+    }
     let bench = &opts.bench;
     let s: Synthesis = synthesize(bench).map_err(|e| CliError(format!("synthesis failed: {e}")))?;
     let base = Metrics::measure(&bench.graph, &s.schedule);
@@ -709,23 +946,34 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         .plan(&mut ctx)
         .map_err(|e| CliError(format!("dawo failed: {e}")))?;
     let p = if opts.partitions > 1 {
-        let outcome = match opts.subprocess {
-            Some(workers) => {
-                let exe = std::env::current_exe()
-                    .map_err(|e| CliError(format!("cannot locate pdw binary: {e}")))?;
-                let executor = SubprocessExecutor::new(
-                    vec![exe.display().to_string(), "worker".into()],
-                    workers,
-                );
-                let outcome = plan_partitioned_with(bench, &s, &config, opts.partitions, &executor);
-                let (jobs, fallbacks) = executor.subprocess_counters();
-                println!("subprocess: {jobs} region job(s) remote, {fallbacks} fallback(s)");
-                for event in executor.events() {
-                    println!("  {event:?}");
-                }
-                outcome
+        let outcome = if let Some(list) = &opts.socket_workers {
+            let addrs = list
+                .split(',')
+                .map(NetAddr::parse)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(CliError)?;
+            let executor = SocketExecutor::new(addrs);
+            let outcome = plan_partitioned_with(bench, &s, &config, opts.partitions, &executor);
+            let (jobs, fallbacks) = executor.subprocess_counters();
+            println!("socket workers: {jobs} region job(s) remote, {fallbacks} fallback(s)");
+            for event in executor.events() {
+                println!("  {event:?}");
             }
-            None => plan_partitioned(bench, &s, &config, opts.partitions),
+            outcome
+        } else if let Some(workers) = opts.subprocess {
+            let exe = std::env::current_exe()
+                .map_err(|e| CliError(format!("cannot locate pdw binary: {e}")))?;
+            let executor =
+                SubprocessExecutor::new(vec![exe.display().to_string(), "worker".into()], workers);
+            let outcome = plan_partitioned_with(bench, &s, &config, opts.partitions, &executor);
+            let (jobs, fallbacks) = executor.subprocess_counters();
+            println!("subprocess: {jobs} region job(s) remote, {fallbacks} fallback(s)");
+            for event in executor.events() {
+                println!("  {event:?}");
+            }
+            outcome
+        } else {
+            plan_partitioned(bench, &s, &config, opts.partitions)
         };
         // Every rung reports its wall time, the Partitioned one included.
         print_ladder(&outcome);
@@ -1255,6 +1503,37 @@ mod tests {
         assert!(o.valves);
         assert!(o.stats);
         assert_eq!(o.bench.name, "PCR");
+    }
+
+    #[test]
+    fn run_parsing_socket_options() {
+        let args: Vec<String> = [
+            "PCR",
+            "--partitions",
+            "4",
+            "--socket-workers",
+            "127.0.0.1:7901,unix:/tmp/w.sock",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(
+            o.socket_workers.as_deref(),
+            Some("127.0.0.1:7901,unix:/tmp/w.sock")
+        );
+        assert!(o.connect.is_none());
+
+        let args: Vec<String> = ["PCR", "--connect", "127.0.0.1:7900"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_run(&args).unwrap();
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:7900"));
+
+        // Both flags need their operand.
+        assert!(parse_run(&["PCR".into(), "--connect".into()]).is_err());
+        assert!(parse_run(&["PCR".into(), "--socket-workers".into()]).is_err());
     }
 
     #[test]

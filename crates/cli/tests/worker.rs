@@ -5,9 +5,12 @@
 //! degrade to in-process replanning with typed events, never a wrong or
 //! missing plan.
 
+use std::io::BufRead;
+use std::time::Duration;
+
 use pathdriver_wash::{
-    plan_partitioned, plan_partitioned_with, ExecutorEvent, PdwConfig, RegionExecutor,
-    SubprocessExecutor,
+    plan_partitioned, plan_partitioned_with, ExecutorEvent, NetAddr, PdwConfig, RegionExecutor,
+    RespawnPolicy, SocketExecutor, SubprocessExecutor,
 };
 use pdw_synth::Synthesis;
 
@@ -140,4 +143,177 @@ fn chaos_sweep(chaos: &str, what: &str) {
         pdw_sim::propagate(&s.chip, &bench.graph, &served.schedule).is_clean(),
         "{what}: chaos plan is oracle-clean"
     );
+}
+
+/// A tight respawn curve so exhaustion tests finish in milliseconds.
+fn tiny_policy(budget: usize) -> RespawnPolicy {
+    RespawnPolicy {
+        budget,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+    }
+}
+
+/// Satellite: a lane whose worker dies on *every* request burns its whole
+/// respawn budget, emits [`ExecutorEvent::RespawnBudgetExhausted`], surfaces
+/// the degradation in the served plan's stats — and the plan itself is
+/// still bit-identical to a run with no subprocess at all.
+#[test]
+fn respawn_budget_exhaustion_degrades_the_lane_in_process() {
+    let (bench, s, _) = mega_pool().swap_remove(0);
+    let cfg = config();
+    let reference = plan_partitioned(&bench, &s, &cfg, 4);
+
+    // One lane so every job queues behind the same persistently dying
+    // worker; budget 1 allows exactly one respawn before the lane gives up.
+    let executor =
+        SubprocessExecutor::new(chaotic_worker_cmd("die:1"), 1).with_respawn_policy(tiny_policy(1));
+    let subject = plan_partitioned_with(&bench, &s, &cfg, 4, &executor);
+    assert_bit_identical("exhausted lane", &reference, &subject);
+
+    let (remote, fallbacks) = executor.subprocess_counters();
+    assert_eq!(remote, 0, "a die:1 worker never completes a job");
+    assert!(fallbacks >= 3, "every job falls back in-process");
+    assert_eq!(executor.exhausted_lanes(), 1, "the single lane exhausts");
+    let events = executor.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ExecutorEvent::RespawnBudgetExhausted { budget: 1, .. })),
+        "exhaustion is a typed event; got {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ExecutorEvent::WorkerRespawned { .. })),
+        "the budgeted respawn happened before exhaustion; got {events:?}"
+    );
+
+    let stats = &subject.served.as_ref().unwrap().pipeline;
+    assert_eq!(stats.subprocess_exhausted, 1);
+    assert!(stats
+        .degradation_events()
+        .contains(&"worker respawn budget exhausted; lane degraded to in-process"));
+}
+
+/// A live `pdw worker --listen` child whose bound address was scraped from
+/// its startup line, killed on drop so chaos tests can't leak processes.
+struct ListeningWorker {
+    child: std::process::Child,
+    addr: NetAddr,
+}
+
+impl ListeningWorker {
+    /// Spawns `pdw worker --listen 127.0.0.1:0` (plus optional chaos env)
+    /// and waits for its "listening on" stderr line to learn the port.
+    fn spawn(chaos: Option<&str>) -> ListeningWorker {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_pdw"));
+        cmd.args(["worker", "--listen", "127.0.0.1:0"])
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped());
+        if let Some(spec) = chaos {
+            cmd.env("PDW_WORKER_CHAOS", spec);
+        }
+        let mut child = cmd.spawn().expect("worker binary spawns");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stderr)
+            .read_line(&mut line)
+            .expect("worker announces its address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("announcement ends with the address");
+        let addr = NetAddr::parse(addr).expect("announced address parses");
+        ListeningWorker { child, addr }
+    }
+}
+
+impl Drop for ListeningWorker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The socket executor against a real `pdw worker --listen` process:
+/// same frames, different byte stream — plans stay bit-identical.
+#[test]
+fn socket_workers_plan_bit_identically_through_the_real_binary() {
+    let worker = ListeningWorker::spawn(None);
+    for (bench, s, label) in mega_pool() {
+        let cfg = config();
+        let reference = plan_partitioned(&bench, &s, &cfg, 4);
+        let executor = SocketExecutor::new(vec![worker.addr.clone()]);
+        let subject = plan_partitioned_with(&bench, &s, &cfg, 4, &executor);
+        assert_bit_identical(&label, &reference, &subject);
+
+        let (remote, fallbacks) = executor.subprocess_counters();
+        assert!(remote > 0, "{label}: no job went over the socket");
+        assert_eq!(fallbacks, 0, "{label}: a healthy peer never falls back");
+        assert!(executor.events().is_empty(), "{label}: no transport events");
+    }
+}
+
+/// A peer that dies mid-plan (chaos `die:1` kills the whole listening
+/// process on its first request) tears every lane's connection; reconnect
+/// attempts are refused, the budget burns out, and all jobs degrade
+/// in-process — bit-identically and with typed events throughout.
+#[test]
+fn dead_socket_peer_degrades_to_in_process_with_typed_events() {
+    let worker = ListeningWorker::spawn(Some("die:1"));
+    let (bench, s, _) = mega_pool().swap_remove(0);
+    let cfg = config();
+    let reference = plan_partitioned(&bench, &s, &cfg, 4);
+
+    let executor =
+        SocketExecutor::new(vec![worker.addr.clone()]).with_respawn_policy(tiny_policy(2));
+    let subject = plan_partitioned_with(&bench, &s, &cfg, 4, &executor);
+    assert_bit_identical("dead socket peer", &reference, &subject);
+
+    let (remote, fallbacks) = executor.subprocess_counters();
+    assert_eq!(remote, 0, "the peer dies before answering anything");
+    assert!(fallbacks > 0, "every job falls back in-process");
+    let events = executor.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ExecutorEvent::WorkerFailed { .. })),
+        "the torn connection is a typed event; got {events:?}"
+    );
+    let stats = &subject.served.as_ref().unwrap().pipeline;
+    assert_eq!(stats.subprocess_jobs, 0);
+    assert_eq!(stats.subprocess_fallbacks, fallbacks);
+}
+
+/// An address nobody listens on: every connect is refused, the lane
+/// exhausts its reconnect budget, and planning still serves the exact
+/// in-process plan.
+#[test]
+fn unreachable_socket_peer_exhausts_and_falls_back() {
+    // Bind-then-drop reserves a port that is then guaranteed dead.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = l.local_addr().expect("addr");
+        NetAddr::parse(&addr.to_string()).expect("parses")
+    };
+    let (bench, s, _) = mega_pool().swap_remove(0);
+    let cfg = config();
+    let reference = plan_partitioned(&bench, &s, &cfg, 4);
+
+    let executor = SocketExecutor::new(vec![dead]).with_respawn_policy(tiny_policy(1));
+    let subject = plan_partitioned_with(&bench, &s, &cfg, 4, &executor);
+    assert_bit_identical("unreachable peer", &reference, &subject);
+
+    let (remote, fallbacks) = executor.subprocess_counters();
+    assert_eq!(remote, 0);
+    assert!(fallbacks >= 3, "all jobs fall back");
+    assert_eq!(executor.exhausted_lanes(), 1);
+    let stats = &subject.served.as_ref().unwrap().pipeline;
+    assert_eq!(stats.subprocess_exhausted, 1);
+    assert!(stats
+        .degradation_events()
+        .contains(&"worker respawn budget exhausted; lane degraded to in-process"));
 }

@@ -45,7 +45,7 @@ use crate::resilient::RungKind;
 /// encoding, the frame layout, or the canonical shape of a framed type;
 /// decoders reject mismatches with [`CodecError::VersionSkew`] and the
 /// memo key shifts so stale persisted entries are evicted, not served.
-pub const SCHEMA_VERSION: u8 = 1;
+pub const SCHEMA_VERSION: u8 = 2;
 
 /// Frame magic: the first four bytes of every encoded frame.
 pub const MAGIC: [u8; 4] = *b"PDWC";
@@ -56,6 +56,15 @@ const HEADER_LEN: usize = 10;
 
 /// Digest trailer length (FNV-1a 64, little-endian).
 const DIGEST_LEN: usize = 8;
+
+/// Default ceiling on a frame's payload length, applied *before* the
+/// payload buffer is allocated. A corrupt or hostile length field is a
+/// typed [`CodecError::FrameTooLarge`], never a multi-gigabyte
+/// allocation. 64 MiB clears every artifact the mega-grid family
+/// produces by two orders of magnitude; transports that want a tighter
+/// bound pass their own cap to [`read_frame_capped`] /
+/// [`check_frame_capped`].
+pub const DEFAULT_MAX_FRAME_LEN: usize = 64 << 20;
 
 /// Incremental 64-bit FNV-1a hasher — tiny, dependency-free, and stable
 /// across platforms (unlike `DefaultHasher`, which is randomly keyed per
@@ -119,6 +128,11 @@ pub enum FrameType {
     WorkerResponse = 7,
     /// A persistent memo-store record.
     MemoRecord = 8,
+    /// A [`NetRequest`](crate::transport::NetRequest) (socket transport).
+    NetRequest = 9,
+    /// A [`NetResponse`](crate::transport::NetResponse) (socket
+    /// transport).
+    NetResponse = 10,
 }
 
 impl FrameType {
@@ -132,6 +146,8 @@ impl FrameType {
             6 => FrameType::WorkerRequest,
             7 => FrameType::WorkerResponse,
             8 => FrameType::MemoRecord,
+            9 => FrameType::NetRequest,
+            10 => FrameType::NetResponse,
             _ => return None,
         })
     }
@@ -162,6 +178,14 @@ pub enum CodecError {
         found: u8,
         /// The tag the caller expected (`0` when any known tag would do).
         expected: u8,
+    },
+    /// The frame's length field exceeds the decoder's cap. Raised before
+    /// any payload allocation, so a corrupt length byte costs nothing.
+    FrameTooLarge {
+        /// The payload length the frame claims.
+        len: usize,
+        /// The cap the decoder enforces.
+        cap: usize,
     },
     /// The byte stream ended before the frame did.
     Truncated {
@@ -198,6 +222,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::UnexpectedFrameType { found, expected } => {
                 write!(f, "unexpected frame type {found} (expected {expected})")
+            }
+            CodecError::FrameTooLarge { len, cap } => {
+                write!(f, "frame payload length {len} exceeds cap {cap}")
             }
             CodecError::Truncated { needed, have } => {
                 write!(f, "truncated frame: needed {needed} bytes, have {have}")
@@ -382,8 +409,16 @@ pub fn encode_frame<T: Serialize + ?Sized>(ty: FrameType, value: &T) -> Vec<u8> 
 }
 
 /// Validates a frame's envelope (magic, version, digest, length) and
-/// returns its type tag and payload bytes.
+/// returns its type tag and payload bytes, enforcing
+/// [`DEFAULT_MAX_FRAME_LEN`].
 pub fn check_frame(frame: &[u8]) -> Result<(FrameType, &[u8]), CodecError> {
+    check_frame_capped(frame, DEFAULT_MAX_FRAME_LEN)
+}
+
+/// [`check_frame`] with an explicit payload-length cap: the length field
+/// is validated against `cap` before it is trusted for any slicing
+/// arithmetic.
+pub fn check_frame_capped(frame: &[u8], cap: usize) -> Result<(FrameType, &[u8]), CodecError> {
     if frame.len() < HEADER_LEN + DIGEST_LEN {
         return Err(CodecError::Truncated {
             needed: HEADER_LEN + DIGEST_LEN,
@@ -406,6 +441,9 @@ pub fn check_frame(frame: &[u8]) -> Result<(FrameType, &[u8]), CodecError> {
         expected: 0,
     })?;
     let len = u32::from_le_bytes(frame[6..10].try_into().expect("length checked")) as usize;
+    if len > cap {
+        return Err(CodecError::FrameTooLarge { len, cap });
+    }
     let total = HEADER_LEN + len + DIGEST_LEN;
     if frame.len() < total {
         return Err(CodecError::Truncated {
@@ -456,11 +494,23 @@ pub fn write_frame(w: &mut impl std::io::Write, frame: &[u8]) -> Result<(), Code
         .map_err(|e| CodecError::Io(e.to_string()))
 }
 
-/// Reads one whole frame from `r`. `Ok(None)` on a clean EOF at a frame
-/// boundary; a stream ending mid-frame is [`CodecError::Truncated`]. The
-/// returned bytes still carry their digest trailer — pass them to
-/// [`decode_frame`] for full validation.
+/// Reads one whole frame from `r`, enforcing [`DEFAULT_MAX_FRAME_LEN`].
+/// `Ok(None)` on a clean EOF at a frame boundary; a stream ending
+/// mid-frame is [`CodecError::Truncated`]. The returned bytes still carry
+/// their digest trailer — pass them to [`decode_frame`] for full
+/// validation.
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, CodecError> {
+    read_frame_capped(r, DEFAULT_MAX_FRAME_LEN)
+}
+
+/// [`read_frame`] with an explicit payload-length cap. The wire-supplied
+/// length field is validated against `cap` *before* the payload buffer is
+/// allocated — the whole point: a flipped length byte surfaces as a typed
+/// [`CodecError::FrameTooLarge`], never as an attempted huge allocation.
+pub fn read_frame_capped(
+    r: &mut impl std::io::Read,
+    cap: usize,
+) -> Result<Option<Vec<u8>>, CodecError> {
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0;
     while got < HEADER_LEN {
@@ -483,6 +533,9 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, CodecEr
         });
     }
     let len = u32::from_le_bytes(header[6..10].try_into().expect("length checked")) as usize;
+    if len > cap {
+        return Err(CodecError::FrameTooLarge { len, cap });
+    }
     let mut frame = Vec::with_capacity(HEADER_LEN + len + DIGEST_LEN);
     frame.extend_from_slice(&header);
     frame.resize(HEADER_LEN + len + DIGEST_LEN, 0);

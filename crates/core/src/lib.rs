@@ -75,6 +75,7 @@ mod repair;
 mod resilient;
 mod stats;
 mod timeline;
+pub mod transport;
 pub mod verify;
 pub mod worker;
 
@@ -94,7 +95,7 @@ pub use groups::{
 };
 pub use partition::{
     plan_partitioned, plan_partitioned_ctx, plan_partitioned_ctx_with, plan_partitioned_with,
-    ExecutorEvent, InProcessExecutor, PartitionedPlanner, RegionExecutor, RegionJob,
+    ExecutorEvent, InProcessExecutor, PartitionedPlanner, RegionExecutor, RegionJob, RespawnPolicy,
     SubprocessExecutor,
 };
 pub use pdw::{pdw, PdwError, SolverReport, WashResult};
@@ -106,4 +107,8 @@ pub use resilient::{
     RungRejection,
 };
 pub use stats::PipelineStats;
+pub use transport::{
+    NetAddr, NetListener, NetRequest, NetResponse, NetStream, SocketExecutor, SocketTimeouts,
+    TransportError, WireError,
+};
 pub use worker::{run_worker, RegionRequest, SolveRequest, WorkerRequest, WorkerResponse};

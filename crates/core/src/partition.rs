@@ -130,6 +130,51 @@ pub enum ExecutorEvent {
         /// The executor lane that respawned.
         worker: usize,
     },
+    /// A lane burned its whole per-run respawn budget and stopped
+    /// respawning; its remaining jobs degrade to in-process planning.
+    RespawnBudgetExhausted {
+        /// The executor lane that gave up on its worker.
+        worker: usize,
+        /// The respawn budget that was exhausted.
+        budget: usize,
+    },
+}
+
+/// Bounds on worker respawning for one executor run. After a lane's
+/// worker fails, the lane waits `base_backoff · 2^(k−1)` before its k-th
+/// consecutive respawn attempt (capped at `max_backoff`), and stops
+/// respawning entirely once it has burned `budget` respawns this run —
+/// a persistently dying worker (`PDW_WORKER_CHAOS=die:1`) degrades the
+/// lane to in-process planning instead of hot-looping spawn/die forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RespawnPolicy {
+    /// Respawns allowed per lane per run (the initial spawn is free).
+    pub budget: usize,
+    /// Backoff before the first respawn; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RespawnPolicy {
+    fn default() -> Self {
+        RespawnPolicy {
+            budget: 3,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RespawnPolicy {
+    /// The delay before a respawn attempt following `consecutive_failures`
+    /// back-to-back failures (≥ 1).
+    pub fn backoff(&self, consecutive_failures: u32) -> Duration {
+        let exp = consecutive_failures.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff)
+    }
 }
 
 /// Where region front ends run. The partitioned pipeline is generic over
@@ -165,6 +210,12 @@ pub trait RegionExecutor: Sync {
     /// in-process after a transport failure)` for the most recent run.
     fn subprocess_counters(&self) -> (usize, usize) {
         (0, 0)
+    }
+
+    /// Lanes that exhausted their per-run respawn budget during the most
+    /// recent run and degraded to in-process planning.
+    fn exhausted_lanes(&self) -> usize {
+        0
     }
 }
 
@@ -286,19 +337,25 @@ impl Drop for WorkerProc {
 /// input index. A lane whose worker fails mid-job records a typed
 /// [`ExecutorEvent::WorkerFailed`], replans that job in-process (the same
 /// pure front end — the plan is unchanged), and respawns the child for its
-/// next job. Results are bit-identical to [`InProcessExecutor`] under any
-/// combination of failures.
+/// next job under the lane's [`RespawnPolicy`]: exponential backoff
+/// between consecutive failures, and a hard per-run respawn budget after
+/// which the lane degrades to in-process planning
+/// ([`ExecutorEvent::RespawnBudgetExhausted`]). Results are bit-identical
+/// to [`InProcessExecutor`] under any combination of failures.
 pub struct SubprocessExecutor {
     cmd: Vec<String>,
     workers: usize,
+    policy: RespawnPolicy,
     events: Mutex<Vec<ExecutorEvent>>,
     remote_jobs: AtomicUsize,
     fallbacks: AtomicUsize,
+    exhausted: AtomicUsize,
 }
 
 impl SubprocessExecutor {
     /// An executor launching `workers` children (0 = all cores) with the
-    /// given argv, e.g. `["/path/to/pdw", "worker"]`.
+    /// given argv, e.g. `["/path/to/pdw", "worker"]`, under the default
+    /// [`RespawnPolicy`].
     ///
     /// # Panics
     /// Panics if `cmd` is empty.
@@ -307,10 +364,18 @@ impl SubprocessExecutor {
         Self {
             cmd,
             workers,
+            policy: RespawnPolicy::default(),
             events: Mutex::new(Vec::new()),
             remote_jobs: AtomicUsize::new(0),
             fallbacks: AtomicUsize::new(0),
+            exhausted: AtomicUsize::new(0),
         }
+    }
+
+    /// Replaces the respawn policy (budget and backoff curve).
+    pub fn with_respawn_policy(mut self, policy: RespawnPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     fn record(&self, event: ExecutorEvent) {
@@ -343,6 +408,7 @@ impl RegionExecutor for SubprocessExecutor {
             .clear();
         self.remote_jobs.store(0, Ordering::Relaxed);
         self.fallbacks.store(0, Ordering::Relaxed);
+        self.exhausted.store(0, Ordering::Relaxed);
         if jobs.is_empty() {
             return Vec::new();
         }
@@ -355,8 +421,56 @@ impl RegionExecutor for SubprocessExecutor {
                     let pool = ScratchPool::new();
                     let mut proc: Option<WorkerProc> = None;
                     let mut failed_before = false;
+                    let mut respawns_used = 0usize;
+                    let mut consecutive = 0u32;
+                    let mut exhausted = false;
                     for i in (lane..jobs.len()).step_by(lanes) {
                         let job = &jobs[i];
+                        if proc.is_none() && !exhausted && failed_before {
+                            // A (re)spawn after a failure draws on the
+                            // lane's budget and waits out the backoff; a
+                            // burned-out lane stops spawning for good.
+                            if respawns_used >= self.policy.budget {
+                                exhausted = true;
+                                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                                self.record(ExecutorEvent::RespawnBudgetExhausted {
+                                    worker: lane,
+                                    budget: self.policy.budget,
+                                });
+                            } else {
+                                std::thread::sleep(self.policy.backoff(consecutive));
+                                respawns_used += 1;
+                            }
+                        }
+                        if !exhausted && proc.is_none() {
+                            match WorkerProc::spawn(&self.cmd) {
+                                Ok(p) => {
+                                    proc = Some(p);
+                                    if failed_before {
+                                        self.record(ExecutorEvent::WorkerRespawned {
+                                            worker: lane,
+                                        });
+                                    }
+                                }
+                                Err(e) => {
+                                    // Spawn failures fall through to the
+                                    // per-job fallback below.
+                                    failed_before = true;
+                                    consecutive += 1;
+                                    self.record(ExecutorEvent::WorkerFailed {
+                                        worker: lane,
+                                        job: i,
+                                        detail: e.clone(),
+                                    });
+                                }
+                            }
+                        }
+                        let Some(worker) = proc.as_mut() else {
+                            let out = fallback_front_end(job, schedule, candidates, merging, &pool);
+                            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                            *slots[i].lock().expect("slot poisoned") = Some(out);
+                            continue;
+                        };
                         let req = WorkerRequest::Region(Box::new(RegionRequest {
                             chip: job.chip.clone(),
                             schedule: schedule.clone(),
@@ -364,41 +478,10 @@ impl RegionExecutor for SubprocessExecutor {
                             candidates,
                             merging,
                         }));
-                        let transport = {
-                            if proc.is_none() {
-                                match WorkerProc::spawn(&self.cmd) {
-                                    Ok(p) => {
-                                        proc = Some(p);
-                                        if failed_before {
-                                            self.record(ExecutorEvent::WorkerRespawned {
-                                                worker: lane,
-                                            });
-                                        }
-                                    }
-                                    Err(e) => {
-                                        // Spawn failures fall through to the
-                                        // per-job fallback below.
-                                        proc = None;
-                                        failed_before = true;
-                                        self.record(ExecutorEvent::WorkerFailed {
-                                            worker: lane,
-                                            job: i,
-                                            detail: e.clone(),
-                                        });
-                                        let out = fallback_front_end(
-                                            job, schedule, candidates, merging, &pool,
-                                        );
-                                        self.fallbacks.fetch_add(1, Ordering::Relaxed);
-                                        *slots[i].lock().expect("slot poisoned") = Some(out);
-                                        continue;
-                                    }
-                                }
-                            }
-                            proc.as_mut().expect("worker just spawned").call(&req)
-                        };
-                        let out = match transport {
+                        let out = match worker.call(&req) {
                             Ok(WorkerResponse::Groups(g)) => {
                                 self.remote_jobs.fetch_add(1, Ordering::Relaxed);
+                                consecutive = 0;
                                 Ok(g)
                             }
                             // The worker's front end panicked — the same
@@ -406,11 +489,13 @@ impl RegionExecutor for SubprocessExecutor {
                             // worker itself is still healthy.
                             Ok(WorkerResponse::Error(msg)) => {
                                 self.remote_jobs.fetch_add(1, Ordering::Relaxed);
+                                consecutive = 0;
                                 Err(msg)
                             }
                             Ok(_) => {
                                 proc = None;
                                 failed_before = true;
+                                consecutive += 1;
                                 self.record(ExecutorEvent::WorkerFailed {
                                     worker: lane,
                                     job: i,
@@ -422,6 +507,7 @@ impl RegionExecutor for SubprocessExecutor {
                             Err(detail) => {
                                 proc = None;
                                 failed_before = true;
+                                consecutive += 1;
                                 self.record(ExecutorEvent::WorkerFailed {
                                     worker: lane,
                                     job: i,
@@ -459,12 +545,16 @@ impl RegionExecutor for SubprocessExecutor {
             self.fallbacks.load(Ordering::Relaxed),
         )
     }
+
+    fn exhausted_lanes(&self) -> usize {
+        self.exhausted.load(Ordering::Relaxed)
+    }
 }
 
 /// In-process replanning of one job after a transport failure: the same
 /// pure front end the worker would have run, with the same panic-refusal
 /// semantics as [`InProcessExecutor`].
-fn fallback_front_end(
+pub(crate) fn fallback_front_end(
     job: &RegionJob<'_>,
     schedule: &Schedule,
     candidates: usize,
@@ -765,6 +855,7 @@ fn run_partitioned_pipeline(
     let (remote_jobs, remote_fallbacks) = executor.subprocess_counters();
     timer.stats.subprocess_jobs = remote_jobs;
     timer.stats.subprocess_fallbacks = remote_fallbacks;
+    timer.stats.subprocess_exhausted = executor.exhausted_lanes();
     let mut groups: Vec<WashGroup> = Vec::new();
     let mut cross_groups: Vec<WashGroup> = Vec::new();
     for (front, (key, _, reqs)) in fronts.into_iter().zip(&work) {

@@ -82,6 +82,9 @@ pub struct PipelineStats {
     /// transport failure (death, pipe loss, corrupt frame). The plan is
     /// unaffected — only where it was computed changed.
     pub subprocess_fallbacks: usize,
+    /// Executor lanes that exhausted their per-run respawn budget and
+    /// degraded to in-process planning for their remaining jobs.
+    pub subprocess_exhausted: usize,
     /// This result was produced by [`RepairSession::repair`]
     /// (0 = a cold/initial solve).
     ///
@@ -150,6 +153,9 @@ impl PipelineStats {
         }
         if self.subprocess_fallbacks > 0 {
             out.push("some region workers failed; jobs replanned in-process");
+        }
+        if self.subprocess_exhausted > 0 {
+            out.push("worker respawn budget exhausted; lane degraded to in-process");
         }
         out
     }

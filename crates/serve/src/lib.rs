@@ -36,12 +36,19 @@
 pub mod cache;
 pub mod clock;
 pub mod harness;
+pub mod net;
+pub mod proxy;
 mod server;
 pub mod store;
 
 pub use cache::ServedPlan;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use harness::{materialize, run_open_loop, LoadReport, LoadRun, Submission, TimedRequest};
+pub use net::{
+    run_socket_load, ClientConfig, ClientError, NetConfig, NetServeStats, PlanClient, RemotePlan,
+    SocketJob, SocketLoadReport, SocketServer,
+};
+pub use proxy::{ChaosMode, ChaosProxy, ChaosSpec};
 pub use server::{
     Hook, HookPoint, Instance, PlanServer, Rejected, Response, ServeConfig, ServeError,
     ServeRequest, ServeStats, Served, Ticket,

@@ -506,6 +506,13 @@ impl PlanServer {
         Arc::clone(&self.inner.clock)
     }
 
+    /// The fingerprint of the server's planner configuration — half of
+    /// every memo key, and the value a networked client's request config
+    /// must match ([`crate::net`]).
+    pub fn config_fingerprint(&self) -> u64 {
+        self.inner.config_fp
+    }
+
     /// Submits a request under the config's default budget.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, Rejected> {
         self.submit_with_budget(request, None)

@@ -12,7 +12,8 @@
 use proptest::prelude::*;
 
 use pathdriver_wash::codec::{
-    canonical_bytes, check_frame, decode_frame, encode_frame, read_frame, FrameType,
+    canonical_bytes, check_frame, check_frame_capped, decode_frame, encode_frame, read_frame,
+    read_frame_capped, FrameType,
 };
 use pathdriver_wash::{
     chip_hash, config_fingerprint, instance_hash, plan_resilient, CodecError, PdwConfig,
@@ -253,6 +254,102 @@ fn stream_ending_mid_frame_is_truncated_not_eof() {
             other => panic!("cut {cut}: expected Truncated, got {other:?}"),
         }
     }
+}
+
+/// A reader that counts how many bytes the decoder actually consumed —
+/// the observable proof that an oversized length field is rejected
+/// *before* any payload byte is read (and hence before any payload
+/// buffer is allocated).
+struct CountingReader {
+    inner: std::io::Cursor<Vec<u8>>,
+    consumed: usize,
+}
+
+impl CountingReader {
+    fn new(bytes: Vec<u8>) -> Self {
+        CountingReader {
+            inner: std::io::Cursor::new(bytes),
+            consumed: 0,
+        }
+    }
+}
+
+impl std::io::Read for CountingReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.consumed += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: corrupting the u32 length field — any of its four bytes,
+    /// any non-zero XOR mask — never drives an allocation past the cap.
+    /// An inflated length is a typed `FrameTooLarge` raised after exactly
+    /// the header was read (no payload byte consumed, nothing allocated);
+    /// a deflated length misaligns the digest and fails `check_frame`.
+    #[test]
+    fn corrupt_length_bytes_at_every_offset_never_allocate_past_cap(mask in 1u8..=u8::MAX) {
+        let clean = sample_frame();
+        let (_, payload) = check_frame(&clean).expect("clean frame checks");
+        let cap = payload.len();
+        let header_len = clean.len() - payload.len() - 8; // magic+ver+type+len
+        prop_assert_eq!(header_len, 10);
+        for offset in 6..10 {
+            let mut frame = clean.clone();
+            frame[offset] ^= mask;
+            let corrupted_len =
+                u32::from_le_bytes(frame[6..10].try_into().unwrap()) as usize;
+            prop_assert_ne!(corrupted_len, cap, "non-zero mask must change the length");
+            let mut reader = CountingReader::new(frame.clone());
+            match read_frame_capped(&mut reader, cap) {
+                Err(CodecError::FrameTooLarge { len, cap: c }) => {
+                    prop_assert!(corrupted_len > cap, "only oversized lengths are FrameTooLarge");
+                    prop_assert_eq!(len, corrupted_len);
+                    prop_assert_eq!(c, cap);
+                    prop_assert_eq!(
+                        reader.consumed, header_len,
+                        "rejection must happen before any payload byte is read"
+                    );
+                }
+                Ok(Some(bytes)) => {
+                    // A deflated length reads fewer bytes than the real
+                    // frame; the digest trailer no longer lines up, so the
+                    // envelope check fails closed — typed, never a value.
+                    prop_assert!(corrupted_len < cap);
+                    prop_assert!(check_frame_capped(&bytes, cap).is_err());
+                }
+                Err(other) => {
+                    // Any other typed refusal (e.g. Truncated when the
+                    // deflated read path lands mid-stream) is fine too.
+                    prop_assert!(corrupted_len != cap, "typed error expected: {other:?}");
+                }
+                Ok(None) => prop_assert!(false, "corrupt frame must not be a clean EOF"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_field_is_frame_too_large_not_an_allocation() {
+    let mut frame = sample_frame();
+    // Claim a ~3.9 GiB payload.
+    frame[6..10].copy_from_slice(&0xf000_0000u32.to_le_bytes());
+    let mut reader = CountingReader::new(frame.clone());
+    match read_frame(&mut reader) {
+        Err(CodecError::FrameTooLarge { len, cap }) => {
+            assert_eq!(len, 0xf000_0000usize);
+            assert_eq!(cap, pathdriver_wash::codec::DEFAULT_MAX_FRAME_LEN);
+            assert_eq!(reader.consumed, 10, "no payload byte read");
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    assert!(matches!(
+        check_frame(&frame),
+        Err(CodecError::FrameTooLarge { .. })
+    ));
 }
 
 #[test]
