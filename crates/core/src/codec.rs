@@ -556,6 +556,90 @@ pub fn read_frame_capped(
     Ok(Some(frame))
 }
 
+/// A resumable frame reader for tick-polled loops: partially read bytes
+/// survive a reader error instead of being discarded, so a frame whose
+/// delivery spans several short read deadlines (a slow peer, WAN
+/// congestion mid-payload) is assembled across calls rather than
+/// desynchronizing the stream. [`read_frame_capped`] is the one-shot
+/// sibling for callers whose deadline covers the whole frame.
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    cap: usize,
+    buf: Vec<u8>,
+    need: usize,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator enforcing `cap` on the payload length.
+    pub fn new(cap: usize) -> Self {
+        FrameAccumulator {
+            cap,
+            buf: Vec::new(),
+            need: HEADER_LEN,
+        }
+    }
+
+    /// Bytes buffered toward the frame currently being assembled — the
+    /// caller's progress signal (a mid-frame stall with no progress is
+    /// idle; one with progress is a slow peer still delivering).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads from `r` until one whole frame is assembled, mirroring
+    /// [`read_frame_capped`]'s contract (`Ok(None)` = clean EOF at a
+    /// frame boundary, length validated against the cap *before* the
+    /// payload buffer grows). The difference: an `Err` from `r` — e.g. a
+    /// read deadline elapsing — surfaces as [`CodecError::Io`] but leaves
+    /// the partial frame buffered, so the next call resumes where this
+    /// one stopped.
+    pub fn read_from(&mut self, r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>, CodecError> {
+        loop {
+            while self.buf.len() < self.need {
+                let start = self.buf.len();
+                self.buf.resize(self.need, 0);
+                match r.read(&mut self.buf[start..]) {
+                    Ok(0) => {
+                        self.buf.truncate(start);
+                        if start == 0 {
+                            return Ok(None);
+                        }
+                        return Err(CodecError::Truncated {
+                            needed: self.need,
+                            have: start,
+                        });
+                    }
+                    Ok(n) => self.buf.truncate(start + n),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                        self.buf.truncate(start);
+                    }
+                    Err(e) => {
+                        self.buf.truncate(start);
+                        return Err(CodecError::Io(e.to_string()));
+                    }
+                }
+            }
+            if self.need == HEADER_LEN {
+                if self.buf[..4] != MAGIC {
+                    let found = self.buf[..4].try_into().expect("length checked");
+                    self.buf.clear();
+                    return Err(CodecError::BadMagic { found });
+                }
+                let len =
+                    u32::from_le_bytes(self.buf[6..10].try_into().expect("length checked")) as usize;
+                if len > self.cap {
+                    self.buf.clear();
+                    return Err(CodecError::FrameTooLarge { len, cap: self.cap });
+                }
+                self.need = HEADER_LEN + len + DIGEST_LEN;
+            } else {
+                self.need = HEADER_LEN;
+                return Ok(Some(std::mem::take(&mut self.buf)));
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Plan artifacts
 // ---------------------------------------------------------------------------
@@ -949,6 +1033,69 @@ mod tests {
         assert!(matches!(
             read_frame(&mut cut),
             Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_accumulator_resumes_across_read_timeouts() {
+        // A reader that delivers the frame three bytes at a time with a
+        // `WouldBlock` between every chunk — a socket whose read deadline
+        // keeps elapsing mid-frame. One-shot `read_frame_capped` discards
+        // its partial bytes on such an error; the accumulator must not.
+        struct Chunked {
+            data: Vec<u8>,
+            pos: usize,
+            hiccup: bool,
+        }
+        impl std::io::Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                if self.hiccup {
+                    self.hiccup = false;
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                self.hiccup = true;
+                let n = buf.len().min(3).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let frame = encode_frame(FrameType::Config, &PdwConfig::default());
+        let mut r = Chunked {
+            data: frame.clone(),
+            pos: 0,
+            hiccup: false,
+        };
+        let mut acc = FrameAccumulator::new(DEFAULT_MAX_FRAME_LEN);
+        let mut interruptions = 0;
+        let assembled = loop {
+            match acc.read_from(&mut r) {
+                Ok(Some(f)) => break f,
+                Ok(None) => panic!("clean EOF before the frame completed"),
+                Err(CodecError::Io(_)) => interruptions += 1,
+                Err(e) => panic!("unexpected error mid-assembly: {e}"),
+            }
+        };
+        assert!(
+            interruptions > 3,
+            "the frame spanned many interrupted reads ({interruptions})"
+        );
+        assert_eq!(assembled, frame, "assembled bit-identical");
+        // And the accumulator is clean for the next frame on the stream.
+        assert_eq!(acc.buffered(), 0);
+
+        // The length cap still guards allocation: a corrupt length field
+        // is typed before any payload buffer grows.
+        let mut corrupt = frame.clone();
+        corrupt[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut acc = FrameAccumulator::new(DEFAULT_MAX_FRAME_LEN);
+        let mut r = std::io::Cursor::new(corrupt);
+        assert!(matches!(
+            acc.read_from(&mut r),
+            Err(CodecError::FrameTooLarge { .. })
         ));
     }
 

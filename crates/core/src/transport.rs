@@ -484,6 +484,63 @@ pub fn recv_frame(
     }
 }
 
+/// A resumable [`recv_frame`] for tick-polled server loops: one reader
+/// per connection retains partially received frame bytes across
+/// [`TransportError::Timeout`] returns, so a frame whose delivery spans
+/// several read ticks (large payload, WAN congestion) is assembled
+/// incrementally instead of being torn. [`buffered`](Self::buffered)
+/// distinguishes a genuinely idle tick from a slow peer mid-frame.
+pub struct FrameReader {
+    acc: codec::FrameAccumulator,
+}
+
+impl FrameReader {
+    /// A reader enforcing `cap` on the payload length.
+    pub fn new(cap: usize) -> Self {
+        FrameReader {
+            acc: codec::FrameAccumulator::new(cap),
+        }
+    }
+
+    /// Bytes buffered toward the frame currently being assembled.
+    pub fn buffered(&self) -> usize {
+        self.acc.buffered()
+    }
+
+    /// Polls for one whole frame under a read deadline; a timeout leaves
+    /// the partial frame buffered for the next poll.
+    pub fn poll_frame(
+        &mut self,
+        stream: &mut NetStream,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, TransportError> {
+        let _ = stream.set_read_timeout(Some(timeout));
+        let mut tracked = TrackedReader {
+            inner: stream,
+            last_kind: None,
+        };
+        match self.acc.read_from(&mut tracked) {
+            Ok(frame) => Ok(frame),
+            Err(e) => {
+                let kind = tracked.last_kind;
+                Err(classify_codec(e, kind, timeout))
+            }
+        }
+    }
+
+    /// Polls for one decoded [`NetRequest`] (`Ok(None)` = clean EOF).
+    pub fn poll_request(
+        &mut self,
+        stream: &mut NetStream,
+        timeout: Duration,
+    ) -> Result<Option<NetRequest>, TransportError> {
+        match self.poll_frame(stream, timeout)? {
+            None => Ok(None),
+            Some(frame) => decode_net(FrameType::NetRequest, &frame).map(Some),
+        }
+    }
+}
+
 /// Decodes a received frame as `T`, classifying version skew.
 pub fn decode_net<T: Deserialize>(ty: FrameType, frame: &[u8]) -> Result<T, TransportError> {
     codec::decode_frame(ty, frame).map_err(|e| match e {

@@ -32,7 +32,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pathdriver_wash::codec::DEFAULT_MAX_FRAME_LEN;
-use pathdriver_wash::transport::{hello, recv_request, recv_response, send_request, send_response};
+use pathdriver_wash::transport::{
+    hello, recv_response, send_request, send_response, FrameReader,
+};
 use pathdriver_wash::{
     config_fingerprint, NetAddr, NetListener, NetRequest, NetResponse, NetStream, PdwConfig,
     PlanArtifact, SolveRequest, TransportError, WireError, SCHEMA_VERSION,
@@ -187,6 +189,14 @@ impl SocketServer {
         self.shared.in_flight.load(Ordering::SeqCst)
     }
 
+    /// Connection-thread handles currently held (live connections plus
+    /// any finished ones not yet reaped — the accept loop joins finished
+    /// handles opportunistically, so this stays bounded by the number of
+    /// concurrently live connections, not by connections ever accepted).
+    pub fn conn_thread_backlog(&self) -> usize {
+        self.shared.conn_threads.lock().unwrap().len()
+    }
+
     /// A snapshot of the socket layer's counters.
     pub fn stats(&self) -> NetServeStats {
         let c = &self.shared.counters;
@@ -248,6 +258,20 @@ impl Drop for SocketServer {
     }
 }
 
+/// Joins every finished connection-thread handle, keeping only live
+/// ones: a long-running server must not accumulate one handle per
+/// connection it ever accepted.
+fn reap_finished(threads: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < threads.len() {
+        if threads[i].is_finished() {
+            let _ = threads.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn accept_loop(shared: &Arc<NetShared>, listener: NetListener) {
     let _ = listener.set_nonblocking(true);
     loop {
@@ -256,6 +280,7 @@ fn accept_loop(shared: &Arc<NetShared>, listener: NetListener) {
             // post-drain rebind of the same address succeeds.
             return;
         }
+        reap_finished(&mut shared.conn_threads.lock().unwrap());
         match listener.accept() {
             Ok(stream) => {
                 shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -291,10 +316,14 @@ fn conn_loop(shared: &Arc<NetShared>, _conn_id: u64, mut stream: NetStream) {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // One resumable frame reader for the connection's whole life:
+    // partially received bytes survive read ticks, so a frame trickling
+    // in across many ticks is assembled, never torn.
+    let mut reader = FrameReader::new(cfg.max_frame_len);
     // Handshake: require Hello, answer HelloAck with this build's
     // parameters. A peer speaking a different codec version fails frame
     // decode right here — typed, before any work is admitted.
-    match recv_request(&mut stream, cfg.max_frame_len, cfg.handshake_timeout) {
+    match reader.poll_request(&mut stream, cfg.handshake_timeout) {
         Ok(Some(NetRequest::Hello { codec_version })) if codec_version == SCHEMA_VERSION => {
             let ack = NetResponse::HelloAck {
                 codec_version: SCHEMA_VERSION,
@@ -338,6 +367,25 @@ fn conn_loop(shared: &Arc<NetShared>, _conn_id: u64, mut stream: NetStream) {
                 .fetch_add(1, Ordering::Relaxed);
             return;
         }
+        Err(TransportError::VersionSkew { found, expected }) => {
+            // Envelope-level skew: answer typed before closing. The skewed
+            // peer's decode of this frame fails as its own (non-retryable)
+            // `VersionSkew`, so it fails fast instead of burning its whole
+            // retry budget on "server closed during handshake".
+            reply_error(
+                &writer,
+                cfg,
+                0,
+                WireError::BadRequest(format!(
+                    "codec version skew: client frame v{found}, server v{expected}"
+                )),
+            );
+            shared
+                .counters
+                .handshake_failures
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         Ok(None) | Err(_) => {
             shared
                 .counters
@@ -349,15 +397,24 @@ fn conn_loop(shared: &Arc<NetShared>, _conn_id: u64, mut stream: NetStream) {
 
     let conn_in_flight = Arc::new(AtomicUsize::new(0));
     let mut waiters: Vec<JoinHandle<()>> = Vec::new();
-    let mut last_activity = Instant::now();
+    // Shared so waiter threads refresh it when they write a response: a
+    // connection whose solve outlived the idle timeout gets a full idle
+    // window to send its next request, not an instant eviction.
+    let last_activity = Arc::new(Mutex::new(Instant::now()));
     loop {
-        match recv_request(&mut stream, cfg.max_frame_len, cfg.read_tick) {
+        let buffered_before = reader.buffered();
+        match reader.poll_request(&mut stream, cfg.read_tick) {
             Err(TransportError::Timeout { .. }) => {
+                // A tick that delivered part of a frame is a slow peer
+                // still talking, not an idle one.
+                if reader.buffered() > buffered_before {
+                    *last_activity.lock().unwrap() = Instant::now();
+                }
                 // Quiet tick: check idle eviction (never while work is in
                 // flight — a client silently awaiting a long solve is not
                 // idle) and drain progress.
                 if conn_in_flight.load(Ordering::SeqCst) == 0
-                    && last_activity.elapsed() > cfg.idle_timeout
+                    && last_activity.lock().unwrap().elapsed() > cfg.idle_timeout
                 {
                     shared.counters.idle_evicted.fetch_add(1, Ordering::Relaxed);
                     break;
@@ -386,7 +443,7 @@ fn conn_loop(shared: &Arc<NetShared>, _conn_id: u64, mut stream: NetStream) {
             }
             Err(_) => break,
             Ok(Some(req)) => {
-                last_activity = Instant::now();
+                *last_activity.lock().unwrap() = Instant::now();
                 match req {
                     NetRequest::Hello { .. } => {
                         shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
@@ -423,6 +480,7 @@ fn conn_loop(shared: &Arc<NetShared>, _conn_id: u64, mut stream: NetStream) {
                             shared,
                             &writer,
                             &conn_in_flight,
+                            &last_activity,
                             &mut waiters,
                             id,
                             budget_us,
@@ -441,10 +499,12 @@ fn conn_loop(shared: &Arc<NetShared>, _conn_id: u64, mut stream: NetStream) {
 
 /// Admits one solve to the plan server and parks a waiter thread on its
 /// ticket; refusals are answered inline.
+#[allow(clippy::too_many_arguments)]
 fn handle_solve(
     shared: &Arc<NetShared>,
     writer: &Arc<Mutex<NetStream>>,
     conn_in_flight: &Arc<AtomicUsize>,
+    last_activity: &Arc<Mutex<Instant>>,
     waiters: &mut Vec<JoinHandle<()>>,
     id: u64,
     budget_us: Option<u64>,
@@ -518,6 +578,7 @@ fn handle_solve(
     let waiter_shared = Arc::clone(shared);
     let waiter_writer = Arc::clone(writer);
     let waiter_conn_in_flight = Arc::clone(conn_in_flight);
+    let waiter_last_activity = Arc::clone(last_activity);
     let handle = std::thread::Builder::new()
         .name(format!("pdw-net-wait-{id}"))
         .spawn(move || {
@@ -548,6 +609,10 @@ fn handle_solve(
                 let mut w = waiter_writer.lock().unwrap();
                 let _ = send_response(&mut w, &resp, waiter_shared.cfg.write_timeout);
             }
+            // The idle clock restarts when the answer goes out: a client
+            // whose solve outlived the idle timeout still gets a full
+            // window to send its next request.
+            *waiter_last_activity.lock().unwrap() = Instant::now();
             waiter_conn_in_flight.fetch_sub(1, Ordering::SeqCst);
             waiter_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         })
@@ -817,6 +882,13 @@ impl PlanClient {
     /// than the transit time is sent as zero and comes back as a typed
     /// [`WireError::DeadlineExpired`] — expired in transit, not wasted on
     /// a solve nobody can use.
+    ///
+    /// The budget is a *per-call* deadline, not a per-attempt one: each
+    /// retry's budget is the time genuinely left after the attempts and
+    /// backoff sleeps already spent, backoff sleeps never run past the
+    /// deadline, and a deadline that expires between attempts fails
+    /// locally with a typed [`WireError::DeadlineExpired`] instead of
+    /// burning the rest of the retry budget.
     pub fn solve(
         &mut self,
         bench: &Benchmark,
@@ -824,9 +896,23 @@ impl PlanClient {
         config: &PdwConfig,
         budget: Option<Duration>,
     ) -> Result<RemotePlan, ClientError> {
+        let start = Instant::now();
+        let deadline = budget.map(|b| start + b);
         let mut attempt = 0u32;
         loop {
-            match self.solve_once(bench, synthesis, config, budget) {
+            let remaining = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(ClientError::Serve(WireError::DeadlineExpired {
+                            waited_us: start.elapsed().as_micros() as u64,
+                        }));
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
+            match self.solve_once(bench, synthesis, config, remaining) {
                 Ok(mut plan) => {
                     plan.retries = attempt;
                     return Ok(plan);
@@ -834,7 +920,10 @@ impl PlanClient {
                 Err(ClientError::Transport(e)) if e.retryable() && attempt < self.cfg.retries => {
                     self.disconnect();
                     self.retries_total += 1;
-                    let pause = self.backoff(attempt);
+                    let mut pause = self.backoff(attempt);
+                    if let Some(d) = deadline {
+                        pause = pause.min(d.saturating_duration_since(Instant::now()));
+                    }
                     std::thread::sleep(pause);
                     attempt += 1;
                 }
@@ -853,6 +942,16 @@ impl PlanClient {
         self.ensure_connected().map_err(ClientError::Transport)?;
         let transit = self.rtt.unwrap_or_default() / 2;
         let budget_us = budget.map(|b| b.saturating_sub(transit).as_micros() as u64);
+        // Bound the response wait by the budget (plus the return transit
+        // and a small grace for the server's typed expiry to arrive): a
+        // dead transport must not hold the caller past its deadline.
+        let read_timeout = match budget {
+            Some(b) => self
+                .cfg
+                .request_timeout
+                .min(b + transit + Duration::from_millis(100)),
+            None => self.cfg.request_timeout,
+        };
         let id = self.next_id;
         self.next_id += 1;
         let req = NetRequest::Solve {
@@ -870,7 +969,7 @@ impl PlanClient {
             return Err(ClientError::Transport(e));
         }
         loop {
-            match recv_response(conn, self.cfg.max_frame_len, self.cfg.request_timeout) {
+            match recv_response(conn, self.cfg.max_frame_len, read_timeout) {
                 // A stale Pong from an earlier ping is not this answer.
                 Ok(Some(NetResponse::Pong { .. })) => continue,
                 Ok(Some(NetResponse::Plan {

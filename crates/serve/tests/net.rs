@@ -4,10 +4,12 @@
 //! post-drain address reuse, and the chaos-proxy sweep — every fault mode
 //! must end in a typed outcome, never a panic, a hang, or a wrong plan.
 
+use std::io::Write;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use pathdriver_wash::transport::{recv_response, send_request};
+use pathdriver_wash::codec::{encode_frame, FrameType};
+use pathdriver_wash::transport::{hello, recv_response, send_request};
 use pathdriver_wash::{
     plan_resilient, NetAddr, NetListener, NetRequest, NetResponse, TransportError, WireError,
     SCHEMA_VERSION,
@@ -409,5 +411,188 @@ fn drain_under_load_finishes_in_flight_then_frees_the_address() {
     );
     sock2.drain();
     plan2.shutdown();
+    plan.shutdown();
+}
+
+/// A frame whose delivery spans several read ticks (a slow link mid-
+/// payload) must be assembled across ticks, not torn: the server's
+/// 50ms poll may elapse many times inside one frame, and each quiet
+/// tick must resume the partial frame instead of discarding it and
+/// parsing the remaining bytes as a fresh header.
+#[test]
+fn slow_trickle_mid_frame_does_not_desync_the_stream() {
+    let (plan, sock) = tcp_server(); // read_tick = 50ms
+    let mut raw = sock.local_addr().connect(Duration::from_secs(2)).unwrap();
+    send_request(&mut raw, &hello(), Duration::from_secs(2)).unwrap();
+    match recv_response(&mut raw, 1 << 20, Duration::from_secs(2)) {
+        Ok(Some(NetResponse::HelloAck { .. })) => {}
+        other => panic!("expected HelloAck, got {other:?}"),
+    }
+
+    // Trickle a Ping frame in three pieces — split mid-header and
+    // mid-payload — with gaps several read ticks wide.
+    let frame = encode_frame(FrameType::NetRequest, &NetRequest::Ping { nonce: 0xf00d });
+    assert!(frame.len() > 14, "frame long enough to split three ways");
+    for piece in [&frame[..7], &frame[7..14], &frame[14..]] {
+        raw.write_all(piece).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    match recv_response(&mut raw, 1 << 20, Duration::from_secs(2)) {
+        Ok(Some(NetResponse::Pong { nonce })) => assert_eq!(nonce, 0xf00d),
+        other => panic!("trickled frame was torn: {other:?}"),
+    }
+
+    // The stream is still in sync: a whole frame right after round-trips.
+    send_request(
+        &mut raw,
+        &NetRequest::Ping { nonce: 0xbeef },
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    match recv_response(&mut raw, 1 << 20, Duration::from_secs(2)) {
+        Ok(Some(NetResponse::Pong { nonce })) => assert_eq!(nonce, 0xbeef),
+        other => panic!("stream desynced after the trickled frame: {other:?}"),
+    }
+    assert_eq!(sock.stats().pings, 2);
+    sock.drain();
+    plan.shutdown();
+}
+
+/// Envelope-level version skew (the frame's version byte, not the Hello
+/// field) must be answered with a typed error frame before the server
+/// closes — a silent close reads as a retryable I/O fault and makes a
+/// skewed client burn its whole retry budget instead of failing fast.
+#[test]
+fn envelope_version_skew_gets_a_typed_handshake_reply() {
+    let (plan, sock) = tcp_server();
+    let mut raw = sock.local_addr().connect(Duration::from_secs(2)).unwrap();
+    let mut frame = encode_frame(FrameType::NetRequest, &hello());
+    frame[4] = SCHEMA_VERSION.wrapping_add(1); // version byte in the envelope
+    raw.write_all(&frame).unwrap();
+    raw.flush().unwrap();
+    match recv_response(&mut raw, 1 << 20, Duration::from_secs(2)) {
+        Ok(Some(NetResponse::Error {
+            error: WireError::BadRequest(msg),
+            ..
+        })) => assert!(msg.contains("skew"), "refusal names the skew: {msg}"),
+        other => panic!("expected a typed skew refusal, got {other:?}"),
+    }
+    assert!(sock.stats().handshake_failures >= 1);
+    sock.drain();
+    plan.shutdown();
+}
+
+/// A solve that outlives the idle timeout must not get its connection
+/// evicted the moment the response is written: the idle clock restarts
+/// when the answer goes out, so a sequential slow workload keeps its
+/// connection between requests.
+#[test]
+fn slow_solve_completion_restarts_the_idle_clock() {
+    let listener = NetListener::bind(&NetAddr::parse("127.0.0.1:0").unwrap()).unwrap();
+    let (plan, sock) = start_server(
+        listener,
+        NetConfig {
+            idle_timeout: Duration::from_millis(600),
+            read_tick: Duration::from_millis(20),
+            ..NetConfig::default()
+        },
+    );
+    let (bench, synthesis) = wire_pool(1).swap_remove(0);
+    // Hold the queue so the solve reliably outlives the idle timeout.
+    plan.pause();
+    let addr = sock.local_addr();
+    let solver = {
+        let (bench, synthesis) = (bench.clone(), synthesis.clone());
+        std::thread::spawn(move || {
+            let mut client = PlanClient::new(addr, ClientConfig::default());
+            client
+                .solve(&bench, &synthesis, &wire_config(), None)
+                .expect("held solve serves once released");
+            // Well inside the *restarted* idle window, far outside the
+            // one measured from the request's arrival.
+            std::thread::sleep(Duration::from_millis(300));
+            client.ping().expect("connection survives a slow solve")
+        })
+    };
+    while sock.in_flight() == 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(900)); // > idle_timeout
+    plan.resume();
+    solver.join().expect("solver thread");
+    assert_eq!(sock.stats().idle_evicted, 0, "no spurious eviction");
+    sock.drain();
+    plan.shutdown();
+}
+
+/// The budget passed to [`PlanClient::solve`] is a per-call deadline:
+/// retries and backoff sleeps spend it, and once it is gone the call
+/// fails locally with a typed expiry instead of running the whole retry
+/// ladder against a dead server.
+#[test]
+fn retry_loop_honors_the_per_call_deadline() {
+    // A dead address: bind a port for its number, then free it.
+    let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = NetAddr::Tcp(format!("127.0.0.1:{}", dead.local_addr().unwrap().port()));
+    drop(dead);
+    let (bench, synthesis) = wire_pool(1).swap_remove(0);
+    let mut client = PlanClient::new(
+        addr,
+        ClientConfig {
+            retries: 10,
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(2),
+            ..ClientConfig::default()
+        },
+    );
+    let t = Instant::now();
+    match client.solve(
+        &bench,
+        &synthesis,
+        &wire_config(),
+        Some(Duration::from_millis(250)),
+    ) {
+        Err(ClientError::Serve(WireError::DeadlineExpired { .. })) => {}
+        other => panic!("expected a local deadline expiry, got {other:?}"),
+    }
+    // Ten 100ms-doubling backoffs would take many seconds; the deadline
+    // bounds the call near its 250ms budget.
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "call returned near its deadline, not after the retry ladder: {elapsed:?}"
+    );
+    assert!(client.retries_total() >= 1, "the dead server was retried");
+}
+
+/// Finished connection threads are reaped while the server runs — a
+/// long-running listener must not hold one JoinHandle per connection it
+/// ever accepted until shutdown.
+#[test]
+fn finished_connection_threads_are_reaped() {
+    let (plan, sock) = tcp_server();
+    let addr = sock.local_addr();
+    for _ in 0..8 {
+        let mut client = PlanClient::new(addr.clone(), ClientConfig::default());
+        client.ping().expect("connects");
+        client.disconnect();
+    }
+    // The accept loop reaps finished handles on every pass; give the
+    // closed connections a moment to unwind.
+    let t = Instant::now();
+    while (sock.stats().active > 0 || sock.conn_thread_backlog() > 0)
+        && t.elapsed() < Duration::from_secs(5)
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(sock.stats().accepted, 8);
+    assert_eq!(sock.stats().active, 0);
+    assert_eq!(
+        sock.conn_thread_backlog(),
+        0,
+        "finished handles reaped before shutdown"
+    );
+    sock.drain();
     plan.shutdown();
 }
